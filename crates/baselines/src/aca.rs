@@ -1,0 +1,244 @@
+//! Adaptive cross approximation (ACA) with partial pivoting.
+//!
+//! ACA is the low-rank engine used by HODLR [Ambikasaran & Darve 2013]: it
+//! approximates a block `A ≈ U V^T` by greedily selecting cross rows and
+//! columns, touching only `O(rank (m + n))` entries of the block instead of
+//! all `m n`. Unlike the ID used by GOFMM it does not produce nested bases,
+//! which is why HODLR's evaluation costs `O(N log N)` instead of `O(N)`.
+
+use gofmm_linalg::{DenseMatrix, Scalar};
+use gofmm_matrices::SpdMatrix;
+
+/// Low-rank factorization `A ≈ U V^T` produced by ACA.
+#[derive(Clone, Debug)]
+pub struct LowRank<T: Scalar> {
+    /// Left factor (`m x rank`).
+    pub u: DenseMatrix<T>,
+    /// Right factor (`n x rank`), so the block is `U * V^T`.
+    pub v: DenseMatrix<T>,
+}
+
+impl<T: Scalar> LowRank<T> {
+    /// Rank of the factorization.
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Apply the low-rank block to a dense matrix: `U (V^T w)`.
+    pub fn apply(&self, w: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let tmp = gofmm_linalg::matmul_tn(&self.v, w);
+        gofmm_linalg::matmul(&self.u, &tmp)
+    }
+
+    /// Densify (tests / error measurement only).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        gofmm_linalg::matmul_nt(&self.u, &self.v)
+    }
+}
+
+/// Partial-pivoted ACA of the block `K[rows, cols]`.
+///
+/// Stops when either `max_rank` crosses have been extracted or the estimated
+/// relative Frobenius contribution of the latest cross drops below `tol`.
+pub fn aca<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    rows: &[usize],
+    cols: &[usize],
+    max_rank: usize,
+    tol: f64,
+) -> LowRank<T> {
+    let m = rows.len();
+    let n = cols.len();
+    let kmax = max_rank.min(m.min(n)).max(1);
+    let mut us: Vec<Vec<T>> = Vec::new();
+    let mut vs: Vec<Vec<T>> = Vec::new();
+    // Frobenius-norm accumulator of the approximation, used for the stopping
+    // criterion ||u_k|| ||v_k|| <= tol * ||A_k||_F.
+    let mut approx_norm2 = 0.0f64;
+    let mut used_rows = vec![false; m];
+    let mut pivot_row = 0usize;
+
+    for _ in 0..kmax {
+        // Residual row at pivot_row: K[row, cols] - sum_k u_k[row] * v_k.
+        let mut row_vals: Vec<T> = (0..n)
+            .map(|j| matrix.entry(rows[pivot_row], cols[j]))
+            .collect();
+        for (u, v) in us.iter().zip(vs.iter()) {
+            let ur = u[pivot_row];
+            for j in 0..n {
+                row_vals[j] -= ur * v[j];
+            }
+        }
+        // Column pivot: largest residual entry in this row.
+        let (jmax, &vmax) = row_vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.abs()
+                    .partial_cmp(&b.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        used_rows[pivot_row] = true;
+        if vmax.abs().to_f64() < 1e-300 {
+            // Residual row is numerically zero; try another unused row.
+            if let Some(next) = used_rows.iter().position(|&u| !u) {
+                pivot_row = next;
+                continue;
+            }
+            break;
+        }
+        // Residual column jmax.
+        let mut col_vals: Vec<T> = (0..m)
+            .map(|i| matrix.entry(rows[i], cols[jmax]))
+            .collect();
+        for (u, v) in us.iter().zip(vs.iter()) {
+            let vc = v[jmax];
+            for i in 0..m {
+                col_vals[i] -= u[i] * vc;
+            }
+        }
+        let pivot = vmax;
+        let u_new: Vec<T> = col_vals.iter().map(|&c| c / pivot).collect();
+        let v_new: Vec<T> = row_vals;
+
+        // Norm bookkeeping for the stopping test.
+        let nu: f64 = u_new.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt();
+        let nv: f64 = v_new.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt();
+        let mut cross = 0.0;
+        for (uk, vk) in us.iter().zip(vs.iter()) {
+            let du: f64 = uk
+                .iter()
+                .zip(u_new.iter())
+                .map(|(a, b)| a.to_f64() * b.to_f64())
+                .sum();
+            let dv: f64 = vk
+                .iter()
+                .zip(v_new.iter())
+                .map(|(a, b)| a.to_f64() * b.to_f64())
+                .sum();
+            cross += du * dv;
+        }
+        approx_norm2 += 2.0 * cross + nu * nu * nv * nv;
+
+        // Next row pivot: largest entry of the new column outside used rows.
+        let mut best = None;
+        for i in 0..m {
+            if used_rows[i] {
+                continue;
+            }
+            let a = u_new[i].abs().to_f64();
+            if best.map(|(_, b)| a > b).unwrap_or(true) {
+                best = Some((i, a));
+            }
+        }
+        us.push(u_new);
+        vs.push(v_new);
+
+        if tol > 0.0 && nu * nv <= tol * approx_norm2.max(1e-300).sqrt() {
+            break;
+        }
+        match best {
+            Some((i, _)) => pivot_row = i,
+            None => break,
+        }
+    }
+
+    let rank = us.len().max(1);
+    let mut u = DenseMatrix::zeros(m, rank);
+    let mut v = DenseMatrix::zeros(n, rank);
+    for (k, (uk, vk)) in us.iter().zip(vs.iter()).enumerate() {
+        for i in 0..m {
+            u.set(i, k, uk[i]);
+        }
+        for j in 0..n {
+            v.set(j, k, vk[j]);
+        }
+    }
+    LowRank { u, v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+
+    fn kernel(n: usize, h: f64) -> KernelMatrix {
+        KernelMatrix::new(
+            PointCloud::uniform(n, 2, 3),
+            KernelType::Gaussian { bandwidth: h },
+            1e-8,
+            "aca-test",
+        )
+    }
+
+    #[test]
+    fn aca_approximates_smooth_offdiagonal_block() {
+        let k = kernel(200, 1.5);
+        let rows: Vec<usize> = (0..100).collect();
+        let cols: Vec<usize> = (100..200).collect();
+        let lr = aca::<f64, _>(&k, &rows, &cols, 50, 1e-10);
+        let exact = k.submatrix(&rows, &cols);
+        let approx = lr.to_dense();
+        let rel = approx.sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-6, "relative error {rel}, rank {}", lr.rank());
+        assert!(lr.rank() < 50, "rank should be far below full");
+    }
+
+    #[test]
+    fn aca_rank_cap_respected() {
+        let k = kernel(120, 0.2);
+        let rows: Vec<usize> = (0..60).collect();
+        let cols: Vec<usize> = (60..120).collect();
+        let lr = aca::<f64, _>(&k, &rows, &cols, 7, 0.0);
+        assert!(lr.rank() <= 7);
+        assert_eq!(lr.u.rows(), 60);
+        assert_eq!(lr.v.rows(), 60);
+    }
+
+    #[test]
+    fn aca_apply_matches_dense_apply() {
+        let k = kernel(160, 1.0);
+        let rows: Vec<usize> = (0..80).collect();
+        let cols: Vec<usize> = (80..160).collect();
+        let lr = aca::<f64, _>(&k, &rows, &cols, 40, 1e-12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let w = DenseMatrix::<f64>::random_uniform(80, 3, &mut rng);
+        let fast = lr.apply(&w);
+        let dense = gofmm_linalg::matmul(&lr.to_dense(), &w);
+        assert!(fast.sub(&dense).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn aca_tolerance_controls_rank() {
+        let k = kernel(200, 1.0);
+        let rows: Vec<usize> = (0..100).collect();
+        let cols: Vec<usize> = (100..200).collect();
+        let loose = aca::<f64, _>(&k, &rows, &cols, 100, 1e-2);
+        let tight = aca::<f64, _>(&k, &rows, &cols, 100, 1e-10);
+        assert!(loose.rank() <= tight.rank());
+    }
+
+    #[test]
+    fn aca_handles_exact_low_rank() {
+        // Rank-1 matrix: outer product via a degenerate "kernel".
+        struct Rank1(usize);
+        impl gofmm_matrices::SpdMatrix<f64> for Rank1 {
+            fn n(&self) -> usize {
+                self.0
+            }
+            fn entry(&self, i: usize, j: usize) -> f64 {
+                ((i + 1) * (j + 1)) as f64
+            }
+        }
+        let m = Rank1(50);
+        let rows: Vec<usize> = (0..25).collect();
+        let cols: Vec<usize> = (25..50).collect();
+        let lr = aca::<f64, _>(&m, &rows, &cols, 10, 1e-12);
+        let exact = m.submatrix(&rows, &cols);
+        let rel = lr.to_dense().sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-12);
+        assert!(lr.rank() <= 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! HODLR baseline (Ambikasaran & Darve 2013).
+//!
+//! Hierarchically Off-Diagonal Low-Rank: the matrix is split recursively in the
+//! *input (lexicographic) order*; every off-diagonal block is approximated by
+//! ACA, and diagonal blocks are recursed until they reach the leaf size, where
+//! they are stored densely. There is no nested basis and no sparse correction,
+//! so the evaluation costs `O(N log N)` per right-hand side (the comparison
+//! point of Table 3 in the paper).
+
+use crate::aca::{aca, LowRank};
+use gofmm_linalg::{DenseMatrix, Scalar};
+use gofmm_matrices::SpdMatrix;
+use std::time::Instant;
+
+/// HODLR compression parameters.
+#[derive(Clone, Debug)]
+pub struct HodlrConfig {
+    /// Diagonal blocks of at most this size are stored densely.
+    pub leaf_size: usize,
+    /// Maximum ACA rank per off-diagonal block.
+    pub max_rank: usize,
+    /// ACA relative stopping tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for HodlrConfig {
+    fn default() -> Self {
+        Self {
+            leaf_size: 256,
+            max_rank: 256,
+            tolerance: 1e-5,
+        }
+    }
+}
+
+enum Node<T: Scalar> {
+    Leaf {
+        start: usize,
+        dense: DenseMatrix<T>,
+    },
+    Internal {
+        start: usize,
+        mid: usize,
+        end: usize,
+        /// `K[I1, I2] ≈ U V^T`.
+        upper: LowRank<T>,
+        /// `K[I2, I1] ≈ U V^T`.
+        lower: LowRank<T>,
+        left: Box<Node<T>>,
+        right: Box<Node<T>>,
+    },
+}
+
+/// A HODLR approximation of an SPD matrix.
+pub struct Hodlr<T: Scalar> {
+    n: usize,
+    root: Node<T>,
+    /// Compression wall-clock time in seconds.
+    pub compress_time: f64,
+    ranks: Vec<usize>,
+}
+
+impl<T: Scalar> Hodlr<T> {
+    /// Compress `matrix` in the lexicographic ordering.
+    pub fn compress<M: SpdMatrix<T> + ?Sized>(matrix: &M, config: &HodlrConfig) -> Self {
+        let n = matrix.n();
+        let t0 = Instant::now();
+        let mut ranks = Vec::new();
+        let root = build(matrix, 0, n, config, &mut ranks);
+        Self {
+            n,
+            root,
+            compress_time: t0.elapsed().as_secs_f64(),
+            ranks,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Average off-diagonal block rank.
+    pub fn average_rank(&self) -> f64 {
+        if self.ranks.is_empty() {
+            0.0
+        } else {
+            self.ranks.iter().sum::<usize>() as f64 / self.ranks.len() as f64
+        }
+    }
+
+    /// Approximate `u = K w`.
+    pub fn matvec(&self, w: &DenseMatrix<T>) -> DenseMatrix<T> {
+        assert_eq!(w.rows(), self.n);
+        let mut out = DenseMatrix::zeros(self.n, w.cols());
+        apply(&self.root, w, &mut out);
+        out
+    }
+
+    /// Approximate storage in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = 0usize;
+        count_bytes::<T>(&self.root, &mut total);
+        total
+    }
+}
+
+fn build<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    start: usize,
+    end: usize,
+    config: &HodlrConfig,
+    ranks: &mut Vec<usize>,
+) -> Node<T> {
+    let len = end - start;
+    if len <= config.leaf_size {
+        let idx: Vec<usize> = (start..end).collect();
+        return Node::Leaf {
+            start,
+            dense: matrix.submatrix(&idx, &idx),
+        };
+    }
+    let mid = start + len / 2;
+    let i1: Vec<usize> = (start..mid).collect();
+    let i2: Vec<usize> = (mid..end).collect();
+    let upper = aca(matrix, &i1, &i2, config.max_rank, config.tolerance);
+    let lower = aca(matrix, &i2, &i1, config.max_rank, config.tolerance);
+    ranks.push(upper.rank());
+    ranks.push(lower.rank());
+    let left = Box::new(build(matrix, start, mid, config, ranks));
+    let right = Box::new(build(matrix, mid, end, config, ranks));
+    Node::Internal {
+        start,
+        mid,
+        end,
+        upper,
+        lower,
+        left,
+        right,
+    }
+}
+
+fn apply<T: Scalar>(node: &Node<T>, w: &DenseMatrix<T>, out: &mut DenseMatrix<T>) {
+    match node {
+        Node::Leaf { start, dense } => {
+            let idx: Vec<usize> = (*start..*start + dense.rows()).collect();
+            let w_local = w.select_rows(&idx);
+            let u_local = gofmm_linalg::matmul(dense, &w_local);
+            for (li, &gi) in idx.iter().enumerate() {
+                for c in 0..w.cols() {
+                    let cur = out.get(gi, c);
+                    out.set(gi, c, cur + u_local.get(li, c));
+                }
+            }
+        }
+        Node::Internal {
+            start,
+            mid,
+            end,
+            upper,
+            lower,
+            left,
+            right,
+        } => {
+            let i1: Vec<usize> = (*start..*mid).collect();
+            let i2: Vec<usize> = (*mid..*end).collect();
+            let w1 = w.select_rows(&i1);
+            let w2 = w.select_rows(&i2);
+            let u1 = upper.apply(&w2);
+            let u2 = lower.apply(&w1);
+            for (li, &gi) in i1.iter().enumerate() {
+                for c in 0..w.cols() {
+                    let cur = out.get(gi, c);
+                    out.set(gi, c, cur + u1.get(li, c));
+                }
+            }
+            for (li, &gi) in i2.iter().enumerate() {
+                for c in 0..w.cols() {
+                    let cur = out.get(gi, c);
+                    out.set(gi, c, cur + u2.get(li, c));
+                }
+            }
+            apply(left, w, out);
+            apply(right, w, out);
+        }
+    }
+}
+
+fn count_bytes<T: Scalar>(node: &Node<T>, total: &mut usize) {
+    let s = std::mem::size_of::<T>();
+    match node {
+        Node::Leaf { dense, .. } => *total += dense.rows() * dense.cols() * s,
+        Node::Internal {
+            upper,
+            lower,
+            left,
+            right,
+            ..
+        } => {
+            *total += (upper.u.rows() * upper.u.cols()
+                + upper.v.rows() * upper.v.cols()
+                + lower.u.rows() * lower.u.cols()
+                + lower.v.rows() * lower.v.cols())
+                * s;
+            count_bytes::<T>(left, total);
+            count_bytes::<T>(right, total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn smooth_kernel(n: usize) -> KernelMatrix {
+        KernelMatrix::new(
+            PointCloud::uniform(n, 2, 7),
+            KernelType::Gaussian { bandwidth: 1.5 },
+            1e-8,
+            "hodlr-test",
+        )
+    }
+
+    #[test]
+    fn hodlr_matvec_is_accurate_for_smooth_kernel() {
+        let n = 300;
+        let k = smooth_kernel(n);
+        let h = Hodlr::<f64>::compress(
+            &k,
+            &HodlrConfig {
+                leaf_size: 32,
+                max_rank: 64,
+                tolerance: 1e-9,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let u = h.matvec(&w);
+        let exact = k.matvec_exact(&w);
+        let rel = u.sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-5, "relative error {rel}");
+        assert!(h.average_rank() > 0.0);
+        assert!(h.compress_time >= 0.0);
+        assert!(h.memory_bytes() > 0);
+        assert_eq!(h.n(), n);
+    }
+
+    #[test]
+    fn hodlr_small_matrix_is_exact_dense() {
+        let n = 40;
+        let k = smooth_kernel(n);
+        let h = Hodlr::<f64>::compress(
+            &k,
+            &HodlrConfig {
+                leaf_size: 64,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let u = h.matvec(&w);
+        let exact = k.matvec_exact(&w);
+        assert!(u.sub(&exact).norm_max() < 1e-10);
+        assert_eq!(h.average_rank(), 0.0);
+    }
+
+    #[test]
+    fn hodlr_rank_cap_limits_accuracy() {
+        let n = 256;
+        let k = KernelMatrix::new(
+            PointCloud::uniform(n, 6, 9),
+            KernelType::Gaussian { bandwidth: 0.3 },
+            1e-6,
+            "hard",
+        );
+        let loose = Hodlr::<f64>::compress(
+            &k,
+            &HodlrConfig {
+                leaf_size: 32,
+                max_rank: 4,
+                tolerance: 0.0,
+            },
+        );
+        let tight = Hodlr::<f64>::compress(
+            &k,
+            &HodlrConfig {
+                leaf_size: 32,
+                max_rank: 128,
+                tolerance: 1e-10,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let exact = k.matvec_exact(&w);
+        let e_loose = loose.matvec(&w).sub(&exact).norm_fro() / exact.norm_fro();
+        let e_tight = tight.matvec(&w).sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(e_tight < e_loose, "tight {e_tight} vs loose {e_loose}");
+    }
+}

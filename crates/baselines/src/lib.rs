@@ -1,0 +1,23 @@
+//! # gofmm-baselines
+//!
+//! Re-implementations of the three comparison codes from the GOFMM paper's
+//! evaluation (§4, Tables 3 and 4):
+//!
+//! * [`hodlr`] — HODLR: lexicographic ordering, ACA off-diagonal low-rank
+//!   blocks, non-nested bases (`O(N log N)` evaluation),
+//! * [`hss`] — STRUMPACK-style HSS: lexicographic ordering, exhaustive /
+//!   randomized row sampling, nested bases, no sparse correction,
+//! * [`askit`] — ASKIT: geometric partitioning, level-by-level traversals,
+//!   neighbor-count-driven direct evaluation, single right-hand side.
+//!
+//! The [`mod@aca`] module provides the adaptive cross approximation used by HODLR.
+
+pub mod aca;
+pub mod askit;
+pub mod hodlr;
+pub mod hss;
+
+pub use aca::{aca, LowRank};
+pub use askit::{AskitConfig, AskitMatrix};
+pub use hodlr::{Hodlr, HodlrConfig};
+pub use hss::{HssConfig, HssMatrix};

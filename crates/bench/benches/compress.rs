@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the GOFMM compression phase (paper Algorithm 2.2)
+//! under different scheduling policies and budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gofmm_core::{compress, DistanceMetric, GofmmConfig, TraversalPolicy};
+use gofmm_matrices::{build_matrix, TestMatrixId, ZooOptions};
+use std::time::Duration;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    let n = 1024;
+    let k = build_matrix(TestMatrixId::K04, &ZooOptions { n, seed: 1, bandwidth: None });
+
+    for policy in [
+        TraversalPolicy::LevelByLevel,
+        TraversalPolicy::DagFifo,
+        TraversalPolicy::DagHeft,
+    ] {
+        let cfg = GofmmConfig::default()
+            .with_leaf_size(128)
+            .with_max_rank(64)
+            .with_tolerance(1e-5)
+            .with_budget(0.03)
+            .with_metric(DistanceMetric::Angle)
+            .with_policy(policy);
+        group.bench_with_input(
+            BenchmarkId::new("K04_n2048", policy.to_string()),
+            &cfg,
+            |bencher, cfg| {
+                bencher.iter(|| compress::<f64, _>(&k, cfg));
+            },
+        );
+    }
+
+    // HSS vs FMM compression cost.
+    for (label, budget) in [("hss_budget0", 0.0), ("fmm_budget10", 0.1)] {
+        let cfg = GofmmConfig::default()
+            .with_leaf_size(128)
+            .with_max_rank(64)
+            .with_tolerance(1e-5)
+            .with_budget(budget)
+            .with_metric(DistanceMetric::Angle)
+            .with_policy(TraversalPolicy::DagHeft);
+        group.bench_function(BenchmarkId::new("K04_n2048", label), |bencher| {
+            bencher.iter(|| compress::<f64, _>(&k, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

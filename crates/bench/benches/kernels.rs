@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the computational kernels GOFMM is built on:
+//! GEMM, pivoted QR (GEQP3 stand-in), metric tree construction and the
+//! neighbor search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gofmm_core::{DistanceMetric, GramOracle};
+use gofmm_linalg::{matmul, pivoted_qr, DenseMatrix, QrOptions};
+use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+use gofmm_tree::{ann_search, AnnConfig, DistanceOracle, PartitionTree, TreeOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[128usize, 256] {
+        let a = DenseMatrix::<f64>::random_uniform(n, n, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("f64", n), &n, |bencher, _| {
+            bencher.iter(|| matmul(&a, &b));
+        });
+        let a32: DenseMatrix<f32> = a.cast();
+        let b32: DenseMatrix<f32> = b.cast();
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |bencher, _| {
+            bencher.iter(|| matmul(&a32, &b32));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pivoted_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivoted_qr");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(rows, cols) in &[(256usize, 128usize), (512, 128)] {
+        let a = DenseMatrix::<f64>::random_uniform(rows, cols, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &a,
+            |bencher, a| {
+                bencher.iter(|| pivoted_qr(a, QrOptions::adaptive(64, 1e-7)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tree_and_ann(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_ann");
+    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    let n = 2048;
+    let k = KernelMatrix::new(
+        PointCloud::uniform(n, 6, 3),
+        KernelType::Gaussian { bandwidth: 1.0 },
+        1e-6,
+        "bench",
+    );
+    let oracle = GramOracle::<f64, _>::new(&k, DistanceMetric::Angle);
+    group.bench_function("metric_tree_build_2048", |bencher| {
+        bencher.iter(|| {
+            PartitionTree::build(
+                &oracle,
+                &TreeOptions {
+                    leaf_size: 128,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function("ann_search_2048_k16", |bencher| {
+        bencher.iter(|| {
+            ann_search(
+                &oracle,
+                &AnnConfig {
+                    k: 16,
+                    max_iters: 3,
+                    leaf_size: 128,
+                    num_threads: 4,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    let _ = oracle.len();
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_pivoted_qr, bench_tree_and_ann);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Figure 5 (experiment #5): relative error eps2 across the whole matrix zoo
+//! with the angle distance, for tolerances 1e-2 (1% budget) and 1e-5 (3%
+//! budget), plus the paper's special cases: tau = 1e-10 for K13/K14 and leaf
+//! size 64 for G01-G03.
+
+use gofmm_bench::harness::{bench_threads, fmt_err, fmt_secs, print_table, scaled, timed};
+use gofmm_core::{compress, evaluate, DistanceMetric, GofmmConfig, TraversalPolicy};
+use gofmm_linalg::DenseMatrix;
+use gofmm_matrices::{build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions};
+
+fn run(
+    k: &(impl SpdMatrix<f64> + ?Sized),
+    m: usize,
+    s: usize,
+    tau: f64,
+    budget: f64,
+    threads: usize,
+) -> (f64, f64, f64, f64) {
+    let cfg = GofmmConfig::default()
+        .with_leaf_size(m)
+        .with_max_rank(s)
+        .with_tolerance(tau)
+        .with_budget(budget)
+        .with_metric(DistanceMetric::Angle)
+        .with_policy(TraversalPolicy::DagHeft)
+        .with_threads(threads);
+    let (comp, t_comp) = timed(|| compress::<f64, _>(k, &cfg));
+    let n = k.n();
+    let w = DenseMatrix::<f64>::from_fn(n, 128, |i, j| (((i * 5 + j) % 11) as f64) / 11.0 - 0.5);
+    let ((u, _), t_eval) = timed(|| evaluate(k, &comp, &w));
+    let eps = sampled_relative_error(k, &w, &u, 100, 0);
+    (eps, t_comp, t_eval, comp.average_rank())
+}
+
+fn main() {
+    let threads = bench_threads();
+    let n = scaled(2048);
+    let s = 256;
+    let mut rows = Vec::new();
+
+    for id in TestMatrixId::paper_matrices() {
+        let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth: None });
+        // Default leaf size 256; G01-G03 need m = 64 per the paper.
+        let m = match id {
+            TestMatrixId::G01 | TestMatrixId::G02 | TestMatrixId::G03 => 64,
+            _ => 256,
+        };
+        let (eps_loose, tc1, te1, _) = run(&k, m, s, 1e-2, 0.01, threads);
+        let (eps_tight, tc2, te2, rank) = run(&k, m, s, 1e-5, 0.03, threads);
+        let mut row = vec![
+            id.name().to_string(),
+            k.n().to_string(),
+            fmt_err(eps_loose),
+            fmt_err(eps_tight),
+            format!("{rank:.1}"),
+            fmt_secs((tc1 + tc2) / 2.0),
+            fmt_secs((te1 + te2) / 2.0),
+        ];
+        // Paper: K13/K14 recover accuracy with tau = 1e-10.
+        if matches!(id, TestMatrixId::K13 | TestMatrixId::K14) {
+            let (eps_hi, _, _, _) = run(&k, m, s, 1e-10, 0.03, threads);
+            row.push(format!("tau=1e-10: {}", fmt_err(eps_hi)));
+        } else {
+            row.push(String::new());
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 5: eps2 for all test matrices, angle distance",
+        &[
+            "matrix",
+            "N",
+            "eps2 (tau=1e-2, 1%)",
+            "eps2 (tau=1e-5, 3%)",
+            "avg rank",
+            "compress (s)",
+            "evaluate (s)",
+            "note",
+        ],
+        &rows,
+    );
+    println!("\nmatrices expected NOT to compress at this rank budget (paper): K06, K15, K16, K17; K13/K14 need tau=1e-10.");
+}

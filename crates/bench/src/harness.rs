@@ -1,0 +1,156 @@
+//! Shared utilities for the experiment binaries: table printing, timing,
+//! problem-size scaling and a parallel dense GEMM reference (the "MKL SGEMM"
+//! stand-in of Figure 1).
+
+use gofmm_linalg::{gemm, DenseMatrix, Scalar, Transpose};
+use gofmm_runtime::parallel_ranges;
+use std::time::Instant;
+
+/// Read an environment variable override for a problem size, so the
+/// experiments can be re-run at larger scale (`GOFMM_BENCH_SCALE=2` doubles
+/// every default size).
+pub fn scaled(default: usize) -> usize {
+    match std::env::var("GOFMM_BENCH_SCALE") {
+        Ok(s) => {
+            let f: f64 = s.parse().unwrap_or(1.0);
+            ((default as f64) * f).round() as usize
+        }
+        Err(_) => default,
+    }
+}
+
+/// Number of worker threads used by the experiments (override with
+/// `GOFMM_BENCH_THREADS`).
+pub fn bench_threads() -> usize {
+    std::env::var("GOFMM_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(gofmm_runtime::available_threads)
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Print a fixed-width table (headers plus rows of strings).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            if c < widths.len() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| format!("{:>w$}", h, w = widths[c]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{:>w$}", cell, w = widths.get(c).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Format seconds with three significant decimals.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Format a relative error in scientific notation.
+pub fn fmt_err(e: f64) -> String {
+    format!("{e:.1e}")
+}
+
+/// Thread-parallel dense GEMM `C = A * B` (column-blocked), used as the
+/// "optimized dense library" reference in Figure 1. The per-thread work is
+/// the sequential blocked GEMM from `gofmm-linalg`.
+pub fn parallel_matmul<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    threads: usize,
+) -> DenseMatrix<T> {
+    let m = a.rows();
+    let n = b.cols();
+    let out = parking_lot_free_matmul(a, b, m, n, threads);
+    out
+}
+
+fn parking_lot_free_matmul<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    m: usize,
+    n: usize,
+    threads: usize,
+) -> DenseMatrix<T> {
+    // Each thread computes a disjoint column block of C, so no locking is
+    // needed; blocks are written into per-thread buffers and stitched after.
+    let blocks: std::sync::Mutex<Vec<(usize, DenseMatrix<T>)>> = std::sync::Mutex::new(Vec::new());
+    let col_ranges = gofmm_runtime::split_ranges(n, threads.max(1));
+    parallel_ranges(col_ranges.len(), threads, |range| {
+        for idx in range {
+            let cols = col_ranges[idx].clone();
+            if cols.is_empty() {
+                continue;
+            }
+            let b_block = b.block(0, b.rows(), cols.start, cols.end);
+            let mut c_block = DenseMatrix::zeros(m, cols.len());
+            gemm(
+                T::one(),
+                a,
+                Transpose::No,
+                &b_block,
+                Transpose::No,
+                T::zero(),
+                &mut c_block,
+            );
+            blocks.lock().unwrap().push((cols.start, c_block));
+        }
+    });
+    let mut c = DenseMatrix::zeros(m, n);
+    for (start, block) in blocks.into_inner().unwrap() {
+        c.set_block(0, start, &block);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matmul_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseMatrix::<f64>::random_uniform(40, 30, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(30, 25, &mut rng);
+        let c_par = parallel_matmul(&a, &b, 4);
+        let c_seq = gofmm_linalg::matmul(&a, &b);
+        assert!(c_par.sub(&c_seq).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_and_threads_defaults() {
+        assert!(scaled(100) >= 1);
+        assert!(bench_threads() >= 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(1.23456), "1.235");
+        assert_eq!(fmt_err(0.000123), "1.2e-4");
+    }
+}

@@ -1,0 +1,194 @@
+//! Accuracy reporting in the format of the original GOFMM artifact.
+//!
+//! The paper's artifact (§5.6) reports accuracy in two parts after every run:
+//! the relative error of the first 10 output entries and the average relative
+//! error over 100 sampled entries, in addition to the matrix-level `eps_2`.
+//! This module reproduces that report so the experiment binaries and examples
+//! can print the same diagnostics.
+
+use gofmm_linalg::{DenseMatrix, Scalar};
+use gofmm_matrices::SpdMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-entry accuracy report mirroring the original GOFMM output.
+#[derive(Clone, Debug)]
+pub struct AccuracyReport {
+    /// Relative error of the first few output entries (paper: 10).
+    pub first_entries: Vec<f64>,
+    /// Average relative error over the sampled entries (paper: 100).
+    pub average_entry_error: f64,
+    /// Matrix-level relative error `||K w - u||_F / ||K w||_F` restricted to
+    /// the sampled rows (the paper's eps_2).
+    pub eps2: f64,
+    /// Number of sampled rows used for the average and eps_2.
+    pub samples: usize,
+}
+
+impl std::fmt::Display for AccuracyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "first entries: [")?;
+        for (i, e) in self.first_entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e:.2e}")?;
+        }
+        write!(
+            f,
+            "]; average of {} entries: {:.2e}; eps2: {:.2e}",
+            self.samples, self.average_entry_error, self.eps2
+        )
+    }
+}
+
+/// Compute the artifact-style accuracy report for an approximate product
+/// `u ≈ K w`.
+///
+/// * `num_first` — how many leading entries to report individually (10 in the
+///   paper),
+/// * `num_samples` — how many rows to sample for the average error and eps_2
+///   (100 in the paper).
+pub fn accuracy_report<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    w: &DenseMatrix<T>,
+    u_approx: &DenseMatrix<T>,
+    num_first: usize,
+    num_samples: usize,
+    seed: u64,
+) -> AccuracyReport {
+    let n = matrix.n();
+    assert_eq!(w.rows(), n);
+    assert_eq!(u_approx.rows(), n);
+    let num_first = num_first.min(n);
+    let num_samples = num_samples.clamp(1, n);
+
+    // Rows: the first `num_first` plus a random sample for the average.
+    let mut sample_rows: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample_rows.shuffle(&mut rng);
+    sample_rows.truncate(num_samples);
+    let mut rows: Vec<usize> = (0..num_first).collect();
+    for &r in &sample_rows {
+        if !rows.contains(&r) {
+            rows.push(r);
+        }
+    }
+
+    let exact = matrix.rows_times(&rows, w);
+    let row_error = |pos: usize| -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for c in 0..w.cols() {
+            let e = exact.get(pos, c).to_f64();
+            let a = u_approx.get(rows[pos], c).to_f64();
+            num += (a - e) * (a - e);
+            den += e * e;
+        }
+        if den == 0.0 {
+            num.sqrt()
+        } else {
+            (num / den).sqrt()
+        }
+    };
+
+    let first_entries: Vec<f64> = (0..num_first).map(row_error).collect();
+
+    // Average and eps2 over the random sample (positions after the first
+    // block, falling back to the whole row set when they overlap).
+    let sample_positions: Vec<usize> = (0..rows.len())
+        .filter(|&p| sample_rows.contains(&rows[p]))
+        .collect();
+    let average_entry_error = if sample_positions.is_empty() {
+        0.0
+    } else {
+        sample_positions.iter().map(|&p| row_error(p)).sum::<f64>() / sample_positions.len() as f64
+    };
+
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &p in &sample_positions {
+        for c in 0..w.cols() {
+            let e = exact.get(p, c).to_f64();
+            let a = u_approx.get(rows[p], c).to_f64();
+            num += (a - e) * (a - e);
+            den += e * e;
+        }
+    }
+    let eps2 = if den == 0.0 { num.sqrt() } else { (num / den).sqrt() };
+
+    AccuracyReport {
+        first_entries,
+        average_entry_error,
+        eps2,
+        samples: sample_positions.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+    use rand::Rng;
+
+    fn matrix_and_product(n: usize) -> (KernelMatrix, DenseMatrix<f64>, DenseMatrix<f64>) {
+        let k = KernelMatrix::new(
+            PointCloud::uniform(n, 2, 3),
+            KernelType::Gaussian { bandwidth: 1.0 },
+            1e-6,
+            "acc",
+        );
+        let w = DenseMatrix::<f64>::from_fn(n, 3, |i, j| ((i + j) % 5) as f64 - 2.0);
+        let u = k.matvec_exact(&w);
+        (k, w, u)
+    }
+
+    #[test]
+    fn exact_product_reports_zero_error() {
+        let (k, w, u) = matrix_and_product(120);
+        let rep = accuracy_report(&k, &w, &u, 10, 50, 0);
+        assert_eq!(rep.first_entries.len(), 10);
+        assert!(rep.first_entries.iter().all(|&e| e < 1e-12));
+        assert!(rep.average_entry_error < 1e-12);
+        assert!(rep.eps2 < 1e-12);
+        assert!(rep.samples > 0);
+        // Display formatting is stable.
+        let s = rep.to_string();
+        assert!(s.contains("eps2"));
+    }
+
+    #[test]
+    fn perturbation_is_detected_per_entry() {
+        let (k, w, mut u) = matrix_and_product(100);
+        // Perturb only row 0 by 10%.
+        for c in 0..u.cols() {
+            let v = u.get(0, c);
+            u.set(0, c, v * 1.1);
+        }
+        let rep = accuracy_report(&k, &w, &u, 5, 40, 1);
+        assert!((rep.first_entries[0] - 0.1).abs() < 1e-6, "{}", rep.first_entries[0]);
+        assert!(rep.first_entries[1] < 1e-12);
+        // The global eps2 is small because only one row is wrong.
+        assert!(rep.eps2 < 0.1);
+    }
+
+    #[test]
+    fn report_scales_with_uniform_error() {
+        let (k, w, mut u) = matrix_and_product(80);
+        u.scale(1.05); // 5% uniform error
+        let rep = accuracy_report(&k, &w, &u, 10, 80, 2);
+        assert!((rep.average_entry_error - 0.05).abs() < 5e-3);
+        assert!((rep.eps2 - 0.05).abs() < 5e-3);
+    }
+
+    #[test]
+    fn handles_small_matrices_gracefully() {
+        let (k, w, u) = matrix_and_product(8);
+        let rep = accuracy_report(&k, &w, &u, 20, 200, 3);
+        assert_eq!(rep.first_entries.len(), 8);
+        assert!(rep.samples <= 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen::<f64>();
+    }
+}

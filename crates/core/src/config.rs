@@ -1,0 +1,223 @@
+//! Configuration of the GOFMM compression and evaluation.
+
+use crate::distance::DistanceMetric;
+use gofmm_runtime::SchedulePolicy;
+
+/// How tree traversals are executed (paper §2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraversalPolicy {
+    /// Single-threaded reference traversals.
+    Sequential,
+    /// Parallel level-by-level traversals with a barrier per tree level
+    /// (the classical static-scheduling approach).
+    LevelByLevel,
+    /// Out-of-order execution of the task dependency DAG with the HEFT
+    /// runtime (GOFMM's own scheduler).
+    DagHeft,
+    /// Out-of-order execution with a plain FIFO task pool (the paper's
+    /// `omp task depend` comparison point).
+    DagFifo,
+}
+
+impl TraversalPolicy {
+    /// The DAG scheduling policy, when this traversal uses the DAG runtime.
+    pub fn dag_policy(&self) -> Option<SchedulePolicy> {
+        match self {
+            TraversalPolicy::DagHeft => Some(SchedulePolicy::Heft),
+            TraversalPolicy::DagFifo => Some(SchedulePolicy::Fifo),
+            _ => None,
+        }
+    }
+
+    /// Display label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraversalPolicy::Sequential => "sequential",
+            TraversalPolicy::LevelByLevel => "level-by-level",
+            TraversalPolicy::DagHeft => "dag-heft",
+            TraversalPolicy::DagFifo => "dag-fifo",
+        }
+    }
+}
+
+impl std::fmt::Display for TraversalPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// User-facing parameters of GOFMM (paper §3, "Parameter selection").
+#[derive(Clone, Debug)]
+pub struct GofmmConfig {
+    /// Leaf node size `m`.
+    pub leaf_size: usize,
+    /// Maximum skeleton rank `s`.
+    pub max_rank: usize,
+    /// Adaptive-rank tolerance `tau` for the interpolative decomposition.
+    pub tolerance: f64,
+    /// Number of nearest neighbors `kappa` per index.
+    pub neighbors: usize,
+    /// Budget: the fraction of leaf nodes allowed in each Near list. `0`
+    /// forces an HSS approximation (`Near(beta) = {beta}`); larger values move
+    /// towards FMM with more direct evaluation.
+    pub budget: f64,
+    /// Distance metric / partitioning scheme.
+    pub metric: DistanceMetric,
+    /// Number of worker threads.
+    pub num_threads: usize,
+    /// Traversal execution policy.
+    pub policy: TraversalPolicy,
+    /// Number of rows sampled for each node's interpolative decomposition.
+    /// `0` selects the default `2 * max_rank + 32`.
+    pub sample_size: usize,
+    /// Cache the `K_{beta,alpha}` and `K_{skel(beta),skel(alpha)}` blocks at
+    /// compression time (paper's `Kba`/`SKba` tasks). Costs memory, speeds up
+    /// evaluation.
+    pub cache_blocks: bool,
+    /// Number of randomized-tree iterations for the neighbor search.
+    pub ann_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GofmmConfig {
+    fn default() -> Self {
+        Self {
+            leaf_size: 256,
+            max_rank: 256,
+            tolerance: 1e-5,
+            neighbors: 32,
+            budget: 0.03,
+            metric: DistanceMetric::Angle,
+            num_threads: gofmm_runtime::available_threads(),
+            policy: TraversalPolicy::DagHeft,
+            sample_size: 0,
+            cache_blocks: true,
+            ann_iters: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl GofmmConfig {
+    /// Effective number of rows sampled for each node's ID.
+    pub fn effective_sample_size(&self) -> usize {
+        if self.sample_size > 0 {
+            self.sample_size
+        } else {
+            2 * self.max_rank + 32
+        }
+    }
+
+    /// Maximum number of leaves allowed in a Near list for a tree with
+    /// `leaf_count` leaves (eq. (6) of the paper); always at least one so the
+    /// node itself fits.
+    pub fn max_near(&self, leaf_count: usize) -> usize {
+        ((self.budget * leaf_count as f64).floor() as usize).max(1)
+    }
+
+    /// True when the configuration produces a pure HSS approximation.
+    pub fn is_hss(&self) -> bool {
+        self.budget <= 0.0
+    }
+
+    /// Builder-style setter for the leaf size.
+    pub fn with_leaf_size(mut self, m: usize) -> Self {
+        self.leaf_size = m;
+        self
+    }
+
+    /// Builder-style setter for the maximum rank.
+    pub fn with_max_rank(mut self, s: usize) -> Self {
+        self.max_rank = s;
+        self
+    }
+
+    /// Builder-style setter for the adaptive tolerance.
+    pub fn with_tolerance(mut self, tau: f64) -> Self {
+        self.tolerance = tau;
+        self
+    }
+
+    /// Builder-style setter for the budget.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder-style setter for the distance metric.
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Builder-style setter for the traversal policy.
+    pub fn with_policy(mut self, policy: TraversalPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style setter for the thread count.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.num_threads = t.max(1);
+        self
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GofmmConfig::default();
+        assert!(c.leaf_size > 0);
+        assert!(c.max_rank > 0);
+        assert!(c.tolerance > 0.0);
+        assert!(!c.is_hss());
+        assert!(c.effective_sample_size() >= c.max_rank);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = GofmmConfig::default()
+            .with_leaf_size(64)
+            .with_max_rank(32)
+            .with_tolerance(1e-3)
+            .with_budget(0.0)
+            .with_metric(DistanceMetric::Kernel)
+            .with_policy(TraversalPolicy::Sequential)
+            .with_threads(2)
+            .with_seed(42);
+        assert_eq!(c.leaf_size, 64);
+        assert_eq!(c.max_rank, 32);
+        assert!(c.is_hss());
+        assert_eq!(c.metric, DistanceMetric::Kernel);
+        assert_eq!(c.policy, TraversalPolicy::Sequential);
+        assert_eq!(c.num_threads, 2);
+        assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn max_near_respects_budget() {
+        let c = GofmmConfig::default().with_budget(0.25);
+        assert_eq!(c.max_near(64), 16);
+        let hss = GofmmConfig::default().with_budget(0.0);
+        assert_eq!(hss.max_near(64), 1);
+    }
+
+    #[test]
+    fn traversal_policy_dag_mapping() {
+        assert_eq!(TraversalPolicy::DagHeft.dag_policy(), Some(SchedulePolicy::Heft));
+        assert_eq!(TraversalPolicy::DagFifo.dag_policy(), Some(SchedulePolicy::Fifo));
+        assert_eq!(TraversalPolicy::Sequential.dag_policy(), None);
+        assert_eq!(TraversalPolicy::LevelByLevel.dag_policy(), None);
+        assert_eq!(TraversalPolicy::LevelByLevel.to_string(), "level-by-level");
+    }
+}

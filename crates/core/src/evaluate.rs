@@ -1,0 +1,581 @@
+//! The evaluation phase (paper Algorithm 2.7): approximate `u = K w` using the
+//! compressed representation via the four task families N2S, S2S, S2N and L2L.
+
+use crate::compress::Compressed;
+use crate::config::TraversalPolicy;
+use gofmm_linalg::{gemm, DenseMatrix, Scalar, Transpose};
+use gofmm_matrices::SpdMatrix;
+use gofmm_runtime::{execute, parallel_for, ExecStats, TaskGraph, TaskId};
+use parking_lot::Mutex;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Statistics of one evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct EvaluationStats {
+    /// Wall-clock seconds.
+    pub time: f64,
+    /// Floating-point operations performed (GEMM counts).
+    pub flops: u64,
+    /// Scheduler statistics when a DAG policy was used.
+    pub exec: Option<ExecStats>,
+}
+
+impl EvaluationStats {
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.time > 0.0 {
+            self.flops as f64 / self.time / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+struct EvalContext<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> {
+    matrix: &'a M,
+    comp: &'a Compressed<T>,
+    w: &'a DenseMatrix<T>,
+    /// Skeleton weights `w~` per node.
+    wtilde: Vec<Mutex<DenseMatrix<T>>>,
+    /// Skeleton potentials `u~` per node.
+    utilde: Vec<Mutex<DenseMatrix<T>>>,
+    /// Far-field contribution to the output, per leaf.
+    u_far: Vec<Mutex<DenseMatrix<T>>>,
+    /// Near-field (direct) contribution to the output, per leaf.
+    u_near: Vec<Mutex<DenseMatrix<T>>>,
+    flops: AtomicU64,
+}
+
+impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
+    fn new(matrix: &'a M, comp: &'a Compressed<T>, w: &'a DenseMatrix<T>) -> Self {
+        let r = w.cols();
+        let node_count = comp.tree.node_count();
+        let mut wtilde = Vec::with_capacity(node_count);
+        let mut utilde = Vec::with_capacity(node_count);
+        let mut u_far = Vec::with_capacity(node_count);
+        let mut u_near = Vec::with_capacity(node_count);
+        for heap in 0..node_count {
+            let rank = comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
+            wtilde.push(Mutex::new(DenseMatrix::zeros(rank, r)));
+            utilde.push(Mutex::new(DenseMatrix::zeros(rank, r)));
+            if comp.tree.is_leaf(heap) {
+                let len = comp.tree.node(heap).len;
+                u_far.push(Mutex::new(DenseMatrix::zeros(len, r)));
+                u_near.push(Mutex::new(DenseMatrix::zeros(len, r)));
+            } else {
+                u_far.push(Mutex::new(DenseMatrix::zeros(0, 0)));
+                u_near.push(Mutex::new(DenseMatrix::zeros(0, 0)));
+            }
+        }
+        Self {
+            matrix,
+            comp,
+            w,
+            wtilde,
+            utilde,
+            u_far,
+            u_near,
+            flops: AtomicU64::new(0),
+        }
+    }
+
+    fn count_gemm(&self, m: usize, n: usize, k: usize) {
+        self.flops
+            .fetch_add(2 * m as u64 * n as u64 * k as u64, Ordering::Relaxed);
+    }
+
+    /// Cached or freshly evaluated far block `K_{skel(beta), skel(alpha)}`.
+    fn far_block(&self, beta: usize, idx: usize) -> Cow<'_, DenseMatrix<T>> {
+        if !self.comp.far_blocks[beta].is_empty() {
+            Cow::Borrowed(&self.comp.far_blocks[beta][idx])
+        } else {
+            let alpha = self.comp.lists.far[beta][idx];
+            let rows = &self.comp.bases[beta].as_ref().unwrap().skeleton;
+            let cols = &self.comp.bases[alpha].as_ref().unwrap().skeleton;
+            Cow::Owned(self.matrix.submatrix(rows, cols))
+        }
+    }
+
+    /// Cached or freshly evaluated near block `K_{beta, alpha}`.
+    fn near_block(&self, beta: usize, idx: usize) -> Cow<'_, DenseMatrix<T>> {
+        if !self.comp.near_blocks[beta].is_empty() {
+            Cow::Borrowed(&self.comp.near_blocks[beta][idx])
+        } else {
+            let alpha = self.comp.lists.near[beta][idx];
+            Cow::Owned(
+                self.matrix
+                    .submatrix(self.comp.tree.indices(beta), self.comp.tree.indices(alpha)),
+            )
+        }
+    }
+
+    /// N2S: skeleton weights `w~_alpha = P w_alpha` (leaf) or
+    /// `P [w~_l; w~_r]` (interior).
+    fn task_n2s(&self, heap: usize) {
+        let Some(basis) = self.comp.bases[heap].as_ref() else {
+            return;
+        };
+        let local = if self.comp.tree.is_leaf(heap) {
+            self.w.select_rows(self.comp.tree.indices(heap))
+        } else {
+            let (l, r) = self.comp.tree.children(heap);
+            let wl = self.wtilde[l].lock();
+            let wr = self.wtilde[r].lock();
+            wl.vstack(&wr)
+        };
+        let mut wt = DenseMatrix::zeros(basis.rank(), self.w.cols());
+        gemm(
+            T::one(),
+            &basis.interp,
+            Transpose::No,
+            &local,
+            Transpose::No,
+            T::zero(),
+            &mut wt,
+        );
+        self.count_gemm(basis.rank(), self.w.cols(), local.rows());
+        *self.wtilde[heap].lock() = wt;
+    }
+
+    /// S2S: skeleton potentials `u~_beta += sum_{alpha in Far(beta)}
+    /// K_{skel(beta), skel(alpha)} w~_alpha`.
+    fn task_s2s(&self, heap: usize) {
+        let Some(basis) = self.comp.bases[heap].as_ref() else {
+            return;
+        };
+        if self.comp.lists.far[heap].is_empty() {
+            return;
+        }
+        let r = self.w.cols();
+        let mut acc = DenseMatrix::zeros(basis.rank(), r);
+        for idx in 0..self.comp.lists.far[heap].len() {
+            let alpha = self.comp.lists.far[heap][idx];
+            let block = self.far_block(heap, idx);
+            let wa = self.wtilde[alpha].lock();
+            gemm(
+                T::one(),
+                block.as_ref(),
+                Transpose::No,
+                &wa,
+                Transpose::No,
+                T::one(),
+                &mut acc,
+            );
+            self.count_gemm(block.rows(), r, block.cols());
+        }
+        self.utilde[heap].lock().axpy(T::one(), &acc);
+    }
+
+    /// S2N: interpolate skeleton potentials back down the tree.
+    fn task_s2n(&self, heap: usize) {
+        let Some(basis) = self.comp.bases[heap].as_ref() else {
+            return;
+        };
+        let r = self.w.cols();
+        let ut = self.utilde[heap].lock().clone();
+        if self.comp.tree.is_leaf(heap) {
+            let len = self.comp.tree.node(heap).len;
+            let mut out = DenseMatrix::zeros(len, r);
+            gemm(
+                T::one(),
+                &basis.interp,
+                Transpose::Yes,
+                &ut,
+                Transpose::No,
+                T::zero(),
+                &mut out,
+            );
+            self.count_gemm(len, r, basis.rank());
+            self.u_far[heap].lock().axpy(T::one(), &out);
+        } else {
+            let (l, rgt) = self.comp.tree.children(heap);
+            let sl = self.comp.bases[l].as_ref().map(|b| b.rank()).unwrap_or(0);
+            let sr = self.comp.bases[rgt].as_ref().map(|b| b.rank()).unwrap_or(0);
+            let mut contrib = DenseMatrix::zeros(sl + sr, r);
+            gemm(
+                T::one(),
+                &basis.interp,
+                Transpose::Yes,
+                &ut,
+                Transpose::No,
+                T::zero(),
+                &mut contrib,
+            );
+            self.count_gemm(sl + sr, r, basis.rank());
+            let top = contrib.block(0, sl, 0, r);
+            let bottom = contrib.block(sl, sl + sr, 0, r);
+            self.utilde[l].lock().axpy(T::one(), &top);
+            self.utilde[rgt].lock().axpy(T::one(), &bottom);
+        }
+    }
+
+    /// L2L: direct (near) interactions between leaves.
+    fn task_l2l(&self, heap: usize) {
+        if !self.comp.tree.is_leaf(heap) {
+            return;
+        }
+        let r = self.w.cols();
+        let len = self.comp.tree.node(heap).len;
+        let mut out = DenseMatrix::zeros(len, r);
+        for idx in 0..self.comp.lists.near[heap].len() {
+            let alpha = self.comp.lists.near[heap][idx];
+            let block = self.near_block(heap, idx);
+            let w_alpha = self.w.select_rows(self.comp.tree.indices(alpha));
+            gemm(
+                T::one(),
+                block.as_ref(),
+                Transpose::No,
+                &w_alpha,
+                Transpose::No,
+                T::one(),
+                &mut out,
+            );
+            self.count_gemm(block.rows(), r, block.cols());
+        }
+        self.u_near[heap].lock().axpy(T::one(), &out);
+    }
+
+    /// Gather the per-leaf far and near contributions into the output vector
+    /// in the original index order.
+    fn assemble(&self) -> DenseMatrix<T> {
+        let n = self.comp.n();
+        let r = self.w.cols();
+        let mut out = DenseMatrix::zeros(n, r);
+        for leaf in self.comp.tree.leaf_range() {
+            let uf = self.u_far[leaf].lock();
+            let un = self.u_near[leaf].lock();
+            for (local, &orig) in self.comp.tree.indices(leaf).iter().enumerate() {
+                for c in 0..r {
+                    let far_v = if uf.rows() > 0 { uf.get(local, c) } else { T::zero() };
+                    out.set(orig, c, far_v + un.get(local, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate `u ≈ K w` using the policy and thread count stored in the
+/// compression configuration.
+pub fn evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    w: &DenseMatrix<T>,
+) -> (DenseMatrix<T>, EvaluationStats) {
+    evaluate_with(matrix, comp, w, comp.config.policy, comp.config.num_threads)
+}
+
+/// Evaluate `u ≈ K w` with an explicit traversal policy and thread count
+/// (used by the scheduling experiments).
+pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    w: &DenseMatrix<T>,
+    policy: TraversalPolicy,
+    num_threads: usize,
+) -> (DenseMatrix<T>, EvaluationStats) {
+    assert_eq!(w.rows(), comp.n(), "input vector size mismatch");
+    let ctx = EvalContext::new(matrix, comp, w);
+    let tree = &comp.tree;
+    let t0 = Instant::now();
+    let mut exec_stats = None;
+
+    match policy {
+        TraversalPolicy::Sequential => {
+            for level in (1..=tree.depth()).rev() {
+                for heap in tree.level_range(level) {
+                    ctx.task_n2s(heap);
+                }
+            }
+            for heap in 1..tree.node_count() {
+                ctx.task_s2s(heap);
+            }
+            for level in 1..=tree.depth() {
+                for heap in tree.level_range(level) {
+                    ctx.task_s2n(heap);
+                }
+            }
+            for heap in tree.leaf_range() {
+                ctx.task_l2l(heap);
+            }
+        }
+        TraversalPolicy::LevelByLevel => {
+            for level in (1..=tree.depth()).rev() {
+                let nodes: Vec<usize> = tree.level_range(level).collect();
+                parallel_for(nodes.len(), num_threads, |i| ctx.task_n2s(nodes[i]));
+            }
+            let all: Vec<usize> = (1..tree.node_count()).collect();
+            parallel_for(all.len(), num_threads, |i| ctx.task_s2s(all[i]));
+            for level in 1..=tree.depth() {
+                let nodes: Vec<usize> = tree.level_range(level).collect();
+                parallel_for(nodes.len(), num_threads, |i| ctx.task_s2n(nodes[i]));
+            }
+            let leaves: Vec<usize> = tree.leaf_range().collect();
+            parallel_for(leaves.len(), num_threads, |i| ctx.task_l2l(leaves[i]));
+        }
+        TraversalPolicy::DagHeft | TraversalPolicy::DagFifo => {
+            let stats = execute_dag(&ctx, policy, num_threads);
+            exec_stats = Some(stats);
+        }
+    }
+
+    let out = ctx.assemble();
+    let stats = EvaluationStats {
+        time: t0.elapsed().as_secs_f64(),
+        flops: ctx.flops.load(Ordering::Relaxed),
+        exec: exec_stats,
+    };
+    (out, stats)
+}
+
+/// Build and execute the evaluation task DAG (N2S postorder, S2S any order
+/// after its inputs, S2N preorder, L2L independent) — Figure 3 of the paper.
+fn execute_dag<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    ctx: &EvalContext<'_, T, M>,
+    policy: TraversalPolicy,
+    num_threads: usize,
+) -> ExecStats {
+    let tree = &ctx.comp.tree;
+    let node_count = tree.node_count();
+    let r = ctx.w.cols() as f64;
+    let m = ctx.comp.config.leaf_size as f64;
+    let s = ctx.comp.config.max_rank as f64;
+    let mut graph = TaskGraph::new();
+    let mut n2s_of: HashMap<usize, TaskId> = HashMap::new();
+    let mut s2s_of: HashMap<usize, TaskId> = HashMap::new();
+    let mut s2n_of: HashMap<usize, TaskId> = HashMap::new();
+
+    // N2S in descending heap order (children before parents).
+    for heap in (1..node_count).rev() {
+        if ctx.comp.bases[heap].is_none() {
+            continue;
+        }
+        let deps: Vec<TaskId> = if tree.is_leaf(heap) {
+            Vec::new()
+        } else {
+            let (l, rgt) = tree.children(heap);
+            [l, rgt].iter().filter_map(|c| n2s_of.get(c).copied()).collect()
+        };
+        let cost = if tree.is_leaf(heap) {
+            2.0 * m * s * r
+        } else {
+            2.0 * s * s * r
+        };
+        let id = graph.add_task(format!("N2S({heap})"), cost, &deps, move || ctx.task_n2s(heap));
+        n2s_of.insert(heap, id);
+    }
+
+    // S2S in any order once the far nodes' skeleton weights exist.
+    for heap in 1..node_count {
+        if ctx.comp.bases[heap].is_none() || ctx.comp.lists.far[heap].is_empty() {
+            continue;
+        }
+        let deps: Vec<TaskId> = ctx.comp.lists.far[heap]
+            .iter()
+            .filter_map(|a| n2s_of.get(a).copied())
+            .collect();
+        let cost = 2.0 * s * s * r * ctx.comp.lists.far[heap].len() as f64;
+        let id = graph.add_task(format!("S2S({heap})"), cost, &deps, move || ctx.task_s2s(heap));
+        s2s_of.insert(heap, id);
+    }
+
+    // S2N in ascending heap order (parents before children).
+    for heap in 1..node_count {
+        if ctx.comp.bases[heap].is_none() {
+            continue;
+        }
+        let mut deps: Vec<TaskId> = Vec::new();
+        if let Some(&d) = s2s_of.get(&heap) {
+            deps.push(d);
+        }
+        if let Some(parent) = tree.parent(heap) {
+            if let Some(&d) = s2n_of.get(&parent) {
+                deps.push(d);
+            }
+        }
+        let cost = if tree.is_leaf(heap) {
+            2.0 * m * s * r
+        } else {
+            2.0 * s * s * r
+        };
+        let id = graph.add_task(format!("S2N({heap})"), cost, &deps, move || ctx.task_s2n(heap));
+        s2n_of.insert(heap, id);
+    }
+
+    // L2L: independent of everything else.
+    for heap in tree.leaf_range() {
+        let cost = 2.0 * m * m * r * ctx.comp.lists.near[heap].len() as f64;
+        graph.add_task(format!("L2L({heap})"), cost, &[], move || ctx.task_l2l(heap));
+    }
+
+    let policy = policy.dag_policy().expect("DAG policy expected");
+    execute(graph, policy, num_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress;
+    use crate::config::GofmmConfig;
+    use crate::distance::DistanceMetric;
+    use gofmm_matrices::{sampled_relative_error, KernelMatrix, KernelType, PointCloud, SpdMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_matrix(n: usize) -> KernelMatrix {
+        KernelMatrix::new(
+            PointCloud::uniform(n, 3, 42),
+            KernelType::Gaussian { bandwidth: 1.0 },
+            1e-6,
+            "eval-test",
+        )
+    }
+
+    fn config() -> GofmmConfig {
+        GofmmConfig::default()
+            .with_leaf_size(32)
+            .with_max_rank(48)
+            .with_tolerance(1e-8)
+            .with_budget(0.1)
+            .with_threads(2)
+            .with_policy(TraversalPolicy::Sequential)
+    }
+
+    #[test]
+    fn evaluation_matches_exact_matvec() {
+        let n = 300;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 4, &mut rng);
+        let (u, stats) = evaluate(&k, &comp, &w);
+        assert_eq!(u.rows(), n);
+        assert_eq!(u.cols(), 4);
+        assert!(stats.flops > 0);
+        let exact = k.matvec_exact(&w);
+        let rel = u.sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-4, "relative error {rel}");
+    }
+
+    #[test]
+    fn hss_mode_is_accurate_for_smooth_kernel() {
+        let n = 256;
+        let k = test_matrix(n);
+        let cfg = config().with_budget(0.0);
+        let comp = compress::<f64, _>(&k, &cfg);
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u, _) = evaluate(&k, &comp, &w);
+        let exact = k.matvec_exact(&w);
+        let rel = u.sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-3, "HSS relative error {rel}");
+    }
+
+    #[test]
+    fn all_policies_agree() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let (u_seq, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::Sequential, 1);
+        for policy in [
+            TraversalPolicy::LevelByLevel,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ] {
+            let (u, stats) = evaluate_with(&k, &comp, &w, policy, 4);
+            let diff = u.sub(&u_seq).norm_max();
+            assert!(diff < 1e-8, "{policy}: max diff {diff}");
+            if policy.dag_policy().is_some() {
+                assert!(stats.exec.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_evaluation_matches_cached() {
+        let n = 200;
+        let k = test_matrix(n);
+        let cached = compress::<f64, _>(&k, &config());
+        let mut cfg_uncached = config();
+        cfg_uncached.cache_blocks = false;
+        let uncached = compress::<f64, _>(&k, &cfg_uncached);
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u1, _) = evaluate(&k, &cached, &w);
+        let (u2, _) = evaluate(&k, &uncached, &w);
+        assert!(u1.sub(&u2).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_error_agrees_with_full_error() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(13);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u, _) = evaluate(&k, &comp, &w);
+        let full = {
+            let exact = k.matvec_exact(&w);
+            u.sub(&exact).norm_fro() / exact.norm_fro()
+        };
+        let sampled = sampled_relative_error(&k, &w, &u, 100, 0);
+        // Same order of magnitude.
+        assert!(sampled < full * 20.0 + 1e-12 && full < sampled * 20.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_leaf_evaluation_is_exact() {
+        let n = 24;
+        let k = test_matrix(n);
+        let cfg = config().with_leaf_size(64);
+        let comp = compress::<f64, _>(&k, &cfg);
+        let mut rng = StdRng::seed_from_u64(14);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u, _) = evaluate(&k, &comp, &w);
+        let exact = k.matvec_exact(&w);
+        assert!(u.sub(&exact).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn geometric_metric_evaluation_works() {
+        let n = 256;
+        let k = test_matrix(n);
+        let cfg = config().with_metric(DistanceMetric::Geometric);
+        let comp = compress::<f64, _>(&k, &cfg);
+        let mut rng = StdRng::seed_from_u64(15);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u, _) = evaluate(&k, &comp, &w);
+        let exact = k.matvec_exact(&w);
+        let rel = u.sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-4, "geometric metric error {rel}");
+    }
+
+    #[test]
+    fn f32_evaluation_reaches_single_precision_accuracy() {
+        let n = 256;
+        let k = test_matrix(n);
+        let cfg = config().with_tolerance(1e-6);
+        let comp = compress::<f32, _>(&k, &cfg);
+        let mut rng = StdRng::seed_from_u64(16);
+        let w = DenseMatrix::<f32>::random_gaussian(n, 2, &mut rng);
+        let (u, _) = evaluate(&k, &comp, &w);
+        let exact = SpdMatrix::<f32>::matvec_exact(&k, &w);
+        let rel = (u.sub(&exact).norm_fro() / exact.norm_fro()) as f64;
+        assert!(rel < 1e-3, "f32 relative error {rel}");
+    }
+
+    #[test]
+    fn gflops_reporting() {
+        let stats = EvaluationStats {
+            time: 2.0,
+            flops: 4_000_000_000,
+            exec: None,
+        };
+        assert!((stats.gflops() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gofmm-core
+//!
+//! Geometry-oblivious FMM (GOFMM) for compressing dense SPD matrices —
+//! a Rust reproduction of Yu, Levitt, Reiz & Biros, SC'17.
+//!
+//! GOFMM builds a hierarchical low-rank plus sparse approximation
+//! `K ≈ D + S + UV` of an arbitrary SPD matrix using only entry evaluation
+//! `K_{ij}`: because `K` is a Gram matrix, distances between indices can be
+//! defined from three entries (`d^2 = K_ii + K_jj - 2 K_ij` or the angle
+//! variant), which is enough to run the full FMM machinery — metric tree
+//! partitioning, neighbor search, near/far pruning, nested interpolative
+//! skeletonization — without any point coordinates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gofmm_core::{compress, evaluate, GofmmConfig, TraversalPolicy, DistanceMetric};
+//! use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+//! use gofmm_linalg::DenseMatrix;
+//!
+//! // Any SPD matrix that can return entries works; here a Gaussian kernel.
+//! let n = 512;
+//! let points = PointCloud::uniform(n, 3, 0);
+//! let k = KernelMatrix::new(points, KernelType::Gaussian { bandwidth: 1.0 }, 1e-6, "demo");
+//!
+//! let config = GofmmConfig::default()
+//!     .with_leaf_size(64)
+//!     .with_max_rank(64)
+//!     .with_tolerance(1e-5)
+//!     .with_budget(0.03)
+//!     .with_metric(DistanceMetric::Angle)
+//!     .with_policy(TraversalPolicy::LevelByLevel);
+//!
+//! let compressed = compress::<f64, _>(&k, &config);
+//! let w = DenseMatrix::<f64>::from_fn(n, 2, |i, j| ((i + j) % 5) as f64);
+//! let (u, _stats) = evaluate(&k, &compressed, &w);
+//! assert_eq!(u.rows(), n);
+//! ```
+
+pub mod accuracy;
+pub mod compress;
+pub mod config;
+pub mod distance;
+pub mod evaluate;
+pub mod lists;
+pub mod skel;
+
+pub use accuracy::{accuracy_report, AccuracyReport};
+pub use compress::{compress, Compressed, CompressionStats};
+pub use config::{GofmmConfig, TraversalPolicy};
+pub use distance::{DistanceMetric, GramOracle};
+pub use evaluate::{evaluate, evaluate_with, EvaluationStats};
+pub use lists::{build_interaction_lists, check_coverage, InteractionLists};
+pub use skel::{skeletonize_node, NodeBasis, SkelParams};
+
+/// Relative error `||K w - u|| / ||K w||` estimated on sampled rows (the
+/// paper's epsilon_2 metric); re-exported from `gofmm-matrices` for
+/// convenience.
+pub use gofmm_matrices::sampled_relative_error;

@@ -1,0 +1,409 @@
+//! BLAS-like dense kernels: GEMM, GEMV, dot products and norm estimates.
+//!
+//! These are the work-horses behind skeletonization (`GEQP3`/`TRSM` call into
+//! them) and behind the N2S/S2S/S2N/L2L evaluation tasks. The GEMM is a
+//! register-blocked, cache-blocked triple loop — far from MKL, but it keeps the
+//! asymptotic story of the paper intact and reaches a few GFLOP/s per core,
+//! which is enough to reproduce the *shape* of every experiment.
+
+use crate::matrix::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Whether an operand of [`gemm`] is used as-is or transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Cache-block sizes for the packed GEMM. Chosen for ~32 KiB L1 / 1 MiB L2.
+const MC: usize = 128;
+const KC: usize = 256;
+const NC: usize = 512;
+/// Register block (micro-kernel) sizes.
+const MR: usize = 4;
+const NR: usize = 4;
+
+/// General matrix-matrix multiply: `C = alpha * op_a(A) * op_b(B) + beta * C`.
+///
+/// Dimensions are checked at runtime; the operands are packed into
+/// cache-friendly panels and multiplied with an `MR x NR` micro-kernel.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: &DenseMatrix<T>,
+    op_a: Transpose,
+    b: &DenseMatrix<T>,
+    op_b: Transpose,
+    beta: T,
+    c: &mut DenseMatrix<T>,
+) {
+    let (m, ka) = match op_a {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    };
+    let (kb, n) = match op_b {
+        Transpose::No => (b.rows(), b.cols()),
+        Transpose::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
+    assert_eq!(c.rows(), m, "gemm output row mismatch");
+    assert_eq!(c.cols(), n, "gemm output col mismatch");
+    let k = ka;
+
+    // Scale C by beta once up front.
+    if beta != T::one() {
+        if beta == T::zero() {
+            for v in c.data_mut() {
+                *v = T::zero();
+            }
+        } else {
+            for v in c.data_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == T::zero() {
+        return;
+    }
+
+    let at = |i: usize, p: usize| -> T {
+        match op_a {
+            Transpose::No => a.get(i, p),
+            Transpose::Yes => a.get(p, i),
+        }
+    };
+    let bt = |p: usize, j: usize| -> T {
+        match op_b {
+            Transpose::No => b.get(p, j),
+            Transpose::Yes => b.get(j, p),
+        }
+    };
+
+    // Packed panels reused across blocks.
+    let mut a_pack = vec![T::zero(); MC * KC];
+    let mut b_pack = vec![T::zero(); KC * NC];
+
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb_ = KC.min(k - pc);
+            // Pack B panel: b_pack[p + j*kb_] = B(pc+p, jc+j)
+            for j in 0..nb {
+                for p in 0..kb_ {
+                    b_pack[j * kb_ + p] = bt(pc + p, jc + j);
+                }
+            }
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                // Pack A panel in MR-row strips: a_pack[strip][p*MR + r]
+                for istrip in 0..mb.div_ceil(MR) {
+                    let i0 = istrip * MR;
+                    let rmax = MR.min(mb - i0);
+                    for p in 0..kb_ {
+                        for r in 0..MR {
+                            let v = if r < rmax {
+                                at(ic + i0 + r, pc + p)
+                            } else {
+                                T::zero()
+                            };
+                            a_pack[istrip * (KC * MR) + p * MR + r] = v;
+                        }
+                    }
+                }
+                // Macro kernel over micro tiles.
+                for jstrip in 0..nb.div_ceil(NR) {
+                    let j0 = jstrip * NR;
+                    let cmax = NR.min(nb - j0);
+                    for istrip in 0..mb.div_ceil(MR) {
+                        let i0 = istrip * MR;
+                        let rmax = MR.min(mb - i0);
+                        // MR x NR accumulator tile.
+                        let mut acc = [[T::zero(); NR]; MR];
+                        let a_strip = &a_pack[istrip * (KC * MR)..istrip * (KC * MR) + kb_ * MR];
+                        for p in 0..kb_ {
+                            let arow = &a_strip[p * MR..p * MR + MR];
+                            for jj in 0..cmax {
+                                let bv = b_pack[(j0 + jj) * kb_ + p];
+                                for rr in 0..MR {
+                                    acc[rr][jj] = arow[rr].mul_add(bv, acc[rr][jj]);
+                                }
+                            }
+                        }
+                        for jj in 0..cmax {
+                            for rr in 0..rmax {
+                                let cur = c.get(ic + i0 + rr, jc + j0 + jj);
+                                c.set(ic + i0 + rr, jc + j0 + jj, alpha.mul_add(acc[rr][jj], cur));
+                            }
+                        }
+                    }
+                }
+                ic += mb;
+            }
+            pc += kb_;
+        }
+        jc += nb;
+    }
+}
+
+/// Convenience: `C = A * B` (allocating).
+pub fn matmul<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    gemm(T::one(), a, Transpose::No, b, Transpose::No, T::zero(), &mut c);
+    c
+}
+
+/// Convenience: `C = A^T * B` (allocating).
+pub fn matmul_tn<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    let mut c = DenseMatrix::zeros(a.cols(), b.cols());
+    gemm(T::one(), a, Transpose::Yes, b, Transpose::No, T::zero(), &mut c);
+    c
+}
+
+/// Convenience: `C = A * B^T` (allocating).
+pub fn matmul_nt<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    let mut c = DenseMatrix::zeros(a.rows(), b.rows());
+    gemm(T::one(), a, Transpose::No, b, Transpose::Yes, T::zero(), &mut c);
+    c
+}
+
+/// Matrix-vector multiply `y = alpha * op(A) x + beta * y`.
+pub fn gemv<T: Scalar>(
+    alpha: T,
+    a: &DenseMatrix<T>,
+    op_a: Transpose,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+) {
+    let (m, n) = match op_a {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    };
+    assert_eq!(x.len(), n, "gemv x length mismatch");
+    assert_eq!(y.len(), m, "gemv y length mismatch");
+    for v in y.iter_mut() {
+        *v *= beta;
+    }
+    match op_a {
+        Transpose::No => {
+            // y += alpha * A x, column sweep keeps A accesses contiguous.
+            for j in 0..n {
+                let s = alpha * x[j];
+                if s == T::zero() {
+                    continue;
+                }
+                let col = a.col(j);
+                for i in 0..m {
+                    y[i] = col[i].mul_add(s, y[i]);
+                }
+            }
+        }
+        Transpose::Yes => {
+            for i in 0..m {
+                let col = a.col(i);
+                let mut acc = T::zero();
+                for (cv, xv) in col.iter().zip(x.iter()) {
+                    acc = cv.mul_add(*xv, acc);
+                }
+                y[i] = alpha.mul_add(acc, y[i]);
+            }
+        }
+    }
+}
+
+/// Euclidean dot product.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc = a.mul_add(*b, acc);
+    }
+    acc
+}
+
+/// Euclidean norm of a vector.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    dot(x, x).sqrt()
+}
+
+/// `y += alpha * x`.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    for (a, b) in y.iter_mut().zip(x.iter()) {
+        *a = alpha.mul_add(*b, *a);
+    }
+}
+
+/// Estimate the spectral norm of `A` with a few power iterations on `A^T A`.
+pub fn norm2_est<T: Scalar>(a: &DenseMatrix<T>, iters: usize) -> T {
+    if a.is_empty() {
+        return T::zero();
+    }
+    let n = a.cols();
+    let mut x = vec![T::one(); n];
+    let nx = nrm2(&x);
+    for v in &mut x {
+        *v /= nx;
+    }
+    let mut y = vec![T::zero(); a.rows()];
+    let mut sigma = T::zero();
+    for _ in 0..iters.max(1) {
+        gemv(T::one(), a, Transpose::No, &x, T::zero(), &mut y);
+        gemv(T::one(), a, Transpose::Yes, &y, T::zero(), &mut x);
+        let nx = nrm2(&x);
+        if nx == T::zero() {
+            return T::zero();
+        }
+        for v in &mut x {
+            *v /= nx;
+        }
+        sigma = nx.sqrt();
+    }
+    sigma
+}
+
+/// FLOP count of a GEMM with these dimensions (used by the cost model and the
+/// GFLOPS reporting in the experiment harness).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>) -> DenseMatrix<f64> {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 4), (8, 8, 8), (17, 13, 9), (64, 32, 48)] {
+            let a = DenseMatrix::<f64>::random_uniform(m, k, &mut rng);
+            let b = DenseMatrix::<f64>::random_uniform(k, n, &mut rng);
+            let c = matmul(&a, &b);
+            let r = naive_matmul(&a, &b);
+            assert!(c.sub(&r).norm_max() < 1e-12, "mismatch for {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_larger_than_blocks() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, n, k) = (200, 300, 270);
+        let a = DenseMatrix::<f64>::random_uniform(m, k, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(k, n, &mut rng);
+        let c = matmul(&a, &b);
+        let r = naive_matmul(&a, &b);
+        assert!(c.sub(&r).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn gemm_transposed_variants() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = DenseMatrix::<f64>::random_uniform(20, 11, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(20, 7, &mut rng);
+        // A^T * B
+        let c1 = matmul_tn(&a, &b);
+        let c2 = naive_matmul(&a.transpose(), &b);
+        assert!(c1.sub(&c2).norm_max() < 1e-12);
+        // A * A^T
+        let d1 = matmul_nt(&a, &a);
+        let d2 = naive_matmul(&a, &a.transpose());
+        assert!(d1.sub(&d2).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = DenseMatrix::<f64>::random_uniform(9, 6, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(6, 5, &mut rng);
+        let mut c = DenseMatrix::<f64>::random_uniform(9, 5, &mut rng);
+        let c0 = c.clone();
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 0.5, &mut c);
+        let mut expect = naive_matmul(&a, &b);
+        expect.scale(2.0);
+        let mut half_c0 = c0.clone();
+        half_c0.scale(0.5);
+        expect = expect.add(&half_c0);
+        assert!(c.sub(&expect).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = DenseMatrix::<f64>::random_uniform(13, 8, &mut rng);
+        let x = DenseMatrix::<f64>::random_uniform(8, 1, &mut rng);
+        let mut y = vec![0.0; 13];
+        gemv(1.0, &a, Transpose::No, x.col(0), 0.0, &mut y);
+        let expect = matmul(&a, &x);
+        for i in 0..13 {
+            assert!((y[i] - expect[(i, 0)]).abs() < 1e-12);
+        }
+        // transposed
+        let mut z = vec![1.0; 8];
+        gemv(1.0, &a, Transpose::Yes, &y, 1.0, &mut z);
+        let mut expect_z = matmul_tn(&a, &DenseMatrix::from_vec(13, 1, y.clone()));
+        for v in 0..8 {
+            expect_z[(v, 0)] += 1.0;
+            assert!((z[v] - expect_z[(v, 0)]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dot_axpy_nrm2() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        assert!((nrm2(&x) - 14.0f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm2_est_on_diagonal_matrix() {
+        let mut d = DenseMatrix::<f64>::zeros(6, 6);
+        for i in 0..6 {
+            d[(i, i)] = (i + 1) as f64;
+        }
+        let est = norm2_est(&d, 30);
+        assert!((est - 6.0).abs() < 1e-6, "est {est}");
+    }
+
+    #[test]
+    fn gemm_f32_precision() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let a = DenseMatrix::<f32>::random_uniform(40, 30, &mut rng);
+        let b = DenseMatrix::<f32>::random_uniform(30, 20, &mut rng);
+        let c = matmul(&a, &b);
+        // check one entry against f64 accumulation
+        let mut acc = 0.0f64;
+        for p in 0..30 {
+            acc += a[(5, p)] as f64 * b[(p, 7)] as f64;
+        }
+        assert!((c[(5, 7)] as f64 - acc).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gemm_flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

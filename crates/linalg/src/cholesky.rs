@@ -1,0 +1,190 @@
+//! Cholesky factorization, SPD solves and SPD inversion.
+//!
+//! Used by the matrix zoo to build "inverse operator" SPD matrices (regularized
+//! inverse graph Laplacians, inverse stencil operators) and by tests to verify
+//! that generated matrices really are positive definite.
+
+use crate::blas::{gemm, Transpose};
+use crate::matrix::DenseMatrix;
+use crate::scalar::Scalar;
+use crate::trsm::{trsm_left, tri_inverse, Triangle};
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which the factorization broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (non-positive pivot at index {})",
+            self.pivot
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+#[derive(Clone, Debug)]
+pub struct Cholesky<T: Scalar> {
+    l: DenseMatrix<T>,
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factor `A = L L^T`. Only the lower triangle of `a` is referenced.
+    pub fn factor(a: &DenseMatrix<T>) -> Result<Self, NotPositiveDefinite> {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "Cholesky requires a square matrix");
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let v = l.get(j, k);
+                d -= v * v;
+            }
+            if d.to_f64() <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DenseMatrix<T> {
+        &self.l
+    }
+
+    /// Order of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A X = B` (in place on a copy of `B`).
+    pub fn solve(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let mut x = b.clone();
+        trsm_left(Triangle::Lower, false, &self.l, &mut x);
+        trsm_left(Triangle::Lower, true, &self.l, &mut x);
+        x
+    }
+
+    /// Explicit inverse `A^{-1} = L^{-T} L^{-1}` (symmetric by construction).
+    pub fn inverse(&self) -> DenseMatrix<T> {
+        let linv = tri_inverse(Triangle::Lower, &self.l);
+        let mut inv = DenseMatrix::zeros(self.n(), self.n());
+        gemm(
+            T::one(),
+            &linv,
+            Transpose::Yes,
+            &linv,
+            Transpose::No,
+            T::zero(),
+            &mut inv,
+        );
+        inv.symmetrize();
+        inv
+    }
+
+    /// Log-determinant of `A` (sum of `2 ln L_ii`), handy for sanity checks.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n())
+            .map(|i| 2.0 * self.l.get(i, i).to_f64().ln())
+            .sum()
+    }
+}
+
+/// Returns true if `a` is numerically SPD (Cholesky succeeds).
+pub fn is_spd<T: Scalar>(a: &DenseMatrix<T>) -> bool {
+    Cholesky::factor(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{matmul, matmul_nt};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_spd(n: usize, seed: u64) -> DenseMatrix<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = DenseMatrix::<f64>::random_gaussian(n, n, &mut rng);
+        let mut a = matmul_nt(&g, &g);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn factor_and_reconstruct() {
+        let a = random_spd(15, 41);
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = matmul_nt(ch.l(), ch.l());
+        assert!(recon.sub(&a).norm_max() < 1e-9 * a.norm_max());
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = random_spd(12, 42);
+        let mut rng = StdRng::seed_from_u64(43);
+        let x = DenseMatrix::<f64>::random_uniform(12, 3, &mut rng);
+        let b = matmul(&a, &x);
+        let ch = Cholesky::factor(&a).unwrap();
+        let sol = ch.solve(&b);
+        assert!(sol.sub(&x).norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn inverse_is_true_inverse() {
+        let a = random_spd(10, 44);
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv = ch.inverse();
+        let prod = matmul(&a, &inv);
+        let eye = DenseMatrix::<f64>::identity(10);
+        assert!(prod.sub(&eye).norm_max() < 1e-8);
+        // inverse should be symmetric
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((inv[(i, j)] - inv[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = DenseMatrix::<f64>::identity(4);
+        a[(2, 2)] = -1.0;
+        assert!(Cholesky::factor(&a).is_err());
+        assert!(!is_spd(&a));
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let mut a = DenseMatrix::<f64>::zeros(3, 3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        a[(2, 2)] = 4.0;
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (24.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spd_check_accepts_identity() {
+        assert!(is_spd(&DenseMatrix::<f64>::identity(6)));
+    }
+}

@@ -1,0 +1,217 @@
+//! Interpolative decomposition (ID).
+//!
+//! Given a matrix `A` with columns indexed by a node's point set, the ID picks
+//! a subset of "skeleton" columns and an interpolation matrix `P` such that
+//! `A ≈ A[:, skeleton] * P`. GOFMM skeletonizes every tree node this way
+//! (paper §2.2, eq. (7)–(10)); the skeleton columns become the node's
+//! representative indices and `P` is the coefficient matrix used in N2S/S2N.
+
+use crate::matrix::DenseMatrix;
+use crate::qr::{pivoted_qr, QrOptions};
+use crate::scalar::Scalar;
+use crate::trsm::{trsm_left, Triangle};
+
+/// Result of an interpolative decomposition of the columns of a matrix.
+#[derive(Clone, Debug)]
+pub struct Id<T: Scalar> {
+    /// Positions (column indices into the input matrix) of the skeleton
+    /// columns, in pivot order.
+    pub skeleton: Vec<usize>,
+    /// `rank x n` interpolation matrix `P` with `A ≈ A[:, skeleton] * P`.
+    /// The columns of `P` corresponding to skeleton positions form the
+    /// identity.
+    pub interp: DenseMatrix<T>,
+    /// Estimated `rank+1`-st singular value of the input (the first rejected
+    /// pivot magnitude); zero when the factorization ran to completion.
+    pub residual_estimate: f64,
+}
+
+impl<T: Scalar> Id<T> {
+    /// Numerical rank of the decomposition.
+    pub fn rank(&self) -> usize {
+        self.skeleton.len()
+    }
+}
+
+/// Compute an interpolative decomposition of the columns of `a`.
+///
+/// * `max_rank` caps the number of skeleton columns (the paper's `s`).
+/// * `rel_tol` is the adaptive-rank tolerance `tau`: pivoting stops once the
+///   estimated next singular value drops below `rel_tol * sigma_1`.
+///
+/// Both may be combined; `rel_tol = 0` disables the adaptive test.
+pub fn interpolative_decomposition<T: Scalar>(
+    a: &DenseMatrix<T>,
+    max_rank: usize,
+    rel_tol: f64,
+) -> Id<T> {
+    let n = a.cols();
+    if n == 0 || a.rows() == 0 {
+        return Id {
+            skeleton: Vec::new(),
+            interp: DenseMatrix::zeros(0, n),
+            residual_estimate: 0.0,
+        };
+    }
+    // Safeguard: even with a "fixed rank" request (rel_tol = 0) we must not
+    // keep pivots at the round-off floor of the working precision — inverting
+    // a numerically singular R11 would blow up the interpolation coefficients
+    // (this matters for nearly-zero off-diagonal blocks, e.g. well-separated
+    // clusters under a narrow kernel).
+    let floor = T::epsilon().to_f64() * 32.0;
+    let rel_tol = if rel_tol > 0.0 { rel_tol.max(floor) } else { floor };
+    let qr = pivoted_qr(a, QrOptions::adaptive(max_rank, rel_tol));
+    if qr.rank() == 0 {
+        // The sampled block is numerically zero: keep a single skeleton column
+        // with zero coefficients for every other column (approximating the
+        // whole block by zero, which is what it is).
+        let mut interp = DenseMatrix::zeros(1, n);
+        interp.set(0, 0, T::one());
+        return Id {
+            skeleton: vec![0],
+            interp,
+            residual_estimate: 0.0,
+        };
+    }
+    let s = qr.rank().min(n);
+    let pivots = qr.pivots();
+
+    // Interpolation coefficients in the pivoted ordering: [I | R11^{-1} R12].
+    let r11 = qr.r11();
+    let mut t = qr.r12();
+    if t.cols() > 0 {
+        trsm_left(Triangle::Upper, false, &r11, &mut t);
+    }
+
+    // Residual estimate: magnitude of the next pivot's column norm is not
+    // directly available once the factorization stopped, so use |R[s-1,s-1]|
+    // scaled relative to |R[0,0]| as the classical GEQP3 estimate of
+    // sigma_{s+1} when the adaptive test terminated early.
+    let diag = qr.r_diag();
+    let residual_estimate = if s < n && !diag.is_empty() {
+        diag[s - 1].abs().to_f64()
+    } else {
+        0.0
+    };
+
+    // Scatter back to the original column ordering.
+    let mut interp = DenseMatrix::zeros(s, n);
+    for k in 0..s {
+        interp.set(k, pivots[k], T::one());
+    }
+    for j in 0..t.cols() {
+        let orig = pivots[s + j];
+        for k in 0..s {
+            interp.set(k, orig, t.get(k, j));
+        }
+    }
+
+    Id {
+        skeleton: pivots[..s].to_vec(),
+        interp,
+        residual_estimate,
+    }
+}
+
+/// Reconstruct `A ≈ A[:, skeleton] * P` for testing / error reporting.
+pub fn id_reconstruct<T: Scalar>(a: &DenseMatrix<T>, id: &Id<T>) -> DenseMatrix<T> {
+    let skel_cols = a.select_cols(&id.skeleton);
+    crate::blas::matmul(&skel_cols, &id.interp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul_nt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_on_low_rank_input() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let u = DenseMatrix::<f64>::random_gaussian(30, 4, &mut rng);
+        let v = DenseMatrix::<f64>::random_gaussian(25, 4, &mut rng);
+        let a = matmul_nt(&u, &v);
+        let id = interpolative_decomposition(&a, 25, 1e-12);
+        assert_eq!(id.rank(), 4);
+        let recon = id_reconstruct(&a, &id);
+        assert!(recon.sub(&a).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn skeleton_columns_reproduce_exactly() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = DenseMatrix::<f64>::random_uniform(20, 12, &mut rng);
+        let id = interpolative_decomposition(&a, 12, 0.0);
+        let recon = id_reconstruct(&a, &id);
+        // Full-rank ID reproduces the whole matrix.
+        assert!(recon.sub(&a).norm_max() < 1e-9);
+        // Identity structure on skeleton columns.
+        for (k, &col) in id.skeleton.iter().enumerate() {
+            for r in 0..id.rank() {
+                let expect = if r == k { 1.0 } else { 0.0 };
+                assert!((id.interp[(r, col)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_rank_gives_reasonable_error() {
+        let mut rng = StdRng::seed_from_u64(53);
+        // Matrix with geometrically decaying singular values.
+        let n = 40;
+        let q = crate::qr::householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng)).q_thin();
+        let mut a = DenseMatrix::<f64>::zeros(n, n);
+        for k in 0..n {
+            let sk = 0.6f64.powi(k as i32);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] += sk * q[(i, k)] * q[(j, k)];
+                }
+            }
+        }
+        let id = interpolative_decomposition(&a, 10, 0.0);
+        assert_eq!(id.rank(), 10);
+        let recon = id_reconstruct(&a, &id);
+        let rel = recon.sub(&a).norm_fro() / a.norm_fro();
+        // sigma_11 / sigma_1 = 0.6^10 ~ 6e-3; ID error is within a modest factor.
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn adaptive_tolerance_controls_rank() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let n = 30;
+        let q = crate::qr::householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng)).q_thin();
+        let mut a = DenseMatrix::<f64>::zeros(n, n);
+        for k in 0..n {
+            let sk = 0.5f64.powi(k as i32);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] += sk * q[(i, k)] * q[(j, k)];
+                }
+            }
+        }
+        let loose = interpolative_decomposition(&a, n, 1e-2);
+        let tight = interpolative_decomposition(&a, n, 1e-6);
+        assert!(loose.rank() < tight.rank());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = DenseMatrix::<f64>::zeros(0, 5);
+        let id = interpolative_decomposition(&a, 3, 1e-3);
+        assert_eq!(id.rank(), 0);
+        assert_eq!(id.interp.cols(), 5);
+    }
+
+    #[test]
+    fn single_column() {
+        let a = DenseMatrix::<f64>::from_fn(6, 1, |i, _| (i + 1) as f64);
+        let id = interpolative_decomposition(&a, 4, 1e-8);
+        assert_eq!(id.rank(), 1);
+        assert_eq!(id.skeleton, vec![0]);
+        let recon = id_reconstruct(&a, &id);
+        assert!(recon.sub(&a).norm_max() < 1e-12);
+    }
+}

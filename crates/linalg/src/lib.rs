@@ -1,0 +1,34 @@
+//! # gofmm-linalg
+//!
+//! Dense linear-algebra substrate for the GOFMM reproduction.
+//!
+//! The GOFMM paper builds on MKL/CUBLAS for GEMM, GEQP3 (rank-revealing
+//! pivoted QR), TRSM and POTRF. This crate provides pure-Rust equivalents of
+//! exactly that functionality, generic over [`Scalar`] (`f32`/`f64`):
+//!
+//! * [`matrix::DenseMatrix`] — column-major dense matrices,
+//! * [`blas`] — blocked GEMM, GEMV, dots and norm estimates,
+//! * [`qr`] — Householder QR and column-pivoted (rank-revealing) QR,
+//! * [`trsm`] — triangular solves,
+//! * [`cholesky`] — Cholesky factorization / SPD solves / SPD inversion,
+//! * [`id`] — interpolative decomposition built on the pivoted QR.
+//!
+//! All kernels are sequential; coarse-grained parallelism comes from the task
+//! runtime in `gofmm-runtime` (mirroring the paper's design, where one tree
+//! task maps to one sequential BLAS/LAPACK call).
+
+pub mod blas;
+pub mod cholesky;
+pub mod id;
+pub mod matrix;
+pub mod qr;
+pub mod scalar;
+pub mod trsm;
+
+pub use blas::{axpy, dot, gemm, gemv, matmul, matmul_nt, matmul_tn, norm2_est, nrm2, Transpose};
+pub use cholesky::{is_spd, Cholesky, NotPositiveDefinite};
+pub use id::{id_reconstruct, interpolative_decomposition, Id};
+pub use matrix::DenseMatrix;
+pub use qr::{householder_qr, pivoted_qr, QrFactors, QrOptions};
+pub use scalar::Scalar;
+pub use trsm::{tri_inverse, trsm_left, trsv, Triangle};

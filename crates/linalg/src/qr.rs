@@ -1,0 +1,503 @@
+//! Householder QR and column-pivoted (rank-revealing) QR.
+//!
+//! The pivoted factorization is the Rust stand-in for LAPACK's `GEQP3`, which
+//! GOFMM uses inside skeletonization: the first `s` pivot columns become the
+//! skeleton, and the interpolation coefficients come from a triangular solve
+//! with the leading `s x s` block of `R` (see `crate::id`).
+
+use crate::blas::{gemm, Transpose};
+use crate::matrix::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Result of an (optionally pivoted) Householder QR factorization.
+///
+/// The Householder vectors are stored below the diagonal of `factors` and the
+/// upper triangle holds `R`, exactly like LAPACK's compact representation.
+#[derive(Clone, Debug)]
+pub struct QrFactors<T: Scalar> {
+    factors: DenseMatrix<T>,
+    tau: Vec<T>,
+    /// `pivots[k]` is the original column index that ended up in position `k`.
+    pivots: Vec<usize>,
+    /// Numerical rank detected during factorization (= number of Householder
+    /// steps actually performed).
+    rank: usize,
+}
+
+/// Termination options for the pivoted QR.
+#[derive(Clone, Copy, Debug)]
+pub struct QrOptions {
+    /// Stop after this many pivots (maximum rank). `usize::MAX` = no cap.
+    pub max_rank: usize,
+    /// Stop when the largest remaining column norm falls below
+    /// `rel_tol * (largest initial column norm)`. `0.0` disables the test.
+    pub rel_tol: f64,
+    /// Stop when the largest remaining column norm falls below this absolute
+    /// threshold. `0.0` disables the test.
+    pub abs_tol: f64,
+}
+
+impl Default for QrOptions {
+    fn default() -> Self {
+        Self {
+            max_rank: usize::MAX,
+            rel_tol: 0.0,
+            abs_tol: 0.0,
+        }
+    }
+}
+
+impl QrOptions {
+    /// Convenience constructor for an adaptive-rank factorization.
+    pub fn adaptive(max_rank: usize, rel_tol: f64) -> Self {
+        Self {
+            max_rank,
+            rel_tol,
+            abs_tol: 0.0,
+        }
+    }
+}
+
+impl<T: Scalar> QrFactors<T> {
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.factors.cols()
+    }
+
+    /// Detected numerical rank (number of Householder reflections).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Column pivot permutation: position `k` holds original column `pivots[k]`.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// The upper-trapezoidal factor `R` restricted to the detected rank
+    /// (`rank x cols`).
+    pub fn r(&self) -> DenseMatrix<T> {
+        let k = self.rank;
+        DenseMatrix::from_fn(k, self.cols(), |i, j| {
+            if j >= i {
+                self.factors.get(i, j)
+            } else {
+                T::zero()
+            }
+        })
+    }
+
+    /// Leading `rank x rank` upper-triangular block `R11`.
+    pub fn r11(&self) -> DenseMatrix<T> {
+        let k = self.rank;
+        DenseMatrix::from_fn(k, k, |i, j| {
+            if j >= i {
+                self.factors.get(i, j)
+            } else {
+                T::zero()
+            }
+        })
+    }
+
+    /// Trailing `rank x (cols - rank)` block `R12`.
+    pub fn r12(&self) -> DenseMatrix<T> {
+        let k = self.rank;
+        DenseMatrix::from_fn(k, self.cols() - k, |i, j| self.factors.get(i, k + j))
+    }
+
+    /// Diagonal of `R` (absolute values monotonically decreasing for the
+    /// pivoted factorization); `|R[k,k]|` estimates the `k+1`-st singular value.
+    pub fn r_diag(&self) -> Vec<T> {
+        (0..self.rank).map(|i| self.factors.get(i, i)).collect()
+    }
+
+    /// Form the thin orthogonal factor `Q` (`rows x rank`) explicitly.
+    pub fn q_thin(&self) -> DenseMatrix<T> {
+        let m = self.rows();
+        let k = self.rank;
+        let mut q = DenseMatrix::zeros(m, k);
+        for j in 0..k {
+            q.set(j, j, T::one());
+        }
+        // Apply reflections H_{k-1} ... H_0 to the identity columns.
+        for step in (0..k).rev() {
+            let tau = self.tau[step];
+            if tau == T::zero() {
+                continue;
+            }
+            for j in 0..k {
+                // v = [1, factors[step+1.., step]]
+                let mut dotv = q.get(step, j);
+                for i in (step + 1)..m {
+                    dotv = self.factors.get(i, step).mul_add(q.get(i, j), dotv);
+                }
+                let s = tau * dotv;
+                q.set(step, j, q.get(step, j) - s);
+                for i in (step + 1)..m {
+                    let updated = q.get(i, j) - s * self.factors.get(i, step);
+                    q.set(i, j, updated);
+                }
+            }
+        }
+        q
+    }
+
+    /// Apply `Q^T` to a matrix `B` in place (`B <- Q^T B`), using the compact
+    /// Householder representation. `B` must have `rows()` rows.
+    pub fn apply_qt(&self, b: &mut DenseMatrix<T>) {
+        assert_eq!(b.rows(), self.rows());
+        let m = self.rows();
+        for step in 0..self.rank {
+            let tau = self.tau[step];
+            if tau == T::zero() {
+                continue;
+            }
+            for j in 0..b.cols() {
+                let mut dotv = b.get(step, j);
+                for i in (step + 1)..m {
+                    dotv = self.factors.get(i, step).mul_add(b.get(i, j), dotv);
+                }
+                let s = tau * dotv;
+                b.set(step, j, b.get(step, j) - s);
+                for i in (step + 1)..m {
+                    let updated = b.get(i, j) - s * self.factors.get(i, step);
+                    b.set(i, j, updated);
+                }
+            }
+        }
+    }
+
+    /// Reconstruct (an approximation of) the original matrix `A * P` where `P`
+    /// is the pivot permutation: `Q * R`. Mostly used by tests.
+    pub fn reconstruct_pivoted(&self) -> DenseMatrix<T> {
+        let q = self.q_thin();
+        let r = self.r();
+        let mut out = DenseMatrix::zeros(self.rows(), self.cols());
+        gemm(T::one(), &q, Transpose::No, &r, Transpose::No, T::zero(), &mut out);
+        out
+    }
+}
+
+/// Column-pivoted Householder QR with optional early termination.
+///
+/// Mirrors `xGEQP3` behaviour: at every step the remaining column with the
+/// largest partial norm is swapped to the front. Early termination happens
+/// when either `opts.max_rank` pivots have been produced or the largest
+/// remaining column norm drops below the requested tolerance — this is exactly
+/// the adaptive-rank criterion GOFMM uses (`sigma_{s+1} < tau`).
+pub fn pivoted_qr<T: Scalar>(a: &DenseMatrix<T>, opts: QrOptions) -> QrFactors<T> {
+    let m = a.rows();
+    let n = a.cols();
+    let mut f = a.clone();
+    let kmax = m.min(n).min(opts.max_rank);
+    let mut tau = Vec::with_capacity(kmax);
+    let mut pivots: Vec<usize> = (0..n).collect();
+
+    // Partial column norms, updated (downdated) after every reflection.
+    let mut colnorm: Vec<T> = (0..n).map(|j| crate::blas::nrm2(f.col(j))).collect();
+    let mut colnorm_ref = colnorm.clone();
+    let norm0 = colnorm
+        .iter()
+        .fold(T::zero(), |acc, v| acc.max(*v))
+        .to_f64();
+
+    let mut rank = 0usize;
+    for k in 0..kmax {
+        // Pivot: column with largest remaining norm.
+        let (jmax, &vmax) = colnorm[k..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(idx, v)| (idx + k, v))
+            .unwrap();
+        let vmax_f = vmax.to_f64();
+        if (opts.rel_tol > 0.0 && vmax_f <= opts.rel_tol * norm0)
+            || (opts.abs_tol > 0.0 && vmax_f <= opts.abs_tol)
+            || vmax_f == 0.0
+        {
+            break;
+        }
+        if jmax != k {
+            // Swap columns k and jmax plus bookkeeping.
+            for i in 0..m {
+                let tmp = f.get(i, k);
+                f.set(i, k, f.get(i, jmax));
+                f.set(i, jmax, tmp);
+            }
+            colnorm.swap(k, jmax);
+            colnorm_ref.swap(k, jmax);
+            pivots.swap(k, jmax);
+        }
+
+        // Householder reflector for column k, rows k..m.
+        let mut alpha = f.get(k, k);
+        let mut normx = T::zero();
+        for i in k..m {
+            let v = f.get(i, k);
+            normx = v.mul_add(v, normx);
+        }
+        normx = normx.sqrt();
+        if normx == T::zero() {
+            tau.push(T::zero());
+            rank = k + 1;
+            continue;
+        }
+        let beta = if alpha.to_f64() >= 0.0 { -normx } else { normx };
+        let tau_k = (beta - alpha) / beta;
+        let scale = T::one() / (alpha - beta);
+        // v = [1, x_{k+1..m} * scale], stored below the diagonal.
+        for i in (k + 1)..m {
+            f.set(i, k, f.get(i, k) * scale);
+        }
+        f.set(k, k, beta);
+        alpha = beta;
+        let _ = alpha;
+        tau.push(tau_k);
+
+        // Apply reflector to trailing columns: A_j -= tau * v (v^T A_j).
+        for j in (k + 1)..n {
+            let mut dotv = f.get(k, j);
+            for i in (k + 1)..m {
+                dotv = f.get(i, k).mul_add(f.get(i, j), dotv);
+            }
+            let s = tau_k * dotv;
+            f.set(k, j, f.get(k, j) - s);
+            for i in (k + 1)..m {
+                let updated = f.get(i, j) - s * f.get(i, k);
+                f.set(i, j, updated);
+            }
+        }
+
+        // Downdate partial column norms (LAPACK's safeguarded update).
+        for j in (k + 1)..n {
+            if colnorm[j] == T::zero() {
+                continue;
+            }
+            let r = f.get(k, j) / colnorm[j];
+            let temp = (T::one() - r * r).max(T::zero());
+            let ratio = colnorm[j] / colnorm_ref[j];
+            let temp2 = temp * ratio * ratio;
+            if temp2.to_f64() <= 1e-7 {
+                // Recompute the norm from scratch to avoid cancellation.
+                let mut acc = T::zero();
+                for i in (k + 1)..m {
+                    let v = f.get(i, j);
+                    acc = v.mul_add(v, acc);
+                }
+                colnorm[j] = acc.sqrt();
+                colnorm_ref[j] = colnorm[j];
+            } else {
+                colnorm[j] *= temp.sqrt();
+            }
+        }
+        rank = k + 1;
+    }
+
+    QrFactors {
+        factors: f,
+        tau,
+        pivots,
+        rank,
+    }
+}
+
+/// Unpivoted Householder QR (full factorization, rank = min(m, n)).
+///
+/// Used by the randomized-sampling HSS baseline for re-orthonormalization.
+pub fn householder_qr<T: Scalar>(a: &DenseMatrix<T>) -> QrFactors<T> {
+    pivoted_qr_nopivot(a)
+}
+
+fn pivoted_qr_nopivot<T: Scalar>(a: &DenseMatrix<T>) -> QrFactors<T> {
+    // Same kernel as pivoted_qr but with pivoting disabled so column order is
+    // preserved. Kept separate to avoid branching in the hot loop above.
+    let m = a.rows();
+    let n = a.cols();
+    let mut f = a.clone();
+    let kmax = m.min(n);
+    let mut tau = Vec::with_capacity(kmax);
+    let pivots: Vec<usize> = (0..n).collect();
+    for k in 0..kmax {
+        let mut normx = T::zero();
+        for i in k..m {
+            let v = f.get(i, k);
+            normx = v.mul_add(v, normx);
+        }
+        normx = normx.sqrt();
+        if normx == T::zero() {
+            tau.push(T::zero());
+            continue;
+        }
+        let alpha = f.get(k, k);
+        let beta = if alpha.to_f64() >= 0.0 { -normx } else { normx };
+        let tau_k = (beta - alpha) / beta;
+        let scale = T::one() / (alpha - beta);
+        for i in (k + 1)..m {
+            f.set(i, k, f.get(i, k) * scale);
+        }
+        f.set(k, k, beta);
+        tau.push(tau_k);
+        for j in (k + 1)..n {
+            let mut dotv = f.get(k, j);
+            for i in (k + 1)..m {
+                dotv = f.get(i, k).mul_add(f.get(i, j), dotv);
+            }
+            let s = tau_k * dotv;
+            f.set(k, j, f.get(k, j) - s);
+            for i in (k + 1)..m {
+                let updated = f.get(i, j) - s * f.get(i, k);
+                f.set(i, j, updated);
+            }
+        }
+    }
+    QrFactors {
+        factors: f,
+        tau,
+        pivots,
+        rank: kmax,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{matmul, matmul_tn};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn permute_cols(a: &DenseMatrix<f64>, pivots: &[usize]) -> DenseMatrix<f64> {
+        a.select_cols(pivots)
+    }
+
+    #[test]
+    fn full_rank_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = DenseMatrix::<f64>::random_uniform(20, 12, &mut rng);
+        let qr = pivoted_qr(&a, QrOptions::default());
+        assert_eq!(qr.rank(), 12);
+        let recon = qr.reconstruct_pivoted();
+        let ap = permute_cols(&a, qr.pivots());
+        assert!(recon.sub(&ap).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = DenseMatrix::<f64>::random_uniform(30, 10, &mut rng);
+        let qr = pivoted_qr(&a, QrOptions::default());
+        let q = qr.q_thin();
+        let qtq = matmul_tn(&q, &q);
+        let eye = DenseMatrix::<f64>::identity(10);
+        assert!(qtq.sub(&eye).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn low_rank_matrix_detected() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // Rank-5 matrix: A = U V^T
+        let u = DenseMatrix::<f64>::random_uniform(40, 5, &mut rng);
+        let v = DenseMatrix::<f64>::random_uniform(30, 5, &mut rng);
+        let a = crate::blas::matmul_nt(&u, &v);
+        let qr = pivoted_qr(&a, QrOptions::adaptive(usize::MAX, 1e-10));
+        assert_eq!(qr.rank(), 5, "rank detected {}", qr.rank());
+        let recon = qr.reconstruct_pivoted();
+        let ap = permute_cols(&a, qr.pivots());
+        assert!(recon.sub(&ap).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn max_rank_truncation() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = DenseMatrix::<f64>::random_uniform(25, 25, &mut rng);
+        let qr = pivoted_qr(
+            &a,
+            QrOptions {
+                max_rank: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(qr.rank(), 7);
+        assert_eq!(qr.r().rows(), 7);
+        assert_eq!(qr.r11().rows(), 7);
+        assert_eq!(qr.r12().cols(), 18);
+    }
+
+    #[test]
+    fn pivot_diagonal_is_decreasing() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let a = DenseMatrix::<f64>::random_uniform(30, 20, &mut rng);
+        let qr = pivoted_qr(&a, QrOptions::default());
+        let d = qr.r_diag();
+        for w in d.windows(2) {
+            assert!(
+                w[0].abs() >= w[1].abs() - 1e-12,
+                "diagonal not decreasing: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn unpivoted_qr_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let a = DenseMatrix::<f64>::random_uniform(15, 15, &mut rng);
+        let qr = householder_qr(&a);
+        let q = qr.q_thin();
+        let r = qr.r();
+        let recon = matmul(&q, &r);
+        assert!(recon.sub(&a).norm_max() < 1e-11);
+        // pivots are identity
+        assert_eq!(qr.pivots(), (0..15).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn apply_qt_matches_explicit() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let a = DenseMatrix::<f64>::random_uniform(18, 6, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(18, 3, &mut rng);
+        let qr = pivoted_qr(&a, QrOptions::default());
+        let mut b1 = b.clone();
+        qr.apply_qt(&mut b1);
+        // Explicit: full Q is 18x6 thin here, so compare only the first 6 rows.
+        let q = qr.q_thin();
+        let expect = matmul_tn(&q, &b);
+        for i in 0..6 {
+            for j in 0..3 {
+                assert!((b1[(i, j)] - expect[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_tolerance_on_decaying_singular_values() {
+        // Diagonal matrix with geometric decay: rank at tolerance 1e-3 should
+        // cut where the diagonal crosses 1e-3 relative to the largest.
+        let n = 20;
+        let a = DenseMatrix::<f64>::from_fn(n, n, |i, j| {
+            if i == j {
+                (0.5f64).powi(i as i32)
+            } else {
+                0.0
+            }
+        });
+        let qr = pivoted_qr(&a, QrOptions::adaptive(usize::MAX, 1e-3));
+        // 0.5^k < 1e-3 at k = 10
+        assert!(qr.rank() >= 9 && qr.rank() <= 11, "rank {}", qr.rank());
+    }
+
+    #[test]
+    fn works_in_single_precision() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let a = DenseMatrix::<f32>::random_uniform(20, 10, &mut rng);
+        let qr = pivoted_qr(&a, QrOptions::default());
+        let recon = qr.reconstruct_pivoted();
+        let ap = a.select_cols(qr.pivots());
+        assert!(recon.sub(&ap).norm_max() < 1e-4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal floating-point scalar abstraction.
+//!
+//! GOFMM runs in single precision for the PDE/graph matrices and double
+//! precision for the machine-learning kernel matrices (paper §3). Everything
+//! downstream is generic over [`Scalar`] so both precisions share one code
+//! path, mirroring the `float`/`double` template parameter of the reference
+//! C++ implementation.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable by the dense linear-algebra kernels.
+///
+/// Implemented for `f32` and `f64`. The trait is intentionally small: it only
+/// exposes the operations the GOFMM kernels actually need, so adding another
+/// precision (e.g. a software `f16`) stays cheap.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + Debug
+    + Display
+    + PartialOrd
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Machine epsilon of this precision.
+    fn epsilon() -> Self;
+    /// Conversion from `f64` (used for constants and accumulating statistics).
+    fn from_f64(x: f64) -> Self;
+    /// Conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Power with a floating exponent.
+    fn powf(self, e: Self) -> Self;
+    /// Integer power.
+    fn powi(self, e: i32) -> Self;
+    /// Maximum of two values (NaN-ignoring like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// True if the value is finite.
+    fn is_finite(self) -> bool;
+    /// Short human-readable name of the precision ("f32"/"f64"), used in
+    /// experiment reports.
+    fn precision_name() -> &'static str;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $name:expr) => {
+        impl Scalar for $t {
+            #[inline(always)]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn powf(self, e: Self) -> Self {
+                <$t>::powf(self, e)
+            }
+            #[inline(always)]
+            fn powi(self, e: i32) -> Self {
+                <$t>::powi(self, e)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            fn precision_name() -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, "f32");
+impl_scalar!(f64, "f64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::zero().to_f64(), 0.0);
+        assert_eq!(T::one().to_f64(), 1.0);
+        assert!((T::from_f64(2.5).to_f64() - 2.5).abs() < 1e-12);
+        assert!(T::from_f64(4.0).sqrt().to_f64() - 2.0 < 1e-6);
+        assert!(T::from_f64(-3.0).abs().to_f64() - 3.0 < 1e-6);
+        assert!(T::epsilon().to_f64() > 0.0);
+        assert!(T::from_f64(1.0).is_finite());
+        assert!(!T::from_f64(f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn scalar_f32_roundtrip() {
+        roundtrip::<f32>();
+        assert_eq!(f32::precision_name(), "f32");
+    }
+
+    #[test]
+    fn scalar_f64_roundtrip() {
+        roundtrip::<f64>();
+        assert_eq!(f64::precision_name(), "f64");
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = 1.5f64;
+        assert!((Scalar::mul_add(a, 2.0, 3.0) - (a * 2.0 + 3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_min_ordering() {
+        assert_eq!(Scalar::max(1.0f32, 2.0), 2.0);
+        assert_eq!(Scalar::min(1.0f32, 2.0), 1.0);
+    }
+}

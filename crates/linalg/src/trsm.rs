@@ -1,0 +1,179 @@
+//! Triangular solves (TRSM/TRSV equivalents).
+//!
+//! GOFMM computes interpolation coefficients with `R11 * P = R12` (upper
+//! triangular, left side), and the Cholesky-based matrix generators need
+//! forward/backward substitution.
+
+use crate::matrix::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Which triangle of the coefficient matrix is referenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Triangle {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// Solve `op(T) * X = B` in place, overwriting `B` with the solution, where
+/// `T` is triangular. `transpose` selects `op`.
+///
+/// # Panics
+/// Panics on dimension mismatch or an exactly zero diagonal entry.
+pub fn trsm_left<T: Scalar>(
+    tri: Triangle,
+    transpose: bool,
+    t: &DenseMatrix<T>,
+    b: &mut DenseMatrix<T>,
+) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n, "triangular matrix must be square");
+    assert_eq!(b.rows(), n, "rhs row mismatch");
+    // Effective triangle after an optional transpose.
+    let lower_effective = match (tri, transpose) {
+        (Triangle::Lower, false) | (Triangle::Upper, true) => true,
+        (Triangle::Upper, false) | (Triangle::Lower, true) => false,
+    };
+    let coef = |i: usize, j: usize| -> T {
+        if transpose {
+            t.get(j, i)
+        } else {
+            t.get(i, j)
+        }
+    };
+    for col in 0..b.cols() {
+        if lower_effective {
+            // Forward substitution.
+            for i in 0..n {
+                let mut acc = b.get(i, col);
+                for k in 0..i {
+                    acc -= coef(i, k) * b.get(k, col);
+                }
+                let d = coef(i, i);
+                assert!(d != T::zero(), "zero diagonal in triangular solve");
+                b.set(i, col, acc / d);
+            }
+        } else {
+            // Backward substitution.
+            for ii in 0..n {
+                let i = n - 1 - ii;
+                let mut acc = b.get(i, col);
+                for k in (i + 1)..n {
+                    acc -= coef(i, k) * b.get(k, col);
+                }
+                let d = coef(i, i);
+                assert!(d != T::zero(), "zero diagonal in triangular solve");
+                b.set(i, col, acc / d);
+            }
+        }
+    }
+}
+
+/// Solve the vector system `op(T) x = b` in place.
+pub fn trsv<T: Scalar>(tri: Triangle, transpose: bool, t: &DenseMatrix<T>, b: &mut [T]) {
+    let mut m = DenseMatrix::from_vec(b.len(), 1, b.to_vec());
+    trsm_left(tri, transpose, t, &mut m);
+    b.copy_from_slice(m.col(0));
+}
+
+/// Invert a triangular matrix by solving against the identity.
+pub fn tri_inverse<T: Scalar>(tri: Triangle, t: &DenseMatrix<T>) -> DenseMatrix<T> {
+    let n = t.rows();
+    let mut inv = DenseMatrix::identity(n);
+    trsm_left(tri, false, t, &mut inv);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_triangular(n: usize, lower: bool, seed: u64) -> DenseMatrix<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = DenseMatrix::<f64>::random_uniform(n, n, &mut rng);
+        for i in 0..n {
+            // Make strongly diagonally dominant so solves are well conditioned.
+            t[(i, i)] = 3.0 + t[(i, i)].abs();
+            for j in 0..n {
+                if (lower && j > i) || (!lower && j < i) {
+                    t[(i, j)] = 0.0;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn lower_solve_roundtrip() {
+        let n = 12;
+        let l = random_triangular(n, true, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = DenseMatrix::<f64>::random_uniform(n, 4, &mut rng);
+        let b = matmul(&l, &x);
+        let mut sol = b.clone();
+        trsm_left(Triangle::Lower, false, &l, &mut sol);
+        assert!(sol.sub(&x).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn upper_solve_roundtrip() {
+        let n = 9;
+        let u = random_triangular(n, false, 33);
+        let mut rng = StdRng::seed_from_u64(34);
+        let x = DenseMatrix::<f64>::random_uniform(n, 3, &mut rng);
+        let b = matmul(&u, &x);
+        let mut sol = b.clone();
+        trsm_left(Triangle::Upper, false, &u, &mut sol);
+        assert!(sol.sub(&x).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn transposed_solves() {
+        let n = 10;
+        let l = random_triangular(n, true, 35);
+        let mut rng = StdRng::seed_from_u64(36);
+        let x = DenseMatrix::<f64>::random_uniform(n, 2, &mut rng);
+        // L^T x = b  => solve with (Lower, transpose=true)
+        let b = matmul(&l.transpose(), &x);
+        let mut sol = b.clone();
+        trsm_left(Triangle::Lower, true, &l, &mut sol);
+        assert!(sol.sub(&x).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn trsv_matches_trsm() {
+        let n = 8;
+        let u = random_triangular(n, false, 37);
+        let mut rng = StdRng::seed_from_u64(38);
+        let x = DenseMatrix::<f64>::random_uniform(n, 1, &mut rng);
+        let b = matmul(&u, &x);
+        let mut v = b.col(0).to_vec();
+        trsv(Triangle::Upper, false, &u, &mut v);
+        for i in 0..n {
+            assert!((v[i] - x[(i, 0)]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn triangular_inverse() {
+        let n = 7;
+        let l = random_triangular(n, true, 39);
+        let inv = tri_inverse(Triangle::Lower, &l);
+        let prod = matmul(&l, &inv);
+        let eye = DenseMatrix::<f64>::identity(n);
+        assert!(prod.sub(&eye).norm_max() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_diagonal_panics() {
+        let mut l = DenseMatrix::<f64>::identity(3);
+        l[(1, 1)] = 0.0;
+        let mut b = DenseMatrix::<f64>::identity(3);
+        trsm_left(Triangle::Lower, false, &l, &mut b);
+    }
+}

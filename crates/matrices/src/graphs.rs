@@ -1,0 +1,303 @@
+//! Graphs and regularized inverse graph Laplacians (the paper's G01–G05).
+//!
+//! The paper uses five sparse graphs from the UFL collection (powersim,
+//! poli_large, rgg_n_2_16_s0, denormal, conf6_0-8x8-30) and compresses the
+//! *inverse* of their Laplacians — dense SPD matrices for which no point
+//! coordinates exist. We generate synthetic graphs with matching character
+//! (power-grid-like mesh, large sparse circuit-like graph, random geometric
+//! graph, near-degenerate chain, 4-D torus QCD lattice) and build
+//! `K = (L + sigma I)^{-1}` by dense Cholesky inversion.
+
+use crate::spd::DenseSpd;
+use gofmm_linalg::{Cholesky, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected weighted graph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// Create a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an undirected edge (self-loops and out-of-range indices are
+    /// ignored; duplicate edges add their weights in the Laplacian).
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        if u != v && u < self.n && v < self.n && w > 0.0 {
+            self.edges.push((u, v, w));
+        }
+    }
+
+    /// Dense graph Laplacian `L = D - W`.
+    pub fn laplacian_dense(&self) -> DenseMatrix<f64> {
+        let mut l = DenseMatrix::zeros(self.n, self.n);
+        for &(u, v, w) in &self.edges {
+            l[(u, u)] += w;
+            l[(v, v)] += w;
+            l[(u, v)] -= w;
+            l[(v, u)] -= w;
+        }
+        l
+    }
+
+    /// 2-D lattice graph with a few random long-range chords — a stand-in for
+    /// power-grid-like networks (powersim).
+    pub fn lattice_with_chords(nx: usize, ny: usize, chords: usize, seed: u64) -> Self {
+        let n = nx * ny;
+        let mut g = Graph::new(n);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let i = ix * ny + iy;
+                if ix + 1 < nx {
+                    g.add_edge(i, i + ny, 1.0);
+                }
+                if iy + 1 < ny {
+                    g.add_edge(i, i + 1, 1.0);
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..chords {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            g.add_edge(u, v, 0.5);
+        }
+        g
+    }
+
+    /// Random geometric graph: `n` uniform points in the unit square, edges
+    /// between pairs within `radius` (rgg_n_2_16-like).
+    pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut g = Graph::new(n);
+        // Grid-bucket the points so construction is ~O(n) instead of O(n^2).
+        let cells = (1.0 / radius).floor().max(1.0) as usize;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+        let cell_of = |x: f64, y: f64| -> (usize, usize) {
+            (
+                ((x * cells as f64) as usize).min(cells - 1),
+                ((y * cells as f64) as usize).min(cells - 1),
+            )
+        };
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            let (cx, cy) = cell_of(x, y);
+            buckets[cx * cells + cy].push(i);
+        }
+        let r2 = radius * radius;
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            let (cx, cy) = cell_of(x, y);
+            for dx in 0..3 {
+                for dy in 0..3 {
+                    let bx = (cx + dx).wrapping_sub(1);
+                    let by = (cy + dy).wrapping_sub(1);
+                    if bx >= cells || by >= cells {
+                        continue;
+                    }
+                    for &j in &buckets[bx * cells + by] {
+                        if j <= i {
+                            continue;
+                        }
+                        let (px, py) = pts[j];
+                        let d2 = (x - px) * (x - px) + (y - py) * (y - py);
+                        if d2 <= r2 {
+                            g.add_edge(i, j, 1.0);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Preferential-attachment scale-free graph (circuit / social-network
+    /// character, poli_large-like).
+    pub fn scale_free(n: usize, edges_per_node: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        let m = edges_per_node.max(1);
+        let mut targets: Vec<usize> = Vec::new();
+        // Seed clique.
+        let seed_nodes = (m + 1).min(n);
+        for u in 0..seed_nodes {
+            for v in (u + 1)..seed_nodes {
+                g.add_edge(u, v, 1.0);
+                targets.push(u);
+                targets.push(v);
+            }
+        }
+        for u in seed_nodes..n {
+            let mut chosen = std::collections::HashSet::new();
+            while chosen.len() < m {
+                let v = if targets.is_empty() || rng.gen_bool(0.1) {
+                    rng.gen_range(0..u)
+                } else {
+                    targets[rng.gen_range(0..targets.len())]
+                };
+                if v != u {
+                    chosen.insert(v);
+                }
+            }
+            for &v in &chosen {
+                g.add_edge(u, v, 1.0);
+                targets.push(u);
+                targets.push(v);
+            }
+        }
+        g
+    }
+
+    /// Chain with alternating strong and very weak links (denormal-like
+    /// near-degenerate structure).
+    pub fn weak_chain(n: usize, weak_weight: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            let w = if i % 17 == 16 { weak_weight } else { 1.0 };
+            g.add_edge(i, i + 1, w);
+        }
+        // A few random shortcuts so the graph is not exactly a path.
+        for _ in 0..n / 8 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            g.add_edge(u, v, 0.1);
+        }
+        g
+    }
+
+    /// 4-dimensional periodic torus lattice of side `side` (QCD-configuration
+    /// character, conf6-like). `n = side^4`.
+    pub fn torus_4d(side: usize, seed: u64) -> Self {
+        let n = side * side * side * side;
+        let mut g = Graph::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = |c: [usize; 4]| -> usize {
+            ((c[0] * side + c[1]) * side + c[2]) * side + c[3]
+        };
+        for a in 0..side {
+            for b in 0..side {
+                for c in 0..side {
+                    for d in 0..side {
+                        let i = idx([a, b, c, d]);
+                        let coords = [a, b, c, d];
+                        for dim in 0..4 {
+                            let mut nb = coords;
+                            nb[dim] = (coords[dim] + 1) % side;
+                            let j = idx(nb);
+                            // Random positive weights mimic gauge-field variation.
+                            g.add_edge(i, j, 0.5 + rng.gen::<f64>());
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Regularized inverse graph Laplacian `K = (L + sigma I)^{-1}` as a dense SPD
+/// matrix. The graph carries no coordinates, so the returned matrix is purely
+/// algebraic — exactly the case GOFMM's geometry-oblivious distances target.
+pub fn graph_laplacian_inverse(graph: &Graph, sigma: f64, name: impl Into<String>) -> DenseSpd<f64> {
+    let mut l = graph.laplacian_dense();
+    for i in 0..graph.n() {
+        l[(i, i)] += sigma;
+    }
+    let ch = Cholesky::factor(&l).expect("regularized Laplacian must be SPD");
+    DenseSpd::new(ch.inverse(), name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spd::SpdMatrix;
+    use gofmm_linalg::{is_spd, matmul};
+
+    #[test]
+    fn laplacian_row_sums_are_zero() {
+        let g = Graph::lattice_with_chords(4, 4, 5, 1);
+        let l = g.laplacian_dense();
+        for i in 0..16 {
+            let s: f64 = (0..16).map(|j| l[(i, j)]).sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_is_symmetric_psd() {
+        let g = Graph::random_geometric(60, 0.25, 2);
+        let mut l = g.laplacian_dense();
+        for i in 0..60 {
+            l[(i, i)] += 1e-6;
+        }
+        assert!(is_spd(&l));
+    }
+
+    #[test]
+    fn inverse_laplacian_is_actual_inverse() {
+        let g = Graph::lattice_with_chords(3, 5, 2, 3);
+        let inv = graph_laplacian_inverse(&g, 0.5, "G");
+        let mut l = g.laplacian_dense();
+        for i in 0..g.n() {
+            l[(i, i)] += 0.5;
+        }
+        let prod = matmul(inv.dense(), &l);
+        let eye = DenseMatrix::<f64>::identity(g.n());
+        assert!(prod.sub(&eye).norm_max() < 1e-8);
+        assert!(SpdMatrix::<f64>::coords(&inv).is_none());
+    }
+
+    #[test]
+    fn generators_produce_connected_enough_graphs() {
+        let g1 = Graph::lattice_with_chords(6, 6, 10, 1);
+        assert_eq!(g1.n(), 36);
+        assert!(g1.edge_count() >= 60);
+        let g2 = Graph::random_geometric(100, 0.2, 2);
+        assert!(g2.edge_count() > 100);
+        let g3 = Graph::scale_free(100, 3, 3);
+        assert!(g3.edge_count() >= 3 * 90);
+        let g4 = Graph::weak_chain(64, 1e-4, 4);
+        assert!(g4.edge_count() >= 63);
+        let g5 = Graph::torus_4d(3, 5);
+        assert_eq!(g5.n(), 81);
+        assert_eq!(g5.edge_count(), 81 * 4);
+    }
+
+    #[test]
+    fn self_loops_and_invalid_edges_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(0, 5, 1.0);
+        g.add_edge(0, 1, -1.0);
+        assert_eq!(g.edge_count(), 0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn torus_graph_inverse_is_spd() {
+        let g = Graph::torus_4d(2, 7);
+        let inv = graph_laplacian_inverse(&g, 1.0, "G05");
+        assert!(is_spd(inv.dense()));
+        assert_eq!(SpdMatrix::<f64>::n(&inv), 16);
+    }
+}

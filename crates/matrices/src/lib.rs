@@ -1,0 +1,34 @@
+//! # gofmm-matrices
+//!
+//! The SPD test-matrix zoo for the GOFMM reproduction.
+//!
+//! GOFMM needs nothing but a routine returning `K_{IJ}` for arbitrary index
+//! sets; that routine is the [`SpdMatrix`] trait in this crate. The crate also
+//! provides generators for every matrix family in the paper's evaluation:
+//!
+//! * [`spectral`] — grid operator matrices built from the analytic sine
+//!   eigenbasis (K02, K03, K18) and pseudo-spectral Kronecker-sum operators
+//!   (K15–K17),
+//! * [`stencil`] — variable-coefficient advection–diffusion normal matrices
+//!   (K12–K14) with `O(1)` on-the-fly entries,
+//! * [`kernels`] — kernel matrices over point clouds (K04–K10 and the
+//!   COVTYPE/HIGGS/MNIST-like machine-learning matrices),
+//! * [`graphs`] — synthetic graphs and regularized inverse graph Laplacians
+//!   (G01–G05),
+//! * [`zoo`] — the named builder that maps paper matrix IDs to generators.
+
+pub mod graphs;
+pub mod kernels;
+pub mod points;
+pub mod spd;
+pub mod spectral;
+pub mod stencil;
+pub mod zoo;
+
+pub use graphs::{graph_laplacian_inverse, Graph};
+pub use kernels::{KernelMatrix, KernelType};
+pub use points::PointCloud;
+pub use spd::{sampled_relative_error, CastedSpd, DenseSpd, SpdMatrix};
+pub use spectral::{KroneckerSum2d, KroneckerSum3d};
+pub use stencil::{advection_diffusion_matrix, StencilNormalMatrix, StencilOperator2d};
+pub use zoo::{build_matrix, BoxedSpd, TestMatrixId, ZooOptions};

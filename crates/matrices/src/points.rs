@@ -1,0 +1,217 @@
+//! Point clouds used to generate kernel matrices and geometric distances.
+//!
+//! The paper uses real datasets (COVTYPE, HIGGS, MNIST) and regular PDE grids.
+//! We substitute synthetic point clouds with the same dimensionality and
+//! clustering character (see DESIGN.md, substitution table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of `n` points in `R^dim`, stored row-major (point `i` occupies
+/// `data[i*dim .. (i+1)*dim]`).
+#[derive(Clone, Debug)]
+pub struct PointCloud {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl PointCloud {
+    /// Wrap an existing row-major coordinate buffer.
+    pub fn from_vec(dim: usize, data: Vec<f64>) -> Self {
+        assert!(dim > 0);
+        assert_eq!(data.len() % dim, 0);
+        Self { dim, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Raw row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Squared Euclidean distance between points `i` and `j`.
+    #[inline]
+    pub fn dist2(&self, i: usize, j: usize) -> f64 {
+        let a = self.point(i);
+        let b = self.point(j);
+        let mut acc = 0.0;
+        for d in 0..self.dim {
+            let t = a[d] - b[d];
+            acc += t * t;
+        }
+        acc
+    }
+
+    /// Euclidean distance between points `i` and `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.dist2(i, j).sqrt()
+    }
+
+    /// Inner product between points `i` and `j`.
+    #[inline]
+    pub fn dot(&self, i: usize, j: usize) -> f64 {
+        let a = self.point(i);
+        let b = self.point(j);
+        let mut acc = 0.0;
+        for d in 0..self.dim {
+            acc += a[d] * b[d];
+        }
+        acc
+    }
+
+    /// Points distributed uniformly in the unit cube `[0, 1]^dim`.
+    pub fn uniform(n: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..n * dim).map(|_| rng.gen::<f64>()).collect();
+        Self { dim, data }
+    }
+
+    /// Points drawn from a mixture of `clusters` isotropic Gaussians with the
+    /// given within-cluster standard deviation; cluster centres are uniform in
+    /// the unit cube. This is the stand-in for the clustered machine-learning
+    /// datasets (COVTYPE, HIGGS, MNIST).
+    pub fn gaussian_mixture(n: usize, dim: usize, clusters: usize, spread: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clusters = clusters.max(1);
+        let centers: Vec<f64> = (0..clusters * dim).map(|_| rng.gen::<f64>()).collect();
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let c = i % clusters;
+            for d in 0..dim {
+                data.push(centers[c * dim + d] + spread * gaussian(&mut rng));
+            }
+        }
+        Self { dim, data }
+    }
+
+    /// Regular 2-D grid of `nx * ny` points in the unit square.
+    pub fn grid2d(nx: usize, ny: usize) -> Self {
+        let mut data = Vec::with_capacity(nx * ny * 2);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                data.push((ix as f64 + 0.5) / nx as f64);
+                data.push((iy as f64 + 0.5) / ny as f64);
+            }
+        }
+        Self { dim: 2, data }
+    }
+
+    /// Regular 3-D grid of `nx * ny * nz` points in the unit cube.
+    pub fn grid3d(nx: usize, ny: usize, nz: usize) -> Self {
+        let mut data = Vec::with_capacity(nx * ny * nz * 3);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    data.push((ix as f64 + 0.5) / nx as f64);
+                    data.push((iy as f64 + 0.5) / ny as f64);
+                    data.push((iz as f64 + 0.5) / nz as f64);
+                }
+            }
+        }
+        Self { dim: 3, data }
+    }
+
+    /// Points on a low-dimensional manifold (a curve) embedded in `R^dim`,
+    /// which makes kernel matrices compressible even for large ambient
+    /// dimension (MNIST-like behaviour).
+    pub fn manifold(n: usize, dim: usize, noise: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            for d in 0..dim {
+                let phase = (d + 1) as f64;
+                data.push((phase * t).sin() / phase.sqrt() + noise * gaussian(&mut rng));
+            }
+        }
+        Self { dim, data }
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_cloud_in_unit_cube() {
+        let pc = PointCloud::uniform(100, 6, 1);
+        assert_eq!(pc.len(), 100);
+        assert_eq!(pc.dim(), 6);
+        assert!(pc.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(!pc.is_empty());
+    }
+
+    #[test]
+    fn grid2d_has_expected_layout() {
+        let pc = PointCloud::grid2d(4, 4);
+        assert_eq!(pc.len(), 16);
+        assert_eq!(pc.dim(), 2);
+        // Neighbouring grid points are 1/4 apart in one coordinate.
+        assert!((pc.dist(0, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid3d_count() {
+        let pc = PointCloud::grid3d(3, 4, 5);
+        assert_eq!(pc.len(), 60);
+        assert_eq!(pc.dim(), 3);
+    }
+
+    #[test]
+    fn distances_and_dots_consistent() {
+        let pc = PointCloud::from_vec(2, vec![0.0, 0.0, 3.0, 4.0]);
+        assert!((pc.dist(0, 1) - 5.0).abs() < 1e-12);
+        assert!((pc.dist2(0, 1) - 25.0).abs() < 1e-12);
+        assert_eq!(pc.dot(1, 1), 25.0);
+        assert_eq!(pc.dot(0, 1), 0.0);
+    }
+
+    #[test]
+    fn gaussian_mixture_is_clustered() {
+        let pc = PointCloud::gaussian_mixture(200, 5, 4, 0.01, 3);
+        assert_eq!(pc.len(), 200);
+        // Points in the same cluster (stride 4 apart) are much closer than
+        // points from different clusters, on average.
+        let same = pc.dist(0, 4);
+        let diff = pc.dist(0, 1);
+        assert!(same < diff, "same-cluster {same} vs cross-cluster {diff}");
+    }
+
+    #[test]
+    fn manifold_cloud_dimensions() {
+        let pc = PointCloud::manifold(50, 20, 0.0, 7);
+        assert_eq!(pc.len(), 50);
+        assert_eq!(pc.dim(), 20);
+    }
+}

@@ -1,0 +1,499 @@
+//! Operator matrices on regular grids, built from the analytic eigenbasis of
+//! the Dirichlet Laplacian (discrete sine transform).
+//!
+//! The paper's K02 (regularized inverse Laplacian squared), K03 (oscillatory
+//! Helmholtz-type operator) and K18 (3-D inverse squared Laplacian) are dense
+//! SPD matrices defined as functions of a stencil Laplacian. We build them
+//! exactly as `K = V f(Lambda) V^T` using the known sine eigenbasis of the
+//! 5/7-point Dirichlet Laplacian, assembled with a Kronecker-structured GEMM
+//! so the cost is `O(N^{2.5})` instead of `O(N^3)`.
+//!
+//! The pseudo-spectral operators K15–K17 are represented as Kronecker sums of
+//! dense one-dimensional spectral operators (see [`KroneckerSum2d`] /
+//! [`KroneckerSum3d`]), whose entries can be evaluated on the fly in `O(1)`.
+
+use crate::points::PointCloud;
+use crate::spd::{DenseSpd, SpdMatrix};
+use gofmm_linalg::{matmul, matmul_nt, DenseMatrix, Scalar};
+
+/// Orthogonal discrete-sine eigenbasis of the 1-D Dirichlet Laplacian:
+/// `V[i, a] = sqrt(2/(n+1)) sin(pi (i+1)(a+1) / (n+1))`.
+pub fn dst_basis(n: usize) -> DenseMatrix<f64> {
+    let scale = (2.0 / (n as f64 + 1.0)).sqrt();
+    DenseMatrix::from_fn(n, n, |i, a| {
+        scale * (std::f64::consts::PI * (i as f64 + 1.0) * (a as f64 + 1.0) / (n as f64 + 1.0)).sin()
+    })
+}
+
+/// Eigenvalues of the 1-D 3-point Dirichlet Laplacian with grid spacing
+/// `h = 1/(n+1)`: `lambda_a = (2 - 2 cos(pi (a+1)/(n+1))) / h^2`.
+pub fn laplacian_eigenvalues_1d(n: usize) -> Vec<f64> {
+    let h = 1.0 / (n as f64 + 1.0);
+    (0..n)
+        .map(|a| (2.0 - 2.0 * (std::f64::consts::PI * (a as f64 + 1.0) / (n as f64 + 1.0)).cos()) / (h * h))
+        .collect()
+}
+
+/// Build the dense matrix `f(L)` where `L` is the 2-D 5-point Dirichlet
+/// Laplacian on an `nx x ny` grid (so `N = nx * ny`).
+///
+/// Grid point `(ix, iy)` maps to matrix index `ix * ny + iy`.
+pub fn grid_operator_2d(nx: usize, ny: usize, f: impl Fn(f64) -> f64) -> DenseMatrix<f64> {
+    let n = nx * ny;
+    let vx = dst_basis(nx);
+    let vy = dst_basis(ny);
+    let lx = laplacian_eigenvalues_1d(nx);
+    let ly = laplacian_eigenvalues_1d(ny);
+
+    // S_a = Vy diag(f(lx[a] + ly)) Vy^T for every x-eigenindex a, flattened
+    // into the columns of Smat (ny^2 x nx).
+    let mut smat = DenseMatrix::<f64>::zeros(ny * ny, nx);
+    for a in 0..nx {
+        let mut scaled = vy.clone();
+        for b in 0..ny {
+            let fv = f(lx[a] + ly[b]);
+            for i in 0..ny {
+                scaled[(i, b)] *= fv;
+            }
+        }
+        let s_a = matmul_nt(&scaled, &vy); // ny x ny
+        for jy in 0..ny {
+            for iy in 0..ny {
+                smat[(iy + jy * ny, a)] = s_a[(iy, jy)];
+            }
+        }
+    }
+    // Wmat[(ix + jx*nx), a] = Vx[ix,a] * Vx[jx,a].
+    let mut wmat = DenseMatrix::<f64>::zeros(nx * nx, nx);
+    for a in 0..nx {
+        for jx in 0..nx {
+            for ix in 0..nx {
+                wmat[(ix + jx * nx, a)] = vx[(ix, a)] * vx[(jx, a)];
+            }
+        }
+    }
+    // Kten[(iy + jy*ny), (ix + jx*nx)] = sum_a Smat * Wmat^T.
+    let kten = matmul_nt(&smat, &wmat);
+
+    // Scatter into the grid ordering i = ix*ny + iy.
+    let mut k = DenseMatrix::<f64>::zeros(n, n);
+    for jx in 0..nx {
+        for jy in 0..ny {
+            let j = jx * ny + jy;
+            for ix in 0..nx {
+                for iy in 0..ny {
+                    let i = ix * ny + iy;
+                    k[(i, j)] = kten[(iy + jy * ny, ix + jx * nx)];
+                }
+            }
+        }
+    }
+    k
+}
+
+/// Build the dense matrix `f(L)` for the 3-D 7-point Dirichlet Laplacian on an
+/// `nx x ny x nz` grid. Grid point `(ix, iy, iz)` maps to index
+/// `ix*ny*nz + iy*nz + iz`.
+pub fn grid_operator_3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    f: impl Fn(f64) -> f64,
+) -> DenseMatrix<f64> {
+    let nyz = ny * nz;
+    let n = nx * nyz;
+    let vx = dst_basis(nx);
+    let lx = laplacian_eigenvalues_1d(nx);
+
+    // S_a = f_a(L_{yz}) where f_a(t) = f(lx[a] + t), flattened into Smat.
+    let mut smat = DenseMatrix::<f64>::zeros(nyz * nyz, nx);
+    for a in 0..nx {
+        let s_a = grid_operator_2d(ny, nz, |t| f(lx[a] + t));
+        for q in 0..nyz {
+            for p in 0..nyz {
+                smat[(p + q * nyz, a)] = s_a[(p, q)];
+            }
+        }
+    }
+    let mut wmat = DenseMatrix::<f64>::zeros(nx * nx, nx);
+    for a in 0..nx {
+        for jx in 0..nx {
+            for ix in 0..nx {
+                wmat[(ix + jx * nx, a)] = vx[(ix, a)] * vx[(jx, a)];
+            }
+        }
+    }
+    let kten = matmul_nt(&smat, &wmat);
+
+    let mut k = DenseMatrix::<f64>::zeros(n, n);
+    for jx in 0..nx {
+        for q in 0..nyz {
+            let j = jx * nyz + q;
+            for ix in 0..nx {
+                for p in 0..nyz {
+                    let i = ix * nyz + p;
+                    k[(i, j)] = kten[(p + q * nyz, ix + jx * nx)];
+                }
+            }
+        }
+    }
+    k
+}
+
+/// K02 analogue: regularized inverse Laplacian squared on a 2-D grid,
+/// `K = (L + sigma I)^{-2}` — the Hessian-like operator of a PDE-constrained
+/// optimization problem.
+pub fn inverse_laplacian_squared_2d(nx: usize, ny: usize, sigma: f64) -> DenseSpd<f64> {
+    let k = grid_operator_2d(nx, ny, |lam| 1.0 / ((lam + sigma) * (lam + sigma)));
+    DenseSpd::new(k, format!("K02(nx={nx},ny={ny})")).with_coords(PointCloud::grid2d(nx, ny))
+}
+
+/// K03 analogue: oscillatory Helmholtz-type SPD operator
+/// `K = ((L - k0^2)^2 + sigma I)^{-1}` with roughly `points_per_wavelength`
+/// grid points per wavelength.
+pub fn helmholtz_like_2d(nx: usize, ny: usize, points_per_wavelength: f64, sigma: f64) -> DenseSpd<f64> {
+    let h = 1.0 / (nx as f64 + 1.0);
+    let k0 = std::f64::consts::TAU / (points_per_wavelength * h);
+    let k02 = k0 * k0;
+    let k = grid_operator_2d(nx, ny, |lam| 1.0 / ((lam - k02) * (lam - k02) + sigma));
+    DenseSpd::new(k, format!("K03(nx={nx},ny={ny})")).with_coords(PointCloud::grid2d(nx, ny))
+}
+
+/// K18 analogue: inverse squared Laplacian in 3-D,
+/// `K = (L + sigma I)^{-2}` on an `nx x ny x nz` grid.
+pub fn inverse_laplacian_squared_3d(nx: usize, ny: usize, nz: usize, sigma: f64) -> DenseSpd<f64> {
+    let k = grid_operator_3d(nx, ny, nz, |lam| 1.0 / ((lam + sigma) * (lam + sigma)));
+    DenseSpd::new(k, format!("K18(n={nx}x{ny}x{nz})")).with_coords(PointCloud::grid3d(nx, ny, nz))
+}
+
+/// Dense symmetric square root of the 1-D Dirichlet Laplacian,
+/// `S = V diag(sqrt(lambda)) V^T` — a fully dense "spectral differentiation"
+/// operator used to build the pseudo-spectral matrices.
+pub fn spectral_derivative_1d(n: usize) -> DenseMatrix<f64> {
+    let v = dst_basis(n);
+    let lam = laplacian_eigenvalues_1d(n);
+    let mut scaled = v.clone();
+    for a in 0..n {
+        let s = lam[a].sqrt();
+        for i in 0..n {
+            scaled[(i, a)] *= s;
+        }
+    }
+    matmul_nt(&scaled, &v)
+}
+
+/// Build the dense 1-D operator `A = S diag(c) S + diag(r)` where `S` is the
+/// spectral derivative; SPD when `c > 0`, `r >= 0`.
+pub fn spectral_operator_1d(n: usize, coeff: &[f64], reaction: &[f64]) -> DenseMatrix<f64> {
+    assert_eq!(coeff.len(), n);
+    assert_eq!(reaction.len(), n);
+    let s = spectral_derivative_1d(n);
+    let mut sc = s.clone();
+    for j in 0..n {
+        for i in 0..n {
+            sc[(i, j)] *= coeff[j];
+        }
+    }
+    let mut a = matmul(&sc, &s);
+    for i in 0..n {
+        a[(i, i)] += reaction[i];
+    }
+    a.symmetrize();
+    a
+}
+
+/// 2-D pseudo-spectral operator represented as a Kronecker sum
+/// `K = Ax (x) I + I (x) Ay + diag(r)`, evaluated entrywise on the fly.
+///
+/// Grid index `(ix, iy) -> ix*ny + iy`. Off-diagonal blocks of such matrices
+/// have rank up to `~2 sqrt(N)`, which is why the paper's K15–K17 do not
+/// compress well at small rank budgets.
+#[derive(Clone, Debug)]
+pub struct KroneckerSum2d {
+    ax: DenseMatrix<f64>,
+    ay: DenseMatrix<f64>,
+    reaction: Vec<f64>,
+    coords: PointCloud,
+    name: String,
+}
+
+impl KroneckerSum2d {
+    /// Build from the two 1-D dense operators plus a per-point reaction term.
+    pub fn new(
+        ax: DenseMatrix<f64>,
+        ay: DenseMatrix<f64>,
+        reaction: Vec<f64>,
+        name: impl Into<String>,
+    ) -> Self {
+        let nx = ax.rows();
+        let ny = ay.rows();
+        assert_eq!(ax.cols(), nx);
+        assert_eq!(ay.cols(), ny);
+        assert_eq!(reaction.len(), nx * ny);
+        Self {
+            ax,
+            ay,
+            reaction,
+            coords: PointCloud::grid2d(nx, ny),
+            name: name.into(),
+        }
+    }
+
+    fn ny(&self) -> usize {
+        self.ay.rows()
+    }
+}
+
+impl<T: Scalar> SpdMatrix<T> for KroneckerSum2d {
+    fn n(&self) -> usize {
+        self.ax.rows() * self.ay.rows()
+    }
+
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        let ny = self.ny();
+        let (ix, iy) = (i / ny, i % ny);
+        let (jx, jy) = (j / ny, j % ny);
+        let mut v = 0.0;
+        if iy == jy {
+            v += self.ax[(ix, jx)];
+        }
+        if ix == jx {
+            v += self.ay[(iy, jy)];
+        }
+        if i == j {
+            v += self.reaction[i];
+        }
+        T::from_f64(v)
+    }
+
+    fn coords(&self) -> Option<&PointCloud> {
+        Some(&self.coords)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// 3-D pseudo-spectral Kronecker-sum operator
+/// `K = Ax (x) I (x) I + I (x) Ay (x) I + I (x) I (x) Az + diag(r)`.
+#[derive(Clone, Debug)]
+pub struct KroneckerSum3d {
+    ax: DenseMatrix<f64>,
+    ay: DenseMatrix<f64>,
+    az: DenseMatrix<f64>,
+    reaction: Vec<f64>,
+    coords: PointCloud,
+    name: String,
+}
+
+impl KroneckerSum3d {
+    /// Build from three 1-D dense operators plus a per-point reaction term.
+    pub fn new(
+        ax: DenseMatrix<f64>,
+        ay: DenseMatrix<f64>,
+        az: DenseMatrix<f64>,
+        reaction: Vec<f64>,
+        name: impl Into<String>,
+    ) -> Self {
+        let (nx, ny, nz) = (ax.rows(), ay.rows(), az.rows());
+        assert_eq!(reaction.len(), nx * ny * nz);
+        Self {
+            ax,
+            ay,
+            az,
+            reaction,
+            coords: PointCloud::grid3d(nx, ny, nz),
+            name: name.into(),
+        }
+    }
+}
+
+impl<T: Scalar> SpdMatrix<T> for KroneckerSum3d {
+    fn n(&self) -> usize {
+        self.ax.rows() * self.ay.rows() * self.az.rows()
+    }
+
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> T {
+        let ny = self.ay.rows();
+        let nz = self.az.rows();
+        let (ix, r) = (i / (ny * nz), i % (ny * nz));
+        let (iy, iz) = (r / nz, r % nz);
+        let (jx, rj) = (j / (ny * nz), j % (ny * nz));
+        let (jy, jz) = (rj / nz, rj % nz);
+        let mut v = 0.0;
+        if iy == jy && iz == jz {
+            v += self.ax[(ix, jx)];
+        }
+        if ix == jx && iz == jz {
+            v += self.ay[(iy, jy)];
+        }
+        if ix == jx && iy == jy {
+            v += self.az[(iz, jz)];
+        }
+        if i == j {
+            v += self.reaction[i];
+        }
+        T::from_f64(v)
+    }
+
+    fn coords(&self) -> Option<&PointCloud> {
+        Some(&self.coords)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Smoothly varying positive coefficient field on `[0,1]`, used for the
+/// "highly variable coefficients" of K12–K17.
+pub fn variable_coefficient(x: f64, roughness: f64, seedish: f64) -> f64 {
+    let t = (6.0 * std::f64::consts::PI * x + seedish).sin()
+        + 0.5 * (17.0 * std::f64::consts::PI * x + 2.3 * seedish).sin();
+    (roughness * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofmm_linalg::{is_spd, matmul_tn};
+
+    #[test]
+    fn dst_basis_is_orthogonal() {
+        let v = dst_basis(12);
+        let vtv = matmul_tn(&v, &v);
+        let eye = DenseMatrix::<f64>::identity(12);
+        assert!(vtv.sub(&eye).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn grid_operator_2d_matches_direct_laplacian() {
+        // With f = identity, the operator must equal the 5-point Laplacian.
+        let (nx, ny) = (4, 5);
+        let h2 = (1.0 / (nx as f64 + 1.0)).powi(2);
+        let h2y = (1.0 / (ny as f64 + 1.0)).powi(2);
+        let k = grid_operator_2d(nx, ny, |lam| lam);
+        let n = nx * ny;
+        // Direct stencil assembly.
+        let mut l = DenseMatrix::<f64>::zeros(n, n);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let i = ix * ny + iy;
+                l[(i, i)] = 2.0 / h2 + 2.0 / h2y;
+                if ix > 0 {
+                    l[(i, i - ny)] = -1.0 / h2;
+                }
+                if ix + 1 < nx {
+                    l[(i, i + ny)] = -1.0 / h2;
+                }
+                if iy > 0 {
+                    l[(i, i - 1)] = -1.0 / h2y;
+                }
+                if iy + 1 < ny {
+                    l[(i, i + 1)] = -1.0 / h2y;
+                }
+            }
+        }
+        assert!(k.sub(&l).norm_max() < 1e-8 * l.norm_max());
+    }
+
+    #[test]
+    fn inverse_laplacian_squared_2d_is_spd_and_inverse() {
+        let m = inverse_laplacian_squared_2d(6, 6, 1.0);
+        assert!(is_spd(m.dense()));
+        // K * (L + sigma)^2 = I.
+        let l2 = grid_operator_2d(6, 6, |lam| (lam + 1.0) * (lam + 1.0));
+        let prod = matmul(m.dense(), &l2);
+        let eye = DenseMatrix::<f64>::identity(36);
+        assert!(prod.sub(&eye).norm_max() < 1e-6);
+        assert!(SpdMatrix::<f64>::coords(&m).is_some());
+    }
+
+    #[test]
+    fn helmholtz_like_is_spd() {
+        let m = helmholtz_like_2d(8, 8, 10.0, 1.0);
+        assert!(is_spd(m.dense()));
+    }
+
+    #[test]
+    fn grid_operator_3d_matches_kronecker_sum_of_eigs() {
+        let m = grid_operator_3d(3, 3, 3, |lam| 1.0 / (lam + 1.0));
+        assert_eq!(m.rows(), 27);
+        assert!(is_spd(&m));
+        // Symmetry.
+        assert!(m.sub(&m.transpose()).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_laplacian_squared_3d_is_spd() {
+        let m = inverse_laplacian_squared_3d(4, 4, 4, 1.0);
+        assert!(is_spd(m.dense()));
+        assert_eq!(SpdMatrix::<f64>::n(&m), 64);
+    }
+
+    #[test]
+    fn spectral_operator_1d_is_spd() {
+        let n = 16;
+        let coeff: Vec<f64> = (0..n)
+            .map(|i| variable_coefficient(i as f64 / n as f64, 1.0, 0.3))
+            .collect();
+        let reaction = vec![1.0; n];
+        let a = spectral_operator_1d(n, &coeff, &reaction);
+        assert!(is_spd(&a));
+    }
+
+    #[test]
+    fn kronecker_sum_2d_entries_match_dense_assembly() {
+        let nx = 4;
+        let ny = 3;
+        let ax = spectral_operator_1d(nx, &vec![1.0; nx], &vec![0.5; nx]);
+        let ay = spectral_operator_1d(ny, &vec![2.0; ny], &vec![0.0; ny]);
+        let reaction = vec![0.25; nx * ny];
+        let ks = KroneckerSum2d::new(ax.clone(), ay.clone(), reaction.clone(), "t");
+        let n = nx * ny;
+        // Dense assembly of the Kronecker sum.
+        let mut dense = DenseMatrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let (ix, iy) = (i / ny, i % ny);
+                let (jx, jy) = (j / ny, j % ny);
+                let mut v = 0.0;
+                if iy == jy {
+                    v += ax[(ix, jx)];
+                }
+                if ix == jx {
+                    v += ay[(iy, jy)];
+                }
+                if i == j {
+                    v += reaction[i];
+                }
+                dense[(i, j)] = v;
+            }
+        }
+        let all: Vec<usize> = (0..n).collect();
+        let got = SpdMatrix::<f64>::submatrix(&ks, &all, &all);
+        assert!(got.sub(&dense).norm_max() < 1e-12);
+        assert!(is_spd(&got));
+    }
+
+    #[test]
+    fn kronecker_sum_3d_is_spd() {
+        let a = spectral_operator_1d(3, &vec![1.0; 3], &vec![0.1; 3]);
+        let ks = KroneckerSum3d::new(a.clone(), a.clone(), a, vec![0.2; 27], "t");
+        let all: Vec<usize> = (0..27).collect();
+        let dense = SpdMatrix::<f64>::submatrix(&ks, &all, &all);
+        assert!(is_spd(&dense));
+        assert!(dense.sub(&dense.transpose()).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn variable_coefficient_is_positive() {
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            assert!(variable_coefficient(x, 2.0, 1.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Task dependency graphs.
+//!
+//! GOFMM builds a DAG of algorithmic tasks (SPLIT, SKEL, COEF, N2S, S2S, S2N,
+//! L2L, ...) by symbolically traversing the partition tree, then hands the DAG
+//! to a scheduler (paper §2.3). This module is the DAG container: tasks are
+//! boxed closures annotated with a human-readable name and a FLOP/byte cost
+//! estimate used by the HEFT scheduler.
+
+/// Identifier of a task inside a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// A single schedulable unit of work.
+pub struct Task<'a> {
+    /// Human-readable label, e.g. `"SKEL(17)"`. Used in traces and tests.
+    pub name: String,
+    /// Cost estimate in arbitrary units (the paper divides FLOPs by peak
+    /// throughput; any consistent unit works for HEFT ranking).
+    pub cost: f64,
+    /// The work itself. `None` once executed.
+    pub(crate) func: Option<Box<dyn FnOnce() + Send + 'a>>,
+    /// Tasks that must complete before this one starts.
+    pub(crate) deps: Vec<TaskId>,
+    /// Tasks that depend on this one (filled by `TaskGraph::finalize`).
+    pub(crate) successors: Vec<TaskId>,
+}
+
+/// A directed acyclic graph of tasks.
+///
+/// Build it by repeatedly calling [`TaskGraph::add_task`]; dependencies must
+/// refer to already-added tasks, which makes cycles impossible by
+/// construction.
+#[derive(Default)]
+pub struct TaskGraph<'a> {
+    pub(crate) tasks: Vec<Task<'a>>,
+}
+
+impl<'a> TaskGraph<'a> {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self { tasks: Vec::new() }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Add a task with the given dependencies.
+    ///
+    /// # Panics
+    /// Panics if a dependency refers to a task that has not been added yet.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        cost: f64,
+        deps: &[TaskId],
+        func: impl FnOnce() + Send + 'a,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        for d in deps {
+            assert!(
+                d.0 < id.0,
+                "dependency {:?} must be added before task {:?}",
+                d,
+                id
+            );
+        }
+        self.tasks.push(Task {
+            name: name.into(),
+            cost,
+            func: Some(Box::new(func)),
+            deps: deps.to_vec(),
+            successors: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an extra dependency edge `before -> after` to an existing task.
+    ///
+    /// Useful when dependencies are discovered after the dependent task has
+    /// been created (e.g. the S2S read set depends on Far lists).
+    ///
+    /// # Panics
+    /// Panics if `before.0 >= after.0`; insertion order is the topological
+    /// order, so edges must always point forward.
+    pub fn add_dependency(&mut self, before: TaskId, after: TaskId) {
+        assert!(
+            before.0 < after.0,
+            "dependency edges must point forward in insertion order ({:?} -> {:?})",
+            before,
+            after
+        );
+        if !self.tasks[after.0].deps.contains(&before) {
+            self.tasks[after.0].deps.push(before);
+        }
+    }
+
+    /// Resolve successor lists; must be called before execution.
+    pub(crate) fn finalize(&mut self) {
+        for t in &mut self.tasks {
+            t.successors.clear();
+        }
+        for i in 0..self.tasks.len() {
+            let deps = self.tasks[i].deps.clone();
+            for d in deps {
+                self.tasks[d.0].successors.push(TaskId(i));
+            }
+        }
+    }
+
+    /// Indegree (number of unfinished dependencies) per task.
+    pub(crate) fn indegrees(&self) -> Vec<usize> {
+        self.tasks.iter().map(|t| t.deps.len()).collect()
+    }
+
+    /// Names of all tasks in insertion order (for tests and traces).
+    pub fn task_names(&self) -> Vec<&str> {
+        self.tasks.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Total cost of all tasks.
+    pub fn total_cost(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// Critical-path length (longest chain of costs through the DAG).
+    ///
+    /// The paper observes that strong scaling saturates once the wall-clock
+    /// time is bounded by the critical path; exposing it lets experiments
+    /// report that bound.
+    pub fn critical_path_cost(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let start = t
+                .deps
+                .iter()
+                .map(|d| finish[d.0])
+                .fold(0.0f64, f64::max);
+            finish[i] = start + t.cost;
+        }
+        finish.iter().copied().fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn build_simple_graph() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        let c1 = counter.clone();
+        let a = g.add_task("a", 1.0, &[], move || {
+            c1.fetch_add(1, Ordering::SeqCst);
+        });
+        let c2 = counter.clone();
+        let b = g.add_task("b", 2.0, &[a], move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.task_names(), vec!["a", "b"]);
+        assert_eq!(g.total_cost(), 3.0);
+        g.add_dependency(a, b);
+        g.finalize();
+        assert_eq!(g.tasks[a.0].successors, vec![b]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_reference_panics() {
+        let mut g = TaskGraph::new();
+        // Depend on a task id that does not exist yet.
+        g.add_task("bad", 1.0, &[TaskId(5)], || {});
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_edge_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, &[], || {});
+        let b = g.add_task("b", 1.0, &[], || {});
+        g.add_dependency(b, a);
+    }
+
+    #[test]
+    fn critical_path_of_chain_and_fan() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, &[], || {});
+        let b = g.add_task("b", 2.0, &[a], || {});
+        let _c = g.add_task("c", 4.0, &[a], || {});
+        let _d = g.add_task("d", 1.0, &[b], || {});
+        // Paths: a-b-d = 4, a-c = 5.
+        assert_eq!(g.critical_path_cost(), 5.0);
+    }
+
+    #[test]
+    fn duplicate_dependency_not_added_twice() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0, &[], || {});
+        let b = g.add_task("b", 1.0, &[a], || {});
+        g.add_dependency(a, b);
+        assert_eq!(g.tasks[b.0].deps.len(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # gofmm-runtime
+//!
+//! Self-contained shared-memory task runtime for the GOFMM reproduction.
+//!
+//! The GOFMM paper (§2.3) replaces level-by-level tree traversals with an
+//! out-of-order task runtime: algorithmic tasks (SKEL, COEF, N2S, S2S, S2N,
+//! L2L, ...) become nodes of a dependency DAG discovered by symbolic
+//! traversal, and a light-weight HEFT scheduler with job stealing executes the
+//! DAG. This crate provides:
+//!
+//! * [`graph::TaskGraph`] — the DAG container (boxed closures + cost
+//!   estimates + dependency edges),
+//! * [`executor`] — three scheduling policies: HEFT with per-worker queues and
+//!   stealing, a plain FIFO pool (the `omp task depend` stand-in), and a
+//!   sequential baseline,
+//! * [`parallel`] — dynamically scheduled `parallel_for` helpers used by the
+//!   level-by-level traversal variant and by "any order" tasks.
+
+pub mod executor;
+pub mod graph;
+pub mod parallel;
+
+pub use executor::{execute, execute_fifo, execute_heft, execute_sequential, ExecStats, SchedulePolicy};
+pub use graph::{Task, TaskGraph, TaskId};
+pub use parallel::{available_threads, parallel_for, parallel_map, parallel_ranges, split_ranges};

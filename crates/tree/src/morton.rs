@@ -1,0 +1,172 @@
+//! Morton IDs: bit codes for tree paths.
+//!
+//! GOFMM uses the Morton ID of a tree node (the bit string of left/right turns
+//! from the root) to test ancestor/descendant relations during `FindFar` and
+//! to map a matrix index to the leaf that owns it (paper §2.2).
+
+/// Identifier of a node in a complete binary tree, encoded as a tree level and
+/// an offset within that level.
+///
+/// Node `(level, offset)` has children `(level+1, 2*offset)` and
+/// `(level+1, 2*offset + 1)`; the bit pattern of `offset` is exactly the
+/// sequence of right-turns taken from the root, i.e. the Morton path code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MortonId {
+    /// Depth of the node (root = 0).
+    pub level: u32,
+    /// Position within the level, `0 <= offset < 2^level`.
+    pub offset: u64,
+}
+
+impl MortonId {
+    /// The root node.
+    pub fn root() -> Self {
+        Self { level: 0, offset: 0 }
+    }
+
+    /// Construct from level and offset.
+    ///
+    /// # Panics
+    /// Panics if `offset >= 2^level`.
+    pub fn new(level: u32, offset: u64) -> Self {
+        assert!(
+            level >= 63 || offset < (1u64 << level),
+            "offset {offset} out of range for level {level}"
+        );
+        Self { level, offset }
+    }
+
+    /// Left child.
+    pub fn left(self) -> Self {
+        Self {
+            level: self.level + 1,
+            offset: self.offset << 1,
+        }
+    }
+
+    /// Right child.
+    pub fn right(self) -> Self {
+        Self {
+            level: self.level + 1,
+            offset: (self.offset << 1) | 1,
+        }
+    }
+
+    /// Parent node; `None` for the root.
+    pub fn parent(self) -> Option<Self> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(Self {
+                level: self.level - 1,
+                offset: self.offset >> 1,
+            })
+        }
+    }
+
+    /// True if `self` is an ancestor of `other` or equal to it.
+    pub fn is_ancestor_of(self, other: MortonId) -> bool {
+        if self.level > other.level {
+            return false;
+        }
+        (other.offset >> (other.level - self.level)) == self.offset
+    }
+
+    /// The ancestor of `self` at `level`; `None` if `level > self.level`.
+    pub fn ancestor_at(self, level: u32) -> Option<Self> {
+        if level > self.level {
+            None
+        } else {
+            Some(Self {
+                level,
+                offset: self.offset >> (self.level - level),
+            })
+        }
+    }
+
+    /// Index of this node in a heap-ordered (level-order) array where the root
+    /// is element 0.
+    pub fn heap_index(self) -> usize {
+        ((1u64 << self.level) - 1 + self.offset) as usize
+    }
+
+    /// Inverse of [`MortonId::heap_index`].
+    pub fn from_heap_index(idx: usize) -> Self {
+        let idx = idx as u64 + 1;
+        let level = 63 - idx.leading_zeros();
+        let offset = idx - (1u64 << level);
+        Self { level, offset }
+    }
+}
+
+impl std::fmt::Display for MortonId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}#{}", self.level, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_and_parent_roundtrip() {
+        let root = MortonId::root();
+        let l = root.left();
+        let r = root.right();
+        assert_eq!(l, MortonId::new(1, 0));
+        assert_eq!(r, MortonId::new(1, 1));
+        assert_eq!(l.parent(), Some(root));
+        assert_eq!(r.parent(), Some(root));
+        assert_eq!(root.parent(), None);
+        assert_eq!(l.right().parent(), Some(l));
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let root = MortonId::root();
+        let node = MortonId::new(3, 5); // path: 1,0,1
+        assert!(root.is_ancestor_of(node));
+        assert!(node.is_ancestor_of(node));
+        assert!(MortonId::new(1, 1).is_ancestor_of(node)); // 5 >> 2 == 1
+        assert!(!MortonId::new(1, 0).is_ancestor_of(node));
+        assert!(!node.is_ancestor_of(root));
+        assert!(MortonId::new(2, 2).is_ancestor_of(node)); // 5 >> 1 == 2
+        assert!(!MortonId::new(2, 3).is_ancestor_of(node));
+    }
+
+    #[test]
+    fn ancestor_at_levels() {
+        let node = MortonId::new(4, 13); // binary 1101
+        assert_eq!(node.ancestor_at(0), Some(MortonId::root()));
+        assert_eq!(node.ancestor_at(2), Some(MortonId::new(2, 3)));
+        assert_eq!(node.ancestor_at(4), Some(node));
+        assert_eq!(node.ancestor_at(5), None);
+    }
+
+    #[test]
+    fn heap_index_roundtrip() {
+        for level in 0..6u32 {
+            for offset in 0..(1u64 << level) {
+                let m = MortonId::new(level, offset);
+                let idx = m.heap_index();
+                assert_eq!(MortonId::from_heap_index(idx), m);
+            }
+        }
+        // Root is heap index 0, children 1 and 2.
+        assert_eq!(MortonId::root().heap_index(), 0);
+        assert_eq!(MortonId::root().left().heap_index(), 1);
+        assert_eq!(MortonId::root().right().heap_index(), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(MortonId::new(2, 3).to_string(), "L2#3");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_offset_panics() {
+        let _ = MortonId::new(2, 4);
+    }
+}

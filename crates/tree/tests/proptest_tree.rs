@@ -1,0 +1,145 @@
+//! Property-based tests for the partition tree, Morton IDs and the neighbor
+//! search.
+
+use gofmm_tree::{
+    ann_search, exact_knn, AnnConfig, MortonId, PartitionTree, PointOracle, SplitRule, TreeOptions,
+};
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    (8..=max_n).prop_flat_map(move |n| prop::collection::vec(-10.0f64..10.0, n * dim))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every index appears exactly once across the leaves, leaves respect the
+    /// size bound, and perm/inv_perm are inverse permutations — for any point
+    /// set, leaf size and split rule.
+    #[test]
+    fn tree_partition_invariants(
+        pts in arb_points(300, 2),
+        leaf_size in 4usize..40,
+        rule_idx in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let rule = [
+            SplitRule::FarthestPair,
+            SplitRule::RandomPair,
+            SplitRule::Lexicographic,
+            SplitRule::RandomShuffle,
+        ][rule_idx];
+        let oracle = PointOracle::new(&pts, 2);
+        let n = oracle_len(&pts, 2);
+        let tree = PartitionTree::build(
+            &oracle,
+            &TreeOptions { leaf_size, split: rule, seed, ..Default::default() },
+        );
+        prop_assert_eq!(tree.n(), n);
+        let mut seen = vec![false; n];
+        for leaf in tree.leaf_range() {
+            prop_assert!(tree.node(leaf).len <= leaf_size);
+            for &i in tree.indices(leaf) {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        for pos in 0..n {
+            prop_assert_eq!(tree.inv_perm()[tree.perm()[pos]], pos);
+        }
+    }
+
+    /// A node's index range is always the concatenation of its children's
+    /// ranges, and the Morton ID of every node is an ancestor of the Morton
+    /// IDs of all indices it owns.
+    #[test]
+    fn tree_hierarchy_invariants(
+        pts in arb_points(200, 3),
+        leaf_size in 4usize..32,
+        seed in 0u64..500,
+    ) {
+        let oracle = PointOracle::new(&pts, 3);
+        let tree = PartitionTree::build(
+            &oracle,
+            &TreeOptions { leaf_size, seed, ..Default::default() },
+        );
+        for heap in 0..tree.node_count() {
+            if !tree.is_leaf(heap) {
+                let (l, r) = tree.children(heap);
+                prop_assert_eq!(tree.node(l).len + tree.node(r).len, tree.node(heap).len);
+                prop_assert_eq!(tree.node(l).start, tree.node(heap).start);
+                prop_assert_eq!(tree.node(r).start, tree.node(heap).start + tree.node(l).len);
+                prop_assert_eq!(tree.parent(l), Some(heap));
+            }
+            let m = tree.node(heap).morton;
+            for &i in tree.indices(heap) {
+                prop_assert!(m.is_ancestor_of(tree.morton_of_index(i)));
+            }
+        }
+    }
+
+    /// Morton heap indexing is a bijection and the ancestor relation is
+    /// consistent with taking parents repeatedly.
+    #[test]
+    fn morton_properties(level in 0u32..8, offset_seed in 0u64..10_000) {
+        let offset = if level == 0 { 0 } else { offset_seed % (1u64 << level) };
+        let m = MortonId::new(level, offset);
+        prop_assert_eq!(MortonId::from_heap_index(m.heap_index()), m);
+        // Walking up parents always stays an ancestor.
+        let mut a = m;
+        while let Some(p) = a.parent() {
+            prop_assert!(p.is_ancestor_of(m));
+            prop_assert!(!m.is_ancestor_of(p) || p == m);
+            a = p;
+        }
+        prop_assert_eq!(a, MortonId::root());
+    }
+
+    /// The approximate neighbor lists never contain the query index itself,
+    /// never contain duplicates, are sorted by distance, and every reported
+    /// distance is at least the true k-th nearest distance (they cannot be
+    /// better than exact).
+    #[test]
+    fn ann_list_invariants(pts in arb_points(160, 2), k in 2usize..8, seed in 0u64..500) {
+        let oracle = PointOracle::new(&pts, 2);
+        let res = ann_search(
+            &oracle,
+            &AnnConfig { k, leaf_size: 24, max_iters: 3, seed, num_threads: 2, ..Default::default() },
+        );
+        let n = oracle_len(&pts, 2);
+        for i in 0..n {
+            let list = res.neighbors.neighbors(i);
+            prop_assert!(list.len() <= k);
+            let mut prev = 0.0f64;
+            let mut seen = std::collections::HashSet::new();
+            for &(d, j) in list {
+                prop_assert!(j != i);
+                prop_assert!(seen.insert(j));
+                prop_assert!(d >= prev);
+                prev = d;
+                // Reported distance matches the oracle.
+                prop_assert!((d - oracle_dist(&pts, 2, i, j)).abs() < 1e-9);
+            }
+            // The best reported distance cannot beat the true nearest neighbor.
+            if let (Some(&(d0, _)), Some(&(t0, _))) =
+                (list.first(), exact_knn(&oracle, i, 1).first())
+            {
+                prop_assert!(d0 + 1e-12 >= t0);
+            }
+        }
+    }
+}
+
+fn oracle_len(pts: &[f64], dim: usize) -> usize {
+    pts.len() / dim
+}
+
+fn oracle_dist(pts: &[f64], dim: usize, i: usize, j: usize) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..dim {
+        let t = pts[i * dim + d] - pts[j * dim + d];
+        acc += t * t;
+    }
+    acc.sqrt()
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the GOFMM reproduction workspace.
+//!
+//! Re-exports the public APIs of all member crates so that examples and
+//! integration tests can use a single import root.
+
+pub use gofmm_baselines as baselines;
+pub use gofmm_core as core;
+pub use gofmm_linalg as linalg;
+pub use gofmm_matrices as matrices;
+pub use gofmm_runtime as runtime;
+pub use gofmm_tree as tree;
