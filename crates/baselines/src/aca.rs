@@ -89,9 +89,7 @@ pub fn aca<T: Scalar, M: SpdMatrix<T> + ?Sized>(
             break;
         }
         // Residual column jmax.
-        let mut col_vals: Vec<T> = (0..m)
-            .map(|i| matrix.entry(rows[i], cols[jmax]))
-            .collect();
+        let mut col_vals: Vec<T> = (0..m).map(|i| matrix.entry(rows[i], cols[jmax])).collect();
         for (u, v) in us.iter().zip(vs.iter()) {
             let vc = v[jmax];
             for i in 0..m {
@@ -103,8 +101,16 @@ pub fn aca<T: Scalar, M: SpdMatrix<T> + ?Sized>(
         let v_new: Vec<T> = row_vals;
 
         // Norm bookkeeping for the stopping test.
-        let nu: f64 = u_new.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt();
-        let nv: f64 = v_new.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt();
+        let nu: f64 = u_new
+            .iter()
+            .map(|x| x.to_f64() * x.to_f64())
+            .sum::<f64>()
+            .sqrt();
+        let nv: f64 = v_new
+            .iter()
+            .map(|x| x.to_f64() * x.to_f64())
+            .sum::<f64>()
+            .sqrt();
         let mut cross = 0.0;
         for (uk, vk) in us.iter().zip(vs.iter()) {
             let du: f64 = uk

@@ -14,7 +14,9 @@
 //! ball tree, neighbor-driven near lists with an effectively unlimited budget,
 //! level-by-level traversals, and a single-RHS matvec API.
 
-use gofmm_core::{compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, TraversalPolicy};
+use gofmm_core::{
+    compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, TraversalPolicy,
+};
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
 use std::time::Instant;

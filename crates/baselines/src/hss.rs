@@ -14,7 +14,9 @@
 //! This keeps the comparison in Table 3 about what it is about in the paper:
 //! the effect of the matrix-aware permutation and of the sparse correction.
 
-use gofmm_core::{compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, TraversalPolicy};
+use gofmm_core::{
+    compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, TraversalPolicy,
+};
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
 use std::time::Instant;
@@ -97,7 +99,11 @@ impl<T: Scalar> HssMatrix<T> {
     }
 
     /// Approximate `u = K w`.
-    pub fn matvec<M: SpdMatrix<T> + ?Sized>(&self, matrix: &M, w: &DenseMatrix<T>) -> DenseMatrix<T> {
+    pub fn matvec<M: SpdMatrix<T> + ?Sized>(
+        &self,
+        matrix: &M,
+        w: &DenseMatrix<T>,
+    ) -> DenseMatrix<T> {
         let (u, _) = evaluate_with(
             matrix,
             &self.inner,

@@ -20,9 +20,18 @@ fn base_config() -> GofmmConfig {
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     let n = 1024;
-    let k = build_matrix(TestMatrixId::K04, &ZooOptions { n, seed: 1, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K04,
+        &ZooOptions {
+            n,
+            seed: 1,
+            bandwidth: None,
+        },
+    );
 
     // Adaptive vs fixed rank.
     for (label, tol) in [("adaptive_rank_tau1e-5", 1e-5), ("fixed_rank", 0.0)] {
@@ -36,14 +45,24 @@ fn bench_ablation(c: &mut Criterion) {
     for &sample in &[96usize, 256, 1024] {
         let mut cfg = base_config();
         cfg.sample_size = sample;
-        group.bench_with_input(BenchmarkId::new("id_sample_rows", sample), &sample, |bencher, _| {
-            bencher.iter(|| compress::<f64, _>(&k, &cfg));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("id_sample_rows", sample),
+            &sample,
+            |bencher, _| {
+                bencher.iter(|| compress::<f64, _>(&k, &cfg));
+            },
+        );
     }
 
     // Kernel vs angle distance (compression cost is dominated by ANN + ID).
-    for metric in [DistanceMetric::Kernel, DistanceMetric::Angle, DistanceMetric::Lexicographic] {
-        let cfg = base_config().with_metric(metric).with_budget(if metric.has_distance() { 0.03 } else { 0.0 });
+    for metric in [
+        DistanceMetric::Kernel,
+        DistanceMetric::Angle,
+        DistanceMetric::Lexicographic,
+    ] {
+        let cfg = base_config()
+            .with_metric(metric)
+            .with_budget(if metric.has_distance() { 0.03 } else { 0.0 });
         group.bench_with_input(
             BenchmarkId::new("metric", metric.to_string()),
             &metric,

@@ -9,9 +9,18 @@ use std::time::Duration;
 
 fn bench_evaluate(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluate");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
     let n = 1024;
-    let k = build_matrix(TestMatrixId::K04, &ZooOptions { n, seed: 1, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K04,
+        &ZooOptions {
+            n,
+            seed: 1,
+            bandwidth: None,
+        },
+    );
     let cfg = GofmmConfig::default()
         .with_leaf_size(128)
         .with_max_rank(64)

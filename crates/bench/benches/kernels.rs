@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let mut rng = StdRng::seed_from_u64(1);
     for &n in &[128usize, 256] {
         let a = DenseMatrix::<f64>::random_uniform(n, n, &mut rng);
@@ -32,7 +34,9 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_pivoted_qr(c: &mut Criterion) {
     let mut group = c.benchmark_group("pivoted_qr");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let mut rng = StdRng::seed_from_u64(2);
     for &(rows, cols) in &[(256usize, 128usize), (512, 128)] {
         let a = DenseMatrix::<f64>::random_uniform(rows, cols, &mut rng);
@@ -49,7 +53,9 @@ fn bench_pivoted_qr(c: &mut Criterion) {
 
 fn bench_tree_and_ann(c: &mut Criterion) {
     let mut group = c.benchmark_group("tree_ann");
-    group.measurement_time(Duration::from_secs(4)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
     let n = 2048;
     let k = KernelMatrix::new(
         PointCloud::uniform(n, 6, 3),

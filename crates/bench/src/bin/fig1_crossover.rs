@@ -6,7 +6,9 @@
 //! figure is the *scaling shape*: SGEMM time grows ~4x per N doubling, GOFMM
 //! evaluation grows ~2x.
 
-use gofmm_bench::harness::{bench_threads, fmt_err, fmt_secs, parallel_matmul, print_table, scaled, timed};
+use gofmm_bench::harness::{
+    bench_threads, fmt_err, fmt_secs, parallel_matmul, print_table, scaled, timed,
+};
 use gofmm_core::{compress, evaluate, DistanceMetric, GofmmConfig, TraversalPolicy};
 use gofmm_linalg::DenseMatrix;
 use gofmm_matrices::{sampled_relative_error, spectral, DenseSpd, PointCloud};

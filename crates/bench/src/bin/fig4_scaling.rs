@@ -25,13 +25,25 @@ fn main() {
 
     // (#1,#2): COVTYPE-like Gaussian kernel, 12% budget. (#3,#4): K02, 3% budget.
     let workloads = [
-        (TestMatrixId::Covtype, 0.12, Some(0.1), "COVTYPE-like h=0.1, 12% budget"),
+        (
+            TestMatrixId::Covtype,
+            0.12,
+            Some(0.1),
+            "COVTYPE-like h=0.1, 12% budget",
+        ),
         (TestMatrixId::K02, 0.03, None, "K02, 3% budget"),
     ];
 
     let mut rows = Vec::new();
     for (id, budget, bandwidth, label) in workloads {
-        let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth });
+        let k = build_matrix(
+            id,
+            &ZooOptions {
+                n,
+                seed: 1,
+                bandwidth,
+            },
+        );
         let kn = k.n();
         let w = DenseMatrix::<f64>::from_fn(kn, r, |i, j| (((i + 3 * j) % 13) as f64) / 13.0 - 0.5);
         for &threads in &thread_counts {
@@ -62,7 +74,15 @@ fn main() {
 
     print_table(
         "Figure 4: strong scaling of compression and evaluation (N-scaled)",
-        &["workload", "threads", "schedule", "compress (s)", "evaluate (s)", "avg rank", "eps2"],
+        &[
+            "workload",
+            "threads",
+            "schedule",
+            "compress (s)",
+            "evaluate (s)",
+            "avg rank",
+            "eps2",
+        ],
         &rows,
     );
     println!("\nexpected shape: HEFT DAG <= FIFO <= level-by-level wall-clock; scaling saturates when the critical path dominates (paper #3/#4).");

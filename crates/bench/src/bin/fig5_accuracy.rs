@@ -39,7 +39,14 @@ fn main() {
     let mut rows = Vec::new();
 
     for id in TestMatrixId::paper_matrices() {
-        let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth: None });
+        let k = build_matrix(
+            id,
+            &ZooOptions {
+                n,
+                seed: 1,
+                bandwidth: None,
+            },
+        );
         // Default leaf size 256; G01-G03 need m = 64 per the paper.
         let m = match id {
             TestMatrixId::G01 | TestMatrixId::G02 | TestMatrixId::G03 => 64,

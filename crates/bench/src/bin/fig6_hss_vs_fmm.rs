@@ -32,7 +32,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for (id, m, bandwidth) in panels {
-        let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth });
+        let k = build_matrix(
+            id,
+            &ZooOptions {
+                n,
+                seed: 1,
+                bandwidth,
+            },
+        );
         let kn = k.n();
         let w = DenseMatrix::<f64>::from_fn(kn, r, |i, j| (((i * 3 + j) % 19) as f64) / 19.0 - 0.5);
         for (mode, rank, budget) in &sweeps {
@@ -62,7 +69,16 @@ fn main() {
 
     print_table(
         "Figure 6: HSS (budget 0) vs FMM (rank + direct evaluation)",
-        &["matrix", "mode", "rank s", "budget", "eps2", "compress (s)", "evaluate (s)", "total (s)"],
+        &[
+            "matrix",
+            "mode",
+            "rank s",
+            "budget",
+            "eps2",
+            "compress (s)",
+            "evaluate (s)",
+            "total (s)",
+        ],
         &rows,
     );
     println!("\nexpected shape: at matched accuracy, FMM rows (small rank + budget) finish faster than the HSS rows that need large rank.");

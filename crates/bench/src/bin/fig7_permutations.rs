@@ -27,9 +27,17 @@ fn main() {
 
     let mut rows = Vec::new();
     for id in matrices {
-        let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth: None });
+        let k = build_matrix(
+            id,
+            &ZooOptions {
+                n,
+                seed: 1,
+                bandwidth: None,
+            },
+        );
         let kn = k.n();
-        let w = DenseMatrix::<f64>::from_fn(kn, 64, |i, j| (((i * 7 + j) % 23) as f64) / 23.0 - 0.5);
+        let w =
+            DenseMatrix::<f64>::from_fn(kn, 64, |i, j| (((i * 7 + j) % 23) as f64) / 23.0 - 0.5);
         for metric in schemes {
             if metric == DistanceMetric::Geometric && k.coords().is_none() {
                 rows.push(vec![

@@ -1,8 +1,8 @@
 //! Table 3 (experiments #13-#18): wall-clock and accuracy comparison between
 //! HODLR, STRUMPACK-style HSS and GOFMM on K02, K04, K07, K12, K17 and G03.
 
-use gofmm_bench::harness::{bench_threads, fmt_err, fmt_secs, print_table, scaled, timed};
 use gofmm_baselines::{Hodlr, HodlrConfig, HssConfig, HssMatrix};
+use gofmm_bench::harness::{bench_threads, fmt_err, fmt_secs, print_table, scaled, timed};
 use gofmm_core::{compress, evaluate, DistanceMetric, GofmmConfig, TraversalPolicy};
 use gofmm_linalg::DenseMatrix;
 use gofmm_matrices::{build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions};
@@ -25,7 +25,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for id in matrices {
-        let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth: None });
+        let k = build_matrix(
+            id,
+            &ZooOptions {
+                n,
+                seed: 1,
+                bandwidth: None,
+            },
+        );
         let kn = k.n();
         let w = DenseMatrix::<f64>::from_fn(kn, r, |i, j| (((i + 7 * j) % 29) as f64) / 29.0 - 0.5);
 

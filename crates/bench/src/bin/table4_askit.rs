@@ -2,8 +2,8 @@
 //! Gaussian kernel matrices K04 (compressible) and K06 (high rank), two sizes
 //! and two tolerances, single right-hand side, geometric distances for both.
 
-use gofmm_bench::harness::{bench_threads, fmt_err, fmt_secs, print_table, scaled, timed};
 use gofmm_baselines::{AskitConfig, AskitMatrix};
+use gofmm_bench::harness::{bench_threads, fmt_err, fmt_secs, print_table, scaled, timed};
 use gofmm_core::{compress, evaluate, DistanceMetric, GofmmConfig, TraversalPolicy};
 use gofmm_linalg::DenseMatrix;
 use gofmm_matrices::{build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions};
@@ -22,7 +22,14 @@ fn main() {
     for id in matrices {
         for &n in &sizes {
             for &tau in &tolerances {
-                let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth: None });
+                let k = build_matrix(
+                    id,
+                    &ZooOptions {
+                        n,
+                        seed: 1,
+                        bandwidth: None,
+                    },
+                );
                 let kn = k.n();
                 let w_vec: Vec<f64> = (0..kn).map(|i| ((i % 31) as f64) / 31.0 - 0.5).collect();
                 let w_mat = DenseMatrix::from_vec(kn, 1, w_vec.clone());

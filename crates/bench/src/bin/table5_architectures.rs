@@ -51,18 +51,88 @@ fn main() {
         (format!("{}-core", max_threads), max_threads),
     ];
     let workloads = vec![
-        Workload { id: TestMatrixId::Mnist, n: scaled(2048), bandwidth: Some(1.0), budget: 0.05, leaf: 256, rank: 128, rhs: 256, f32_mode: false },
-        Workload { id: TestMatrixId::Covtype, n: scaled(4096), bandwidth: Some(0.1), budget: 0.12, leaf: 256, rank: 128, rhs: 256, f32_mode: false },
-        Workload { id: TestMatrixId::Higgs, n: scaled(4096), bandwidth: Some(0.9), budget: 0.003, leaf: 256, rank: 128, rhs: 256, f32_mode: false },
-        Workload { id: TestMatrixId::K02, n: scaled(4096), bandwidth: None, budget: 0.03, leaf: 256, rank: 128, rhs: 256, f32_mode: true },
-        Workload { id: TestMatrixId::K15, n: scaled(4096), bandwidth: None, budget: 0.10, leaf: 256, rank: 128, rhs: 256, f32_mode: true },
-        Workload { id: TestMatrixId::G03, n: scaled(2048), bandwidth: None, budget: 0.03, leaf: 128, rank: 128, rhs: 256, f32_mode: true },
-        Workload { id: TestMatrixId::G04, n: scaled(2048), bandwidth: None, budget: 0.03, leaf: 256, rank: 128, rhs: 256, f32_mode: true },
+        Workload {
+            id: TestMatrixId::Mnist,
+            n: scaled(2048),
+            bandwidth: Some(1.0),
+            budget: 0.05,
+            leaf: 256,
+            rank: 128,
+            rhs: 256,
+            f32_mode: false,
+        },
+        Workload {
+            id: TestMatrixId::Covtype,
+            n: scaled(4096),
+            bandwidth: Some(0.1),
+            budget: 0.12,
+            leaf: 256,
+            rank: 128,
+            rhs: 256,
+            f32_mode: false,
+        },
+        Workload {
+            id: TestMatrixId::Higgs,
+            n: scaled(4096),
+            bandwidth: Some(0.9),
+            budget: 0.003,
+            leaf: 256,
+            rank: 128,
+            rhs: 256,
+            f32_mode: false,
+        },
+        Workload {
+            id: TestMatrixId::K02,
+            n: scaled(4096),
+            bandwidth: None,
+            budget: 0.03,
+            leaf: 256,
+            rank: 128,
+            rhs: 256,
+            f32_mode: true,
+        },
+        Workload {
+            id: TestMatrixId::K15,
+            n: scaled(4096),
+            bandwidth: None,
+            budget: 0.10,
+            leaf: 256,
+            rank: 128,
+            rhs: 256,
+            f32_mode: true,
+        },
+        Workload {
+            id: TestMatrixId::G03,
+            n: scaled(2048),
+            bandwidth: None,
+            budget: 0.03,
+            leaf: 128,
+            rank: 128,
+            rhs: 256,
+            f32_mode: true,
+        },
+        Workload {
+            id: TestMatrixId::G04,
+            n: scaled(2048),
+            bandwidth: None,
+            budget: 0.03,
+            leaf: 256,
+            rank: 128,
+            rhs: 256,
+            f32_mode: true,
+        },
     ];
 
     let mut rows = Vec::new();
     for wl in &workloads {
-        let k = build_matrix(wl.id, &ZooOptions { n: wl.n, seed: 1, bandwidth: wl.bandwidth });
+        let k = build_matrix(
+            wl.id,
+            &ZooOptions {
+                n: wl.n,
+                seed: 1,
+                bandwidth: wl.bandwidth,
+            },
+        );
         let kn = k.n();
         for (arch, threads) in &archs {
             let (precision, (eps, t_comp, gf_c, t_eval, gf_e)) = if wl.f32_mode {
@@ -95,8 +165,16 @@ fn main() {
     print_table(
         "Table 5: GOFMM across (threads, precision) configurations",
         &[
-            "matrix", "N", "budget", "prec", "arch", "eps2",
-            "compress (s)", "comp GF/s", "evaluate (s)", "eval GF/s",
+            "matrix",
+            "N",
+            "budget",
+            "prec",
+            "arch",
+            "eps2",
+            "compress (s)",
+            "comp GF/s",
+            "evaluate (s)",
+            "eval GF/s",
         ],
         &rows,
     );

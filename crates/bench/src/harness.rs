@@ -84,8 +84,7 @@ pub fn parallel_matmul<T: Scalar>(
 ) -> DenseMatrix<T> {
     let m = a.rows();
     let n = b.cols();
-    let out = parking_lot_free_matmul(a, b, m, n, threads);
-    out
+    parking_lot_free_matmul(a, b, m, n, threads)
 }
 
 fn parking_lot_free_matmul<T: Scalar>(

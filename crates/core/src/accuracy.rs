@@ -116,7 +116,11 @@ pub fn accuracy_report<T: Scalar, M: SpdMatrix<T> + ?Sized>(
             den += e * e;
         }
     }
-    let eps2 = if den == 0.0 { num.sqrt() } else { (num / den).sqrt() };
+    let eps2 = if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    };
 
     AccuracyReport {
         first_entries,
@@ -167,7 +171,11 @@ mod tests {
             u.set(0, c, v * 1.1);
         }
         let rep = accuracy_report(&k, &w, &u, 5, 40, 1);
-        assert!((rep.first_entries[0] - 0.1).abs() < 1e-6, "{}", rep.first_entries[0]);
+        assert!(
+            (rep.first_entries[0] - 0.1).abs() < 1e-6,
+            "{}",
+            rep.first_entries[0]
+        );
         assert!(rep.first_entries[1] < 1e-12);
         // The global eps2 is small because only one row is wrong.
         assert!(rep.eps2 < 0.1);

@@ -1,18 +1,16 @@
 //! The compression phase (paper Algorithm 2.2): neighbor search, tree
 //! partitioning, near/far pruning, skeletonization and optional block caching.
 
-use crate::config::{GofmmConfig, TraversalPolicy};
+use crate::config::GofmmConfig;
 use crate::distance::{DistanceMetric, GramOracle};
 use crate::lists::{build_interaction_lists, InteractionLists};
 use crate::skel::{skeletonize_node, NodeBasis, SkelParams};
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
-use gofmm_runtime::{execute, parallel_for, ExecStats, TaskGraph, TaskId};
+use gofmm_runtime::{parallel_for, DisjointCells, ExecStats, PhasePlan};
 use gofmm_tree::{
     ann_search, AnnConfig, DistanceOracle, NeighborList, PartitionTree, SplitRule, TreeOptions,
 };
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -43,7 +41,8 @@ pub struct CompressionStats {
     pub far_pairs: usize,
     /// Estimated floating-point operations spent in skeletonization.
     pub flops: u64,
-    /// Scheduler statistics when a DAG policy was used for skeletonization.
+    /// Scheduler statistics when skeletonization ran through the shared
+    /// execution-plan layer (every policy except level-by-level).
     pub exec: Option<ExecStats>,
 }
 
@@ -222,6 +221,12 @@ pub fn compress<T: Scalar, M: SpdMatrix<T> + ?Sized>(
 }
 
 /// Skeletonize every non-root node with the configured traversal policy.
+///
+/// The per-node bases live in [`DisjointCells`]: each SKEL task writes its
+/// own node's cell and reads its children's cells, and that access pattern is
+/// ordered either by the plan's dependency edges (DAG policies, sequential)
+/// or by the per-level barrier (level-by-level), so no cell ever needs a
+/// blocking lock.
 fn skeletonize_all<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     tree: &PartitionTree,
@@ -233,8 +238,7 @@ fn skeletonize_all<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     if tree.depth() == 0 {
         return (vec![None; node_count], None);
     }
-    let bases: Vec<Mutex<Option<NodeBasis<T>>>> =
-        (0..node_count).map(|_| Mutex::new(None)).collect();
+    let bases: DisjointCells<Option<NodeBasis<T>>> = DisjointCells::from_fn(node_count, |_| None);
     let flops = AtomicU64::new(0);
 
     let skel_one = |heap: usize| -> NodeBasis<T> {
@@ -243,8 +247,8 @@ fn skeletonize_all<T: Scalar, M: SpdMatrix<T> + ?Sized>(
             own.to_vec()
         } else {
             let (l, r) = tree.children(heap);
-            let gl = bases[l].lock();
-            let gr = bases[r].lock();
+            let gl = bases.read(l);
+            let gr = bases.read(r);
             let mut c = gl
                 .as_ref()
                 .expect("child skeleton missing (dependency violation)")
@@ -269,63 +273,54 @@ fn skeletonize_all<T: Scalar, M: SpdMatrix<T> + ?Sized>(
         skeletonize_node(matrix, &columns, own, neighbors, &params)
     };
 
-    let exec = match config.policy {
-        TraversalPolicy::Sequential => {
-            for level in (1..=tree.depth()).rev() {
-                for heap in tree.level_range(level) {
-                    let b = skel_one(heap);
-                    *bases[heap].lock() = Some(b);
-                }
-            }
-            None
-        }
-        TraversalPolicy::LevelByLevel => {
+    let exec = match config.policy.schedule_policy() {
+        None => {
+            // Level-by-level: a barrier after every level orders child writes
+            // before parent reads.
             for level in (1..=tree.depth()).rev() {
                 let nodes: Vec<usize> = tree.level_range(level).collect();
                 parallel_for(nodes.len(), config.num_threads, |i| {
                     let heap = nodes[i];
                     let b = skel_one(heap);
-                    *bases[heap].lock() = Some(b);
+                    bases.set(heap, Some(b));
                 });
             }
             None
         }
-        TraversalPolicy::DagHeft | TraversalPolicy::DagFifo => {
-            let mut graph = TaskGraph::new();
-            let mut task_of: HashMap<usize, TaskId> = HashMap::new();
+        Some(policy) => {
             let m = config.leaf_size as f64;
             let s = config.max_rank as f64;
             let skel_ref = &skel_one;
             let bases_ref = &bases;
-            // Children have larger heap indices, so descending insertion order
-            // is a valid topological order for the postorder dependency.
-            for heap in (1..node_count).rev() {
-                let deps: Vec<TaskId> = if tree.is_leaf(heap) {
-                    Vec::new()
-                } else {
-                    let (l, r) = tree.children(heap);
-                    vec![task_of[&l], task_of[&r]]
-                };
-                let cost = if tree.is_leaf(heap) {
-                    2.0 * m * m * m
-                } else {
-                    2.0 * s * s * s
-                };
-                let id = graph.add_task(format!("SKEL({heap})"), cost, &deps, move || {
-                    let b = skel_ref(heap);
-                    *bases_ref[heap].lock() = Some(b);
-                });
-                task_of.insert(heap, id);
-            }
-            let policy = config.policy.dag_policy().unwrap();
-            Some(execute(graph, policy, config.num_threads))
+            let mut plan = PhasePlan::new();
+            plan.add_bottom_up(
+                "SKEL",
+                tree,
+                |heap| heap == 0,
+                |heap| {
+                    if tree.is_leaf(heap) {
+                        2.0 * m * m * m
+                    } else {
+                        2.0 * s * s * s
+                    }
+                },
+                |heap| {
+                    move || {
+                        let b = skel_ref(heap);
+                        bases_ref.set(heap, Some(b));
+                    }
+                },
+            );
+            Some(plan.run(policy, config.num_threads))
         }
     };
 
     stats.flops += flops.load(Ordering::Relaxed);
-    let out: Vec<Option<NodeBasis<T>>> = bases.into_iter().map(|m| m.into_inner()).collect();
-    (out, exec)
+    (bases.into_inner(), exec)
 }
+
+/// Per-node cached blocks, aligned with the corresponding interaction list.
+type BlockCache<T> = Vec<Vec<DenseMatrix<T>>>;
 
 /// Pre-evaluate and cache the `K_{beta,alpha}` (near) and
 /// `K_{skel(beta),skel(alpha)}` (far) blocks.
@@ -335,12 +330,14 @@ fn cache_blocks<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     lists: &InteractionLists,
     bases: &[Option<NodeBasis<T>>],
     config: &GofmmConfig,
-) -> (Vec<Vec<DenseMatrix<T>>>, Vec<Vec<DenseMatrix<T>>>) {
+) -> (BlockCache<T>, BlockCache<T>) {
     let node_count = tree.node_count();
-    let near_blocks: Vec<Mutex<Vec<DenseMatrix<T>>>> =
-        (0..node_count).map(|_| Mutex::new(Vec::new())).collect();
-    let far_blocks: Vec<Mutex<Vec<DenseMatrix<T>>>> =
-        (0..node_count).map(|_| Mutex::new(Vec::new())).collect();
+    // Every parallel iteration writes only its own node's cells, so the
+    // blocks need no locks (DisjointCells verifies that at runtime).
+    let near_blocks: DisjointCells<Vec<DenseMatrix<T>>> =
+        DisjointCells::from_fn(node_count, |_| Vec::new());
+    let far_blocks: DisjointCells<Vec<DenseMatrix<T>>> =
+        DisjointCells::from_fn(node_count, |_| Vec::new());
 
     parallel_for(node_count, config.num_threads, |heap| {
         // Near blocks exist only for leaves.
@@ -350,7 +347,7 @@ fn cache_blocks<T: Scalar, M: SpdMatrix<T> + ?Sized>(
             for &alpha in &lists.near[heap] {
                 blocks.push(matrix.submatrix(rows, tree.indices(alpha)));
             }
-            *near_blocks[heap].lock() = blocks;
+            near_blocks.set(heap, blocks);
         }
         // Far blocks for any node with a skeleton.
         if let Some(basis) = bases[heap].as_ref() {
@@ -362,19 +359,17 @@ fn cache_blocks<T: Scalar, M: SpdMatrix<T> + ?Sized>(
                     .skeleton;
                 blocks.push(matrix.submatrix(&basis.skeleton, alpha_skel));
             }
-            *far_blocks[heap].lock() = blocks;
+            far_blocks.set(heap, blocks);
         }
     });
 
-    (
-        near_blocks.into_iter().map(|m| m.into_inner()).collect(),
-        far_blocks.into_iter().map(|m| m.into_inner()).collect(),
-    )
+    (near_blocks.into_inner(), far_blocks.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TraversalPolicy;
     use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
 
     fn small_kernel_matrix(n: usize) -> KernelMatrix {

@@ -20,7 +20,22 @@ pub enum TraversalPolicy {
 }
 
 impl TraversalPolicy {
-    /// The DAG scheduling policy, when this traversal uses the DAG runtime.
+    /// The schedule used when this traversal executes through the shared
+    /// execution-plan layer (`gofmm_runtime::PhasePlan`). Every policy except
+    /// the barrier-based level-by-level traversal routes through the plan;
+    /// `Sequential` is simply the plan executed in topological order on the
+    /// calling thread.
+    pub fn schedule_policy(&self) -> Option<SchedulePolicy> {
+        match self {
+            TraversalPolicy::Sequential => Some(SchedulePolicy::Sequential),
+            TraversalPolicy::DagHeft => Some(SchedulePolicy::Heft),
+            TraversalPolicy::DagFifo => Some(SchedulePolicy::Fifo),
+            TraversalPolicy::LevelByLevel => None,
+        }
+    }
+
+    /// The out-of-order DAG scheduling policy, when this traversal uses one
+    /// (the paper's runtime comparison: HEFT vs `omp task depend`).
     pub fn dag_policy(&self) -> Option<SchedulePolicy> {
         match self {
             TraversalPolicy::DagHeft => Some(SchedulePolicy::Heft),
@@ -214,10 +229,33 @@ mod tests {
 
     #[test]
     fn traversal_policy_dag_mapping() {
-        assert_eq!(TraversalPolicy::DagHeft.dag_policy(), Some(SchedulePolicy::Heft));
-        assert_eq!(TraversalPolicy::DagFifo.dag_policy(), Some(SchedulePolicy::Fifo));
+        assert_eq!(
+            TraversalPolicy::DagHeft.dag_policy(),
+            Some(SchedulePolicy::Heft)
+        );
+        assert_eq!(
+            TraversalPolicy::DagFifo.dag_policy(),
+            Some(SchedulePolicy::Fifo)
+        );
         assert_eq!(TraversalPolicy::Sequential.dag_policy(), None);
         assert_eq!(TraversalPolicy::LevelByLevel.dag_policy(), None);
         assert_eq!(TraversalPolicy::LevelByLevel.to_string(), "level-by-level");
+    }
+
+    #[test]
+    fn traversal_policy_schedule_mapping() {
+        assert_eq!(
+            TraversalPolicy::Sequential.schedule_policy(),
+            Some(SchedulePolicy::Sequential)
+        );
+        assert_eq!(
+            TraversalPolicy::DagHeft.schedule_policy(),
+            Some(SchedulePolicy::Heft)
+        );
+        assert_eq!(
+            TraversalPolicy::DagFifo.schedule_policy(),
+            Some(SchedulePolicy::Fifo)
+        );
+        assert_eq!(TraversalPolicy::LevelByLevel.schedule_policy(), None);
     }
 }

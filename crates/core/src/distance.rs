@@ -188,7 +188,9 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> DistanceOracle for GramOracle<'a, 
                         }
                         ic /= nc;
                         match self.metric {
-                            DistanceMetric::Kernel => (self.diag[i] + cc - 2.0 * ic).max(0.0).sqrt(),
+                            DistanceMetric::Kernel => {
+                                (self.diag[i] + cc - 2.0 * ic).max(0.0).sqrt()
+                            }
                             DistanceMetric::Angle => {
                                 let denom = self.diag[i] * cc;
                                 if denom <= 0.0 {
@@ -265,7 +267,12 @@ mod tests {
 
     #[test]
     fn angle_distance_matches_feature_space() {
-        let vectors = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 0.0], vec![1.0, 1.0]];
+        let vectors = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 0.0],
+            vec![1.0, 1.0],
+        ];
         let k = explicit_gram(&vectors);
         let oracle = GramOracle::<f64, _>::new(&k, DistanceMetric::Angle);
         // Orthogonal vectors -> distance 1.
@@ -290,7 +297,13 @@ mod tests {
     #[test]
     fn centroid_distances_consistent_with_pairwise() {
         let vectors: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.61).cos(), i as f64 * 0.05])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37).sin(),
+                    (i as f64 * 0.61).cos(),
+                    i as f64 * 0.05,
+                ]
+            })
             .collect();
         let k = explicit_gram(&vectors);
         for metric in [DistanceMetric::Kernel, DistanceMetric::Angle] {

@@ -5,10 +5,8 @@ use crate::compress::Compressed;
 use crate::config::TraversalPolicy;
 use gofmm_linalg::{gemm, DenseMatrix, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
-use gofmm_runtime::{execute, parallel_for, ExecStats, TaskGraph, TaskId};
-use parking_lot::Mutex;
+use gofmm_runtime::{parallel_for, DisjointCells, ExecStats, Family, PhasePlan};
 use std::borrow::Cow;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -19,7 +17,8 @@ pub struct EvaluationStats {
     pub time: f64,
     /// Floating-point operations performed (GEMM counts).
     pub flops: u64,
-    /// Scheduler statistics when a DAG policy was used.
+    /// Scheduler statistics when the evaluation ran through the shared
+    /// execution-plan layer (every policy except level-by-level).
     pub exec: Option<ExecStats>,
 }
 
@@ -34,18 +33,28 @@ impl EvaluationStats {
     }
 }
 
+/// Per-evaluation state: the four per-node value families of Algorithm 2.7.
+///
+/// All four live in [`DisjointCells`]: every cell has exactly one writing
+/// task, and every cross-task read/write pair is ordered either by a plan
+/// dependency edge (DAG policies, sequential) or by a phase barrier
+/// (level-by-level), so no cell ever takes a blocking lock. In particular
+/// the `utilde` accumulation — written by a node's own S2S *and* by its
+/// parent's S2N — is ordered by the explicit `S2S(child) -> S2N(parent)`
+/// edges in [`evaluation_plan`], which also fixes the floating-point
+/// accumulation order, making outputs bit-identical across all policies.
 struct EvalContext<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> {
     matrix: &'a M,
     comp: &'a Compressed<T>,
     w: &'a DenseMatrix<T>,
     /// Skeleton weights `w~` per node.
-    wtilde: Vec<Mutex<DenseMatrix<T>>>,
+    wtilde: DisjointCells<DenseMatrix<T>>,
     /// Skeleton potentials `u~` per node.
-    utilde: Vec<Mutex<DenseMatrix<T>>>,
+    utilde: DisjointCells<DenseMatrix<T>>,
     /// Far-field contribution to the output, per leaf.
-    u_far: Vec<Mutex<DenseMatrix<T>>>,
+    u_far: DisjointCells<DenseMatrix<T>>,
     /// Near-field (direct) contribution to the output, per leaf.
-    u_near: Vec<Mutex<DenseMatrix<T>>>,
+    u_near: DisjointCells<DenseMatrix<T>>,
     flops: AtomicU64,
 }
 
@@ -53,31 +62,28 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
     fn new(matrix: &'a M, comp: &'a Compressed<T>, w: &'a DenseMatrix<T>) -> Self {
         let r = w.cols();
         let node_count = comp.tree.node_count();
-        let mut wtilde = Vec::with_capacity(node_count);
-        let mut utilde = Vec::with_capacity(node_count);
-        let mut u_far = Vec::with_capacity(node_count);
-        let mut u_near = Vec::with_capacity(node_count);
-        for heap in 0..node_count {
-            let rank = comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
-            wtilde.push(Mutex::new(DenseMatrix::zeros(rank, r)));
-            utilde.push(Mutex::new(DenseMatrix::zeros(rank, r)));
+        let rank_of = |heap: usize| comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
+        let leaf_dims = |heap: usize| {
             if comp.tree.is_leaf(heap) {
-                let len = comp.tree.node(heap).len;
-                u_far.push(Mutex::new(DenseMatrix::zeros(len, r)));
-                u_near.push(Mutex::new(DenseMatrix::zeros(len, r)));
+                (comp.tree.node(heap).len, r)
             } else {
-                u_far.push(Mutex::new(DenseMatrix::zeros(0, 0)));
-                u_near.push(Mutex::new(DenseMatrix::zeros(0, 0)));
+                (0, 0)
             }
-        }
+        };
         Self {
             matrix,
             comp,
             w,
-            wtilde,
-            utilde,
-            u_far,
-            u_near,
+            wtilde: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
+            utilde: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
+            u_far: DisjointCells::from_fn(node_count, |h| {
+                let (rows, cols) = leaf_dims(h);
+                DenseMatrix::zeros(rows, cols)
+            }),
+            u_near: DisjointCells::from_fn(node_count, |h| {
+                let (rows, cols) = leaf_dims(h);
+                DenseMatrix::zeros(rows, cols)
+            }),
             flops: AtomicU64::new(0),
         }
     }
@@ -122,8 +128,8 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             self.w.select_rows(self.comp.tree.indices(heap))
         } else {
             let (l, r) = self.comp.tree.children(heap);
-            let wl = self.wtilde[l].lock();
-            let wr = self.wtilde[r].lock();
+            let wl = self.wtilde.read(l);
+            let wr = self.wtilde.read(r);
             wl.vstack(&wr)
         };
         let mut wt = DenseMatrix::zeros(basis.rank(), self.w.cols());
@@ -137,7 +143,7 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             &mut wt,
         );
         self.count_gemm(basis.rank(), self.w.cols(), local.rows());
-        *self.wtilde[heap].lock() = wt;
+        self.wtilde.set(heap, wt);
     }
 
     /// S2S: skeleton potentials `u~_beta += sum_{alpha in Far(beta)}
@@ -154,7 +160,7 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
         for idx in 0..self.comp.lists.far[heap].len() {
             let alpha = self.comp.lists.far[heap][idx];
             let block = self.far_block(heap, idx);
-            let wa = self.wtilde[alpha].lock();
+            let wa = self.wtilde.read(alpha);
             gemm(
                 T::one(),
                 block.as_ref(),
@@ -166,7 +172,7 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             );
             self.count_gemm(block.rows(), r, block.cols());
         }
-        self.utilde[heap].lock().axpy(T::one(), &acc);
+        self.utilde.write(heap).axpy(T::one(), &acc);
     }
 
     /// S2N: interpolate skeleton potentials back down the tree.
@@ -175,7 +181,7 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             return;
         };
         let r = self.w.cols();
-        let ut = self.utilde[heap].lock().clone();
+        let ut = self.utilde.read(heap).clone();
         if self.comp.tree.is_leaf(heap) {
             let len = self.comp.tree.node(heap).len;
             let mut out = DenseMatrix::zeros(len, r);
@@ -189,7 +195,7 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
                 &mut out,
             );
             self.count_gemm(len, r, basis.rank());
-            self.u_far[heap].lock().axpy(T::one(), &out);
+            self.u_far.write(heap).axpy(T::one(), &out);
         } else {
             let (l, rgt) = self.comp.tree.children(heap);
             let sl = self.comp.bases[l].as_ref().map(|b| b.rank()).unwrap_or(0);
@@ -207,8 +213,8 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             self.count_gemm(sl + sr, r, basis.rank());
             let top = contrib.block(0, sl, 0, r);
             let bottom = contrib.block(sl, sl + sr, 0, r);
-            self.utilde[l].lock().axpy(T::one(), &top);
-            self.utilde[rgt].lock().axpy(T::one(), &bottom);
+            self.utilde.write(l).axpy(T::one(), &top);
+            self.utilde.write(rgt).axpy(T::one(), &bottom);
         }
     }
 
@@ -235,7 +241,7 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             );
             self.count_gemm(block.rows(), r, block.cols());
         }
-        self.u_near[heap].lock().axpy(T::one(), &out);
+        self.u_near.write(heap).axpy(T::one(), &out);
     }
 
     /// Gather the per-leaf far and near contributions into the output vector
@@ -245,11 +251,15 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
         let r = self.w.cols();
         let mut out = DenseMatrix::zeros(n, r);
         for leaf in self.comp.tree.leaf_range() {
-            let uf = self.u_far[leaf].lock();
-            let un = self.u_near[leaf].lock();
+            let uf = self.u_far.read(leaf);
+            let un = self.u_near.read(leaf);
             for (local, &orig) in self.comp.tree.indices(leaf).iter().enumerate() {
                 for c in 0..r {
-                    let far_v = if uf.rows() > 0 { uf.get(local, c) } else { T::zero() };
+                    let far_v = if uf.rows() > 0 {
+                        uf.get(local, c)
+                    } else {
+                        T::zero()
+                    };
                     out.set(orig, c, far_v + un.get(local, c));
                 }
             }
@@ -283,26 +293,13 @@ pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     let t0 = Instant::now();
     let mut exec_stats = None;
 
-    match policy {
-        TraversalPolicy::Sequential => {
-            for level in (1..=tree.depth()).rev() {
-                for heap in tree.level_range(level) {
-                    ctx.task_n2s(heap);
-                }
-            }
-            for heap in 1..tree.node_count() {
-                ctx.task_s2s(heap);
-            }
-            for level in 1..=tree.depth() {
-                for heap in tree.level_range(level) {
-                    ctx.task_s2n(heap);
-                }
-            }
-            for heap in tree.leaf_range() {
-                ctx.task_l2l(heap);
-            }
-        }
-        TraversalPolicy::LevelByLevel => {
+    match policy.schedule_policy() {
+        None => {
+            // Level-by-level: one barrier per tree level / task family. The
+            // phase order (all S2S before any S2N, S2N levels descending the
+            // tree) matches the plan's dependency edges, so per-cell write
+            // order — and therefore the floating-point result — is identical
+            // to the DAG policies.
             for level in (1..=tree.depth()).rev() {
                 let nodes: Vec<usize> = tree.level_range(level).collect();
                 parallel_for(nodes.len(), num_threads, |i| ctx.task_n2s(nodes[i]));
@@ -316,8 +313,8 @@ pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
             let leaves: Vec<usize> = tree.leaf_range().collect();
             parallel_for(leaves.len(), num_threads, |i| ctx.task_l2l(leaves[i]));
         }
-        TraversalPolicy::DagHeft | TraversalPolicy::DagFifo => {
-            let stats = execute_dag(&ctx, policy, num_threads);
+        Some(sched) => {
+            let stats = evaluation_plan(&ctx).run(sched, num_threads);
             exec_stats = Some(stats);
         }
     }
@@ -331,88 +328,77 @@ pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     (out, stats)
 }
 
-/// Build and execute the evaluation task DAG (N2S postorder, S2S any order
-/// after its inputs, S2N preorder, L2L independent) — Figure 3 of the paper.
-fn execute_dag<T: Scalar, M: SpdMatrix<T> + ?Sized>(
-    ctx: &EvalContext<'_, T, M>,
-    policy: TraversalPolicy,
-    num_threads: usize,
-) -> ExecStats {
+/// Build the evaluation phase plan (N2S postorder, S2S any order after its
+/// inputs, S2N preorder, L2L independent) — Figure 3 of the paper — through
+/// the shared execution-plan layer.
+///
+/// Beyond the paper's read-set edges, each `S2N(node)` also depends on the
+/// S2S tasks of `node`'s children: `S2N(node)` accumulates into the
+/// children's `utilde` cells, which their own S2S tasks also write. The extra
+/// edges give every `utilde` cell a schedule-independent write order
+/// (own S2S first, then parent's S2N), so all three policies produce
+/// bit-identical outputs.
+fn evaluation_plan<'a, T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    ctx: &'a EvalContext<'a, T, M>,
+) -> PhasePlan<'a> {
     let tree = &ctx.comp.tree;
     let node_count = tree.node_count();
     let r = ctx.w.cols() as f64;
     let m = ctx.comp.config.leaf_size as f64;
     let s = ctx.comp.config.max_rank as f64;
-    let mut graph = TaskGraph::new();
-    let mut n2s_of: HashMap<usize, TaskId> = HashMap::new();
-    let mut s2s_of: HashMap<usize, TaskId> = HashMap::new();
-    let mut s2n_of: HashMap<usize, TaskId> = HashMap::new();
-
-    // N2S in descending heap order (children before parents).
-    for heap in (1..node_count).rev() {
-        if ctx.comp.bases[heap].is_none() {
-            continue;
-        }
-        let deps: Vec<TaskId> = if tree.is_leaf(heap) {
-            Vec::new()
-        } else {
-            let (l, rgt) = tree.children(heap);
-            [l, rgt].iter().filter_map(|c| n2s_of.get(c).copied()).collect()
-        };
-        let cost = if tree.is_leaf(heap) {
+    let skip = |heap: usize| heap == 0 || ctx.comp.bases[heap].is_none();
+    let updown_cost = |heap: usize| {
+        if tree.is_leaf(heap) {
             2.0 * m * s * r
         } else {
             2.0 * s * s * r
-        };
-        let id = graph.add_task(format!("N2S({heap})"), cost, &deps, move || ctx.task_n2s(heap));
-        n2s_of.insert(heap, id);
-    }
+        }
+    };
+    let mut plan = PhasePlan::new();
 
-    // S2S in any order once the far nodes' skeleton weights exist.
+    // N2S: children before parents.
+    plan.add_bottom_up("N2S", tree, skip, updown_cost, |heap| {
+        move || ctx.task_n2s(heap)
+    });
+
+    // S2S: any order once the far nodes' skeleton weights exist.
     for heap in 1..node_count {
-        if ctx.comp.bases[heap].is_none() || ctx.comp.lists.far[heap].is_empty() {
+        if skip(heap) || ctx.comp.lists.far[heap].is_empty() {
             continue;
         }
-        let deps: Vec<TaskId> = ctx.comp.lists.far[heap]
+        let deps: Vec<(Family, usize)> = ctx.comp.lists.far[heap]
             .iter()
-            .filter_map(|a| n2s_of.get(a).copied())
+            .map(|&a| ("N2S", a))
             .collect();
         let cost = 2.0 * s * s * r * ctx.comp.lists.far[heap].len() as f64;
-        let id = graph.add_task(format!("S2S({heap})"), cost, &deps, move || ctx.task_s2s(heap));
-        s2s_of.insert(heap, id);
+        plan.add("S2S", heap, cost, &deps, move || ctx.task_s2s(heap));
     }
 
-    // S2N in ascending heap order (parents before children).
-    for heap in 1..node_count {
-        if ctx.comp.bases[heap].is_none() {
-            continue;
-        }
-        let mut deps: Vec<TaskId> = Vec::new();
-        if let Some(&d) = s2s_of.get(&heap) {
-            deps.push(d);
-        }
-        if let Some(parent) = tree.parent(heap) {
-            if let Some(&d) = s2n_of.get(&parent) {
-                deps.push(d);
+    // S2N: parents before children, after the node's own S2S and — for the
+    // deterministic utilde write order — after the children's S2S.
+    plan.add_top_down(
+        "S2N",
+        tree,
+        skip,
+        updown_cost,
+        |heap, deps| {
+            deps.push(("S2S", heap));
+            if !tree.is_leaf(heap) {
+                let (l, rgt) = tree.children(heap);
+                deps.push(("S2S", l));
+                deps.push(("S2S", rgt));
             }
-        }
-        let cost = if tree.is_leaf(heap) {
-            2.0 * m * s * r
-        } else {
-            2.0 * s * s * r
-        };
-        let id = graph.add_task(format!("S2N({heap})"), cost, &deps, move || ctx.task_s2n(heap));
-        s2n_of.insert(heap, id);
-    }
+        },
+        |heap| move || ctx.task_s2n(heap),
+    );
 
     // L2L: independent of everything else.
     for heap in tree.leaf_range() {
         let cost = 2.0 * m * m * r * ctx.comp.lists.near[heap].len() as f64;
-        graph.add_task(format!("L2L({heap})"), cost, &[], move || ctx.task_l2l(heap));
+        plan.add("L2L", heap, cost, &[], move || ctx.task_l2l(heap));
     }
 
-    let policy = policy.dag_policy().expect("DAG policy expected");
-    execute(graph, policy, num_threads)
+    plan
 }
 
 #[cfg(test)]
@@ -492,6 +478,39 @@ mod tests {
             assert!(diff < 1e-8, "{policy}: max diff {diff}");
             if policy.dag_policy().is_some() {
                 assert!(stats.exec.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn level_by_level_and_dag_policies_agree_to_machine_precision() {
+        // The execution-plan layer orders every utilde accumulation with
+        // explicit S2S(child) -> S2N(parent) edges, and the level-by-level
+        // barriers impose the same per-cell write order, so all policies
+        // must agree far below the 1e-12 bar (in fact bit-identically).
+        let n = 320;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let (u_lvl, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::LevelByLevel, 4);
+        for policy in [
+            TraversalPolicy::Sequential,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ] {
+            let (u, _) = evaluate_with(&k, &comp, &w, policy, 4);
+            let diff = u.sub(&u_lvl).norm_max();
+            assert!(diff <= 1e-12, "{policy} vs level-by-level: max diff {diff}");
+        }
+        // The DAG policies share one plan; they must agree bit-for-bit.
+        let (u_heft, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::DagHeft, 8);
+        let (u_fifo, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::DagFifo, 8);
+        let (u_seq, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::Sequential, 1);
+        for i in 0..n {
+            for c in 0..3 {
+                assert_eq!(u_heft.get(i, c).to_bits(), u_seq.get(i, c).to_bits());
+                assert_eq!(u_fifo.get(i, c).to_bits(), u_seq.get(i, c).to_bits());
             }
         }
     }

@@ -339,6 +339,9 @@ mod tests {
         let lists = build_interaction_lists(&tree, Some(&ann.neighbors), &cfg);
         check_coverage(&tree, &lists).unwrap();
         let near_pairs = lists.near_pair_count();
-        assert!(near_pairs > tree.leaf_count() * 2, "near pairs {near_pairs}");
+        assert!(
+            near_pairs > tree.leaf_count() * 2,
+            "near pairs {near_pairs}"
+        );
     }
 }

@@ -243,13 +243,7 @@ mod tests {
             sample_size: 4,
             seed: 4,
         };
-        let rows = sample_rows(
-            n,
-            &own,
-            &own.iter().copied().collect(),
-            Some(&nl),
-            &params,
-        );
+        let rows = sample_rows(n, &own, &own.iter().copied().collect(), Some(&nl), &params);
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|&r| (8..12).contains(&r)));
     }

@@ -81,8 +81,12 @@ pub fn gemm<T: Scalar>(
         }
     };
 
-    // Packed panels reused across blocks.
+    // Packed panels reused across blocks. Deliberately heap-allocated: the
+    // panels are hundreds of kilobytes, far too large for the stack arrays
+    // clippy would otherwise suggest.
+    #[allow(clippy::useless_vec)]
     let mut a_pack = vec![T::zero(); MC * KC];
+    #[allow(clippy::useless_vec)]
     let mut b_pack = vec![T::zero(); KC * NC];
 
     let mut jc = 0;
@@ -153,21 +157,45 @@ pub fn gemm<T: Scalar>(
 /// Convenience: `C = A * B` (allocating).
 pub fn matmul<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
     let mut c = DenseMatrix::zeros(a.rows(), b.cols());
-    gemm(T::one(), a, Transpose::No, b, Transpose::No, T::zero(), &mut c);
+    gemm(
+        T::one(),
+        a,
+        Transpose::No,
+        b,
+        Transpose::No,
+        T::zero(),
+        &mut c,
+    );
     c
 }
 
 /// Convenience: `C = A^T * B` (allocating).
 pub fn matmul_tn<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
     let mut c = DenseMatrix::zeros(a.cols(), b.cols());
-    gemm(T::one(), a, Transpose::Yes, b, Transpose::No, T::zero(), &mut c);
+    gemm(
+        T::one(),
+        a,
+        Transpose::Yes,
+        b,
+        Transpose::No,
+        T::zero(),
+        &mut c,
+    );
     c
 }
 
 /// Convenience: `C = A * B^T` (allocating).
 pub fn matmul_nt<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
     let mut c = DenseMatrix::zeros(a.rows(), b.rows());
-    gemm(T::one(), a, Transpose::No, b, Transpose::Yes, T::zero(), &mut c);
+    gemm(
+        T::one(),
+        a,
+        Transpose::No,
+        b,
+        Transpose::Yes,
+        T::zero(),
+        &mut c,
+    );
     c
 }
 

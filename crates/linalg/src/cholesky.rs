@@ -7,7 +7,7 @@
 use crate::blas::{gemm, Transpose};
 use crate::matrix::DenseMatrix;
 use crate::scalar::Scalar;
-use crate::trsm::{trsm_left, tri_inverse, Triangle};
+use crate::trsm::{tri_inverse, trsm_left, Triangle};
 
 /// Error returned when a matrix is not (numerically) positive definite.
 #[derive(Debug, Clone, PartialEq, Eq)]

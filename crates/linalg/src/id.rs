@@ -59,7 +59,11 @@ pub fn interpolative_decomposition<T: Scalar>(
     // (this matters for nearly-zero off-diagonal blocks, e.g. well-separated
     // clusters under a narrow kernel).
     let floor = T::epsilon().to_f64() * 32.0;
-    let rel_tol = if rel_tol > 0.0 { rel_tol.max(floor) } else { floor };
+    let rel_tol = if rel_tol > 0.0 {
+        rel_tol.max(floor)
+    } else {
+        floor
+    };
     let qr = pivoted_qr(a, QrOptions::adaptive(max_rank, rel_tol));
     if qr.rank() == 0 {
         // The sampled block is numerically zero: keep a single skeleton column
@@ -160,7 +164,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(53);
         // Matrix with geometrically decaying singular values.
         let n = 40;
-        let q = crate::qr::householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng)).q_thin();
+        let q = crate::qr::householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng))
+            .q_thin();
         let mut a = DenseMatrix::<f64>::zeros(n, n);
         for k in 0..n {
             let sk = 0.6f64.powi(k as i32);
@@ -182,7 +187,8 @@ mod tests {
     fn adaptive_tolerance_controls_rank() {
         let mut rng = StdRng::seed_from_u64(54);
         let n = 30;
-        let q = crate::qr::householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng)).q_thin();
+        let q = crate::qr::householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng))
+            .q_thin();
         let mut a = DenseMatrix::<f64>::zeros(n, n);
         for k in 0..n {
             let sk = 0.5f64.powi(k as i32);

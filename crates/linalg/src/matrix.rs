@@ -82,14 +82,14 @@ impl<T: Scalar> DenseMatrix<T> {
     }
 
     /// Matrix with i.i.d. entries uniform in `[-1, 1]`.
-    pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+    pub fn random_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let dist = Uniform::new_inclusive(-1.0f64, 1.0);
         Self::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(rng)))
     }
 
     /// Matrix with i.i.d. standard Gaussian entries (Box–Muller; avoids the
     /// `rand_distr` dependency).
-    pub fn random_gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+    pub fn random_gaussian<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
         Self::from_fn(rows, cols, |_, _| T::from_f64(sample_gaussian(rng)))
     }
 
@@ -262,14 +262,14 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Maximum absolute entry.
     pub fn norm_max(&self) -> T {
-        self.data
-            .iter()
-            .fold(T::zero(), |acc, v| acc.max(v.abs()))
+        self.data.iter().fold(T::zero(), |acc, v| acc.max(v.abs()))
     }
 
     /// Convert every entry to a different precision.
     pub fn cast<U: Scalar>(&self) -> DenseMatrix<U> {
-        DenseMatrix::from_fn(self.rows, self.cols, |i, j| U::from_f64(self.get(i, j).to_f64()))
+        DenseMatrix::from_fn(self.rows, self.cols, |i, j| {
+            U::from_f64(self.get(i, j).to_f64())
+        })
     }
 
     /// Symmetrise in place: `self = (self + self^T) / 2`. Requires square.
@@ -307,7 +307,7 @@ impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for DenseMatrix<T> {
 }
 
 /// Sample one standard Gaussian variate with Box–Muller.
-pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
     loop {
         let u1: f64 = rng.gen::<f64>();
         let u2: f64 = rng.gen::<f64>();
@@ -427,7 +427,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let m = DenseMatrix::<f64>::random_gaussian(200, 50, &mut rng);
         let mean: f64 = m.data().iter().sum::<f64>() / (200.0 * 50.0);
-        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (200.0 * 50.0);
+        let var: f64 = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (200.0 * 50.0);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -178,7 +178,15 @@ impl<T: Scalar> QrFactors<T> {
         let q = self.q_thin();
         let r = self.r();
         let mut out = DenseMatrix::zeros(self.rows(), self.cols());
-        gemm(T::one(), &q, Transpose::No, &r, Transpose::No, T::zero(), &mut out);
+        gemm(
+            T::one(),
+            &q,
+            Transpose::No,
+            &r,
+            Transpose::No,
+            T::zero(),
+            &mut out,
+        );
         out
     }
 }
@@ -479,13 +487,18 @@ mod tests {
         // Diagonal matrix with geometric decay: rank at tolerance 1e-3 should
         // cut where the diagonal crosses 1e-3 relative to the largest.
         let n = 20;
-        let a = DenseMatrix::<f64>::from_fn(n, n, |i, j| {
-            if i == j {
-                (0.5f64).powi(i as i32)
-            } else {
-                0.0
-            }
-        });
+        let a =
+            DenseMatrix::<f64>::from_fn(
+                n,
+                n,
+                |i, j| {
+                    if i == j {
+                        (0.5f64).powi(i as i32)
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let qr = pivoted_qr(&a, QrOptions::adaptive(usize::MAX, 1e-3));
         // 0.5^k < 1e-3 at k = 10
         assert!(qr.rank() >= 9 && qr.rank() <= 11, "rank {}", qr.rank());

@@ -1,7 +1,7 @@
 //! Property-based tests for the dense linear-algebra substrate.
 
 use gofmm_linalg::{
-    interpolative_decomposition, id_reconstruct, matmul, matmul_nt, matmul_tn, pivoted_qr,
+    id_reconstruct, interpolative_decomposition, matmul, matmul_nt, matmul_tn, pivoted_qr,
     trsm_left, Cholesky, DenseMatrix, QrOptions, Triangle,
 };
 use proptest::prelude::*;

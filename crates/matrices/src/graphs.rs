@@ -190,9 +190,7 @@ impl Graph {
         let n = side * side * side * side;
         let mut g = Graph::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
-        let idx = |c: [usize; 4]| -> usize {
-            ((c[0] * side + c[1]) * side + c[2]) * side + c[3]
-        };
+        let idx = |c: [usize; 4]| -> usize { ((c[0] * side + c[1]) * side + c[2]) * side + c[3] };
         for a in 0..side {
             for b in 0..side {
                 for c in 0..side {
@@ -217,7 +215,11 @@ impl Graph {
 /// Regularized inverse graph Laplacian `K = (L + sigma I)^{-1}` as a dense SPD
 /// matrix. The graph carries no coordinates, so the returned matrix is purely
 /// algebraic — exactly the case GOFMM's geometry-oblivious distances target.
-pub fn graph_laplacian_inverse(graph: &Graph, sigma: f64, name: impl Into<String>) -> DenseSpd<f64> {
+pub fn graph_laplacian_inverse(
+    graph: &Graph,
+    sigma: f64,
+    name: impl Into<String>,
+) -> DenseSpd<f64> {
     let mut l = graph.laplacian_dense();
     for i in 0..graph.n() {
         l[(i, i)] += sigma;

@@ -159,9 +159,7 @@ impl<T: Scalar> SpdMatrix<T> for KernelMatrix {
 
     #[inline]
     fn entry(&self, i: usize, j: usize) -> T {
-        let mut v = self
-            .kernel
-            .eval(self.points.point(i), self.points.point(j));
+        let mut v = self.kernel.eval(self.points.point(i), self.points.point(j));
         if i == j {
             v += self.regularization;
         }
@@ -249,7 +247,9 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        assert!(KernelType::Gaussian { bandwidth: 2.0 }.label().contains("2"));
+        assert!(KernelType::Gaussian { bandwidth: 2.0 }
+            .label()
+            .contains("2"));
         assert_eq!(KernelType::CosineSimilarity.label(), "cosine");
     }
 

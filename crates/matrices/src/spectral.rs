@@ -21,7 +21,8 @@ use gofmm_linalg::{matmul, matmul_nt, DenseMatrix, Scalar};
 pub fn dst_basis(n: usize) -> DenseMatrix<f64> {
     let scale = (2.0 / (n as f64 + 1.0)).sqrt();
     DenseMatrix::from_fn(n, n, |i, a| {
-        scale * (std::f64::consts::PI * (i as f64 + 1.0) * (a as f64 + 1.0) / (n as f64 + 1.0)).sin()
+        scale
+            * (std::f64::consts::PI * (i as f64 + 1.0) * (a as f64 + 1.0) / (n as f64 + 1.0)).sin()
     })
 }
 
@@ -30,7 +31,10 @@ pub fn dst_basis(n: usize) -> DenseMatrix<f64> {
 pub fn laplacian_eigenvalues_1d(n: usize) -> Vec<f64> {
     let h = 1.0 / (n as f64 + 1.0);
     (0..n)
-        .map(|a| (2.0 - 2.0 * (std::f64::consts::PI * (a as f64 + 1.0) / (n as f64 + 1.0)).cos()) / (h * h))
+        .map(|a| {
+            (2.0 - 2.0 * (std::f64::consts::PI * (a as f64 + 1.0) / (n as f64 + 1.0)).cos())
+                / (h * h)
+        })
         .collect()
 }
 
@@ -151,7 +155,12 @@ pub fn inverse_laplacian_squared_2d(nx: usize, ny: usize, sigma: f64) -> DenseSp
 /// K03 analogue: oscillatory Helmholtz-type SPD operator
 /// `K = ((L - k0^2)^2 + sigma I)^{-1}` with roughly `points_per_wavelength`
 /// grid points per wavelength.
-pub fn helmholtz_like_2d(nx: usize, ny: usize, points_per_wavelength: f64, sigma: f64) -> DenseSpd<f64> {
+pub fn helmholtz_like_2d(
+    nx: usize,
+    ny: usize,
+    points_per_wavelength: f64,
+    sigma: f64,
+) -> DenseSpd<f64> {
     let h = 1.0 / (nx as f64 + 1.0);
     let k0 = std::f64::consts::TAU / (points_per_wavelength * h);
     let k02 = k0 * k0;
@@ -481,7 +490,7 @@ mod tests {
 
     #[test]
     fn kronecker_sum_3d_is_spd() {
-        let a = spectral_operator_1d(3, &vec![1.0; 3], &vec![0.1; 3]);
+        let a = spectral_operator_1d(3, &[1.0; 3], &[0.1; 3]);
         let ks = KroneckerSum3d::new(a.clone(), a.clone(), a, vec![0.2; 27], "t");
         let all: Vec<usize> = (0..27).collect();
         let dense = SpdMatrix::<f64>::submatrix(&ks, &all, &all);

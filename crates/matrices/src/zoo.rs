@@ -81,7 +81,11 @@ impl TestMatrixId {
 
     /// The machine-learning kernel matrices (Table 5 / Figure 4 workloads).
     pub fn ml_matrices() -> Vec<TestMatrixId> {
-        vec![TestMatrixId::Covtype, TestMatrixId::Higgs, TestMatrixId::Mnist]
+        vec![
+            TestMatrixId::Covtype,
+            TestMatrixId::Higgs,
+            TestMatrixId::Mnist,
+        ]
     }
 
     /// Short display name ("K02", "G03", "COVTYPE", ...).
@@ -189,12 +193,42 @@ pub fn build_matrix(id: TestMatrixId, opts: &ZooOptions) -> BoxedSpd {
             let side = isqrt(n);
             Box::new(helmholtz_like_2d(side, side, 10.0, 1.0))
         }
-        K04 => kernel6d(n, seed, KernelType::Gaussian { bandwidth: 1.0 }, 1e-5, "K04"),
-        K05 => kernel6d(n, seed, KernelType::Gaussian { bandwidth: 0.1 }, 1e-5, "K05"),
-        K06 => kernel6d(n, seed, KernelType::Gaussian { bandwidth: 0.35 }, 1e-5, "K06"),
+        K04 => kernel6d(
+            n,
+            seed,
+            KernelType::Gaussian { bandwidth: 1.0 },
+            1e-5,
+            "K04",
+        ),
+        K05 => kernel6d(
+            n,
+            seed,
+            KernelType::Gaussian { bandwidth: 0.1 },
+            1e-5,
+            "K05",
+        ),
+        K06 => kernel6d(
+            n,
+            seed,
+            KernelType::Gaussian { bandwidth: 0.35 },
+            1e-5,
+            "K06",
+        ),
         K07 => kernel6d(n, seed, KernelType::Laplace { shift: 0.05 }, 1e-3, "K07"),
-        K08 => kernel6d(n, seed, KernelType::InverseMultiquadric { c: 0.5 }, 1e-5, "K08"),
-        K09 => kernel6d(n, seed, KernelType::Polynomial { degree: 2, c: 1.0 }, 1e-2, "K09"),
+        K08 => kernel6d(
+            n,
+            seed,
+            KernelType::InverseMultiquadric { c: 0.5 },
+            1e-5,
+            "K08",
+        ),
+        K09 => kernel6d(
+            n,
+            seed,
+            KernelType::Polynomial { degree: 2, c: 1.0 },
+            1e-2,
+            "K09",
+        ),
         K10 => kernel6d(n, seed, KernelType::CosineSimilarity, 1e-2, "K10"),
         K12 => {
             let side = isqrt(n);
@@ -280,9 +314,7 @@ fn pseudo_spectral_2d(n: usize, roughness: f64, name: &str) -> KroneckerSum2d {
     let ax = spectral_operator_1d(side, &coeff, &reaction1d);
     let ay = spectral_operator_1d(side, &coeff_y, &reaction1d);
     let reaction: Vec<f64> = (0..side * side)
-        .map(|i| {
-            1.0 + variable_coefficient((i % side) as f64 / side as f64, 0.5 * roughness, 4.2)
-        })
+        .map(|i| 1.0 + variable_coefficient((i % side) as f64 / side as f64, 0.5 * roughness, 4.2))
         .collect();
     KroneckerSum2d::new(ax, ay, reaction, name)
 }
@@ -351,7 +383,7 @@ mod tests {
             };
             let m = build_matrix(id, &opts);
             let n = m.n();
-            assert!(n >= 64 && n <= 160, "{id}: unexpected size {n}");
+            assert!((64..=160).contains(&n), "{id}: unexpected size {n}");
             let all: Vec<usize> = (0..n).collect();
             let dense = m.submatrix(&all, &all);
             assert!(

@@ -100,11 +100,14 @@ pub fn execute_sequential(mut graph: TaskGraph<'_>) -> ExecStats {
     }
 }
 
+/// A task closure slot, emptied by whichever worker runs the task.
+type TaskSlot<'a> = Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+
 struct SharedState<'a> {
     /// Remaining unfinished dependencies per task.
     remaining: Vec<AtomicUsize>,
     /// The task closures, taken exactly once by whichever worker runs them.
-    funcs: Vec<Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>>,
+    funcs: Vec<TaskSlot<'a>>,
     /// Successor adjacency.
     successors: Vec<Vec<usize>>,
     /// Cost estimates.
@@ -416,10 +419,12 @@ mod tests {
         let mut g = TaskGraph::new();
         for i in 0..64 {
             g.add_task(format!("t{i}"), 1.0, &[], move || {
-                // Simulate real work so busy times are measurable.
+                // Simulate real work so busy times are measurable; black_box
+                // the loop variable so the sum cannot be constant-folded in
+                // optimized test builds.
                 let mut acc = 0u64;
-                for k in 0..50_000u64 {
-                    acc = acc.wrapping_add(k.wrapping_mul(2654435761));
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_add(std::hint::black_box(k).wrapping_mul(2654435761));
                 }
                 std::hint::black_box(acc);
             });
@@ -440,7 +445,11 @@ mod tests {
             });
         }
         let stats = execute_heft(g, 4);
-        assert!(stats.efficiency() <= 1.05, "efficiency {}", stats.efficiency());
+        assert!(
+            stats.efficiency() <= 1.05,
+            "efficiency {}",
+            stats.efficiency()
+        );
         assert!(stats.elapsed > 0.0);
     }
 

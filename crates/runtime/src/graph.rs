@@ -137,11 +137,7 @@ impl<'a> TaskGraph<'a> {
     pub fn critical_path_cost(&self) -> f64 {
         let mut finish = vec![0.0f64; self.tasks.len()];
         for (i, t) in self.tasks.iter().enumerate() {
-            let start = t
-                .deps
-                .iter()
-                .map(|d| finish[d.0])
-                .fold(0.0f64, f64::max);
+            let start = t.deps.iter().map(|d| finish[d.0]).fold(0.0f64, f64::max);
             finish[i] = start + t.cost;
         }
         finish.iter().copied().fold(0.0f64, f64::max)

@@ -14,12 +14,21 @@
 //!   stealing, a plain FIFO pool (the `omp task depend` stand-in), and a
 //!   sequential baseline,
 //! * [`parallel`] — dynamically scheduled `parallel_for` helpers used by the
-//!   level-by-level traversal variant and by "any order" tasks.
+//!   level-by-level traversal variant and by "any order" tasks,
+//! * [`plan`] — the shared execution-plan layer: symbolic `(family, node)`
+//!   task keys over a tree topology, per-node cell storage with
+//!   DAG-delegated synchronization, and uniform dispatch across the three
+//!   scheduling policies. Both GOFMM phases (SKEL/COEF compression tasks and
+//!   N2S/S2S/S2N/L2L evaluation tasks) build their DAGs through this layer.
 
 pub mod executor;
 pub mod graph;
 pub mod parallel;
+pub mod plan;
 
-pub use executor::{execute, execute_fifo, execute_heft, execute_sequential, ExecStats, SchedulePolicy};
+pub use executor::{
+    execute, execute_fifo, execute_heft, execute_sequential, ExecStats, SchedulePolicy,
+};
 pub use graph::{Task, TaskGraph, TaskId};
 pub use parallel::{available_threads, parallel_for, parallel_map, parallel_ranges, split_ranges};
+pub use plan::{DisjointCells, Family, PhasePlan, PlanTopology, SharedCells};

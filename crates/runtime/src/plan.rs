@@ -1,0 +1,561 @@
+//! Execution plans: the shared task-DAG layer used by both GOFMM phases.
+//!
+//! The compression phase (SKEL/COEF tasks) and the evaluation phase
+//! (N2S/S2S/S2N/L2L tasks) used to each hand-roll the same machinery: a
+//! `Vec<Mutex<...>>` per per-node value, a `HashMap<usize, TaskId>` per task
+//! family, and a policy `match` dispatching between a sequential loop and the
+//! DAG executors. This module centralizes all three:
+//!
+//! * [`PhasePlan`] — a [`TaskGraph`] builder keyed by `(family, node)` so
+//!   dependencies are declared symbolically ("N2S of my left child") and
+//!   resolved once, with [`PhasePlan::run`] dispatching uniformly to the
+//!   sequential / FIFO / HEFT executors,
+//! * [`PlanTopology`] — the minimal binary-tree interface plans need to wire
+//!   postorder (bottom-up) and preorder (top-down) task families,
+//! * [`DisjointCells`] — per-node storage whose synchronization is delegated
+//!   to the DAG: tasks access disjoint cells (or ordered by dependency
+//!   edges), so cells need no blocking locks. Access is checked by a per-cell
+//!   atomic borrow flag that panics on a conflicting concurrent access, which
+//!   turns a scheduling bug into a loud failure instead of a silent data
+//!   race,
+//! * [`SharedCells`] — mutex-backed cells for values that genuinely are
+//!   accumulated by concurrently schedulable tasks.
+
+use crate::executor::{execute, ExecStats, SchedulePolicy};
+use crate::graph::{TaskGraph, TaskId};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A task family inside a phase, e.g. `"SKEL"` or `"N2S"`. Families plus the
+/// node index form the symbolic key of a task.
+pub type Family = &'static str;
+
+/// The minimal binary-tree shape information a [`PhasePlan`] needs to wire
+/// structural (parent/child) dependencies. Implemented by
+/// `gofmm_tree::PartitionTree`; tests implement it on plain vectors.
+pub trait PlanTopology {
+    /// Number of nodes (heap indexing: 0 is the root).
+    fn node_count(&self) -> usize;
+
+    /// The two children of `node`, or `None` for leaves.
+    fn plan_children(&self, node: usize) -> Option<(usize, usize)>;
+
+    /// The parent of `node`, or `None` for the root.
+    fn plan_parent(&self, node: usize) -> Option<usize>;
+}
+
+/// A [`TaskGraph`] under construction, with tasks addressable by
+/// `(family, node)` keys.
+///
+/// Dependency keys that were never added are treated as already satisfied and
+/// skipped — e.g. "N2S of node 7" when node 7 has no skeleton and therefore
+/// no N2S task. This mirrors the paper's symbolic traversal, where absent
+/// producers simply contribute nothing to the read set.
+#[derive(Default)]
+pub struct PhasePlan<'a> {
+    graph: TaskGraph<'a>,
+    index: HashMap<(Family, usize), TaskId>,
+    /// Dependency keys that were unresolved when declared, kept to detect
+    /// out-of-order construction: registering a task under one of these keys
+    /// later would mean an edge was silently dropped.
+    unresolved: std::collections::HashSet<(Family, usize)>,
+}
+
+impl<'a> PhasePlan<'a> {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The task id registered for `(family, node)`, if any.
+    pub fn id(&self, family: Family, node: usize) -> Option<TaskId> {
+        self.index.get(&(family, node)).copied()
+    }
+
+    /// Sum of all task cost estimates.
+    pub fn total_cost(&self) -> f64 {
+        self.graph.total_cost()
+    }
+
+    /// Longest dependency chain of costs (the runtime's lower bound on
+    /// parallel wall-clock time).
+    pub fn critical_path_cost(&self) -> f64 {
+        self.graph.critical_path_cost()
+    }
+
+    /// Add the task `(family, node)` with symbolic dependencies.
+    ///
+    /// # Panics
+    /// Panics if the key is already taken, or if the key was previously
+    /// declared as a dependency of an earlier task — i.e. the producer is
+    /// being registered after its consumer, which would otherwise drop the
+    /// edge silently (insertion order is the topological order).
+    pub fn add(
+        &mut self,
+        family: Family,
+        node: usize,
+        cost: f64,
+        deps: &[(Family, usize)],
+        func: impl FnOnce() + Send + 'a,
+    ) -> TaskId {
+        let mut resolved: Vec<TaskId> = Vec::with_capacity(deps.len());
+        for key in deps {
+            match self.index.get(key) {
+                Some(&id) => resolved.push(id),
+                // Absent producers are treated as already satisfied, but
+                // remembered: if they show up later, construction order was
+                // wrong and we must fail loudly instead of racing at run time.
+                None => {
+                    self.unresolved.insert(*key);
+                }
+            }
+        }
+        assert!(
+            !self.unresolved.contains(&(family, node)),
+            "task {family}({node}) registered after a task that depends on it; \
+             add producers before consumers"
+        );
+        let id = self
+            .graph
+            .add_task(format!("{family}({node})"), cost, &resolved, func);
+        let prev = self.index.insert((family, node), id);
+        assert!(prev.is_none(), "duplicate task {family}({node})");
+        id
+    }
+
+    /// Add one task per non-skipped node in bottom-up (postorder) sweep
+    /// order: children before parents, each task depending on its children's
+    /// tasks of the same family. This is the shape of SKEL (compression) and
+    /// N2S (evaluation).
+    pub fn add_bottom_up<F>(
+        &mut self,
+        family: Family,
+        topo: &impl PlanTopology,
+        skip: impl Fn(usize) -> bool,
+        cost: impl Fn(usize) -> f64,
+        make_task: impl Fn(usize) -> F,
+    ) where
+        F: FnOnce() + Send + 'a,
+    {
+        // Children have larger heap indices than their parent, so descending
+        // index order is a valid postorder insertion order.
+        for node in (0..topo.node_count()).rev() {
+            if skip(node) {
+                continue;
+            }
+            let deps: Vec<(Family, usize)> = match topo.plan_children(node) {
+                Some((l, r)) => vec![(family, l), (family, r)],
+                None => Vec::new(),
+            };
+            self.add(family, node, cost(node), &deps, make_task(node));
+        }
+    }
+
+    /// Add one task per non-skipped node in top-down (preorder) sweep order:
+    /// parents before children, each task depending on its parent's task of
+    /// the same family plus any `extra_deps`. This is the shape of S2N
+    /// (evaluation).
+    pub fn add_top_down<F>(
+        &mut self,
+        family: Family,
+        topo: &impl PlanTopology,
+        skip: impl Fn(usize) -> bool,
+        cost: impl Fn(usize) -> f64,
+        extra_deps: impl Fn(usize, &mut Vec<(Family, usize)>),
+        make_task: impl Fn(usize) -> F,
+    ) where
+        F: FnOnce() + Send + 'a,
+    {
+        for node in 0..topo.node_count() {
+            if skip(node) {
+                continue;
+            }
+            let mut deps: Vec<(Family, usize)> = Vec::new();
+            if let Some(parent) = topo.plan_parent(node) {
+                deps.push((family, parent));
+            }
+            extra_deps(node, &mut deps);
+            self.add(family, node, cost(node), &deps, make_task(node));
+        }
+    }
+
+    /// Execute the plan with the given policy and worker count.
+    ///
+    /// All three policies run the identical task closures; only the schedule
+    /// differs. Because insertion order is a topological order and every
+    /// cross-task data access is covered by a dependency edge, outputs are
+    /// identical (bit-for-bit for deterministic tasks) across policies.
+    pub fn run(self, policy: SchedulePolicy, workers: usize) -> ExecStats {
+        execute(self.graph, policy, workers)
+    }
+
+    /// Consume the plan into its underlying graph (for custom execution).
+    pub fn into_graph(self) -> TaskGraph<'a> {
+        self.graph
+    }
+}
+
+const CELL_FREE: u32 = 0;
+const CELL_WRITER: u32 = u32::MAX;
+
+/// Per-node storage with DAG-delegated synchronization.
+///
+/// The task DAG (or a barrier between phases, for level-by-level traversals)
+/// guarantees that a cell is never written while another task accesses it;
+/// under that invariant no blocking lock is needed, so reads and writes cost
+/// one atomic transition each. The invariant is *checked*, not assumed: each
+/// cell carries an atomic borrow state (reader count / writer flag), and a
+/// conflicting concurrent access panics with a dependency-violation message
+/// instead of racing.
+pub struct DisjointCells<T> {
+    cells: Vec<UnsafeCell<T>>,
+    states: Vec<AtomicU32>,
+}
+
+// SAFETY: all access to the UnsafeCells goes through the per-cell atomic
+// borrow protocol below, which enforces unique writers / shared readers (it
+// is a panicking try-rwlock). `T: Send` suffices because guards hand out
+// references only while the borrow state is held.
+unsafe impl<T: Send> Sync for DisjointCells<T> {}
+unsafe impl<T: Send> Send for DisjointCells<T> {}
+
+impl<T> DisjointCells<T> {
+    /// `n` cells initialised by `init(i)`.
+    pub fn from_fn(n: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        Self {
+            cells: (0..n).map(|i| UnsafeCell::new(init(i))).collect(),
+            states: (0..n).map(|_| AtomicU32::new(CELL_FREE)).collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shared read access to cell `i`.
+    ///
+    /// # Panics
+    /// Panics if a write access is concurrently held — i.e. the task graph
+    /// failed to order a writer before this reader.
+    pub fn read(&self, i: usize) -> CellRead<'_, T> {
+        let state = &self.states[i];
+        let mut cur = state.load(Ordering::Relaxed);
+        loop {
+            assert!(
+                cur != CELL_WRITER,
+                "task-DAG ordering violation: cell {i} read while written"
+            );
+            match state.compare_exchange_weak(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        CellRead { cells: self, i }
+    }
+
+    /// Exclusive write access to cell `i`.
+    ///
+    /// # Panics
+    /// Panics if any access is concurrently held — i.e. the task graph
+    /// scheduled two tasks touching the same cell concurrently.
+    pub fn write(&self, i: usize) -> CellWrite<'_, T> {
+        let state = &self.states[i];
+        assert!(
+            state
+                .compare_exchange(CELL_FREE, CELL_WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok(),
+            "task-DAG ordering violation: cell {i} written while in use"
+        );
+        CellWrite { cells: self, i }
+    }
+
+    /// Replace the value of cell `i`.
+    pub fn set(&self, i: usize, value: T) {
+        *self.write(i) = value;
+    }
+
+    /// Direct mutable access through a unique borrow (no atomics needed).
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        self.cells[i].get_mut()
+    }
+
+    /// Unwrap into the plain values.
+    pub fn into_inner(self) -> Vec<T> {
+        self.cells.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+/// Shared read guard for one cell of a [`DisjointCells`].
+pub struct CellRead<'a, T> {
+    cells: &'a DisjointCells<T>,
+    i: usize,
+}
+
+impl<T> std::ops::Deref for CellRead<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the borrow state holds a reader count, so no writer exists.
+        unsafe { &*self.cells.cells[self.i].get() }
+    }
+}
+
+impl<T> Drop for CellRead<'_, T> {
+    fn drop(&mut self) {
+        self.cells.states[self.i].fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive write guard for one cell of a [`DisjointCells`].
+pub struct CellWrite<'a, T> {
+    cells: &'a DisjointCells<T>,
+    i: usize,
+}
+
+impl<T> std::ops::Deref for CellWrite<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the borrow state holds the writer flag.
+        unsafe { &*self.cells.cells[self.i].get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for CellWrite<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the borrow state holds the writer flag.
+        unsafe { &mut *self.cells.cells[self.i].get() }
+    }
+}
+
+impl<T> Drop for CellWrite<'_, T> {
+    fn drop(&mut self) {
+        self.cells.states[self.i].store(CELL_FREE, Ordering::Release);
+    }
+}
+
+/// Mutex-backed per-node cells, for values accumulated by tasks that the DAG
+/// deliberately allows to run concurrently. Prefer [`DisjointCells`] whenever
+/// dependency edges already serialize all access.
+pub struct SharedCells<T> {
+    cells: Vec<parking_lot::Mutex<T>>,
+}
+
+impl<T> SharedCells<T> {
+    /// `n` cells initialised by `init(i)`.
+    pub fn from_fn(n: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        Self {
+            cells: (0..n).map(|i| parking_lot::Mutex::new(init(i))).collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Lock cell `i`.
+    pub fn lock(&self, i: usize) -> parking_lot::MutexGuard<'_, T> {
+        self.cells[i].lock()
+    }
+
+    /// Unwrap into the plain values.
+    pub fn into_inner(self) -> Vec<T> {
+        self.cells.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A perfect binary tree with `levels` levels in heap order.
+    struct HeapTree {
+        levels: u32,
+    }
+
+    impl PlanTopology for HeapTree {
+        fn node_count(&self) -> usize {
+            (1usize << self.levels) - 1
+        }
+        fn plan_children(&self, node: usize) -> Option<(usize, usize)> {
+            let (l, r) = (2 * node + 1, 2 * node + 2);
+            (r < self.node_count()).then_some((l, r))
+        }
+        fn plan_parent(&self, node: usize) -> Option<usize> {
+            (node > 0).then(|| (node - 1) / 2)
+        }
+    }
+
+    #[test]
+    fn bottom_up_runs_children_first() {
+        let topo = HeapTree { levels: 4 };
+        let n = topo.node_count();
+        let order = SharedCells::from_fn(1, |_| Vec::new());
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Heft,
+        ] {
+            let mut plan = PhasePlan::new();
+            let order = &order;
+            plan.add_bottom_up(
+                "UP",
+                &topo,
+                |_| false,
+                |_| 1.0,
+                |node| move || order.lock(0).push(node),
+            );
+            assert_eq!(plan.task_count(), n);
+            plan.run(policy, 4);
+            let seen = std::mem::take(&mut *order.lock(0));
+            assert_eq!(seen.len(), n);
+            let pos = |x: usize| seen.iter().position(|&v| v == x).unwrap();
+            for node in 0..n {
+                if let Some((l, r)) = topo.plan_children(node) {
+                    assert!(
+                        pos(l) < pos(node),
+                        "{policy}: child {l} after parent {node}"
+                    );
+                    assert!(
+                        pos(r) < pos(node),
+                        "{policy}: child {r} after parent {node}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_down_runs_parents_first() {
+        let topo = HeapTree { levels: 4 };
+        let n = topo.node_count();
+        let order = SharedCells::from_fn(1, |_| Vec::new());
+        let mut plan = PhasePlan::new();
+        {
+            let order = &order;
+            plan.add_top_down(
+                "DOWN",
+                &topo,
+                |_| false,
+                |_| 1.0,
+                |_, _| {},
+                |node| move || order.lock(0).push(node),
+            );
+        }
+        plan.run(SchedulePolicy::Heft, 4);
+        let seen = order.into_inner().pop().unwrap();
+        let pos = |x: usize| seen.iter().position(|&v| v == x).unwrap();
+        for node in 1..n {
+            let parent = topo.plan_parent(node).unwrap();
+            assert!(pos(parent) < pos(node), "parent {parent} after node {node}");
+        }
+    }
+
+    #[test]
+    fn missing_dependencies_are_skipped() {
+        let counter = AtomicUsize::new(0);
+        let mut plan = PhasePlan::new();
+        // Depend on a key that no task ever registers.
+        plan.add("A", 0, 1.0, &[("GHOST", 3)], || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(plan.id("GHOST", 3).is_none());
+        assert!(plan.id("A", 0).is_some());
+        plan.run(SchedulePolicy::Sequential, 1);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate task")]
+    fn duplicate_key_panics() {
+        let mut plan = PhasePlan::new();
+        plan.add("A", 0, 1.0, &[], || {});
+        plan.add("A", 0, 1.0, &[], || {});
+    }
+
+    #[test]
+    #[should_panic(expected = "add producers before consumers")]
+    fn producer_after_consumer_panics() {
+        let mut plan = PhasePlan::new();
+        // "B(1)" is consumed before it is produced: the dropped edge must be
+        // detected at construction time, not surface as a runtime race.
+        plan.add("A", 0, 1.0, &[("B", 1)], || {});
+        plan.add("B", 1, 1.0, &[], || {});
+    }
+
+    #[test]
+    fn disjoint_cells_ordered_access() {
+        let cells: DisjointCells<u64> = DisjointCells::from_fn(4, |i| i as u64);
+        cells.set(2, 40);
+        *cells.write(2) += 2;
+        assert_eq!(*cells.read(2), 42);
+        // Two concurrent readers are fine.
+        let a = cells.read(1);
+        let b = cells.read(1);
+        assert_eq!(*a + *b, 2);
+        drop((a, b));
+        let v = cells.into_inner();
+        assert_eq!(v, vec![0, 1, 42, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task-DAG ordering violation")]
+    fn disjoint_cells_catch_read_write_conflict() {
+        let cells: DisjointCells<u64> = DisjointCells::from_fn(1, |_| 0);
+        let _r = cells.read(0);
+        let _w = cells.write(0); // must panic, not race
+    }
+
+    #[test]
+    #[should_panic(expected = "task-DAG ordering violation")]
+    fn disjoint_cells_catch_write_write_conflict() {
+        let cells: DisjointCells<u64> = DisjointCells::from_fn(1, |_| 0);
+        let _w1 = cells.write(0);
+        let _w2 = cells.write(0);
+    }
+
+    #[test]
+    fn disjoint_cells_parallel_disjoint_writes() {
+        let n = 512;
+        let cells: DisjointCells<usize> = DisjointCells::from_fn(n, |_| 0);
+        crate::parallel::parallel_for(n, 8, |i| {
+            *cells.write(i) = i * 3;
+        });
+        let v = cells.into_inner();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn plan_cost_accessors() {
+        let mut plan = PhasePlan::new();
+        plan.add("A", 0, 2.0, &[], || {});
+        plan.add("B", 0, 3.0, &[("A", 0)], || {});
+        assert_eq!(plan.total_cost(), 5.0);
+        assert_eq!(plan.critical_path_cost(), 5.0);
+        assert_eq!(plan.task_count(), 2);
+        assert!(!plan.is_empty());
+        assert!(PhasePlan::new().is_empty());
+    }
+}

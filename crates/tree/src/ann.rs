@@ -131,8 +131,9 @@ pub struct AnnResult {
 pub fn ann_search<O: DistanceOracle>(oracle: &O, cfg: &AnnConfig) -> AnnResult {
     let n = oracle.len();
     let k = cfg.k.min(n.saturating_sub(1)).max(1);
-    let shared: Vec<Mutex<Vec<(f64, usize)>>> =
-        (0..n).map(|_| Mutex::new(Vec::with_capacity(k + 1))).collect();
+    let shared: Vec<Mutex<Vec<(f64, usize)>>> = (0..n)
+        .map(|_| Mutex::new(Vec::with_capacity(k + 1)))
+        .collect();
 
     let mut iterations = 0;
     let mut recall = 0.0;
@@ -143,7 +144,10 @@ pub fn ann_search<O: DistanceOracle>(oracle: &O, cfg: &AnnConfig) -> AnnResult {
             &TreeOptions {
                 leaf_size: cfg.leaf_size,
                 split: SplitRule::RandomPair,
-                seed: cfg.seed.wrapping_add(iter as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                seed: cfg
+                    .seed
+                    .wrapping_add(iter as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15),
                 ..Default::default()
             },
         );

@@ -21,7 +21,10 @@ pub struct MortonId {
 impl MortonId {
     /// The root node.
     pub fn root() -> Self {
-        Self { level: 0, offset: 0 }
+        Self {
+            level: 0,
+            offset: 0,
+        }
     }
 
     /// Construct from level and offset.

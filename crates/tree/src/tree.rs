@@ -120,12 +120,7 @@ impl PartitionTree {
                 let node = nodes[heap];
                 let (start, len) = (node.start, node.len);
                 let seed = rng.gen::<u64>();
-                split_range(
-                    oracle,
-                    &mut perm[start..start + len],
-                    opts,
-                    seed,
-                );
+                split_range(oracle, &mut perm[start..start + len], opts, seed);
                 let left_len = len.div_ceil(2);
                 let m = nodes[heap].morton;
                 nodes[2 * heap + 1] = TreeNode {
@@ -261,14 +256,26 @@ impl PartitionTree {
     }
 }
 
+/// Partition trees drive the shared execution-plan layer directly: phase
+/// plans (SKEL during compression, N2S/S2S/S2N/L2L during evaluation) wire
+/// their structural dependencies from this topology view.
+impl gofmm_runtime::PlanTopology for PartitionTree {
+    fn node_count(&self) -> usize {
+        self.node_count()
+    }
+
+    fn plan_children(&self, node: usize) -> Option<(usize, usize)> {
+        (!self.is_leaf(node)).then(|| self.children(node))
+    }
+
+    fn plan_parent(&self, node: usize) -> Option<usize> {
+        self.parent(node)
+    }
+}
+
 /// Split (reorder in place) the indices of one node so that the first half is
 /// "closer to p" and the second half "closer to q".
-fn split_range<O: DistanceOracle>(
-    oracle: &O,
-    idx: &mut [usize],
-    opts: &TreeOptions,
-    seed: u64,
-) {
+fn split_range<O: DistanceOracle>(oracle: &O, idx: &mut [usize], opts: &TreeOptions, seed: u64) {
     let len = idx.len();
     if len < 2 {
         return;
@@ -351,7 +358,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for leaf in tree.leaf_range() {
             for &i in tree.indices(leaf) {
                 assert!(!seen[i], "index {i} appears twice");

@@ -20,7 +20,11 @@ fn main() {
     let n = 2048;
     let radius = (8.0 / n as f64).sqrt();
     let graph = Graph::random_geometric(n, radius, 1);
-    println!("graph: {} vertices, {} edges", graph.n(), graph.edge_count());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.n(),
+        graph.edge_count()
+    );
 
     println!("building K = (L + 0.1 I)^-1 by dense Cholesky inversion ...");
     let k = graph_laplacian_inverse(&graph, 0.1, "G03-like");
@@ -29,14 +33,21 @@ fn main() {
         "this matrix is coordinate-free"
     );
 
-    let w = DenseMatrix::<f64>::from_fn(n, 64, |i, j| {
-        (((i * 31 + j * 17) % 64) as f64) / 64.0 - 0.5
-    });
+    let w =
+        DenseMatrix::<f64>::from_fn(n, 64, |i, j| (((i * 31 + j * 17) % 64) as f64) / 64.0 - 0.5);
 
     // Compare the two Gram-space distances against a lexicographic HSS.
     for (label, metric, budget) in [
-        ("angle distance + 3% budget (GOFMM)", DistanceMetric::Angle, 0.03),
-        ("kernel distance + 3% budget (GOFMM)", DistanceMetric::Kernel, 0.03),
+        (
+            "angle distance + 3% budget (GOFMM)",
+            DistanceMetric::Angle,
+            0.03,
+        ),
+        (
+            "kernel distance + 3% budget (GOFMM)",
+            DistanceMetric::Kernel,
+            0.03,
+        ),
         (
             "lexicographic order, HSS (no permutation)",
             DistanceMetric::Lexicographic,

@@ -40,7 +40,11 @@ fn main() {
     // Hutchinson trace estimator: trace(K) ~ mean_z z^T K z with Rademacher z.
     let samples = 64;
     let mut rng = StdRng::seed_from_u64(1);
-    let z = DenseMatrix::<f64>::from_fn(n, samples, |_, _| if rng.gen::<bool>() { 1.0 } else { -1.0 });
+    let z = DenseMatrix::<f64>::from_fn(
+        n,
+        samples,
+        |_, _| if rng.gen::<bool>() { 1.0 } else { -1.0 },
+    );
     let (kz, stats) = evaluate(&k, &comp, &z);
     let mut trace_est = 0.0;
     for s in 0..samples {

@@ -5,7 +5,9 @@
 use gofmm_suite::baselines::{AskitConfig, AskitMatrix, Hodlr, HodlrConfig, HssConfig, HssMatrix};
 use gofmm_suite::core::{compress, evaluate, DistanceMetric, GofmmConfig, TraversalPolicy};
 use gofmm_suite::linalg::DenseMatrix;
-use gofmm_suite::matrices::{build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions};
+use gofmm_suite::matrices::{
+    build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions,
+};
 
 fn rhs(n: usize, r: usize) -> DenseMatrix<f64> {
     DenseMatrix::from_fn(n, r, |i, j| (((i * 11 + j * 5) % 89) as f64) / 89.0 - 0.5)
@@ -26,7 +28,14 @@ fn gofmm_config() -> GofmmConfig {
 fn all_methods_are_accurate_on_well_ordered_operator() {
     // K02 on a grid: the lexicographic ordering is already reasonable, so all
     // four methods should reach good accuracy (Table 3, row K02).
-    let k = build_matrix(TestMatrixId::K02, &ZooOptions { n: 1024, seed: 1, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K02,
+        &ZooOptions {
+            n: 1024,
+            seed: 1,
+            bandwidth: None,
+        },
+    );
     let n = k.n();
     let w = rhs(n, 8);
 
@@ -131,7 +140,14 @@ fn gofmm_beats_unpermuted_baselines_on_scrambled_kernel() {
 fn askit_and_gofmm_agree_when_points_exist() {
     // Table 4: with geometric information both methods reach comparable
     // accuracy; GOFMM simply does not *need* the points.
-    let k = build_matrix(TestMatrixId::K04, &ZooOptions { n: 1024, seed: 3, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K04,
+        &ZooOptions {
+            n: 1024,
+            seed: 3,
+            bandwidth: None,
+        },
+    );
     let n = k.n();
     let w_vec: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) / 17.0 - 0.5).collect();
 
@@ -162,7 +178,14 @@ fn askit_and_gofmm_agree_when_points_exist() {
 
 #[test]
 fn gofmm_handles_coordinate_free_matrices_baselines_with_points_cannot() {
-    let k = build_matrix(TestMatrixId::G04, &ZooOptions { n: 512, seed: 4, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::G04,
+        &ZooOptions {
+            n: 512,
+            seed: 4,
+            bandwidth: None,
+        },
+    );
     assert!(k.coords().is_none());
     // GOFMM works.
     let comp = compress::<f64, _>(&k, &gofmm_config());

@@ -3,7 +3,9 @@
 
 use gofmm_suite::core::{compress, evaluate, DistanceMetric, GofmmConfig, TraversalPolicy};
 use gofmm_suite::linalg::DenseMatrix;
-use gofmm_suite::matrices::{build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions};
+use gofmm_suite::matrices::{
+    build_matrix, sampled_relative_error, SpdMatrix, TestMatrixId, ZooOptions,
+};
 
 fn config(m: usize, s: usize, tol: f64, budget: f64) -> GofmmConfig {
     GofmmConfig::default()
@@ -22,7 +24,14 @@ fn rhs(n: usize, r: usize) -> DenseMatrix<f64> {
 
 /// Compress, evaluate and return the sampled relative error.
 fn run_pipeline(id: TestMatrixId, n: usize, cfg: &GofmmConfig) -> f64 {
-    let k = build_matrix(id, &ZooOptions { n, seed: 1, bandwidth: None });
+    let k = build_matrix(
+        id,
+        &ZooOptions {
+            n,
+            seed: 1,
+            bandwidth: None,
+        },
+    );
     let w = rhs(k.n(), 8);
     let comp = compress::<f64, _>(&k, cfg);
     let (u, _) = evaluate(&k, &comp, &w);
@@ -53,7 +62,10 @@ fn narrow_bandwidth_kernel_needs_higher_rank() {
     // accuracy (the same effect the paper reports for its hard matrices).
     let small = run_pipeline(TestMatrixId::K05, 1024, &config(64, 96, 1e-7, 0.05));
     let large = run_pipeline(TestMatrixId::K05, 1024, &config(64, 256, 1e-7, 0.05));
-    assert!(large < small, "rank increase should help: {large} vs {small}");
+    assert!(
+        large < small,
+        "rank increase should help: {large} vs {small}"
+    );
     assert!(large < 2e-2, "K05 at rank 256: eps2 = {large}");
 }
 
@@ -82,7 +94,11 @@ fn ml_kernel_matrix_compresses() {
     // this small scale a 25% budget corresponds to a handful of near leaves.
     let k = build_matrix(
         TestMatrixId::Covtype,
-        &ZooOptions { n: 1024, seed: 1, bandwidth: Some(1.0) },
+        &ZooOptions {
+            n: 1024,
+            seed: 1,
+            bandwidth: Some(1.0),
+        },
     );
     let w = rhs(k.n(), 8);
     let comp = compress::<f64, _>(&k, &config(64, 96, 1e-7, 0.25));
@@ -99,7 +115,10 @@ fn tighter_tolerance_improves_accuracy() {
         tight <= loose * 1.5 + 1e-12,
         "tight tolerance ({tight}) should not be worse than loose ({loose})"
     );
-    assert!(tight < 1e-3, "tight tolerance should reach small error, got {tight}");
+    assert!(
+        tight < 1e-3,
+        "tight tolerance should reach small error, got {tight}"
+    );
 }
 
 #[test]
@@ -107,7 +126,14 @@ fn fmm_budget_beats_hss_on_hard_matrix() {
     // K06 (moderate-bandwidth Gaussian in 6-D) has high off-diagonal rank;
     // with a small rank cap, adding direct evaluations (budget) must improve
     // accuracy — the core claim of Figure 6.
-    let k = build_matrix(TestMatrixId::K06, &ZooOptions { n: 1024, seed: 2, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K06,
+        &ZooOptions {
+            n: 1024,
+            seed: 2,
+            bandwidth: None,
+        },
+    );
     let w = rhs(k.n(), 8);
     let hss_cfg = config(64, 32, 0.0, 0.0);
     let fmm_cfg = config(64, 32, 0.0, 0.25);
@@ -125,7 +151,14 @@ fn fmm_budget_beats_hss_on_hard_matrix() {
 
 #[test]
 fn f32_and_f64_compressions_agree_to_single_precision() {
-    let k = build_matrix(TestMatrixId::K04, &ZooOptions { n: 512, seed: 3, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K04,
+        &ZooOptions {
+            n: 512,
+            seed: 3,
+            bandwidth: None,
+        },
+    );
     let cfg = config(64, 64, 1e-6, 0.05);
     let w64 = rhs(k.n(), 4);
     let comp64 = compress::<f64, _>(&k, &cfg);
@@ -141,7 +174,14 @@ fn f32_and_f64_compressions_agree_to_single_precision() {
 
 #[test]
 fn compression_is_deterministic_for_fixed_seed() {
-    let k = build_matrix(TestMatrixId::K07, &ZooOptions { n: 512, seed: 4, bandwidth: None });
+    let k = build_matrix(
+        TestMatrixId::K07,
+        &ZooOptions {
+            n: 512,
+            seed: 4,
+            bandwidth: None,
+        },
+    );
     let cfg = config(64, 64, 1e-6, 0.05).with_seed(99);
     let w = rhs(k.n(), 4);
     let c1 = compress::<f64, _>(&k, &cfg);

@@ -203,13 +203,14 @@ fn dag_runtime_handles_large_random_graphs() {
                         .map(|d| (layer - 1) * width + (w * 7 + d * 13 + layer) % width)
                         .collect()
                 };
-                let id = graph.add_task(format!("t{idx}"), (w % 5) as f64 + 1.0, &deps, move || {
-                    // All dependencies must have completed already.
-                    for &d in &dep_idxs {
-                        assert!(fin[d].load(Ordering::SeqCst) > 0, "dependency {d} not done");
-                    }
-                    fin[idx].fetch_add(1, Ordering::SeqCst);
-                });
+                let id =
+                    graph.add_task(format!("t{idx}"), (w % 5) as f64 + 1.0, &deps, move || {
+                        // All dependencies must have completed already.
+                        for &d in &dep_idxs {
+                            assert!(fin[d].load(Ordering::SeqCst) > 0, "dependency {d} not done");
+                        }
+                        fin[idx].fetch_add(1, Ordering::SeqCst);
+                    });
                 this_layer.push(id);
             }
             prev = this_layer;

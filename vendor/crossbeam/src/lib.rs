@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Vendors the `deque::{Injector, Steal}` subset the GOFMM runtime uses. The
+//! upstream Injector is a lock-free MPMC queue; this stand-in is a mutexed
+//! `VecDeque`, which preserves the exact semantics (FIFO order, `Steal::Empty`
+//! on exhaustion) at the cost of some contention — acceptable here because
+//! GOFMM tasks are orders of magnitude more expensive than a queue operation.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The queue was empty.
+        Empty,
+        /// A race was lost; retry.
+        Retry,
+    }
+
+    /// MPMC FIFO injector queue.
+    #[derive(Default, Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            match self.queue.lock() {
+                Ok(mut q) => q.push_back(task),
+                Err(p) => p.into_inner().push_back(task),
+            }
+        }
+
+        /// Pop a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            let mut q = match self.queue.lock() {
+                Ok(q) => q,
+                Err(p) => p.into_inner(),
+            };
+            match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            match self.queue.lock() {
+                Ok(q) => q.is_empty(),
+                Err(p) => p.into_inner().is_empty(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn fifo_order() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn concurrent_drain() {
+        let q = Injector::new();
+        for i in 0..1000 {
+            q.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Steal::Success(_) = q.steal() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,72 @@
+//! Distributions (`rand::distributions` subset).
+
+use crate::{RngCore, SampleRange};
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a closed or half-open interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                if self.inclusive {
+                    (self.low..=self.high).sample_single(rng)
+                } else {
+                    (self.low..self.high).sample_single(rng)
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform!(usize, u64, u32, f64, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_inclusive_bounds() {
+        let dist = Uniform::new_inclusive(-1.0f64, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_halfopen_ints() {
+        let dist = Uniform::new(3usize, 6);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            assert!((3..6).contains(&dist.sample(&mut rng)));
+        }
+    }
+}

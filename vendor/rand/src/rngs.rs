@@ -1,0 +1,46 @@
+//! Concrete RNGs.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// Deterministic xoshiro256++ generator, the stand-in for `rand::rngs::StdRng`.
+///
+/// Not cryptographically secure — neither is the upstream `StdRng` contract we
+/// rely on (reproducible streams for a fixed seed).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // xoshiro requires a nonzero state; splitmix64 makes all-zero
+        // astronomically unlikely, but guard anyway.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
