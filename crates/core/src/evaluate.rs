@@ -1,20 +1,41 @@
 //! The evaluation phase (paper Algorithm 2.7): approximate `u = K w` using the
 //! compressed representation via the four task families N2S, S2S, S2N and L2L.
+//!
+//! Two entry points share one implementation:
+//!
+//! * [`Evaluator`] — the persistent path. Built once from a [`Compressed`]
+//!   matrix, it packs every near/far interaction block into contiguous
+//!   per-node storage, builds the evaluation task DAG once
+//!   (a [`ReusablePlan`]), and then serves unlimited [`Evaluator::apply`]
+//!   calls that touch the kernel zero times. This is the right tool for
+//!   solvers and services that issue many matvecs against one compression.
+//! * [`evaluate`] / [`evaluate_with`] — one-shot convenience wrappers that
+//!   build a transient `Evaluator` and apply it once.
+//!
+//! Both paths produce bit-identical outputs for every traversal policy: all
+//! cross-task accumulation orders are fixed by dependency edges (or by the
+//! equivalent level-by-level barriers), so the schedule cannot change a bit.
 
 use crate::compress::Compressed;
 use crate::config::TraversalPolicy;
 use gofmm_linalg::{gemm, DenseMatrix, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
-use gofmm_runtime::{parallel_for, DisjointCells, ExecStats, Family, PhasePlan};
-use std::borrow::Cow;
+use gofmm_runtime::{parallel_for, DisjointCells, ExecStats, Family, ReusablePlan};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Statistics of one evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct EvaluationStats {
-    /// Wall-clock seconds.
+    /// Wall-clock seconds of the apply itself (excludes evaluator setup).
     pub time: f64,
+    /// Wall-clock seconds spent building the [`Evaluator`] that served this
+    /// evaluation: packing interaction blocks and building the task DAG.
+    /// Amortized over every subsequent apply on the same evaluator.
+    pub setup_time: f64,
+    /// Bytes of interaction blocks (plus gather indices) packed inside the
+    /// evaluator. These are read, never recomputed, on every apply.
+    pub cached_bytes: usize,
     /// Floating-point operations performed (GEMM counts).
     pub flops: u64,
     /// Scheduler statistics when the evaluation ran through the shared
@@ -23,7 +44,7 @@ pub struct EvaluationStats {
 }
 
 impl EvaluationStats {
-    /// Achieved GFLOP/s.
+    /// Achieved GFLOP/s of the apply phase.
     pub fn gflops(&self) -> f64 {
         if self.time > 0.0 {
             self.flops as f64 / self.time / 1e9
@@ -33,35 +54,301 @@ impl EvaluationStats {
     }
 }
 
-/// Per-evaluation state: the four per-node value families of Algorithm 2.7.
+/// A persistent evaluator: `u ≈ K w` served from precomputed state.
 ///
-/// All four live in [`DisjointCells`]: every cell has exactly one writing
-/// task, and every cross-task read/write pair is ordered either by a plan
-/// dependency edge (DAG policies, sequential) or by a phase barrier
-/// (level-by-level), so no cell ever takes a blocking lock. In particular
-/// the `utilde` accumulation — written by a node's own S2S *and* by its
-/// parent's S2N — is ordered by the explicit `S2S(child) -> S2N(parent)`
-/// edges in [`evaluation_plan`], which also fixes the floating-point
-/// accumulation order, making outputs bit-identical across all policies.
-struct EvalContext<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> {
-    matrix: &'a M,
+/// GOFMM splits work into a one-time compression and a per-matvec
+/// evaluation. The one-shot [`evaluate`] entry point still rebuilt
+/// per-call state — interaction blocks gathered from the kernel, the task
+/// DAG, the per-node buffers. `Evaluator` hoists all of that into
+/// construction:
+///
+/// * every far block `K_{skel(beta), skel(alpha)}` and near block
+///   `K_{beta, alpha}` is packed into one contiguous column-major matrix per
+///   node (blocks side by side), so each S2S/L2L task is a single GEMM
+///   against packed storage instead of a loop of small GEMMs against lazily
+///   materialized blocks;
+/// * the evaluation [`ReusablePlan`] (N2S postorder, S2S, S2N preorder, L2L;
+///   Figure 3 of the paper) is built once and re-run for every apply;
+/// * the per-node value buffers (`w~`, `u~`, far/near leaf outputs) are
+///   allocated once and recycled, resized only when the number of right-hand
+///   sides changes.
+///
+/// After construction, [`Evaluator::apply`] never evaluates a kernel entry —
+/// the source matrix is not even reachable from it.
+///
+/// # Example
+///
+/// Build once, apply twice — the second apply pays no setup:
+///
+/// ```
+/// use gofmm_core::{compress, Evaluator, GofmmConfig, TraversalPolicy};
+/// use gofmm_linalg::DenseMatrix;
+/// use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+///
+/// let n = 256;
+/// let k = KernelMatrix::new(
+///     PointCloud::uniform(n, 3, 7),
+///     KernelType::Gaussian { bandwidth: 1.0 },
+///     1e-6,
+///     "doc",
+/// );
+/// let config = GofmmConfig::default()
+///     .with_leaf_size(32)
+///     .with_max_rank(32)
+///     .with_tolerance(1e-5)
+///     .with_threads(2)
+///     .with_policy(TraversalPolicy::Sequential);
+/// let comp = compress::<f64, _>(&k, &config);
+///
+/// // Pays block packing + DAG construction once...
+/// let mut evaluator = Evaluator::new(&k, &comp);
+/// let w = DenseMatrix::<f64>::from_fn(n, 2, |i, j| ((i + 2 * j) % 5) as f64);
+///
+/// // ...then serves repeated matvecs from cached state, bit-identically.
+/// let (u1, stats) = evaluator.apply(&w);
+/// let (u2, _) = evaluator.apply(&w);
+/// assert_eq!(u1.data(), u2.data());
+/// assert!(stats.cached_bytes > 0);
+/// assert_eq!(stats.cached_bytes, evaluator.cached_bytes());
+/// ```
+pub struct Evaluator<'a, T: Scalar> {
     comp: &'a Compressed<T>,
-    w: &'a DenseMatrix<T>,
-    /// Skeleton weights `w~` per node.
+    policy: TraversalPolicy,
+    num_threads: usize,
+    /// Per-node far blocks `K_{skel(beta), skel(alpha)}`, horizontally
+    /// concatenated in Far-list order (`0 x 0` when the node has none).
+    far: Vec<DenseMatrix<T>>,
+    /// Per-leaf near blocks `K_{beta, alpha}`, horizontally concatenated in
+    /// Near-list order (`0 x 0` for interior nodes).
+    near: Vec<DenseMatrix<T>>,
+    /// Per-leaf concatenation of the near nodes' original row indices: the
+    /// gather list applied to `w` before the single L2L GEMM.
+    near_gather: Vec<Vec<usize>>,
+    /// The evaluation task DAG, built once and re-run per apply.
+    plan: ReusablePlan,
+    setup_time: f64,
+    cached_bytes: usize,
+    /// Skeleton weights `w~` per node (recycled across applies).
     wtilde: DisjointCells<DenseMatrix<T>>,
-    /// Skeleton potentials `u~` per node.
+    /// Skeleton potentials `u~` per node (recycled across applies).
     utilde: DisjointCells<DenseMatrix<T>>,
     /// Far-field contribution to the output, per leaf.
     u_far: DisjointCells<DenseMatrix<T>>,
     /// Near-field (direct) contribution to the output, per leaf.
     u_near: DisjointCells<DenseMatrix<T>>,
+    /// Right-hand-side count the buffers are currently sized for
+    /// (`usize::MAX` until the first apply, so that a first apply with any
+    /// width — including zero columns — takes the allocation path).
+    rhs: usize,
     flops: AtomicU64,
 }
 
-impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
-    fn new(matrix: &'a M, comp: &'a Compressed<T>, w: &'a DenseMatrix<T>) -> Self {
-        let r = w.cols();
-        let node_count = comp.tree.node_count();
+impl<'a, T: Scalar> Evaluator<'a, T> {
+    /// Build an evaluator using the policy and thread count stored in the
+    /// compression configuration.
+    ///
+    /// The `matrix` is only consulted here, and only when the compression
+    /// skipped block caching (`cache_blocks: false`); every subsequent
+    /// [`Evaluator::apply`] runs without kernel access.
+    pub fn new<M: SpdMatrix<T> + ?Sized>(matrix: &M, comp: &'a Compressed<T>) -> Self {
+        Self::with_options(matrix, comp, comp.config.policy, comp.config.num_threads)
+    }
+
+    /// Build an evaluator with an explicit traversal policy and thread count
+    /// (used by the scheduling experiments).
+    pub fn with_options<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &'a Compressed<T>,
+        policy: TraversalPolicy,
+        num_threads: usize,
+    ) -> Self {
+        let t0 = Instant::now();
+        let tree = &comp.tree;
+        let node_count = tree.node_count();
+
+        // --- Pack interaction blocks into contiguous per-node storage ------
+        // Every parallel iteration writes only its own node's cells
+        // (DisjointCells verifies that at runtime).
+        let far_cells: DisjointCells<DenseMatrix<T>> =
+            DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0));
+        let near_cells: DisjointCells<DenseMatrix<T>> =
+            DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0));
+        let gather_cells: DisjointCells<Vec<usize>> =
+            DisjointCells::from_fn(node_count, |_| Vec::new());
+
+        parallel_for(node_count, num_threads.max(1), |heap| {
+            if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
+                let rows = tree.indices(heap);
+                let gather: Vec<usize> = comp.lists.near[heap]
+                    .iter()
+                    .flat_map(|&alpha| tree.indices(alpha).iter().copied())
+                    .collect();
+                let mat = if !comp.near_blocks[heap].is_empty() {
+                    hstack_blocks(rows.len(), &comp.near_blocks[heap])
+                } else {
+                    matrix.submatrix(rows, &gather)
+                };
+                near_cells.set(heap, mat);
+                gather_cells.set(heap, gather);
+            }
+            if let Some(basis) = comp.bases[heap].as_ref() {
+                if !comp.lists.far[heap].is_empty() {
+                    let mat = if !comp.far_blocks[heap].is_empty() {
+                        hstack_blocks(basis.rank(), &comp.far_blocks[heap])
+                    } else {
+                        let cols: Vec<usize> = comp.lists.far[heap]
+                            .iter()
+                            .flat_map(|&alpha| {
+                                comp.bases[alpha]
+                                    .as_ref()
+                                    .expect("far node must have a skeleton")
+                                    .skeleton
+                                    .iter()
+                                    .copied()
+                            })
+                            .collect();
+                        matrix.submatrix(&basis.skeleton, &cols)
+                    };
+                    far_cells.set(heap, mat);
+                }
+            }
+        });
+        let far = far_cells.into_inner();
+        let near = near_cells.into_inner();
+        let near_gather = gather_cells.into_inner();
+
+        let scalar = std::mem::size_of::<T>();
+        let cached_bytes = far
+            .iter()
+            .chain(near.iter())
+            .map(|m| m.rows() * m.cols() * scalar)
+            .sum::<usize>()
+            + near_gather
+                .iter()
+                .map(|g| g.len() * std::mem::size_of::<usize>())
+                .sum::<usize>();
+
+        // --- Build the evaluation DAG once ---------------------------------
+        let plan = evaluation_plan(comp);
+
+        Self {
+            comp,
+            policy,
+            num_threads: num_threads.max(1),
+            far,
+            near,
+            near_gather,
+            plan,
+            setup_time: t0.elapsed().as_secs_f64(),
+            cached_bytes,
+            wtilde: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
+            utilde: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
+            u_far: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
+            u_near: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
+            rhs: usize::MAX,
+            flops: AtomicU64::new(0),
+        }
+    }
+
+    /// Matrix dimension `N`.
+    pub fn n(&self) -> usize {
+        self.comp.n()
+    }
+
+    /// Wall-clock seconds spent in construction (block packing + DAG build).
+    pub fn setup_time(&self) -> f64 {
+        self.setup_time
+    }
+
+    /// Bytes of packed interaction blocks (plus gather indices) held by this
+    /// evaluator.
+    pub fn cached_bytes(&self) -> usize {
+        self.cached_bytes
+    }
+
+    /// The traversal policy used by [`Evaluator::apply`].
+    pub fn policy(&self) -> TraversalPolicy {
+        self.policy
+    }
+
+    /// Change the traversal policy for subsequent applies. All policies share
+    /// the cached state and produce bit-identical outputs.
+    pub fn set_policy(&mut self, policy: TraversalPolicy) {
+        self.policy = policy;
+    }
+
+    /// Change the worker-thread count for subsequent applies.
+    pub fn set_threads(&mut self, num_threads: usize) {
+        self.num_threads = num_threads.max(1);
+    }
+
+    /// Evaluate `u ≈ K w` from cached state.
+    ///
+    /// Performs zero kernel-entry evaluations: every interaction block was
+    /// packed at construction. The per-node buffers are recycled between
+    /// calls and reallocated only when `w.cols()` changes.
+    pub fn apply(&mut self, w: &DenseMatrix<T>) -> (DenseMatrix<T>, EvaluationStats) {
+        assert_eq!(w.rows(), self.comp.n(), "input vector size mismatch");
+        let t0 = Instant::now();
+        self.prepare_buffers(w.cols());
+        self.flops.store(0, Ordering::Relaxed);
+
+        let tree = &self.comp.tree;
+        let num_threads = self.num_threads;
+        let pass = ApplyPass { ev: &*self, w };
+        let exec_stats = match self.policy.schedule_policy() {
+            None => {
+                // Level-by-level: one barrier per tree level / task family.
+                // The phase order (all S2S before any S2N, S2N levels
+                // descending the tree) matches the plan's dependency edges,
+                // so per-cell write order — and therefore the floating-point
+                // result — is identical to the DAG policies.
+                for level in (1..=tree.depth()).rev() {
+                    let nodes: Vec<usize> = tree.level_range(level).collect();
+                    parallel_for(nodes.len(), num_threads, |i| pass.task_n2s(nodes[i]));
+                }
+                let all: Vec<usize> = (1..tree.node_count()).collect();
+                parallel_for(all.len(), num_threads, |i| pass.task_s2s(all[i]));
+                for level in 1..=tree.depth() {
+                    let nodes: Vec<usize> = tree.level_range(level).collect();
+                    parallel_for(nodes.len(), num_threads, |i| pass.task_s2n(nodes[i]));
+                }
+                let leaves: Vec<usize> = tree.leaf_range().collect();
+                parallel_for(leaves.len(), num_threads, |i| pass.task_l2l(leaves[i]));
+                None
+            }
+            Some(sched) => Some(self.plan.run(sched, num_threads, |family, node| {
+                pass.dispatch(family, node)
+            })),
+        };
+
+        let out = pass.assemble();
+        let stats = EvaluationStats {
+            time: t0.elapsed().as_secs_f64(),
+            setup_time: self.setup_time,
+            cached_bytes: self.cached_bytes,
+            flops: self.flops.load(Ordering::Relaxed),
+            exec: exec_stats,
+        };
+        (out, stats)
+    }
+
+    /// Allocate the per-node buffers for `r` right-hand sides, or zero the
+    /// accumulated ones in place when the width is unchanged.
+    fn prepare_buffers(&mut self, r: usize) {
+        let node_count = self.comp.tree.node_count();
+        if self.rhs == r {
+            // `wtilde` needs no reset: every cell that is ever read is fully
+            // overwritten by its node's N2S task. The three accumulator
+            // families start from zero each apply.
+            for i in 0..node_count {
+                self.utilde.get_mut(i).fill(T::zero());
+                self.u_far.get_mut(i).fill(T::zero());
+                self.u_near.get_mut(i).fill(T::zero());
+            }
+            return;
+        }
+        let comp = self.comp;
         let rank_of = |heap: usize| comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
         let leaf_dims = |heap: usize| {
             if comp.tree.is_leaf(heap) {
@@ -70,69 +357,85 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
                 (0, 0)
             }
         };
-        Self {
-            matrix,
-            comp,
-            w,
-            wtilde: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
-            utilde: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
-            u_far: DisjointCells::from_fn(node_count, |h| {
-                let (rows, cols) = leaf_dims(h);
-                DenseMatrix::zeros(rows, cols)
-            }),
-            u_near: DisjointCells::from_fn(node_count, |h| {
-                let (rows, cols) = leaf_dims(h);
-                DenseMatrix::zeros(rows, cols)
-            }),
-            flops: AtomicU64::new(0),
-        }
+        self.wtilde = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r));
+        self.utilde = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r));
+        self.u_far = DisjointCells::from_fn(node_count, |h| {
+            let (rows, cols) = leaf_dims(h);
+            DenseMatrix::zeros(rows, cols)
+        });
+        self.u_near = DisjointCells::from_fn(node_count, |h| {
+            let (rows, cols) = leaf_dims(h);
+            DenseMatrix::zeros(rows, cols)
+        });
+        self.rhs = r;
     }
+}
 
+/// Copy `blocks` (all with `rows` rows) side by side into one column-major
+/// matrix, preserving every bit of the cached values.
+fn hstack_blocks<T: Scalar>(rows: usize, blocks: &[DenseMatrix<T>]) -> DenseMatrix<T> {
+    let total: usize = blocks.iter().map(|b| b.cols()).sum();
+    let mut mat = DenseMatrix::zeros(rows, total);
+    let mut off = 0;
+    for b in blocks {
+        debug_assert_eq!(b.rows(), rows, "packed block row mismatch");
+        mat.set_block(0, off, b);
+        off += b.cols();
+    }
+    mat
+}
+
+/// One in-flight apply: the evaluator's cached state plus the current
+/// right-hand sides.
+///
+/// All four per-node value families live in [`DisjointCells`]: every cell has
+/// exactly one writing task, and every cross-task read/write pair is ordered
+/// either by a plan dependency edge (DAG policies, sequential) or by a phase
+/// barrier (level-by-level), so no cell ever takes a blocking lock. In
+/// particular the `utilde` accumulation — written by a node's own S2S *and*
+/// by its parent's S2N — is ordered by the explicit `S2S(child) ->
+/// S2N(parent)` edges in [`evaluation_plan`], which also fixes the
+/// floating-point accumulation order, making outputs bit-identical across
+/// all policies.
+struct ApplyPass<'p, 'a, T: Scalar> {
+    ev: &'p Evaluator<'a, T>,
+    w: &'p DenseMatrix<T>,
+}
+
+impl<T: Scalar> ApplyPass<'_, '_, T> {
     fn count_gemm(&self, m: usize, n: usize, k: usize) {
-        self.flops
+        self.ev
+            .flops
             .fetch_add(2 * m as u64 * n as u64 * k as u64, Ordering::Relaxed);
     }
 
-    /// Cached or freshly evaluated far block `K_{skel(beta), skel(alpha)}`.
-    fn far_block(&self, beta: usize, idx: usize) -> Cow<'_, DenseMatrix<T>> {
-        if !self.comp.far_blocks[beta].is_empty() {
-            Cow::Borrowed(&self.comp.far_blocks[beta][idx])
-        } else {
-            let alpha = self.comp.lists.far[beta][idx];
-            let rows = &self.comp.bases[beta].as_ref().unwrap().skeleton;
-            let cols = &self.comp.bases[alpha].as_ref().unwrap().skeleton;
-            Cow::Owned(self.matrix.submatrix(rows, cols))
-        }
-    }
-
-    /// Cached or freshly evaluated near block `K_{beta, alpha}`.
-    fn near_block(&self, beta: usize, idx: usize) -> Cow<'_, DenseMatrix<T>> {
-        if !self.comp.near_blocks[beta].is_empty() {
-            Cow::Borrowed(&self.comp.near_blocks[beta][idx])
-        } else {
-            let alpha = self.comp.lists.near[beta][idx];
-            Cow::Owned(
-                self.matrix
-                    .submatrix(self.comp.tree.indices(beta), self.comp.tree.indices(alpha)),
-            )
+    /// Route a `(family, node)` key from the cached plan to its task.
+    fn dispatch(&self, family: Family, node: usize) {
+        match family {
+            "N2S" => self.task_n2s(node),
+            "S2S" => self.task_s2s(node),
+            "S2N" => self.task_s2n(node),
+            "L2L" => self.task_l2l(node),
+            other => unreachable!("unknown evaluation task family {other}"),
         }
     }
 
     /// N2S: skeleton weights `w~_alpha = P w_alpha` (leaf) or
     /// `P [w~_l; w~_r]` (interior).
     fn task_n2s(&self, heap: usize) {
-        let Some(basis) = self.comp.bases[heap].as_ref() else {
+        let comp = self.ev.comp;
+        let Some(basis) = comp.bases[heap].as_ref() else {
             return;
         };
-        let local = if self.comp.tree.is_leaf(heap) {
-            self.w.select_rows(self.comp.tree.indices(heap))
+        let local = if comp.tree.is_leaf(heap) {
+            self.w.select_rows(comp.tree.indices(heap))
         } else {
-            let (l, r) = self.comp.tree.children(heap);
-            let wl = self.wtilde.read(l);
-            let wr = self.wtilde.read(r);
+            let (l, r) = comp.tree.children(heap);
+            let wl = self.ev.wtilde.read(l);
+            let wr = self.ev.wtilde.read(r);
             wl.vstack(&wr)
         };
-        let mut wt = DenseMatrix::zeros(basis.rank(), self.w.cols());
+        let mut wt = self.ev.wtilde.write(heap);
         gemm(
             T::one(),
             &basis.interp,
@@ -143,63 +446,65 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
             &mut wt,
         );
         self.count_gemm(basis.rank(), self.w.cols(), local.rows());
-        self.wtilde.set(heap, wt);
     }
 
-    /// S2S: skeleton potentials `u~_beta += sum_{alpha in Far(beta)}
-    /// K_{skel(beta), skel(alpha)} w~_alpha`.
+    /// S2S: skeleton potentials `u~_beta += K_{skel(beta), Far-skels} w~_Far`
+    /// — one GEMM against the packed far panel.
     fn task_s2s(&self, heap: usize) {
-        let Some(basis) = self.comp.bases[heap].as_ref() else {
-            return;
-        };
-        if self.comp.lists.far[heap].is_empty() {
+        let comp = self.ev.comp;
+        let far = &self.ev.far[heap];
+        if far.is_empty() {
             return;
         }
         let r = self.w.cols();
-        let mut acc = DenseMatrix::zeros(basis.rank(), r);
-        for idx in 0..self.comp.lists.far[heap].len() {
-            let alpha = self.comp.lists.far[heap][idx];
-            let block = self.far_block(heap, idx);
-            let wa = self.wtilde.read(alpha);
-            gemm(
-                T::one(),
-                block.as_ref(),
-                Transpose::No,
-                &wa,
-                Transpose::No,
-                T::one(),
-                &mut acc,
-            );
-            self.count_gemm(block.rows(), r, block.cols());
+        // Stack the far nodes' skeleton weights in Far-list order, matching
+        // the packed panel's column order.
+        let mut wstack = DenseMatrix::zeros(far.cols(), r);
+        let mut off = 0;
+        for &alpha in &comp.lists.far[heap] {
+            let wa = self.ev.wtilde.read(alpha);
+            wstack.set_block(off, 0, &wa);
+            off += wa.rows();
         }
-        self.utilde.write(heap).axpy(T::one(), &acc);
+        debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
+        let mut ut = self.ev.utilde.write(heap);
+        gemm(
+            T::one(),
+            far,
+            Transpose::No,
+            &wstack,
+            Transpose::No,
+            T::one(),
+            &mut ut,
+        );
+        self.count_gemm(far.rows(), r, far.cols());
     }
 
     /// S2N: interpolate skeleton potentials back down the tree.
     fn task_s2n(&self, heap: usize) {
-        let Some(basis) = self.comp.bases[heap].as_ref() else {
+        let comp = self.ev.comp;
+        let Some(basis) = comp.bases[heap].as_ref() else {
             return;
         };
         let r = self.w.cols();
-        let ut = self.utilde.read(heap).clone();
-        if self.comp.tree.is_leaf(heap) {
-            let len = self.comp.tree.node(heap).len;
-            let mut out = DenseMatrix::zeros(len, r);
+        let ut = self.ev.utilde.read(heap);
+        if comp.tree.is_leaf(heap) {
+            let len = comp.tree.node(heap).len;
+            let mut out = self.ev.u_far.write(heap);
             gemm(
                 T::one(),
                 &basis.interp,
                 Transpose::Yes,
                 &ut,
                 Transpose::No,
-                T::zero(),
+                T::one(),
                 &mut out,
             );
             self.count_gemm(len, r, basis.rank());
-            self.u_far.write(heap).axpy(T::one(), &out);
         } else {
-            let (l, rgt) = self.comp.tree.children(heap);
-            let sl = self.comp.bases[l].as_ref().map(|b| b.rank()).unwrap_or(0);
-            let sr = self.comp.bases[rgt].as_ref().map(|b| b.rank()).unwrap_or(0);
+            let (l, rgt) = comp.tree.children(heap);
+            let sl = comp.bases[l].as_ref().map(|b| b.rank()).unwrap_or(0);
+            let sr = comp.bases[rgt].as_ref().map(|b| b.rank()).unwrap_or(0);
             let mut contrib = DenseMatrix::zeros(sl + sr, r);
             gemm(
                 T::one(),
@@ -210,50 +515,48 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
                 T::zero(),
                 &mut contrib,
             );
+            drop(ut);
             self.count_gemm(sl + sr, r, basis.rank());
             let top = contrib.block(0, sl, 0, r);
             let bottom = contrib.block(sl, sl + sr, 0, r);
-            self.utilde.write(l).axpy(T::one(), &top);
-            self.utilde.write(rgt).axpy(T::one(), &bottom);
+            self.ev.utilde.write(l).axpy(T::one(), &top);
+            self.ev.utilde.write(rgt).axpy(T::one(), &bottom);
         }
     }
 
-    /// L2L: direct (near) interactions between leaves.
+    /// L2L: direct (near) interactions — one GEMM of the packed near panel
+    /// against the gathered input rows.
     fn task_l2l(&self, heap: usize) {
-        if !self.comp.tree.is_leaf(heap) {
+        let near = &self.ev.near[heap];
+        if near.is_empty() {
             return;
         }
         let r = self.w.cols();
-        let len = self.comp.tree.node(heap).len;
-        let mut out = DenseMatrix::zeros(len, r);
-        for idx in 0..self.comp.lists.near[heap].len() {
-            let alpha = self.comp.lists.near[heap][idx];
-            let block = self.near_block(heap, idx);
-            let w_alpha = self.w.select_rows(self.comp.tree.indices(alpha));
-            gemm(
-                T::one(),
-                block.as_ref(),
-                Transpose::No,
-                &w_alpha,
-                Transpose::No,
-                T::one(),
-                &mut out,
-            );
-            self.count_gemm(block.rows(), r, block.cols());
-        }
-        self.u_near.write(heap).axpy(T::one(), &out);
+        let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
+        let mut out = self.ev.u_near.write(heap);
+        gemm(
+            T::one(),
+            near,
+            Transpose::No,
+            &w_near,
+            Transpose::No,
+            T::one(),
+            &mut out,
+        );
+        self.count_gemm(near.rows(), r, near.cols());
     }
 
     /// Gather the per-leaf far and near contributions into the output vector
     /// in the original index order.
     fn assemble(&self) -> DenseMatrix<T> {
-        let n = self.comp.n();
+        let comp = self.ev.comp;
+        let n = comp.n();
         let r = self.w.cols();
         let mut out = DenseMatrix::zeros(n, r);
-        for leaf in self.comp.tree.leaf_range() {
-            let uf = self.u_far.read(leaf);
-            let un = self.u_near.read(leaf);
-            for (local, &orig) in self.comp.tree.indices(leaf).iter().enumerate() {
+        for leaf in comp.tree.leaf_range() {
+            let uf = self.ev.u_far.read(leaf);
+            let un = self.ev.u_near.read(leaf);
+            for (local, &orig) in comp.tree.indices(leaf).iter().enumerate() {
                 for c in 0..r {
                     let far_v = if uf.rows() > 0 {
                         uf.get(local, c)
@@ -270,6 +573,10 @@ impl<'a, T: Scalar, M: SpdMatrix<T> + ?Sized> EvalContext<'a, T, M> {
 
 /// Evaluate `u ≈ K w` using the policy and thread count stored in the
 /// compression configuration.
+///
+/// One-shot wrapper over [`Evaluator`]: builds a transient evaluator and
+/// applies it once. Callers issuing repeated matvecs against the same
+/// compression should hold an `Evaluator` instead and amortize the setup.
 pub fn evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
@@ -280,6 +587,8 @@ pub fn evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
 
 /// Evaluate `u ≈ K w` with an explicit traversal policy and thread count
 /// (used by the scheduling experiments).
+///
+/// One-shot wrapper over [`Evaluator::with_options`]; see [`evaluate`].
 pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
@@ -287,115 +596,67 @@ pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     policy: TraversalPolicy,
     num_threads: usize,
 ) -> (DenseMatrix<T>, EvaluationStats) {
-    assert_eq!(w.rows(), comp.n(), "input vector size mismatch");
-    let ctx = EvalContext::new(matrix, comp, w);
-    let tree = &comp.tree;
-    let t0 = Instant::now();
-    let mut exec_stats = None;
-
-    match policy.schedule_policy() {
-        None => {
-            // Level-by-level: one barrier per tree level / task family. The
-            // phase order (all S2S before any S2N, S2N levels descending the
-            // tree) matches the plan's dependency edges, so per-cell write
-            // order — and therefore the floating-point result — is identical
-            // to the DAG policies.
-            for level in (1..=tree.depth()).rev() {
-                let nodes: Vec<usize> = tree.level_range(level).collect();
-                parallel_for(nodes.len(), num_threads, |i| ctx.task_n2s(nodes[i]));
-            }
-            let all: Vec<usize> = (1..tree.node_count()).collect();
-            parallel_for(all.len(), num_threads, |i| ctx.task_s2s(all[i]));
-            for level in 1..=tree.depth() {
-                let nodes: Vec<usize> = tree.level_range(level).collect();
-                parallel_for(nodes.len(), num_threads, |i| ctx.task_s2n(nodes[i]));
-            }
-            let leaves: Vec<usize> = tree.leaf_range().collect();
-            parallel_for(leaves.len(), num_threads, |i| ctx.task_l2l(leaves[i]));
-        }
-        Some(sched) => {
-            let stats = evaluation_plan(&ctx).run(sched, num_threads);
-            exec_stats = Some(stats);
-        }
-    }
-
-    let out = ctx.assemble();
-    let stats = EvaluationStats {
-        time: t0.elapsed().as_secs_f64(),
-        flops: ctx.flops.load(Ordering::Relaxed),
-        exec: exec_stats,
-    };
-    (out, stats)
+    let mut evaluator = Evaluator::with_options(matrix, comp, policy, num_threads);
+    evaluator.apply(w)
 }
 
 /// Build the evaluation phase plan (N2S postorder, S2S any order after its
 /// inputs, S2N preorder, L2L independent) — Figure 3 of the paper — through
-/// the shared execution-plan layer.
+/// the shared execution-plan layer. The plan depends only on the compressed
+/// structure, never on a right-hand side, which is what lets [`Evaluator`]
+/// build it once and re-run it per matvec.
 ///
 /// Beyond the paper's read-set edges, each `S2N(node)` also depends on the
 /// S2S tasks of `node`'s children: `S2N(node)` accumulates into the
 /// children's `utilde` cells, which their own S2S tasks also write. The extra
 /// edges give every `utilde` cell a schedule-independent write order
-/// (own S2S first, then parent's S2N), so all three policies produce
+/// (own S2S first, then parent's S2N), so all policies produce
 /// bit-identical outputs.
-fn evaluation_plan<'a, T: Scalar, M: SpdMatrix<T> + ?Sized>(
-    ctx: &'a EvalContext<'a, T, M>,
-) -> PhasePlan<'a> {
-    let tree = &ctx.comp.tree;
+fn evaluation_plan<T: Scalar>(comp: &Compressed<T>) -> ReusablePlan {
+    let tree = &comp.tree;
     let node_count = tree.node_count();
-    let r = ctx.w.cols() as f64;
-    let m = ctx.comp.config.leaf_size as f64;
-    let s = ctx.comp.config.max_rank as f64;
-    let skip = |heap: usize| heap == 0 || ctx.comp.bases[heap].is_none();
+    let m = comp.config.leaf_size as f64;
+    let s = comp.config.max_rank as f64;
+    // The RHS count is unknown at plan time; cost estimates only rank tasks
+    // against each other, so the uniform per-column factor is dropped.
+    let skip = |heap: usize| heap == 0 || comp.bases[heap].is_none();
     let updown_cost = |heap: usize| {
         if tree.is_leaf(heap) {
-            2.0 * m * s * r
+            2.0 * m * s
         } else {
-            2.0 * s * s * r
+            2.0 * s * s
         }
     };
-    let mut plan = PhasePlan::new();
+    let mut plan = ReusablePlan::new();
 
     // N2S: children before parents.
-    plan.add_bottom_up("N2S", tree, skip, updown_cost, |heap| {
-        move || ctx.task_n2s(heap)
-    });
+    plan.add_bottom_up("N2S", tree, skip, updown_cost);
 
     // S2S: any order once the far nodes' skeleton weights exist.
     for heap in 1..node_count {
-        if skip(heap) || ctx.comp.lists.far[heap].is_empty() {
+        if skip(heap) || comp.lists.far[heap].is_empty() {
             continue;
         }
-        let deps: Vec<(Family, usize)> = ctx.comp.lists.far[heap]
-            .iter()
-            .map(|&a| ("N2S", a))
-            .collect();
-        let cost = 2.0 * s * s * r * ctx.comp.lists.far[heap].len() as f64;
-        plan.add("S2S", heap, cost, &deps, move || ctx.task_s2s(heap));
+        let deps: Vec<(Family, usize)> = comp.lists.far[heap].iter().map(|&a| ("N2S", a)).collect();
+        let cost = 2.0 * s * s * comp.lists.far[heap].len() as f64;
+        plan.add("S2S", heap, cost, &deps);
     }
 
     // S2N: parents before children, after the node's own S2S and — for the
     // deterministic utilde write order — after the children's S2S.
-    plan.add_top_down(
-        "S2N",
-        tree,
-        skip,
-        updown_cost,
-        |heap, deps| {
-            deps.push(("S2S", heap));
-            if !tree.is_leaf(heap) {
-                let (l, rgt) = tree.children(heap);
-                deps.push(("S2S", l));
-                deps.push(("S2S", rgt));
-            }
-        },
-        |heap| move || ctx.task_s2n(heap),
-    );
+    plan.add_top_down("S2N", tree, skip, updown_cost, |heap, deps| {
+        deps.push(("S2S", heap));
+        if !tree.is_leaf(heap) {
+            let (l, rgt) = tree.children(heap);
+            deps.push(("S2S", l));
+            deps.push(("S2S", rgt));
+        }
+    });
 
     // L2L: independent of everything else.
     for heap in tree.leaf_range() {
-        let cost = 2.0 * m * m * r * ctx.comp.lists.near[heap].len() as f64;
-        plan.add("L2L", heap, cost, &[], move || ctx.task_l2l(heap));
+        let cost = 2.0 * m * m * comp.lists.near[heap].len() as f64;
+        plan.add("L2L", heap, cost, &[]);
     }
 
     plan
@@ -430,6 +691,36 @@ mod tests {
             .with_policy(TraversalPolicy::Sequential)
     }
 
+    /// An SPD matrix wrapper that counts kernel-entry evaluations, used to
+    /// prove that `Evaluator::apply` never touches the kernel.
+    struct CountingMatrix<'m, M> {
+        inner: &'m M,
+        entries: AtomicU64,
+    }
+
+    impl<'m, M> CountingMatrix<'m, M> {
+        fn new(inner: &'m M) -> Self {
+            Self {
+                inner,
+                entries: AtomicU64::new(0),
+            }
+        }
+
+        fn count(&self) -> u64 {
+            self.entries.load(Ordering::Relaxed)
+        }
+    }
+
+    impl<M: SpdMatrix<f64>> SpdMatrix<f64> for CountingMatrix<'_, M> {
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn entry(&self, i: usize, j: usize) -> f64 {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.inner.entry(i, j)
+        }
+    }
+
     #[test]
     fn evaluation_matches_exact_matvec() {
         let n = 300;
@@ -441,6 +732,7 @@ mod tests {
         assert_eq!(u.rows(), n);
         assert_eq!(u.cols(), 4);
         assert!(stats.flops > 0);
+        assert!(stats.cached_bytes > 0);
         let exact = k.matvec_exact(&w);
         let rel = u.sub(&exact).norm_fro() / exact.norm_fro();
         assert!(rel < 1e-4, "relative error {rel}");
@@ -531,6 +823,153 @@ mod tests {
     }
 
     #[test]
+    fn evaluator_apply_is_bit_identical_to_one_shot_for_all_policies() {
+        let n = 300;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(31);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        for policy in [
+            TraversalPolicy::Sequential,
+            TraversalPolicy::LevelByLevel,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ] {
+            let (u_once, _) = evaluate_with(&k, &comp, &w, policy, 4);
+            let mut evaluator = Evaluator::with_options(&k, &comp, policy, 4);
+            // Two consecutive applies: the second runs entirely on recycled
+            // buffers and must not see any state leaked by the first.
+            let (u1, s1) = evaluator.apply(&w);
+            let (u2, s2) = evaluator.apply(&w);
+            assert_eq!(
+                u_once.data().len(),
+                u1.data().len(),
+                "{policy}: shape mismatch"
+            );
+            for (idx, (a, b)) in u_once.data().iter().zip(u1.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{policy}: apply #1 entry {idx}");
+            }
+            for (idx, (a, b)) in u1.data().iter().zip(u2.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{policy}: apply #2 entry {idx}");
+            }
+            assert!(s1.flops > 0);
+            assert_eq!(s1.flops, s2.flops, "{policy}: flops drifted across applies");
+        }
+    }
+
+    #[test]
+    fn evaluator_resizes_buffers_when_rhs_count_changes() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(32);
+        let w2 = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let w5 = DenseMatrix::<f64>::random_gaussian(n, 5, &mut rng);
+        let mut evaluator = Evaluator::new(&k, &comp);
+        let (u2a, _) = evaluator.apply(&w2);
+        let (u5, _) = evaluator.apply(&w5); // grow
+        let (u2b, _) = evaluator.apply(&w2); // shrink back
+        let (u2_ref, _) = evaluate(&k, &comp, &w2);
+        let (u5_ref, _) = evaluate(&k, &comp, &w5);
+        assert!(u2a.sub(&u2_ref).norm_max() == 0.0);
+        assert!(u5.sub(&u5_ref).norm_max() == 0.0);
+        assert!(u2b.sub(&u2_ref).norm_max() == 0.0);
+    }
+
+    #[test]
+    fn evaluator_apply_performs_zero_kernel_evaluations() {
+        let n = 256;
+        let k = test_matrix(n);
+        // Cached compression: even setup reads no kernel entries.
+        let comp = compress::<f64, _>(&k, &config());
+        let counter = CountingMatrix::new(&k);
+        let mut evaluator = Evaluator::new(&counter, &comp);
+        assert_eq!(
+            counter.count(),
+            0,
+            "setup must reuse the blocks cached at compression time"
+        );
+        let mut rng = StdRng::seed_from_u64(33);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u1, _) = evaluator.apply(&w);
+        assert_eq!(counter.count(), 0, "first apply must not touch the kernel");
+        let (u2, _) = evaluator.apply(&w);
+        assert_eq!(counter.count(), 0, "second apply must not touch the kernel");
+        assert_eq!(u1.data(), u2.data());
+
+        // Uncached compression: setup extracts the blocks (kernel evals > 0),
+        // applies still touch the kernel zero times.
+        let mut cfg = config();
+        cfg.cache_blocks = false;
+        let comp_uncached = compress::<f64, _>(&k, &cfg);
+        let counter = CountingMatrix::new(&k);
+        let mut evaluator = Evaluator::new(&counter, &comp_uncached);
+        let setup_evals = counter.count();
+        assert!(setup_evals > 0, "uncached setup must extract blocks");
+        let (_, _) = evaluator.apply(&w);
+        let (_, _) = evaluator.apply(&w);
+        assert_eq!(
+            counter.count(),
+            setup_evals,
+            "applies must stay kernel-free"
+        );
+    }
+
+    #[test]
+    fn zero_column_rhs_yields_empty_output() {
+        // Degenerate but legal: no right-hand sides. The first apply must
+        // take the allocation path (not mistake the unsized buffers for
+        // zero-width ones) and return an n x 0 result, as evaluate() always
+        // has.
+        let n = 200;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let w = DenseMatrix::<f64>::zeros(n, 0);
+        let mut evaluator = Evaluator::new(&k, &comp);
+        let (u, stats) = evaluator.apply(&w);
+        assert_eq!((u.rows(), u.cols()), (n, 0));
+        assert_eq!(stats.flops, 0);
+        let (u2, _) = evaluate(&k, &comp, &w);
+        assert_eq!((u2.rows(), u2.cols()), (n, 0));
+    }
+
+    #[test]
+    fn evaluator_reports_setup_and_cache_accounting() {
+        let n = 200;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let evaluator = Evaluator::<f64>::new(&k, &comp);
+        assert!(evaluator.setup_time() > 0.0);
+        assert!(evaluator.cached_bytes() > 0);
+        let mut evaluator = evaluator;
+        let mut rng = StdRng::seed_from_u64(34);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (_, stats) = evaluator.apply(&w);
+        assert_eq!(stats.cached_bytes, evaluator.cached_bytes());
+        assert_eq!(stats.setup_time, evaluator.setup_time());
+        assert!(stats.time > 0.0);
+    }
+
+    #[test]
+    fn evaluator_policy_can_change_between_applies() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(35);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let mut evaluator = Evaluator::new(&k, &comp);
+        assert_eq!(evaluator.policy(), TraversalPolicy::Sequential);
+        let (u_seq, _) = evaluator.apply(&w);
+        evaluator.set_policy(TraversalPolicy::DagHeft);
+        evaluator.set_threads(4);
+        let (u_heft, stats) = evaluator.apply(&w);
+        assert!(stats.exec.is_some());
+        for (a, b) in u_seq.data().iter().zip(u_heft.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn sampled_error_agrees_with_full_error() {
         let n = 256;
         let k = test_matrix(n);
@@ -593,7 +1032,7 @@ mod tests {
         let stats = EvaluationStats {
             time: 2.0,
             flops: 4_000_000_000,
-            exec: None,
+            ..Default::default()
         };
         assert!((stats.gflops() - 2.0).abs() < 1e-12);
     }

@@ -36,6 +36,19 @@
 //! let (u, _stats) = evaluate(&k, &compressed, &w);
 //! assert_eq!(u.rows(), n);
 //! ```
+//!
+//! For repeated matvecs against one compression — iterative solvers,
+//! long-running services — build a persistent [`Evaluator`] once and call
+//! [`Evaluator::apply`] per matvec: the interaction blocks, the task DAG and
+//! the per-node buffers are then reused instead of rebuilt per call.
+//!
+//! ## Crate map
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full workspace map
+//! and the compress/evaluate task-family walkthrough (paper Algorithms 2.2
+//! and 2.7, Figure 3).
+
+#![deny(missing_docs)]
 
 pub mod accuracy;
 pub mod compress;
@@ -49,7 +62,7 @@ pub use accuracy::{accuracy_report, AccuracyReport};
 pub use compress::{compress, Compressed, CompressionStats};
 pub use config::{GofmmConfig, TraversalPolicy};
 pub use distance::{DistanceMetric, GramOracle};
-pub use evaluate::{evaluate, evaluate_with, EvaluationStats};
+pub use evaluate::{evaluate, evaluate_with, EvaluationStats, Evaluator};
 pub use lists::{build_interaction_lists, check_coverage, InteractionLists};
 pub use skel::{skeletonize_node, NodeBasis, SkelParams};
 

@@ -213,6 +213,13 @@ impl<T: Scalar> DenseMatrix<T> {
         out
     }
 
+    /// Set every entry to `v` (used to recycle buffers across evaluations).
+    pub fn fill(&mut self, v: T) {
+        for x in &mut self.data {
+            *x = v;
+        }
+    }
+
     /// Scale every entry in place.
     pub fn scale(&mut self, alpha: T) {
         for v in &mut self.data {

@@ -77,16 +77,48 @@ pub fn execute(graph: TaskGraph<'_>, policy: SchedulePolicy, workers: usize) -> 
     }
 }
 
-/// Execute every task on the calling thread in insertion (topological) order.
-pub fn execute_sequential(mut graph: TaskGraph<'_>) -> ExecStats {
-    graph.finalize();
+/// The frozen shape of a DAG: everything a scheduler needs except the work
+/// itself. Borrowed by [`run_dag`], which pairs it with a run-task callback;
+/// the same shape can therefore drive many runs (see
+/// `crate::plan::ReusablePlan`).
+pub(crate) struct DagShape<'s> {
+    /// Initial dependency count per task.
+    pub indegrees: &'s [usize],
+    /// Successor adjacency per task.
+    pub successors: &'s [Vec<usize>],
+    /// Cost estimates per task (HEFT dispatch; ignored by FIFO/sequential).
+    pub costs: &'s [f64],
+}
+
+impl DagShape<'_> {
+    fn len(&self) -> usize {
+        self.indegrees.len()
+    }
+}
+
+/// Execute a DAG described by `shape` with the given policy, running task `i`
+/// by calling `run(i)`. Task indices are assumed to be in topological
+/// (insertion) order, as guaranteed by [`TaskGraph`] and `PhasePlan`.
+pub(crate) fn run_dag(
+    shape: DagShape<'_>,
+    policy: SchedulePolicy,
+    workers: usize,
+    run: impl Fn(usize) + Sync,
+) -> ExecStats {
+    match policy {
+        SchedulePolicy::Sequential => run_dag_sequential(shape.len(), run),
+        SchedulePolicy::Fifo => run_dag_fifo(shape, workers, run),
+        SchedulePolicy::Heft => run_dag_heft(shape, workers, run),
+    }
+}
+
+/// Run every task on the calling thread in index (topological) order.
+fn run_dag_sequential(n: usize, run: impl Fn(usize)) -> ExecStats {
     let start = Instant::now();
     let mut total_task_time = 0.0;
-    let n = graph.tasks.len();
-    for t in &mut graph.tasks {
-        let f = t.func.take().expect("task already executed");
+    for i in 0..n {
         let t0 = Instant::now();
-        f();
+        run(i);
         total_task_time += t0.elapsed().as_secs_f64();
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -100,53 +132,81 @@ pub fn execute_sequential(mut graph: TaskGraph<'_>) -> ExecStats {
     }
 }
 
-/// A task closure slot, emptied by whichever worker runs the task.
-type TaskSlot<'a> = Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+/// Execute every task on the calling thread in insertion (topological) order.
+pub fn execute_sequential(graph: TaskGraph<'_>) -> ExecStats {
+    with_graph_slots(graph, |shape, run| run_dag_sequential(shape.len(), run))
+}
 
-struct SharedState<'a> {
-    /// Remaining unfinished dependencies per task.
+/// A task closure slot, emptied by whichever worker runs the task.
+pub(crate) type TaskSlot<'a> = Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+
+/// Take the closure out of `slots[i]` and run it, panicking if the scheduler
+/// dispatched the same task twice. Shared by every slot-backed runner
+/// (`with_graph_slots` here, `PhasePlan::run` in the plan layer).
+pub(crate) fn take_and_run(slots: &[TaskSlot<'_>], i: usize) {
+    let f = slots[i]
+        .lock()
+        .take()
+        .expect("task executed twice or missing");
+    f();
+}
+
+/// Move the task closures out of `graph` into lock-protected take-once slots
+/// and hand the resulting (shape, run-callback) pair to `body`. This is the
+/// bridge between the consuming [`TaskGraph`] API and the index-based
+/// [`run_dag`] runners that re-runnable plans also use.
+fn with_graph_slots(
+    mut graph: TaskGraph<'_>,
+    body: impl FnOnce(DagShape<'_>, &(dyn Fn(usize) + Sync)) -> ExecStats,
+) -> ExecStats {
+    graph.finalize();
+    let indegrees = graph.indegrees();
+    let total = graph.tasks.len();
+    let mut slots: Vec<TaskSlot<'_>> = Vec::with_capacity(total);
+    let mut successors: Vec<Vec<usize>> = Vec::with_capacity(total);
+    let mut costs: Vec<f64> = Vec::with_capacity(total);
+    for t in &mut graph.tasks {
+        slots.push(Mutex::new(t.func.take()));
+        successors.push(t.successors.iter().map(|s| s.0).collect());
+        costs.push(t.cost.max(0.0));
+    }
+    let run = |i: usize| take_and_run(&slots, i);
+    body(
+        DagShape {
+            indegrees: &indegrees,
+            successors: &successors,
+            costs: &costs,
+        },
+        &run,
+    )
+}
+
+/// Dynamic scheduling state shared by the parallel DAG runners: remaining
+/// dependency counts plus a completion counter for termination detection.
+struct RunState<'s> {
     remaining: Vec<AtomicUsize>,
-    /// The task closures, taken exactly once by whichever worker runs them.
-    funcs: Vec<TaskSlot<'a>>,
-    /// Successor adjacency.
-    successors: Vec<Vec<usize>>,
-    /// Cost estimates.
-    costs: Vec<f64>,
-    /// Completed-task counter, used for termination detection.
+    shape: DagShape<'s>,
     completed: AtomicUsize,
     total: usize,
 }
 
-impl<'a> SharedState<'a> {
-    fn from_graph(mut graph: TaskGraph<'a>) -> Self {
-        graph.finalize();
-        let indeg = graph.indegrees();
-        let total = graph.tasks.len();
-        let mut funcs = Vec::with_capacity(total);
-        let mut successors = Vec::with_capacity(total);
-        let mut costs = Vec::with_capacity(total);
-        for t in &mut graph.tasks {
-            funcs.push(Mutex::new(t.func.take()));
-            successors.push(t.successors.iter().map(|s| s.0).collect());
-            costs.push(t.cost.max(0.0));
-        }
-        SharedState {
-            remaining: indeg.into_iter().map(AtomicUsize::new).collect(),
-            funcs,
-            successors,
-            costs,
+impl<'s> RunState<'s> {
+    fn new(shape: DagShape<'s>) -> Self {
+        Self {
+            remaining: shape
+                .indegrees
+                .iter()
+                .map(|&d| AtomicUsize::new(d))
+                .collect(),
             completed: AtomicUsize::new(0),
-            total,
+            total: shape.len(),
+            shape,
         }
     }
 
-    fn run_task(&self, idx: usize) -> f64 {
-        let f = self.funcs[idx]
-            .lock()
-            .take()
-            .expect("task executed twice or missing");
+    fn run_task(&self, idx: usize, run: &(impl Fn(usize) + Sync)) -> f64 {
         let t0 = Instant::now();
-        f();
+        run(idx);
         let dt = t0.elapsed().as_secs_f64();
         self.completed.fetch_add(1, Ordering::Release);
         dt
@@ -159,8 +219,13 @@ impl<'a> SharedState<'a> {
 
 /// Execute with one shared FIFO ready queue (no cost model, no affinity).
 pub fn execute_fifo(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
+    with_graph_slots(graph, |shape, run| run_dag_fifo(shape, workers, run))
+}
+
+/// Run a DAG with one shared FIFO ready queue (no cost model, no affinity).
+fn run_dag_fifo(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync) -> ExecStats {
     let workers = workers.max(1);
-    let state = SharedState::from_graph(graph);
+    let state = RunState::new(shape);
     if state.total == 0 {
         return ExecStats {
             workers,
@@ -182,16 +247,17 @@ pub fn execute_fifo(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
             let queue = &queue;
             let busy = &busy[w];
             let executed = &executed;
+            let run = &run;
             scope.spawn(move || loop {
                 if state.done() {
                     break;
                 }
                 match queue.steal() {
                     Steal::Success(idx) => {
-                        let dt = state.run_task(idx);
+                        let dt = state.run_task(idx, run);
                         *busy.lock() += dt;
                         executed.fetch_add(1, Ordering::Relaxed);
-                        for &s in &state.successors[idx] {
+                        for &s in &state.shape.successors[idx] {
                             if state.remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 queue.push(s);
                             }
@@ -223,8 +289,13 @@ pub fn execute_fifo(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
 /// workers steal from the longest queue, which covers cost-model inaccuracy
 /// exactly like the paper's job-stealing fallback.
 pub fn execute_heft(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
+    with_graph_slots(graph, |shape, run| run_dag_heft(shape, workers, run))
+}
+
+/// Run a DAG with the GOFMM-style runtime: HEFT dispatch plus job stealing.
+fn run_dag_heft(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync) -> ExecStats {
     let workers = workers.max(1);
-    let state = SharedState::from_graph(graph);
+    let state = RunState::new(shape);
     if state.total == 0 {
         return ExecStats {
             workers,
@@ -243,7 +314,9 @@ pub fn execute_heft(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .unwrap();
-        eft[wmin] += state.costs[idx];
+        // Clamp here (not only in with_graph_slots) so plans run directly via
+        // run_dag see the same cost floor as the TaskGraph path.
+        eft[wmin] += state.shape.costs[idx].max(0.0);
         queues[wmin].push(idx);
     };
     for (i, r) in state.remaining.iter().enumerate() {
@@ -264,6 +337,7 @@ pub fn execute_heft(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
             let steals = &steals;
             let executed = &executed;
             let dispatch = &dispatch;
+            let run = &run;
             scope.spawn(move || {
                 loop {
                     if state.done() {
@@ -285,10 +359,10 @@ pub fn execute_heft(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
                     }
                     match task {
                         Some(idx) => {
-                            let dt = state.run_task(idx);
+                            let dt = state.run_task(idx, run);
                             *busy.lock() += dt;
                             executed.fetch_add(1, Ordering::Relaxed);
-                            for &s in &state.successors[idx] {
+                            for &s in &state.shape.successors[idx] {
                                 if state.remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     dispatch(s);
                                 }

@@ -20,6 +20,15 @@
 //!   DAG-delegated synchronization, and uniform dispatch across the three
 //!   scheduling policies. Both GOFMM phases (SKEL/COEF compression tasks and
 //!   N2S/S2S/S2N/L2L evaluation tasks) build their DAGs through this layer.
+//!   One-shot phases use [`plan::PhasePlan`]; phases that run repeatedly
+//!   (the evaluation DAG behind a persistent evaluator) use
+//!   [`plan::ReusablePlan`], which freezes the DAG once and re-executes it
+//!   any number of times.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how these pieces fit the
+//! paper's phases.
+
+#![deny(missing_docs)]
 
 pub mod executor;
 pub mod graph;
@@ -31,4 +40,4 @@ pub use executor::{
 };
 pub use graph::{Task, TaskGraph, TaskId};
 pub use parallel::{available_threads, parallel_for, parallel_map, parallel_ranges, split_ranges};
-pub use plan::{DisjointCells, Family, PhasePlan, PlanTopology, SharedCells};
+pub use plan::{DisjointCells, Family, PhasePlan, PlanTopology, ReusablePlan, SharedCells};

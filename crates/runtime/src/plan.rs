@@ -6,9 +6,14 @@
 //! family, and a policy `match` dispatching between a sequential loop and the
 //! DAG executors. This module centralizes all three:
 //!
-//! * [`PhasePlan`] — a [`TaskGraph`] builder keyed by `(family, node)` so
-//!   dependencies are declared symbolically ("N2S of my left child") and
-//!   resolved once, with [`PhasePlan::run`] dispatching uniformly to the
+//! * [`ReusablePlan`] — the structural core: a frozen `(family, node)`-keyed
+//!   DAG (costs, dependency edges, successor lists) with no closures attached,
+//!   executable any number of times via [`ReusablePlan::run`] with a
+//!   task-dispatch callback. Long-lived evaluators build their DAG once at
+//!   setup and re-run it for every matvec,
+//! * [`PhasePlan`] — a one-shot plan: a [`ReusablePlan`] plus one closure per
+//!   task, so dependencies are declared symbolically ("N2S of my left child")
+//!   and resolved once, with [`PhasePlan::run`] dispatching uniformly to the
 //!   sequential / FIFO / HEFT executors,
 //! * [`PlanTopology`] — the minimal binary-tree interface plans need to wire
 //!   postorder (bottom-up) and preorder (top-down) task families,
@@ -21,11 +26,13 @@
 //! * [`SharedCells`] — mutex-backed cells for values that genuinely are
 //!   accumulated by concurrently schedulable tasks.
 
-use crate::executor::{execute, ExecStats, SchedulePolicy};
+use crate::executor::{run_dag, DagShape, ExecStats, SchedulePolicy};
 use crate::graph::{TaskGraph, TaskId};
+use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
 
 /// A task family inside a phase, e.g. `"SKEL"` or `"N2S"`. Families plus the
 /// node index form the symbolic key of a task.
@@ -45,21 +52,242 @@ pub trait PlanTopology {
     fn plan_parent(&self, node: usize) -> Option<usize>;
 }
 
-/// A [`TaskGraph`] under construction, with tasks addressable by
-/// `(family, node)` keys.
+/// A frozen, re-runnable task DAG keyed by `(family, node)`.
+///
+/// This is the structural half of a [`PhasePlan`]: task keys, cost estimates
+/// and dependency edges, but no closures. Because nothing in it is consumed
+/// by execution, one `ReusablePlan` can drive any number of
+/// [`ReusablePlan::run`] calls — the GOFMM evaluation phase builds its
+/// N2S/S2S/S2N/L2L DAG once per compressed matrix and re-runs it for every
+/// matvec, paying symbolic-traversal cost once instead of per call.
 ///
 /// Dependency keys that were never added are treated as already satisfied and
 /// skipped — e.g. "N2S of node 7" when node 7 has no skeleton and therefore
 /// no N2S task. This mirrors the paper's symbolic traversal, where absent
 /// producers simply contribute nothing to the read set.
 #[derive(Default)]
-pub struct PhasePlan<'a> {
-    graph: TaskGraph<'a>,
-    index: HashMap<(Family, usize), TaskId>,
+pub struct ReusablePlan {
+    /// `(family, node)` key per task, in insertion (topological) order.
+    keys: Vec<(Family, usize)>,
+    /// Cost estimate per task.
+    costs: Vec<f64>,
+    /// Resolved dependency edges per task (indices into `keys`).
+    deps: Vec<Vec<usize>>,
+    index: HashMap<(Family, usize), usize>,
     /// Dependency keys that were unresolved when declared, kept to detect
     /// out-of-order construction: registering a task under one of these keys
     /// later would mean an edge was silently dropped.
     unresolved: std::collections::HashSet<(Family, usize)>,
+    /// Successor adjacency + indegrees, derived lazily on first run and
+    /// shared by all subsequent runs.
+    frozen: OnceLock<(Vec<Vec<usize>>, Vec<usize>)>,
+}
+
+impl ReusablePlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The task index registered for `(family, node)`, if any.
+    pub fn id(&self, family: Family, node: usize) -> Option<usize> {
+        self.index.get(&(family, node)).copied()
+    }
+
+    /// The `(family, node)` key of task `idx`.
+    pub fn key(&self, idx: usize) -> (Family, usize) {
+        self.keys[idx]
+    }
+
+    /// Sum of all task cost estimates.
+    pub fn total_cost(&self) -> f64 {
+        self.costs.iter().sum()
+    }
+
+    /// Longest dependency chain of costs (the runtime's lower bound on
+    /// parallel wall-clock time).
+    pub fn critical_path_cost(&self) -> f64 {
+        let mut finish = vec![0.0f64; self.keys.len()];
+        for i in 0..self.keys.len() {
+            let start = self.deps[i]
+                .iter()
+                .map(|&d| finish[d])
+                .fold(0.0f64, f64::max);
+            finish[i] = start + self.costs[i];
+        }
+        finish.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Register the task `(family, node)` with symbolic dependencies and
+    /// return its index (insertion order is the topological order).
+    ///
+    /// # Panics
+    /// Panics if the key is already taken, or if the key was previously
+    /// declared as a dependency of an earlier task — i.e. the producer is
+    /// being registered after its consumer, which would otherwise drop the
+    /// edge silently (insertion order is the topological order).
+    pub fn add(
+        &mut self,
+        family: Family,
+        node: usize,
+        cost: f64,
+        deps: &[(Family, usize)],
+    ) -> usize {
+        assert!(
+            self.frozen.get().is_none(),
+            "cannot add tasks to a plan that has already run"
+        );
+        let mut resolved: Vec<usize> = Vec::with_capacity(deps.len());
+        for key in deps {
+            match self.index.get(key) {
+                Some(&id) => resolved.push(id),
+                // Absent producers are treated as already satisfied, but
+                // remembered: if they show up later, construction order was
+                // wrong and we must fail loudly instead of racing at run time.
+                None => {
+                    self.unresolved.insert(*key);
+                }
+            }
+        }
+        assert!(
+            !self.unresolved.contains(&(family, node)),
+            "task {family}({node}) registered after a task that depends on it; \
+             add producers before consumers"
+        );
+        let id = self.keys.len();
+        self.keys.push((family, node));
+        self.costs.push(cost);
+        self.deps.push(resolved);
+        let prev = self.index.insert((family, node), id);
+        assert!(prev.is_none(), "duplicate task {family}({node})");
+        id
+    }
+
+    /// Register one task per non-skipped node in bottom-up (postorder) sweep
+    /// order: children before parents, each task depending on its children's
+    /// tasks of the same family (the shape of SKEL and N2S).
+    pub fn add_bottom_up(
+        &mut self,
+        family: Family,
+        topo: &impl PlanTopology,
+        skip: impl Fn(usize) -> bool,
+        cost: impl Fn(usize) -> f64,
+    ) {
+        // Children have larger heap indices than their parent, so descending
+        // index order is a valid postorder insertion order.
+        for node in (0..topo.node_count()).rev() {
+            if skip(node) {
+                continue;
+            }
+            let deps: Vec<(Family, usize)> = match topo.plan_children(node) {
+                Some((l, r)) => vec![(family, l), (family, r)],
+                None => Vec::new(),
+            };
+            self.add(family, node, cost(node), &deps);
+        }
+    }
+
+    /// Register one task per non-skipped node in top-down (preorder) sweep
+    /// order: parents before children, each task depending on its parent's
+    /// task of the same family plus any `extra_deps` (the shape of S2N).
+    pub fn add_top_down(
+        &mut self,
+        family: Family,
+        topo: &impl PlanTopology,
+        skip: impl Fn(usize) -> bool,
+        cost: impl Fn(usize) -> f64,
+        extra_deps: impl Fn(usize, &mut Vec<(Family, usize)>),
+    ) {
+        for node in 0..topo.node_count() {
+            if skip(node) {
+                continue;
+            }
+            let mut deps: Vec<(Family, usize)> = Vec::new();
+            if let Some(parent) = topo.plan_parent(node) {
+                deps.push((family, parent));
+            }
+            extra_deps(node, &mut deps);
+            self.add(family, node, cost(node), &deps);
+        }
+    }
+
+    /// Successor adjacency and indegrees, derived once and cached.
+    fn freeze(&self) -> &(Vec<Vec<usize>>, Vec<usize>) {
+        self.frozen.get_or_init(|| {
+            let mut successors: Vec<Vec<usize>> = vec![Vec::new(); self.keys.len()];
+            let mut indegrees = vec![0usize; self.keys.len()];
+            for (i, deps) in self.deps.iter().enumerate() {
+                indegrees[i] = deps.len();
+                for &d in deps {
+                    successors[d].push(i);
+                }
+            }
+            (successors, indegrees)
+        })
+    }
+
+    /// Execute the plan, running task `idx` as `task(family, node)` where
+    /// `(family, node) == self.key(idx)`.
+    ///
+    /// Unlike [`PhasePlan::run`] this borrows the plan immutably, so the same
+    /// plan can be executed arbitrarily often — with any mix of policies and
+    /// worker counts — and every run observes the identical DAG, which keeps
+    /// outputs bit-identical across policies for deterministic tasks.
+    pub fn run(
+        &self,
+        policy: SchedulePolicy,
+        workers: usize,
+        task: impl Fn(Family, usize) + Sync,
+    ) -> ExecStats {
+        self.run_indexed(policy, workers, |idx| {
+            let (family, node) = self.keys[idx];
+            task(family, node);
+        })
+    }
+
+    /// Execute the plan, dispatching tasks by raw index. Used by
+    /// [`PhasePlan`] (whose payload is one closure per index) and by callers
+    /// that keep their own per-task state.
+    pub fn run_indexed(
+        &self,
+        policy: SchedulePolicy,
+        workers: usize,
+        run: impl Fn(usize) + Sync,
+    ) -> ExecStats {
+        let (successors, indegrees) = self.freeze();
+        run_dag(
+            DagShape {
+                indegrees,
+                successors,
+                costs: &self.costs,
+            },
+            policy,
+            workers,
+            run,
+        )
+    }
+}
+
+/// A [`ReusablePlan`] paired with one closure per task: the one-shot plan
+/// used when a phase runs exactly once (compression, and the legacy
+/// `evaluate()` path before evaluators existed).
+///
+/// See [`ReusablePlan`] for the key/dependency semantics; `PhasePlan` simply
+/// forwards construction and attaches the work.
+#[derive(Default)]
+pub struct PhasePlan<'a> {
+    shape: ReusablePlan,
+    funcs: Vec<Option<Box<dyn FnOnce() + Send + 'a>>>,
 }
 
 impl<'a> PhasePlan<'a> {
@@ -70,28 +298,28 @@ impl<'a> PhasePlan<'a> {
 
     /// Number of tasks added so far.
     pub fn task_count(&self) -> usize {
-        self.graph.len()
+        self.shape.task_count()
     }
 
     /// True when no tasks were added.
     pub fn is_empty(&self) -> bool {
-        self.graph.is_empty()
+        self.shape.is_empty()
     }
 
     /// The task id registered for `(family, node)`, if any.
     pub fn id(&self, family: Family, node: usize) -> Option<TaskId> {
-        self.index.get(&(family, node)).copied()
+        self.shape.id(family, node).map(TaskId)
     }
 
     /// Sum of all task cost estimates.
     pub fn total_cost(&self) -> f64 {
-        self.graph.total_cost()
+        self.shape.total_cost()
     }
 
     /// Longest dependency chain of costs (the runtime's lower bound on
     /// parallel wall-clock time).
     pub fn critical_path_cost(&self) -> f64 {
-        self.graph.critical_path_cost()
+        self.shape.critical_path_cost()
     }
 
     /// Add the task `(family, node)` with symbolic dependencies.
@@ -109,29 +337,9 @@ impl<'a> PhasePlan<'a> {
         deps: &[(Family, usize)],
         func: impl FnOnce() + Send + 'a,
     ) -> TaskId {
-        let mut resolved: Vec<TaskId> = Vec::with_capacity(deps.len());
-        for key in deps {
-            match self.index.get(key) {
-                Some(&id) => resolved.push(id),
-                // Absent producers are treated as already satisfied, but
-                // remembered: if they show up later, construction order was
-                // wrong and we must fail loudly instead of racing at run time.
-                None => {
-                    self.unresolved.insert(*key);
-                }
-            }
-        }
-        assert!(
-            !self.unresolved.contains(&(family, node)),
-            "task {family}({node}) registered after a task that depends on it; \
-             add producers before consumers"
-        );
-        let id = self
-            .graph
-            .add_task(format!("{family}({node})"), cost, &resolved, func);
-        let prev = self.index.insert((family, node), id);
-        assert!(prev.is_none(), "duplicate task {family}({node})");
-        id
+        let id = self.shape.add(family, node, cost, deps);
+        self.funcs.push(Some(Box::new(func)));
+        TaskId(id)
     }
 
     /// Add one task per non-skipped node in bottom-up (postorder) sweep
@@ -148,18 +356,9 @@ impl<'a> PhasePlan<'a> {
     ) where
         F: FnOnce() + Send + 'a,
     {
-        // Children have larger heap indices than their parent, so descending
-        // index order is a valid postorder insertion order.
-        for node in (0..topo.node_count()).rev() {
-            if skip(node) {
-                continue;
-            }
-            let deps: Vec<(Family, usize)> = match topo.plan_children(node) {
-                Some((l, r)) => vec![(family, l), (family, r)],
-                None => Vec::new(),
-            };
-            self.add(family, node, cost(node), &deps, make_task(node));
-        }
+        let before = self.shape.task_count();
+        self.shape.add_bottom_up(family, topo, skip, cost);
+        self.attach_sweep_tasks(before, make_task);
     }
 
     /// Add one task per non-skipped node in top-down (preorder) sweep order:
@@ -177,16 +376,21 @@ impl<'a> PhasePlan<'a> {
     ) where
         F: FnOnce() + Send + 'a,
     {
-        for node in 0..topo.node_count() {
-            if skip(node) {
-                continue;
-            }
-            let mut deps: Vec<(Family, usize)> = Vec::new();
-            if let Some(parent) = topo.plan_parent(node) {
-                deps.push((family, parent));
-            }
-            extra_deps(node, &mut deps);
-            self.add(family, node, cost(node), &deps, make_task(node));
+        let before = self.shape.task_count();
+        self.shape
+            .add_top_down(family, topo, skip, cost, extra_deps);
+        self.attach_sweep_tasks(before, make_task);
+    }
+
+    /// Attach closures for the tasks a sweep helper just registered on the
+    /// shape (indices `before..`), in the same insertion order.
+    fn attach_sweep_tasks<F>(&mut self, before: usize, make_task: impl Fn(usize) -> F)
+    where
+        F: FnOnce() + Send + 'a,
+    {
+        for idx in before..self.shape.task_count() {
+            let (_, node) = self.shape.key(idx);
+            self.funcs.push(Some(Box::new(make_task(node))));
         }
     }
 
@@ -197,12 +401,25 @@ impl<'a> PhasePlan<'a> {
     /// cross-task data access is covered by a dependency edge, outputs are
     /// identical (bit-for-bit for deterministic tasks) across policies.
     pub fn run(self, policy: SchedulePolicy, workers: usize) -> ExecStats {
-        execute(self.graph, policy, workers)
+        let PhasePlan { shape, funcs } = self;
+        let slots: Vec<crate::executor::TaskSlot<'a>> = funcs.into_iter().map(Mutex::new).collect();
+        shape.run_indexed(policy, workers, |idx| {
+            crate::executor::take_and_run(&slots, idx)
+        })
     }
 
-    /// Consume the plan into its underlying graph (for custom execution).
+    /// Consume the plan into an equivalent [`TaskGraph`] (for custom
+    /// execution through the `execute_*` entry points).
     pub fn into_graph(self) -> TaskGraph<'a> {
-        self.graph
+        let PhasePlan { shape, funcs } = self;
+        let mut graph = TaskGraph::new();
+        for (idx, func) in funcs.into_iter().enumerate() {
+            let (family, node) = shape.key(idx);
+            let deps: Vec<TaskId> = shape.deps[idx].iter().map(|&d| TaskId(d)).collect();
+            let func = func.expect("task already executed");
+            graph.add_task(format!("{family}({node})"), shape.costs[idx], &deps, func);
+        }
+        graph
     }
 }
 
@@ -545,6 +762,82 @@ mod tests {
         });
         let v = cells.into_inner();
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn reusable_plan_runs_many_times() {
+        let topo = HeapTree { levels: 5 };
+        let n = topo.node_count();
+        let mut plan = ReusablePlan::new();
+        plan.add_bottom_up("UP", &topo, |_| false, |_| 1.0);
+        for node in 0..n {
+            // TOP(node) rewrites the cell that UP(parent) reads, so it must
+            // wait for the parent's sweep step as well as its own.
+            let mut deps = vec![("UP", node)];
+            if let Some(parent) = topo.plan_parent(node) {
+                deps.push(("UP", parent));
+            }
+            plan.add("TOP", node, 1.0, &deps);
+        }
+        assert_eq!(plan.task_count(), 2 * n);
+        assert_eq!(plan.id("UP", 3), Some(n - 1 - 3));
+        assert_eq!(plan.key(plan.id("TOP", 0).unwrap()), ("TOP", 0));
+
+        // The same plan must drive repeated runs under every policy, and the
+        // per-cell write order it encodes must make results identical.
+        let reference: Option<Vec<f64>> = None;
+        let mut reference = reference;
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Heft,
+        ] {
+            for _ in 0..3 {
+                let cells: DisjointCells<f64> = DisjointCells::from_fn(n, |i| i as f64 * 0.5);
+                let stats = plan.run(policy, 4, |family, node| match family {
+                    "UP" => {
+                        let v = match topo.plan_children(node) {
+                            Some((l, r)) => (*cells.read(l)).mul_add(1.01, *cells.read(r)),
+                            None => (node as f64).cos(),
+                        };
+                        *cells.write(node) += v;
+                    }
+                    "TOP" => *cells.write(node) *= 1.5,
+                    other => panic!("unexpected family {other}"),
+                });
+                assert_eq!(stats.tasks_executed, 2 * n, "{policy}");
+                let out = cells.into_inner();
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => {
+                        assert!(
+                            r.iter().zip(&out).all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "{policy}: rerun changed the result"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reusable_plan_cost_accessors() {
+        let mut plan = ReusablePlan::new();
+        plan.add("A", 0, 2.0, &[]);
+        plan.add("B", 0, 3.0, &[("A", 0)]);
+        plan.add("C", 0, 1.0, &[("A", 0)]);
+        assert_eq!(plan.total_cost(), 6.0);
+        assert_eq!(plan.critical_path_cost(), 5.0);
+        assert!(ReusablePlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already run")]
+    fn reusable_plan_rejects_adds_after_running() {
+        let mut plan = ReusablePlan::new();
+        plan.add("A", 0, 1.0, &[]);
+        plan.run(SchedulePolicy::Sequential, 1, |_, _| {});
+        plan.add("A", 1, 1.0, &[]);
     }
 
     #[test]

@@ -190,3 +190,42 @@ fn compression_is_deterministic_for_fixed_seed() {
     let (u2, _) = evaluate(&k, &c2, &w);
     assert!(u1.sub(&u2).norm_max() < 1e-12);
 }
+
+#[test]
+fn persistent_evaluator_serves_a_stream_of_matvecs() {
+    // The long-running-service shape: one compression, one Evaluator, many
+    // matvecs with varying right-hand-side widths, each answer identical to
+    // what a from-scratch evaluation would produce.
+    use gofmm_suite::core::Evaluator;
+    let k = build_matrix(
+        TestMatrixId::K04,
+        &ZooOptions {
+            n: 768,
+            seed: 2,
+            bandwidth: None,
+        },
+    );
+    let cfg = config(64, 64, 1e-6, 0.05).with_policy(TraversalPolicy::DagHeft);
+    let comp = compress::<f64, _>(&k, &cfg);
+    let mut evaluator = Evaluator::new(&k, &comp);
+    let mut total_apply = 0.0;
+    for (round, r) in [4usize, 4, 1, 8, 4].into_iter().enumerate() {
+        let w = rhs(k.n(), r);
+        let (u, stats) = evaluator.apply(&w);
+        total_apply += stats.time;
+        let (u_ref, _) = evaluate(&k, &comp, &w);
+        assert_eq!(
+            u.data().len(),
+            u_ref.data().len(),
+            "round {round}: shape mismatch"
+        );
+        for (a, b) in u.data().iter().zip(u_ref.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "round {round}: drifted");
+        }
+        let eps = sampled_relative_error(&k, &w, &u, 100, 0);
+        assert!(eps < 1e-2, "round {round}: eps {eps}");
+    }
+    assert!(total_apply > 0.0);
+    // Setup is paid once, not once per matvec.
+    assert!(evaluator.setup_time() > 0.0);
+}
