@@ -91,6 +91,29 @@ impl<T: Scalar> Compressed<T> {
         }
     }
 
+    /// The skeleton basis of a node (`None` for the root and for trees of
+    /// depth zero).
+    pub fn basis(&self, heap: usize) -> Option<&NodeBasis<T>> {
+        self.bases[heap].as_ref()
+    }
+
+    /// The cached diagonal (self) near block `K_{beta, beta}` of a leaf, if
+    /// block caching was enabled. This is the block the hierarchical solver
+    /// Cholesky-factors (after regularization) without touching the kernel.
+    pub fn self_near_block(&self, leaf: usize) -> Option<&DenseMatrix<T>> {
+        let pos = self.lists.near[leaf].iter().position(|&a| a == leaf)?;
+        self.near_blocks[leaf].get(pos)
+    }
+
+    /// The cached skeleton block `K_{skel(beta), skel(alpha)}` for
+    /// `alpha in Far(beta)`, if block caching was enabled. The hierarchical
+    /// solver uses the sibling pair to build its level-restricted low-rank
+    /// correction kernel-free.
+    pub fn cached_far_block(&self, beta: usize, alpha: usize) -> Option<&DenseMatrix<T>> {
+        let pos = self.lists.far[beta].iter().position(|&a| a == alpha)?;
+        self.far_blocks[beta].get(pos)
+    }
+
     /// Approximate memory footprint of the compressed representation in bytes
     /// (interpolation matrices plus cached blocks).
     pub fn memory_bytes(&self) -> usize {

@@ -10,11 +10,19 @@
 //!   calls that touch the kernel zero times. This is the right tool for
 //!   solvers and services that issue many matvecs against one compression.
 //! * [`evaluate`] / [`evaluate_with`] — one-shot convenience wrappers that
-//!   build a transient `Evaluator` and apply it once.
+//!   build a transient *zero-copy* evaluator ([`Evaluator::borrowing`]) whose
+//!   S2S/L2L tasks read the blocks cached inside the [`Compressed`] directly,
+//!   and apply it once. A third construction, [`Compressed::into_evaluator`],
+//!   moves the compression in and steals its cached blocks, halving the peak
+//!   memory of persistent-evaluator setup.
 //!
-//! Both paths produce bit-identical outputs for every traversal policy: all
+//! Each path produces bit-identical outputs for every traversal policy: all
 //! cross-task accumulation orders are fixed by dependency edges (or by the
 //! equivalent level-by-level barriers), so the schedule cannot change a bit.
+//! The packed (persistent) and borrowed (one-shot) storage modes agree with
+//! each other to accumulation roundoff, not bit-for-bit: a packed panel sums
+//! one long GEMM inner dimension where the borrowed path adds one block's
+//! product at a time.
 
 use crate::compress::Compressed;
 use crate::config::TraversalPolicy;
@@ -112,17 +120,19 @@ impl EvaluationStats {
 /// assert_eq!(stats.cached_bytes, evaluator.cached_bytes());
 /// ```
 pub struct Evaluator<'a, T: Scalar> {
-    comp: &'a Compressed<T>,
+    comp: CompRef<'a, T>,
     policy: TraversalPolicy,
     num_threads: usize,
-    /// Per-node far blocks `K_{skel(beta), skel(alpha)}`, horizontally
-    /// concatenated in Far-list order (`0 x 0` when the node has none).
-    far: Vec<DenseMatrix<T>>,
-    /// Per-leaf near blocks `K_{beta, alpha}`, horizontally concatenated in
-    /// Near-list order (`0 x 0` for interior nodes).
-    near: Vec<DenseMatrix<T>>,
+    /// Per-node far blocks `K_{skel(beta), skel(alpha)}`: packed into one
+    /// panel (persistent mode) or borrowed from the compression's block cache
+    /// (zero-copy one-shot mode); [`Panel::Empty`] when the node has none.
+    far: Vec<Panel<'a, T>>,
+    /// Per-leaf near blocks `K_{beta, alpha}`: packed or borrowed like `far`
+    /// ([`Panel::Empty`] for interior nodes).
+    near: Vec<Panel<'a, T>>,
     /// Per-leaf concatenation of the near nodes' original row indices: the
-    /// gather list applied to `w` before the single L2L GEMM.
+    /// gather list applied to `w` before the single L2L GEMM. Empty in
+    /// borrowed mode, where L2L gathers per near block instead.
     near_gather: Vec<Vec<usize>>,
     /// The evaluation task DAG, built once and re-run per apply.
     plan: ReusablePlan,
@@ -141,6 +151,67 @@ pub struct Evaluator<'a, T: Scalar> {
     /// width — including zero columns — takes the allocation path).
     rhs: usize,
     flops: AtomicU64,
+}
+
+/// How an [`Evaluator`] holds the compression it evaluates.
+///
+/// The persistent constructors borrow it (the caller usually keeps the
+/// [`Compressed`] around anyway); [`Compressed::into_evaluator`] moves it in,
+/// which lets the evaluator *steal* the cached interaction blocks instead of
+/// copying them.
+enum CompRef<'a, T: Scalar> {
+    Borrowed(&'a Compressed<T>),
+    Owned(Box<Compressed<T>>),
+}
+
+impl<T: Scalar> std::ops::Deref for CompRef<'_, T> {
+    type Target = Compressed<T>;
+    fn deref(&self) -> &Compressed<T> {
+        match self {
+            CompRef::Borrowed(c) => c,
+            CompRef::Owned(c) => c,
+        }
+    }
+}
+
+/// One node's interaction blocks, in one of two storage modes.
+///
+/// `Packed` is the persistent fast path: all blocks concatenated side by side
+/// so S2S / L2L are one GEMM each. `Blocks` is the zero-copy one-shot path:
+/// the cached per-interaction blocks are borrowed straight from the
+/// [`Compressed`] and multiplied one GEMM per block (the pre-`Evaluator`
+/// behavior). Both modes are bit-identical across traversal policies; they
+/// differ from *each other* in the last bits, because a packed panel
+/// accumulates over one long inner dimension while the borrowed path adds
+/// one block's product at a time.
+enum Panel<'a, T: Scalar> {
+    /// No interaction blocks for this node.
+    Empty,
+    /// All blocks packed into one contiguous column-major matrix.
+    Packed(DenseMatrix<T>),
+    /// Blocks borrowed from the compression's cache, in interaction-list
+    /// order.
+    Blocks(&'a [DenseMatrix<T>]),
+}
+
+impl<T: Scalar> Panel<'_, T> {
+    fn is_empty(&self) -> bool {
+        match self {
+            Panel::Empty => true,
+            Panel::Packed(m) => m.is_empty(),
+            Panel::Blocks(b) => b.is_empty(),
+        }
+    }
+
+    /// Bytes of block values read through this panel on every apply.
+    fn bytes(&self) -> usize {
+        let scalar = std::mem::size_of::<T>();
+        match self {
+            Panel::Empty => 0,
+            Panel::Packed(m) => m.rows() * m.cols() * scalar,
+            Panel::Blocks(b) => b.iter().map(|m| m.rows() * m.cols() * scalar).sum(),
+        }
+    }
 }
 
 impl<'a, T: Scalar> Evaluator<'a, T> {
@@ -169,26 +240,22 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         // --- Pack interaction blocks into contiguous per-node storage ------
         // Every parallel iteration writes only its own node's cells
         // (DisjointCells verifies that at runtime).
-        let far_cells: DisjointCells<DenseMatrix<T>> =
-            DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0));
-        let near_cells: DisjointCells<DenseMatrix<T>> =
-            DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0));
+        let far_cells: DisjointCells<Panel<'a, T>> =
+            DisjointCells::from_fn(node_count, |_| Panel::Empty);
+        let near_cells: DisjointCells<Panel<'a, T>> =
+            DisjointCells::from_fn(node_count, |_| Panel::Empty);
         let gather_cells: DisjointCells<Vec<usize>> =
             DisjointCells::from_fn(node_count, |_| Vec::new());
 
         parallel_for(node_count, num_threads.max(1), |heap| {
             if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
-                let rows = tree.indices(heap);
-                let gather: Vec<usize> = comp.lists.near[heap]
-                    .iter()
-                    .flat_map(|&alpha| tree.indices(alpha).iter().copied())
-                    .collect();
+                let gather = near_gather_indices(comp, heap);
                 let mat = if !comp.near_blocks[heap].is_empty() {
-                    hstack_blocks(rows.len(), &comp.near_blocks[heap])
+                    hstack_blocks(tree.indices(heap).len(), &comp.near_blocks[heap])
                 } else {
-                    matrix.submatrix(rows, &gather)
+                    matrix.submatrix(tree.indices(heap), &gather)
                 };
-                near_cells.set(heap, mat);
+                near_cells.set(heap, Panel::Packed(mat));
                 gather_cells.set(heap, gather);
             }
             if let Some(basis) = comp.bases[heap].as_ref() {
@@ -196,32 +263,97 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                     let mat = if !comp.far_blocks[heap].is_empty() {
                         hstack_blocks(basis.rank(), &comp.far_blocks[heap])
                     } else {
-                        let cols: Vec<usize> = comp.lists.far[heap]
-                            .iter()
-                            .flat_map(|&alpha| {
-                                comp.bases[alpha]
-                                    .as_ref()
-                                    .expect("far node must have a skeleton")
-                                    .skeleton
-                                    .iter()
-                                    .copied()
-                            })
-                            .collect();
-                        matrix.submatrix(&basis.skeleton, &cols)
+                        extract_far_panel(matrix, comp, heap)
                     };
-                    far_cells.set(heap, mat);
+                    far_cells.set(heap, Panel::Packed(mat));
                 }
             }
         });
-        let far = far_cells.into_inner();
-        let near = near_cells.into_inner();
-        let near_gather = gather_cells.into_inner();
 
-        let scalar = std::mem::size_of::<T>();
+        Self::assemble_evaluator(
+            CompRef::Borrowed(comp),
+            policy,
+            num_threads,
+            far_cells.into_inner(),
+            near_cells.into_inner(),
+            gather_cells.into_inner(),
+            t0,
+        )
+    }
+
+    /// Build a *zero-copy* transient evaluator: interaction blocks cached at
+    /// compression time are borrowed (not packed into copies), and S2S / L2L
+    /// run one GEMM per block against them. This is what one-shot
+    /// [`evaluate`] uses — it restores the allocation profile evaluation had
+    /// before persistent evaluators existed, at the cost of the packed
+    /// single-GEMM inner loop.
+    ///
+    /// Nodes whose blocks were not cached (`cache_blocks: false`) fall back
+    /// to extracting a packed panel from `matrix`. Outputs are bit-identical
+    /// across traversal policies within this mode, and agree with the packed
+    /// mode to accumulation roundoff.
+    pub fn borrowing<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &'a Compressed<T>,
+        policy: TraversalPolicy,
+        num_threads: usize,
+    ) -> Self {
+        let t0 = Instant::now();
+        let tree = &comp.tree;
+        let node_count = tree.node_count();
+        let mut far: Vec<Panel<'a, T>> = Vec::with_capacity(node_count);
+        let mut near: Vec<Panel<'a, T>> = Vec::with_capacity(node_count);
+        let mut near_gather: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        for heap in 0..node_count {
+            if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
+                if !comp.near_blocks[heap].is_empty() {
+                    near.push(Panel::Blocks(&comp.near_blocks[heap]));
+                } else {
+                    let gather = near_gather_indices(comp, heap);
+                    near.push(Panel::Packed(matrix.submatrix(tree.indices(heap), &gather)));
+                    near_gather[heap] = gather;
+                }
+            } else {
+                near.push(Panel::Empty);
+            }
+            let has_far = comp.bases[heap].is_some() && !comp.lists.far[heap].is_empty();
+            if has_far {
+                if !comp.far_blocks[heap].is_empty() {
+                    far.push(Panel::Blocks(&comp.far_blocks[heap]));
+                } else {
+                    far.push(Panel::Packed(extract_far_panel(matrix, comp, heap)));
+                }
+            } else {
+                far.push(Panel::Empty);
+            }
+        }
+        Self::assemble_evaluator(
+            CompRef::Borrowed(comp),
+            policy,
+            num_threads,
+            far,
+            near,
+            near_gather,
+            t0,
+        )
+    }
+
+    /// Shared tail of every constructor: DAG construction, cache accounting
+    /// and buffer setup.
+    fn assemble_evaluator(
+        comp: CompRef<'a, T>,
+        policy: TraversalPolicy,
+        num_threads: usize,
+        far: Vec<Panel<'a, T>>,
+        near: Vec<Panel<'a, T>>,
+        near_gather: Vec<Vec<usize>>,
+        t0: Instant,
+    ) -> Self {
+        let node_count = comp.tree.node_count();
         let cached_bytes = far
             .iter()
             .chain(near.iter())
-            .map(|m| m.rows() * m.cols() * scalar)
+            .map(Panel::bytes)
             .sum::<usize>()
             + near_gather
                 .iter()
@@ -229,7 +361,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                 .sum::<usize>();
 
         // --- Build the evaluation DAG once ---------------------------------
-        let plan = evaluation_plan(comp);
+        let plan = evaluation_plan(&comp);
 
         Self {
             comp,
@@ -250,9 +382,81 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         }
     }
 
+    /// Build an evaluator that owns its compression, stealing the cached
+    /// interaction blocks. Used by [`Compressed::into_evaluator`].
+    fn from_owned<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        mut comp: Compressed<T>,
+    ) -> Evaluator<'static, T> {
+        let t0 = Instant::now();
+        let node_count = comp.tree.node_count();
+        let stolen_near = std::mem::take(&mut comp.near_blocks);
+        let stolen_far = std::mem::take(&mut comp.far_blocks);
+        let mut far: Vec<Panel<'static, T>> = Vec::with_capacity(node_count);
+        let mut near: Vec<Panel<'static, T>> = Vec::with_capacity(node_count);
+        let mut near_gather: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        // Each node's stolen blocks are dropped right after they are packed,
+        // so peak memory is the block cache plus a single node's panel —
+        // instead of the cache plus a full packed copy.
+        for (heap, (nb, fb)) in stolen_near.into_iter().zip(stolen_far).enumerate() {
+            let tree = &comp.tree;
+            if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
+                let gather = near_gather_indices(&comp, heap);
+                let mat = if !nb.is_empty() {
+                    hstack_blocks(tree.indices(heap).len(), &nb)
+                } else {
+                    matrix.submatrix(tree.indices(heap), &gather)
+                };
+                near.push(Panel::Packed(mat));
+                near_gather[heap] = gather;
+            } else {
+                near.push(Panel::Empty);
+            }
+            if comp.bases[heap].is_some() && !comp.lists.far[heap].is_empty() {
+                let rank = comp.bases[heap].as_ref().unwrap().rank();
+                let mat = if !fb.is_empty() {
+                    hstack_blocks(rank, &fb)
+                } else {
+                    extract_far_panel(matrix, &comp, heap)
+                };
+                far.push(Panel::Packed(mat));
+            } else {
+                far.push(Panel::Empty);
+            }
+        }
+        // Keep the per-node cache vectors aligned with the tree (now empty).
+        comp.near_blocks = vec![Vec::new(); node_count];
+        comp.far_blocks = vec![Vec::new(); node_count];
+        let (policy, threads) = (comp.config.policy, comp.config.num_threads);
+        Evaluator::assemble_evaluator(
+            CompRef::Owned(Box::new(comp)),
+            policy,
+            threads,
+            far,
+            near,
+            near_gather,
+            t0,
+        )
+    }
+
     /// Matrix dimension `N`.
     pub fn n(&self) -> usize {
         self.comp.n()
+    }
+
+    /// The compressed representation this evaluator serves (owned or
+    /// borrowed).
+    ///
+    /// When the evaluator was built with [`Compressed::into_evaluator`], the
+    /// returned compression's `near_blocks`/`far_blocks` caches are empty —
+    /// they were stolen into the packed panels — so cache-dependent helpers
+    /// ([`Compressed::self_near_block`], [`Compressed::cached_far_block`])
+    /// return `None` and consumers that need those blocks (e.g. a
+    /// hierarchical factorization) will fall back to kernel extraction.
+    /// Keep the `Compressed` and use [`Evaluator::new`] when other engines
+    /// still need its block cache.
+    pub fn compressed(&self) -> &Compressed<T> {
+        &self.comp
     }
 
     /// Wall-clock seconds spent in construction (block packing + DAG build).
@@ -341,14 +545,12 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             // `wtilde` needs no reset: every cell that is ever read is fully
             // overwritten by its node's N2S task. The three accumulator
             // families start from zero each apply.
-            for i in 0..node_count {
-                self.utilde.get_mut(i).fill(T::zero());
-                self.u_far.get_mut(i).fill(T::zero());
-                self.u_near.get_mut(i).fill(T::zero());
-            }
+            self.utilde.for_each_mut(|_, m| m.fill(T::zero()));
+            self.u_far.for_each_mut(|_, m| m.fill(T::zero()));
+            self.u_near.for_each_mut(|_, m| m.fill(T::zero()));
             return;
         }
-        let comp = self.comp;
+        let comp = &*self.comp;
         let rank_of = |heap: usize| comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
         let leaf_dims = |heap: usize| {
             if comp.tree.is_leaf(heap) {
@@ -369,6 +571,39 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         });
         self.rhs = r;
     }
+}
+
+/// The concatenation of a leaf's near nodes' original row indices, in
+/// Near-list order: the gather applied to `w` before a packed L2L GEMM.
+fn near_gather_indices<T: Scalar>(comp: &Compressed<T>, heap: usize) -> Vec<usize> {
+    comp.lists.near[heap]
+        .iter()
+        .flat_map(|&alpha| comp.tree.indices(alpha).iter().copied())
+        .collect()
+}
+
+/// Evaluate the packed far panel `K_{skel(heap), skel(Far(heap))}` from the
+/// kernel (the fallback when compression skipped block caching).
+fn extract_far_panel<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    heap: usize,
+) -> DenseMatrix<T> {
+    let basis = comp.bases[heap]
+        .as_ref()
+        .expect("node must have a skeleton");
+    let cols: Vec<usize> = comp.lists.far[heap]
+        .iter()
+        .flat_map(|&alpha| {
+            comp.bases[alpha]
+                .as_ref()
+                .expect("far node must have a skeleton")
+                .skeleton
+                .iter()
+                .copied()
+        })
+        .collect();
+    matrix.submatrix(&basis.skeleton, &cols)
 }
 
 /// Copy `blocks` (all with `rows` rows) side by side into one column-major
@@ -423,7 +658,7 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     /// N2S: skeleton weights `w~_alpha = P w_alpha` (leaf) or
     /// `P [w~_l; w~_r]` (interior).
     fn task_n2s(&self, heap: usize) {
-        let comp = self.ev.comp;
+        let comp = self.ev.compressed();
         let Some(basis) = comp.bases[heap].as_ref() else {
             return;
         };
@@ -449,40 +684,61 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     }
 
     /// S2S: skeleton potentials `u~_beta += K_{skel(beta), Far-skels} w~_Far`
-    /// — one GEMM against the packed far panel.
+    /// — one GEMM against the packed far panel, or one GEMM per borrowed
+    /// block in zero-copy mode.
     fn task_s2s(&self, heap: usize) {
-        let comp = self.ev.comp;
-        let far = &self.ev.far[heap];
-        if far.is_empty() {
+        let comp = self.ev.compressed();
+        if self.ev.far[heap].is_empty() {
             return;
         }
         let r = self.w.cols();
-        // Stack the far nodes' skeleton weights in Far-list order, matching
-        // the packed panel's column order.
-        let mut wstack = DenseMatrix::zeros(far.cols(), r);
-        let mut off = 0;
-        for &alpha in &comp.lists.far[heap] {
-            let wa = self.ev.wtilde.read(alpha);
-            wstack.set_block(off, 0, &wa);
-            off += wa.rows();
+        match &self.ev.far[heap] {
+            Panel::Empty => {}
+            Panel::Packed(far) => {
+                // Stack the far nodes' skeleton weights in Far-list order,
+                // matching the packed panel's column order.
+                let mut wstack = DenseMatrix::zeros(far.cols(), r);
+                let mut off = 0;
+                for &alpha in &comp.lists.far[heap] {
+                    let wa = self.ev.wtilde.read(alpha);
+                    wstack.set_block(off, 0, &wa);
+                    off += wa.rows();
+                }
+                debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
+                let mut ut = self.ev.utilde.write(heap);
+                gemm(
+                    T::one(),
+                    far,
+                    Transpose::No,
+                    &wstack,
+                    Transpose::No,
+                    T::one(),
+                    &mut ut,
+                );
+                self.count_gemm(far.rows(), r, far.cols());
+            }
+            Panel::Blocks(blocks) => {
+                let mut ut = self.ev.utilde.write(heap);
+                for (&alpha, block) in comp.lists.far[heap].iter().zip(*blocks) {
+                    let wa = self.ev.wtilde.read(alpha);
+                    gemm(
+                        T::one(),
+                        block,
+                        Transpose::No,
+                        &wa,
+                        Transpose::No,
+                        T::one(),
+                        &mut ut,
+                    );
+                    self.count_gemm(block.rows(), r, block.cols());
+                }
+            }
         }
-        debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
-        let mut ut = self.ev.utilde.write(heap);
-        gemm(
-            T::one(),
-            far,
-            Transpose::No,
-            &wstack,
-            Transpose::No,
-            T::one(),
-            &mut ut,
-        );
-        self.count_gemm(far.rows(), r, far.cols());
     }
 
     /// S2N: interpolate skeleton potentials back down the tree.
     fn task_s2n(&self, heap: usize) {
-        let comp = self.ev.comp;
+        let comp = self.ev.compressed();
         let Some(basis) = comp.bases[heap].as_ref() else {
             return;
         };
@@ -525,31 +781,53 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     }
 
     /// L2L: direct (near) interactions — one GEMM of the packed near panel
-    /// against the gathered input rows.
+    /// against the gathered input rows, or one gather + GEMM per borrowed
+    /// block in zero-copy mode.
     fn task_l2l(&self, heap: usize) {
-        let near = &self.ev.near[heap];
-        if near.is_empty() {
+        if self.ev.near[heap].is_empty() {
             return;
         }
         let r = self.w.cols();
-        let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
-        let mut out = self.ev.u_near.write(heap);
-        gemm(
-            T::one(),
-            near,
-            Transpose::No,
-            &w_near,
-            Transpose::No,
-            T::one(),
-            &mut out,
-        );
-        self.count_gemm(near.rows(), r, near.cols());
+        match &self.ev.near[heap] {
+            Panel::Empty => {}
+            Panel::Packed(near) => {
+                let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
+                let mut out = self.ev.u_near.write(heap);
+                gemm(
+                    T::one(),
+                    near,
+                    Transpose::No,
+                    &w_near,
+                    Transpose::No,
+                    T::one(),
+                    &mut out,
+                );
+                self.count_gemm(near.rows(), r, near.cols());
+            }
+            Panel::Blocks(blocks) => {
+                let comp = self.ev.compressed();
+                let mut out = self.ev.u_near.write(heap);
+                for (&alpha, block) in comp.lists.near[heap].iter().zip(*blocks) {
+                    let w_alpha = self.w.select_rows(comp.tree.indices(alpha));
+                    gemm(
+                        T::one(),
+                        block,
+                        Transpose::No,
+                        &w_alpha,
+                        Transpose::No,
+                        T::one(),
+                        &mut out,
+                    );
+                    self.count_gemm(block.rows(), r, block.cols());
+                }
+            }
+        }
     }
 
     /// Gather the per-leaf far and near contributions into the output vector
     /// in the original index order.
     fn assemble(&self) -> DenseMatrix<T> {
-        let comp = self.ev.comp;
+        let comp = self.ev.compressed();
         let n = comp.n();
         let r = self.w.cols();
         let mut out = DenseMatrix::zeros(n, r);
@@ -571,12 +849,34 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     }
 }
 
+impl<T: Scalar> Compressed<T> {
+    /// Convert this compression into a persistent [`Evaluator`], *stealing*
+    /// the cached interaction blocks instead of copying them: each node's
+    /// cached blocks are moved out, packed into the evaluator's contiguous
+    /// panel, and freed immediately, so peak memory during construction is
+    /// roughly half of [`Evaluator::new`]'s copy-then-keep-both profile.
+    /// Use this when the caller does not need the `Compressed` afterwards.
+    ///
+    /// The `matrix` is only consulted for nodes whose blocks were not cached
+    /// (`cache_blocks: false`); with a cached compression, construction and
+    /// every apply are kernel-free.
+    ///
+    /// The compression reachable through [`Evaluator::compressed`] afterwards
+    /// has **empty block caches** (see that method's documentation); stealing
+    /// is the right trade only when nothing else needs the cached blocks.
+    pub fn into_evaluator<M: SpdMatrix<T> + ?Sized>(self, matrix: &M) -> Evaluator<'static, T> {
+        Evaluator::from_owned(matrix, self)
+    }
+}
+
 /// Evaluate `u ≈ K w` using the policy and thread count stored in the
 /// compression configuration.
 ///
-/// One-shot wrapper over [`Evaluator`]: builds a transient evaluator and
-/// applies it once. Callers issuing repeated matvecs against the same
-/// compression should hold an `Evaluator` instead and amortize the setup.
+/// One-shot wrapper over [`Evaluator::borrowing`]: builds a transient
+/// *zero-copy* evaluator whose S2S/L2L tasks read the interaction blocks
+/// cached inside `comp` directly (no packed copies), and applies it once.
+/// Callers issuing repeated matvecs against the same compression should hold
+/// a packed [`Evaluator`] instead and amortize the setup.
 pub fn evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
@@ -588,7 +888,7 @@ pub fn evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
 /// Evaluate `u ≈ K w` with an explicit traversal policy and thread count
 /// (used by the scheduling experiments).
 ///
-/// One-shot wrapper over [`Evaluator::with_options`]; see [`evaluate`].
+/// One-shot wrapper over [`Evaluator::borrowing`]; see [`evaluate`].
 pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
@@ -596,7 +896,7 @@ pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     policy: TraversalPolicy,
     num_threads: usize,
 ) -> (DenseMatrix<T>, EvaluationStats) {
-    let mut evaluator = Evaluator::with_options(matrix, comp, policy, num_threads);
+    let mut evaluator = Evaluator::borrowing(matrix, comp, policy, num_threads);
     evaluator.apply(w)
 }
 
@@ -823,30 +1123,34 @@ mod tests {
     }
 
     #[test]
-    fn evaluator_apply_is_bit_identical_to_one_shot_for_all_policies() {
+    fn evaluator_and_one_shot_are_each_bit_identical_across_policies() {
         let n = 300;
         let k = test_matrix(n);
         let comp = compress::<f64, _>(&k, &config());
         let mut rng = StdRng::seed_from_u64(31);
         let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        // References in each storage mode (sequential, single-threaded).
+        let (once_ref, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::Sequential, 1);
+        let (packed_ref, _) =
+            Evaluator::with_options(&k, &comp, TraversalPolicy::Sequential, 1).apply(&w);
         for policy in [
             TraversalPolicy::Sequential,
             TraversalPolicy::LevelByLevel,
             TraversalPolicy::DagHeft,
             TraversalPolicy::DagFifo,
         ] {
+            // One-shot (borrowed blocks) is bit-identical across policies.
             let (u_once, _) = evaluate_with(&k, &comp, &w, policy, 4);
+            for (idx, (a, b)) in once_ref.data().iter().zip(u_once.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{policy}: one-shot entry {idx}");
+            }
+            // Packed persistent evaluator is bit-identical across policies
+            // and across consecutive applies (the second runs entirely on
+            // recycled buffers and must not see leaked state).
             let mut evaluator = Evaluator::with_options(&k, &comp, policy, 4);
-            // Two consecutive applies: the second runs entirely on recycled
-            // buffers and must not see any state leaked by the first.
             let (u1, s1) = evaluator.apply(&w);
             let (u2, s2) = evaluator.apply(&w);
-            assert_eq!(
-                u_once.data().len(),
-                u1.data().len(),
-                "{policy}: shape mismatch"
-            );
-            for (idx, (a, b)) in u_once.data().iter().zip(u1.data()).enumerate() {
+            for (idx, (a, b)) in packed_ref.data().iter().zip(u1.data()).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "{policy}: apply #1 entry {idx}");
             }
             for (idx, (a, b)) in u1.data().iter().zip(u2.data()).enumerate() {
@@ -854,6 +1158,75 @@ mod tests {
             }
             assert!(s1.flops > 0);
             assert_eq!(s1.flops, s2.flops, "{policy}: flops drifted across applies");
+        }
+        // The two storage modes perform the same arithmetic in a different
+        // accumulation order: equal to roundoff, not necessarily to the bit.
+        let diff = once_ref.sub(&packed_ref).norm_max();
+        assert!(diff < 1e-10, "borrowed vs packed drift {diff}");
+    }
+
+    #[test]
+    fn one_shot_evaluation_borrows_cached_blocks_without_copying() {
+        let n = 300;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        // Zero-copy transient evaluator: reads the cached blocks in place and
+        // extracts nothing from the kernel.
+        let counter = CountingMatrix::new(&k);
+        let ev = Evaluator::<f64>::borrowing(&counter, &comp, TraversalPolicy::Sequential, 1);
+        assert_eq!(
+            counter.count(),
+            0,
+            "borrowing setup must not touch the kernel"
+        );
+        // It still accounts the bytes it reads per apply, which match the
+        // packed evaluator's panel bytes minus the gather indices (borrowed
+        // mode keeps no gather lists).
+        let packed = Evaluator::<f64>::new(&k, &comp);
+        assert!(ev.cached_bytes() > 0);
+        assert!(ev.cached_bytes() <= packed.cached_bytes());
+        let mut ev = ev;
+        let mut rng = StdRng::seed_from_u64(36);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u, _) = ev.apply(&w);
+        assert_eq!(
+            counter.count(),
+            0,
+            "borrowed apply must not touch the kernel"
+        );
+        let exact = k.matvec_exact(&w);
+        let rel = u.sub(&exact).norm_fro() / exact.norm_fro();
+        assert!(rel < 1e-4, "borrowed-mode relative error {rel}");
+    }
+
+    #[test]
+    fn into_evaluator_steals_blocks_and_matches_copying_evaluator() {
+        let n = 300;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(37);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let (u_ref, _) =
+            Evaluator::with_options(&k, &comp, comp.config.policy, comp.config.num_threads)
+                .apply(&w);
+
+        let comp2 = compress::<f64, _>(&k, &config());
+        let counter = CountingMatrix::new(&k);
+        let mut owned = comp2.into_evaluator(&counter);
+        assert_eq!(
+            counter.count(),
+            0,
+            "stealing setup must reuse cached blocks"
+        );
+        // The owned evaluator emptied the compression's block cache...
+        assert!(owned.compressed().near_blocks.iter().all(|b| b.is_empty()));
+        assert!(owned.compressed().far_blocks.iter().all(|b| b.is_empty()));
+        // ...but packs the identical panels, so applies are bit-identical to
+        // the copying constructor.
+        let (u, _) = owned.apply(&w);
+        assert_eq!(counter.count(), 0);
+        for (idx, (a, b)) in u_ref.data().iter().zip(u.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "owned evaluator entry {idx}");
         }
     }
 

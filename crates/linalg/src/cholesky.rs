@@ -7,7 +7,7 @@
 use crate::blas::{gemm, Transpose};
 use crate::matrix::DenseMatrix;
 use crate::scalar::Scalar;
-use crate::trsm::{tri_inverse, trsm_left, Triangle};
+use crate::trsm::{tri_inverse, trsm_left, trsm_left_blocked, Triangle};
 
 /// Error returned when a matrix is not (numerically) positive definite.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +82,15 @@ impl<T: Scalar> Cholesky<T> {
         x
     }
 
+    /// Solve `A X = B` in place with the blocked multi-RHS triangular solves
+    /// (`trsm_left_blocked`): the fast path for wide right-hand sides, used
+    /// by the hierarchical solver's leaf factor and solve sweeps. Same
+    /// result as [`Cholesky::solve`] up to blocked-accumulation rounding.
+    pub fn solve_into(&self, b: &mut DenseMatrix<T>) {
+        trsm_left_blocked(Triangle::Lower, false, &self.l, b);
+        trsm_left_blocked(Triangle::Lower, true, &self.l, b);
+    }
+
     /// Explicit inverse `A^{-1} = L^{-T} L^{-1}` (symmetric by construction).
     pub fn inverse(&self) -> DenseMatrix<T> {
         let linv = tri_inverse(Triangle::Lower, &self.l);
@@ -147,6 +156,20 @@ mod tests {
         let ch = Cholesky::factor(&a).unwrap();
         let sol = ch.solve(&b);
         assert!(sol.sub(&x).norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = random_spd(130, 45); // large enough for the blocked path
+        let mut rng = StdRng::seed_from_u64(46);
+        let x = DenseMatrix::<f64>::random_uniform(130, 6, &mut rng);
+        let b = matmul(&a, &x);
+        let ch = Cholesky::factor(&a).unwrap();
+        let reference = ch.solve(&b);
+        let mut blocked = b;
+        ch.solve_into(&mut blocked);
+        assert!(blocked.sub(&x).norm_max() < 1e-7);
+        assert!(blocked.sub(&reference).norm_max() < 1e-8);
     }
 
     #[test]

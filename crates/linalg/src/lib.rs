@@ -11,6 +11,7 @@
 //! * [`qr`] — Householder QR and column-pivoted (rank-revealing) QR,
 //! * [`trsm`] — triangular solves,
 //! * [`cholesky`] — Cholesky factorization / SPD solves / SPD inversion,
+//! * [`lu`] — partial-pivoted LU for the solver's small non-symmetric cores,
 //! * [`id`] — interpolative decomposition built on the pivoted QR.
 //!
 //! All kernels are sequential; coarse-grained parallelism comes from the task
@@ -20,6 +21,7 @@
 pub mod blas;
 pub mod cholesky;
 pub mod id;
+pub mod lu;
 pub mod matrix;
 pub mod qr;
 pub mod scalar;
@@ -28,7 +30,8 @@ pub mod trsm;
 pub use blas::{axpy, dot, gemm, gemv, matmul, matmul_nt, matmul_tn, norm2_est, nrm2, Transpose};
 pub use cholesky::{is_spd, Cholesky, NotPositiveDefinite};
 pub use id::{id_reconstruct, interpolative_decomposition, Id};
+pub use lu::{LuFactor, SingularMatrix};
 pub use matrix::DenseMatrix;
 pub use qr::{householder_qr, pivoted_qr, QrFactors, QrOptions};
 pub use scalar::Scalar;
-pub use trsm::{tri_inverse, trsm_left, trsv, Triangle};
+pub use trsm::{tri_inverse, trsm_left, trsm_left_blocked, trsv, Triangle};

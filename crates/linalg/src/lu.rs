@@ -1,0 +1,199 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The hierarchical solver's Sherman–Morrison–Woodbury cores `(I + C G)` are
+//! small, dense and — unlike everything else in the factorization —
+//! non-symmetric, so Cholesky does not apply. This partial-pivoted LU covers
+//! exactly that: factor once per tree node at setup, then serve multi-RHS
+//! solves during every downward sweep.
+
+use crate::matrix::DenseMatrix;
+use crate::scalar::Scalar;
+
+/// Error returned when a matrix is numerically singular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Column index at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is numerically singular (no pivot in column {})",
+            self.column
+        )
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+#[derive(Clone, Debug)]
+pub struct LuFactor<T: Scalar> {
+    /// Packed factors: unit-lower `L` below the diagonal, `U` on and above.
+    lu: DenseMatrix<T>,
+    /// Row swapped with row `k` at step `k`.
+    piv: Vec<usize>,
+}
+
+impl<T: Scalar> LuFactor<T> {
+    /// Factor a square matrix. Returns [`SingularMatrix`] when a pivot
+    /// column is exactly zero (or not finite).
+    pub fn factor(a: &DenseMatrix<T>) -> Result<Self, SingularMatrix> {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "LU requires a square matrix");
+        let mut lu = a.clone();
+        let mut piv = vec![0usize; n];
+        for k in 0..n {
+            // Partial pivot: largest magnitude on or below the diagonal.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == T::zero() || !best.is_finite() {
+                return Err(SingularMatrix { column: k });
+            }
+            piv[k] = p;
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, tmp);
+                }
+            }
+            let d = lu.get(k, k);
+            for i in (k + 1)..n {
+                let m = lu.get(i, k) / d;
+                lu.set(i, k, m);
+                if m == T::zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let v = lu.get(i, j) - m * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+        Ok(Self { lu, piv })
+    }
+
+    /// Order of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A X = B` for a multi-column right-hand side.
+    pub fn solve(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let mut x = b.clone();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solve `A X = B` in place, overwriting `B` with the solution.
+    pub fn solve_in_place(&self, b: &mut DenseMatrix<T>) {
+        let n = self.n();
+        assert_eq!(b.rows(), n, "LU solve rhs row mismatch");
+        let r = b.cols();
+        // Apply the recorded row swaps.
+        for k in 0..n {
+            let p = self.piv[k];
+            if p != k {
+                for c in 0..r {
+                    let tmp = b.get(k, c);
+                    b.set(k, c, b.get(p, c));
+                    b.set(p, c, tmp);
+                }
+            }
+        }
+        for c in 0..r {
+            // Forward substitution with the unit-lower factor.
+            for i in 0..n {
+                let mut acc = b.get(i, c);
+                for k in 0..i {
+                    acc -= self.lu.get(i, k) * b.get(k, c);
+                }
+                b.set(i, c, acc);
+            }
+            // Backward substitution with the upper factor.
+            for ii in 0..n {
+                let i = n - 1 - ii;
+                let mut acc = b.get(i, c);
+                for k in (i + 1)..n {
+                    acc -= self.lu.get(i, k) * b.get(k, c);
+                }
+                b.set(i, c, acc / self.lu.get(i, i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factor_and_solve_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let a = DenseMatrix::<f64>::random_uniform(12, 12, &mut rng);
+        let x = DenseMatrix::<f64>::random_uniform(12, 3, &mut rng);
+        let b = matmul(&a, &x);
+        let lu = LuFactor::factor(&a).unwrap();
+        let sol = lu.solve(&b);
+        assert!(sol.sub(&x).norm_max() < 1e-9, "{}", sol.sub(&x).norm_max());
+        assert_eq!(lu.n(), 12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0, 1], [1, 0]] needs a row swap before elimination.
+        let a = DenseMatrix::<f64>::from_fn(2, 2, |i, j| if i == j { 0.0 } else { 1.0 });
+        let lu = LuFactor::factor(&a).unwrap();
+        let b = DenseMatrix::<f64>::from_fn(2, 1, |i, _| (i + 1) as f64);
+        let x = lu.solve(&b);
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = DenseMatrix::<f64>::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0;
+        // Third column is identically zero.
+        let err = LuFactor::factor(&a).unwrap_err();
+        assert_eq!(err.column, 2);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn nonsymmetric_smw_core_shape() {
+        // The solver's use case: I + C*G with C = [0 B; B^T 0], G SPD-ish.
+        let mut rng = StdRng::seed_from_u64(72);
+        let b = DenseMatrix::<f64>::random_uniform(4, 5, &mut rng);
+        let n = 9;
+        let mut c = DenseMatrix::<f64>::zeros(n, n);
+        c.set_block(0, 4, &b);
+        c.set_block(4, 0, &b.transpose());
+        let g = DenseMatrix::<f64>::identity(n);
+        let mut m = matmul(&c, &g);
+        for i in 0..n {
+            m[(i, i)] += 1.0;
+        }
+        let lu = LuFactor::factor(&m).unwrap();
+        let w = lu.solve(&c);
+        // W must satisfy (I + C G) W = C.
+        let recon = matmul(&m, &w);
+        assert!(recon.sub(&c).norm_max() < 1e-10);
+        // And W is symmetric because C and G are.
+        assert!(w.sub(&w.transpose()).norm_max() < 1e-10);
+    }
+}

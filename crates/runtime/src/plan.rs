@@ -513,6 +513,15 @@ impl<T> DisjointCells<T> {
         self.cells[i].get_mut()
     }
 
+    /// Visit every cell mutably through a unique borrow (no atomics needed).
+    /// Long-lived evaluators and solvers use this to zero their recycled
+    /// per-node buffers between runs.
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(usize, &mut T)) {
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            f(i, cell.get_mut());
+        }
+    }
+
     /// Unwrap into the plain values.
     pub fn into_inner(self) -> Vec<T> {
         self.cells.into_iter().map(UnsafeCell::into_inner).collect()

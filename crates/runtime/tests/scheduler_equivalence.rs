@@ -213,6 +213,68 @@ fn phase_plan_bit_identical_across_policies() {
     }
 }
 
+/// A miniature of the solver's two-sweep solve on one reusable plan: an
+/// upward sweep ("SUP" shape — leaf solves and skeleton reductions) followed
+/// by a downward sweep ("SDOWN" shape) where every downward task depends on
+/// the matching upward task (it reads the coefficients the up-sweep wrote)
+/// and on its parent's downward task (which wrote its incoming coefficient).
+fn solve_sweep_outputs(policy: SchedulePolicy, workers: usize) -> Vec<f64> {
+    let topo = HeapTree { levels: 6 };
+    let n = topo.node_count();
+    let mut plan = gofmm_runtime::ReusablePlan::new();
+    plan.add_bottom_up("SUP", &topo, |_| false, |_| 1.0);
+    plan.add_top_down(
+        "SDOWN",
+        &topo,
+        |_| false,
+        |_| 1.0,
+        |node, deps| deps.push(("SUP", node)),
+    );
+
+    let up: DisjointCells<f64> = DisjointCells::from_fn(n, |_| 0.0);
+    let delta: DisjointCells<f64> = DisjointCells::from_fn(n, |_| 0.0);
+    let stats = plan.run(policy, workers, |family, node| match family {
+        "SUP" => {
+            let v = match topo.plan_children(node) {
+                Some((l, r)) => (*up.read(l)).mul_add(0.75, *up.read(r) * 1.25),
+                None => (node as f64 * 0.37).cos(),
+            };
+            *up.write(node) = v + 1.0;
+        }
+        "SDOWN" => {
+            let incoming = *delta.read(node);
+            let own = *up.read(node);
+            if let Some((l, r)) = topo.plan_children(node) {
+                *delta.write(l) = incoming * 0.5 + own * 0.125;
+                *delta.write(r) = incoming * 0.5 - own * 0.125;
+            } else {
+                // Leaves fold their coefficient back into the up cell —
+                // ordered after their own SUP by the explicit edge.
+                *up.write(node) = own - incoming;
+            }
+        }
+        other => panic!("unexpected family {other}"),
+    });
+    assert_eq!(stats.tasks_executed, 2 * n);
+    let mut out = up.into_inner();
+    out.extend(delta.into_inner());
+    out
+}
+
+#[test]
+fn solver_shaped_up_down_plan_bit_identical_across_policies() {
+    let reference = solve_sweep_outputs(SchedulePolicy::Sequential, 1);
+    assert!(reference.iter().any(|&v| v != 0.0));
+    for policy in POLICIES {
+        for workers in [2usize, 4, 8] {
+            let out = solve_sweep_outputs(policy, workers);
+            for (i, (a, b)) in reference.iter().zip(&out).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{policy} x{workers}: cell {i}");
+            }
+        }
+    }
+}
+
 #[test]
 fn repeated_runs_are_stable() {
     // Guard against racy nondeterminism slipping past a single lucky run.

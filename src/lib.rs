@@ -8,4 +8,5 @@ pub use gofmm_core as core;
 pub use gofmm_linalg as linalg;
 pub use gofmm_matrices as matrices;
 pub use gofmm_runtime as runtime;
+pub use gofmm_solver as solver;
 pub use gofmm_tree as tree;
