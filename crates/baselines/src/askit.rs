@@ -85,6 +85,7 @@ impl<T: Scalar> AskitMatrix<T> {
             cache_blocks: true,
             ann_iters: 10,
             seed: config.seed,
+            strict_rank_budget: false,
         };
         let t0 = Instant::now();
         let inner = compress(matrix, &gofmm_cfg);

@@ -79,6 +79,7 @@ impl<T: Scalar> HssMatrix<T> {
             cache_blocks: true,
             ann_iters: 0,
             seed: 1,
+            strict_rank_budget: false,
         };
         let t0 = Instant::now();
         let inner = compress(matrix, &gofmm_cfg);

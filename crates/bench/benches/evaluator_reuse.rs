@@ -50,7 +50,7 @@ fn bench_evaluator_reuse(c: &mut Criterion) {
         );
 
         // Reused: setup hoisted out of the measured loop — the service shape.
-        let mut evaluator = Evaluator::with_options(&k, &comp, policy, threads);
+        let evaluator = Evaluator::with_options(&k, &comp, policy, threads);
         let _ = evaluator.apply(&w); // warm the buffers once
         group.bench_with_input(BenchmarkId::new("evaluator_apply", r), &r, |bencher, _| {
             bencher.iter(|| evaluator.apply(&w));

@@ -1,0 +1,116 @@
+//! Concurrent serving throughput: applies/second against one shared
+//! `GofmmOperator` as the client-thread count grows from 1 to 16.
+//!
+//! This is the experiment the shared-state API redesign exists for: before
+//! it, `Evaluator::apply` took `&mut self`, so a compressed operator could
+//! serve exactly one request stream no matter how many cores were idle. With
+//! pooled per-call workspaces, client threads scale until the hardware runs
+//! out — the table below measures how far.
+//!
+//! Each client issues single-threaded sequential applies (the serving
+//! sweet spot: intra-request parallelism off, inter-request parallelism from
+//! the clients), plus a mixed apply+solve column for the solver path.
+//! Environment overrides: `GOFMM_BENCH_SCALE`, `GOFMM_BENCH_THREADS`.
+
+use gofmm_bench::harness::{bench_threads, print_table, scaled, timed};
+use gofmm_core::{ApplyOptions, GofmmConfig, TraversalPolicy};
+use gofmm_linalg::DenseMatrix;
+use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+use gofmm_solver::GofmmOperator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = scaled(4096);
+    let r = 8; // right-hand sides per request
+    let lambda = 1e-2;
+    let k = KernelMatrix::new(
+        PointCloud::uniform(n, 3, 7),
+        KernelType::Gaussian { bandwidth: 1.0 },
+        1e-6,
+        "throughput",
+    );
+    let cfg = GofmmConfig::default()
+        .with_leaf_size(128)
+        .with_max_rank(96)
+        .with_tolerance(1e-7)
+        .with_budget(0.0)
+        .with_threads(bench_threads())
+        .with_policy(TraversalPolicy::DagHeft);
+    let (operator, t_build) = timed(|| {
+        Arc::new(
+            GofmmOperator::<f64>::builder(&k)
+                .config(cfg)
+                .factorize(lambda)
+                .build()
+                .expect("operator must build"),
+        )
+    });
+    println!("operator built in {t_build:.2}s (n = {n}, {r} RHS per request)");
+
+    let w = DenseMatrix::<f64>::from_fn(n, r, |i, j| (((i + 3 * j) % 13) as f64) / 13.0 - 0.5);
+    let u_ref = operator.apply(&w).expect("baseline apply");
+    // Per-request options: sequential inside each request, parallelism
+    // across clients.
+    let opts = ApplyOptions::new()
+        .with_policy(TraversalPolicy::Sequential)
+        .with_threads(1);
+
+    // Client threads model request concurrency, not worker cores, so the
+    // sweep always covers 1..16 — oversubscription is a legitimate serving
+    // scenario. `GOFMM_BENCH_THREADS` caps the sweep when a shorter run is
+    // wanted.
+    let mut client_counts = vec![1usize, 2, 4, 8, 16];
+    if let Ok(cap) = std::env::var("GOFMM_BENCH_THREADS") {
+        if let Ok(cap) = cap.parse::<usize>() {
+            client_counts.retain(|&c| c <= cap.max(1));
+        }
+    }
+
+    let window = 1.0; // seconds of sustained traffic per configuration
+    let mut rows = Vec::new();
+    let mut baseline = 0.0f64;
+    for &clients in &client_counts {
+        let served = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let operator = Arc::clone(&operator);
+                let (w, u_ref, opts, served) = (&w, &u_ref, &opts, &served);
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    while t0.elapsed().as_secs_f64() < window {
+                        if c % 4 == 3 {
+                            // Every fourth client exercises the solve path.
+                            let x = operator.solve_with(w, opts).expect("solve");
+                            assert_eq!(x.rows(), w.rows());
+                        } else {
+                            let (u, _) = operator.apply_with(w, opts).expect("apply");
+                            // Serving contract: concurrency never changes bits.
+                            assert_eq!(u.data(), u_ref.data(), "client {c} drifted");
+                        }
+                        local += 1;
+                    }
+                    served.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let rate = served.load(Ordering::Relaxed) as f64 / elapsed;
+        if clients == 1 {
+            baseline = rate;
+        }
+        rows.push(vec![
+            format!("{clients}"),
+            format!("{}", served.load(Ordering::Relaxed)),
+            format!("{rate:.1}"),
+            format!("{:.2}x", rate / baseline.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Concurrent serving throughput (one shared GofmmOperator)",
+        &["clients", "requests", "req/s", "speedup"],
+        &rows,
+    );
+}

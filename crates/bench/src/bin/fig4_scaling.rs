@@ -63,7 +63,7 @@ fn main() {
                 // Repeated-matvec column: a persistent Evaluator serves the
                 // second and later matvecs from packed blocks and a cached
                 // DAG; this is the steady-state cost of a matvec service.
-                let mut evaluator = Evaluator::with_options(&k, &comp, policy, threads);
+                let evaluator = Evaluator::with_options(&k, &comp, policy, threads);
                 let _ = evaluator.apply(&w); // first apply sizes the buffers
                 let (_, t_reuse) = timed(|| evaluator.apply(&w));
                 let eps = sampled_relative_error(&k, &w, &u, 100, 0);

@@ -40,16 +40,17 @@ fn main() {
             .with_threads(threads)
             .with_policy(TraversalPolicy::DagHeft);
         let (comp, t_compress) = timed(|| compress::<f64, _>(&k, &cfg));
-        let (mut evaluator, t_ev) = timed(|| Evaluator::new(&k, &comp));
+        let (evaluator, t_ev) = timed(|| Evaluator::new(&k, &comp));
         let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 7919 % 101) as f64) / 50.0 - 1.0);
 
         for &lambda in &lambdas {
             let (factor, t_factor) =
                 timed(|| HierarchicalFactor::new(&k, &comp, lambda).expect("factorization"));
-            let mut factor = factor;
-            let mut op = Shifted::new(&mut evaluator, lambda);
-            let ((_, s_un), t_un) = timed(|| cg_unpreconditioned(&mut op, &b, &opts));
-            let ((_, s_pre), t_pre) = timed(|| cg(&mut op, &mut factor, &b, &opts));
+            let op = Shifted::new(&evaluator, lambda);
+            let ((_, s_un), t_un) =
+                timed(|| cg_unpreconditioned(&op, &b, &opts).expect("well-formed system"));
+            let ((_, s_pre), t_pre) =
+                timed(|| cg(&op, &factor, &b, &opts).expect("well-formed system"));
             rows.push(vec![
                 format!("{n}"),
                 format!("{lambda:.0e}"),

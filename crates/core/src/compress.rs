@@ -132,6 +132,57 @@ impl<T: Scalar> Compressed<T> {
     }
 }
 
+/// How a persistent engine (evaluator, hierarchical factorization, operator
+/// handle) holds the compression it serves.
+///
+/// * `Borrowed` — the caller keeps the [`Compressed`] and the engine
+///   references it (the classic construction path).
+/// * `Owned` — the engine consumed the compression
+///   ([`Compressed::into_evaluator`]), e.g. to steal its cached blocks.
+/// * `Shared` — several engines serve the *same* compression behind an
+///   [`Arc`](std::sync::Arc): the `GofmmOperator` front door builds its evaluator and its
+///   factorization over one shared compression this way, which is what makes
+///   the whole handle `'static`, `Send + Sync`, and cheap to share across
+///   request-serving threads.
+#[derive(Debug)]
+pub enum CompRef<'a, T: Scalar> {
+    /// Reference to a caller-owned compression.
+    Borrowed(&'a Compressed<T>),
+    /// Compression moved into the engine.
+    Owned(Box<Compressed<T>>),
+    /// Compression shared between engines.
+    Shared(std::sync::Arc<Compressed<T>>),
+}
+
+impl<T: Scalar> std::ops::Deref for CompRef<'_, T> {
+    type Target = Compressed<T>;
+    fn deref(&self) -> &Compressed<T> {
+        match self {
+            CompRef::Borrowed(c) => c,
+            CompRef::Owned(c) => c,
+            CompRef::Shared(c) => c,
+        }
+    }
+}
+
+impl<'a, T: Scalar> From<&'a Compressed<T>> for CompRef<'a, T> {
+    fn from(c: &'a Compressed<T>) -> Self {
+        CompRef::Borrowed(c)
+    }
+}
+
+impl<T: Scalar> From<Compressed<T>> for CompRef<'static, T> {
+    fn from(c: Compressed<T>) -> Self {
+        CompRef::Owned(Box::new(c))
+    }
+}
+
+impl<T: Scalar> From<std::sync::Arc<Compressed<T>>> for CompRef<'static, T> {
+    fn from(c: std::sync::Arc<Compressed<T>>) -> Self {
+        CompRef::Shared(c)
+    }
+}
+
 /// Oracle used for partitioning schemes that never query distances
 /// (lexicographic and random ordering).
 struct TrivialOracle(usize);
@@ -146,12 +197,37 @@ impl DistanceOracle for TrivialOracle {
 }
 
 /// Compress an SPD matrix into the hierarchical low-rank plus sparse form.
+///
+/// Convenience wrapper over [`try_compress`] that panics on invalid input
+/// (empty matrix, out-of-range configuration, or — in strict mode — an
+/// exhausted rank budget). Services that must not panic call
+/// [`try_compress`] and map the [`crate::Error`] themselves.
 pub fn compress<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     config: &GofmmConfig,
 ) -> Compressed<T> {
+    match try_compress(matrix, config) {
+        Ok(comp) => comp,
+        Err(err) => panic!("compress: {err}"),
+    }
+}
+
+/// Fallible compression: the serving-grade boundary behind [`compress`].
+///
+/// Validates the input ([`crate::Error::EmptyInput`]) and the configuration
+/// ([`GofmmConfig::validate`] → [`crate::Error::InvalidConfig`]) before doing
+/// any work, and — when [`GofmmConfig::strict_rank_budget`] is set — reports
+/// [`crate::Error::BudgetExhausted`] if any node's adaptive skeletonization
+/// was cut off by the rank cap rather than the accuracy tolerance.
+pub fn try_compress<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    config: &GofmmConfig,
+) -> Result<Compressed<T>, crate::Error> {
     let n = matrix.n();
-    assert!(n > 0, "cannot compress an empty matrix");
+    if n == 0 {
+        return Err(crate::Error::EmptyInput { what: "matrix" });
+    }
+    config.validate()?;
     let t_total = Instant::now();
     let mut stats = CompressionStats::default();
 
@@ -207,6 +283,25 @@ pub fn compress<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     stats.skel_time = t3.elapsed().as_secs_f64();
     stats.exec = exec;
 
+    if config.strict_rank_budget {
+        // A node whose adaptive ID stopped at the rank cap with the next
+        // candidate still above the tolerance threshold was decided by the
+        // budget, not the accuracy target — strict mode refuses to certify
+        // it. Nodes whose tolerance was met at exactly `max_rank` do not
+        // trip this: the ID records which criterion terminated pivoting.
+        for (heap, basis) in bases.iter().enumerate() {
+            if let Some(b) = basis {
+                if b.budget_limited {
+                    return Err(crate::Error::BudgetExhausted {
+                        node: heap,
+                        max_rank: config.max_rank,
+                        residual: b.residual,
+                    });
+                }
+            }
+        }
+    }
+
     let ranks: Vec<usize> = bases
         .iter()
         .filter_map(|b| b.as_ref().map(|b| b.rank()))
@@ -231,7 +326,7 @@ pub fn compress<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     stats.cache_time = t4.elapsed().as_secs_f64();
 
     stats.total_time = t_total.elapsed().as_secs_f64();
-    Compressed {
+    Ok(Compressed {
         tree,
         lists,
         bases,
@@ -240,7 +335,7 @@ pub fn compress<T: Scalar, M: SpdMatrix<T> + ?Sized>(
         neighbors,
         config: config.clone(),
         stats,
-    }
+    })
 }
 
 /// Skeletonize every non-root node with the configured traversal policy.
@@ -402,6 +497,78 @@ mod tests {
             1e-6,
             "test",
         )
+    }
+
+    /// A zero-dimensional SPD matrix, for exercising the empty-input error.
+    struct EmptyMatrix;
+
+    impl gofmm_matrices::SpdMatrix<f64> for EmptyMatrix {
+        fn n(&self) -> usize {
+            0
+        }
+        fn entry(&self, _: usize, _: usize) -> f64 {
+            unreachable!("empty matrix has no entries")
+        }
+    }
+
+    #[test]
+    fn try_compress_rejects_empty_input_and_invalid_config() {
+        match try_compress::<f64, _>(&EmptyMatrix, &base_config()) {
+            Err(crate::Error::EmptyInput { what }) => assert_eq!(what, "matrix"),
+            other => panic!("expected EmptyInput, got {other:?}"),
+        }
+        let k = small_kernel_matrix(64);
+        let cases = [
+            base_config().with_leaf_size(0),
+            base_config().with_max_rank(0),
+            base_config().with_tolerance(-1e-3),
+            base_config().with_tolerance(f64::NAN),
+            base_config().with_budget(-0.5),
+            base_config().with_budget(1.5),
+        ];
+        for cfg in cases {
+            match try_compress::<f64, _>(&k, &cfg) {
+                Err(crate::Error::InvalidConfig { what, .. }) => {
+                    assert!(!what.is_empty());
+                }
+                other => panic!("config {cfg:?} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix is empty")]
+    fn compress_wrapper_panics_with_the_error_message() {
+        let _ = compress::<f64, _>(&EmptyMatrix, &base_config());
+    }
+
+    #[test]
+    fn strict_rank_budget_reports_exhaustion() {
+        let k = small_kernel_matrix(256);
+        // A hostile rank cap with an unreachable tolerance: some node must
+        // hit the cap with rejected candidates left over.
+        let strict = base_config()
+            .with_max_rank(2)
+            .with_tolerance(1e-14)
+            .with_strict_rank_budget(true);
+        match try_compress::<f64, _>(&k, &strict) {
+            Err(crate::Error::BudgetExhausted {
+                max_rank, residual, ..
+            }) => {
+                assert_eq!(max_rank, 2);
+                assert!(residual > 0.0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // The same configuration without strict mode compresses as before
+        // (rank-capped, which is the paper's normal operating mode)...
+        assert!(try_compress::<f64, _>(&k, &strict.clone().with_strict_rank_budget(false)).is_ok());
+        // ...and a generous rank budget passes even in strict mode.
+        let roomy = base_config()
+            .with_max_rank(64)
+            .with_tolerance(1e-4)
+            .with_strict_rank_budget(true);
+        assert!(try_compress::<f64, _>(&k, &roomy).is_ok());
     }
 
     fn base_config() -> GofmmConfig {

@@ -93,6 +93,12 @@ pub struct GofmmConfig {
     pub ann_iters: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Treat a node whose adaptive skeletonization hits `max_rank` with
+    /// candidates still above the tolerance as an error
+    /// ([`crate::Error::BudgetExhausted`], reported by [`crate::try_compress`])
+    /// instead of silently accepting the rank-capped basis. Off by default:
+    /// the paper's experiments intentionally run rank-capped.
+    pub strict_rank_budget: bool,
 }
 
 impl Default for GofmmConfig {
@@ -110,6 +116,7 @@ impl Default for GofmmConfig {
             cache_blocks: true,
             ann_iters: 10,
             seed: 0,
+            strict_rank_budget: false,
         }
     }
 }
@@ -181,6 +188,78 @@ impl GofmmConfig {
     /// Builder-style setter for the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the strict rank-budget check (see
+    /// [`GofmmConfig::strict_rank_budget`]).
+    pub fn with_strict_rank_budget(mut self, strict: bool) -> Self {
+        self.strict_rank_budget = strict;
+        self
+    }
+
+    /// Validate the parameter ranges, as [`crate::try_compress`] does before
+    /// running.
+    pub fn validate(&self) -> Result<(), crate::Error> {
+        use crate::Error::InvalidConfig;
+        if self.leaf_size == 0 {
+            return Err(InvalidConfig {
+                what: "leaf_size",
+                constraint: "must be positive",
+            });
+        }
+        if self.max_rank == 0 {
+            return Err(InvalidConfig {
+                what: "max_rank",
+                constraint: "must be positive",
+            });
+        }
+        // Zero is legal: it disables the adaptive rank test (fixed-rank ID).
+        if !(self.tolerance >= 0.0 && self.tolerance.is_finite()) {
+            return Err(InvalidConfig {
+                what: "tolerance",
+                constraint: "must be non-negative and finite",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.budget) {
+            return Err(InvalidConfig {
+                what: "budget",
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-call execution options of the `&self` serving entry points
+/// ([`crate::Evaluator::apply_with`], the solver's `solve_with`): override
+/// the traversal policy and/or worker-thread count for one call without
+/// mutating the shared handle. `None` fields fall back to the handle's
+/// defaults (the compression configuration). Every policy/thread combination
+/// produces bit-identical results, so the options only steer scheduling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyOptions {
+    /// Traversal policy override for this call.
+    pub policy: Option<TraversalPolicy>,
+    /// Worker-thread count override for this call (clamped to >= 1).
+    pub threads: Option<usize>,
+}
+
+impl ApplyOptions {
+    /// Options that inherit every default from the handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: TraversalPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Builder-style worker-thread override.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }

@@ -1,0 +1,165 @@
+//! The workspace-wide error type returned at fallible public boundaries.
+//!
+//! GOFMM used to panic on invalid input at its public entry points
+//! (`compress` asserted non-emptiness, `Evaluator::apply` and the solver's
+//! `solve` asserted dimensions, the factorization had its own ad-hoc
+//! `FactorError`). Services cannot turn panics into HTTP 400s, so every
+//! public boundary now has a fallible form returning this enum:
+//! [`crate::try_compress`], [`crate::Evaluator::apply`], the solver crate's
+//! `HierarchicalFactor::solve` / `cg` / `gmres`, and the `GofmmOperator`
+//! front door. Internal *invariant* violations (task-DAG ordering, skeleton
+//! nesting) still panic — they are bugs, not inputs.
+//!
+//! The enum is `thiserror`-shaped by hand (the build environment vendors its
+//! dependencies, so no derive macro is pulled in): every variant carries the
+//! data a caller needs to react programmatically, `Display` produces the
+//! operator-facing message, and `std::error::Error` is implemented.
+
+/// Why a GOFMM public entry point could not serve a request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input matrix or right-hand-side block has zero size where a
+    /// non-empty one is required.
+    EmptyInput {
+        /// What was empty (e.g. `"matrix"`).
+        what: &'static str,
+    },
+    /// An operand's dimension does not match the compressed operator.
+    DimensionMismatch {
+        /// What was mismatched (e.g. `"right-hand-side rows"`).
+        what: &'static str,
+        /// The dimension the operator requires.
+        expected: usize,
+        /// The dimension the caller supplied.
+        got: usize,
+    },
+    /// A configuration parameter is outside its valid range.
+    InvalidConfig {
+        /// Which parameter (e.g. `"leaf_size"`).
+        what: &'static str,
+        /// Human-readable description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// The adaptive skeletonization hit the rank cap `max_rank` with
+    /// candidate columns still above the tolerance: the rank budget, not the
+    /// accuracy target, decided a skeleton. Only reported when the
+    /// compression was asked to be strict about it
+    /// (`GofmmConfig::with_strict_rank_budget`).
+    BudgetExhausted {
+        /// Heap index of the first offending node.
+        node: usize,
+        /// The rank cap that was hit.
+        max_rank: usize,
+        /// Estimated first rejected singular value at that node.
+        residual: f64,
+    },
+    /// A leaf's regularized diagonal block was not positive definite during
+    /// hierarchical factorization.
+    NotPositiveDefinite {
+        /// Heap index of the offending leaf.
+        node: usize,
+        /// Pivot at which the Cholesky factorization broke down.
+        pivot: usize,
+    },
+    /// An interior node's Sherman–Morrison–Woodbury core `I + C G` was
+    /// numerically singular during hierarchical factorization.
+    SingularCore {
+        /// Heap index of the offending interior node.
+        node: usize,
+    },
+    /// A solve was requested from an operator handle that was built without
+    /// a factorization (`GofmmOperator::builder(..).factorize(lambda)` was
+    /// never called).
+    NoFactorization,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyInput { what } => write!(f, "{what} is empty"),
+            Error::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected}, got {got}"),
+            Error::InvalidConfig { what, constraint } => {
+                write!(f, "invalid configuration: {what} {constraint}")
+            }
+            Error::BudgetExhausted {
+                node,
+                max_rank,
+                residual,
+            } => write!(
+                f,
+                "node {node}: rank budget exhausted (rank cap {max_rank} hit with estimated \
+                 residual {residual:.3e} above tolerance); raise max_rank or loosen the tolerance"
+            ),
+            Error::NotPositiveDefinite { node, pivot } => write!(
+                f,
+                "leaf {node}: regularized diagonal block not positive definite (pivot {pivot}); \
+                 increase lambda"
+            ),
+            Error::SingularCore { node } => write!(
+                f,
+                "interior node {node}: SMW core I + C*G is numerically singular; \
+                 increase lambda or tighten the compression tolerance"
+            ),
+            Error::NoFactorization => write!(
+                f,
+                "operator was built without a factorization; call .factorize(lambda) on the \
+                 builder to enable solve/solve_cg"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::EmptyInput { what: "matrix" }, "matrix is empty"),
+            (
+                Error::DimensionMismatch {
+                    what: "input rows",
+                    expected: 8,
+                    got: 7,
+                },
+                "expected 8, got 7",
+            ),
+            (
+                Error::InvalidConfig {
+                    what: "leaf_size",
+                    constraint: "must be positive",
+                },
+                "leaf_size",
+            ),
+            (
+                Error::BudgetExhausted {
+                    node: 3,
+                    max_rank: 16,
+                    residual: 1e-3,
+                },
+                "rank budget exhausted",
+            ),
+            (
+                Error::NotPositiveDefinite { node: 5, pivot: 2 },
+                "increase lambda",
+            ),
+            (Error::SingularCore { node: 1 }, "singular"),
+            (Error::NoFactorization, "factorize"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            // The std::error::Error impl is object-safe and source-free.
+            let boxed: Box<dyn std::error::Error> = Box::new(err);
+            assert!(boxed.source().is_none());
+        }
+    }
+}

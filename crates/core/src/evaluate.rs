@@ -7,14 +7,20 @@
 //!   matrix, it packs every near/far interaction block into contiguous
 //!   per-node storage, builds the evaluation task DAG once
 //!   (a [`ReusablePlan`]), and then serves unlimited [`Evaluator::apply`]
-//!   calls that touch the kernel zero times. This is the right tool for
-//!   solvers and services that issue many matvecs against one compression.
+//!   calls that touch the kernel zero times. `apply` takes `&self`: every
+//!   call leases its per-node value buffers from an internal
+//!   [`WorkspacePool`], so one evaluator can serve many request threads
+//!   concurrently (and sequential callers still recycle one workspace, as
+//!   the old `&mut self` path did). This is the right tool for solvers and
+//!   services that issue many matvecs against one compression.
 //! * [`evaluate`] / [`evaluate_with`] — one-shot convenience wrappers that
 //!   build a transient *zero-copy* evaluator ([`Evaluator::borrowing`]) whose
 //!   S2S/L2L tasks read the blocks cached inside the [`Compressed`] directly,
 //!   and apply it once. A third construction, [`Compressed::into_evaluator`],
 //!   moves the compression in and steals its cached blocks, halving the peak
-//!   memory of persistent-evaluator setup.
+//!   memory of persistent-evaluator setup; a fourth,
+//!   [`Evaluator::from_shared`], serves an `Arc`-shared compression (the
+//!   construction behind the `GofmmOperator` front door).
 //!
 //! Each path produces bit-identical outputs for every traversal policy: all
 //! cross-task accumulation orders are fixed by dependency edges (or by the
@@ -24,11 +30,14 @@
 //! one long GEMM inner dimension where the borrowed path adds one block's
 //! product at a time.
 
-use crate::compress::Compressed;
-use crate::config::TraversalPolicy;
+use crate::compress::{CompRef, Compressed};
+use crate::config::{ApplyOptions, TraversalPolicy};
+use crate::error::Error;
 use gofmm_linalg::{gemm, DenseMatrix, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
-use gofmm_runtime::{parallel_for, DisjointCells, ExecStats, Family, ReusablePlan};
+use gofmm_runtime::{
+    parallel_for, DisjointCells, ExecStats, Family, ReusablePlan, RunDefaults, WorkspacePool,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -77,16 +86,19 @@ impl EvaluationStats {
 ///   materialized blocks;
 /// * the evaluation [`ReusablePlan`] (N2S postorder, S2S, S2N preorder, L2L;
 ///   Figure 3 of the paper) is built once and re-run for every apply;
-/// * the per-node value buffers (`w~`, `u~`, far/near leaf outputs) are
-///   allocated once and recycled, resized only when the number of right-hand
-///   sides changes.
+/// * the per-node value buffers (`w~`, `u~`, far/near leaf outputs) live in
+///   a [`WorkspacePool`] keyed by the right-hand-side count: each apply
+///   leases a workspace (allocating only on a pool miss), which makes
+///   [`Evaluator::apply`] a `&self` operation that any number of threads may
+///   call on one shared evaluator simultaneously.
 ///
 /// After construction, [`Evaluator::apply`] never evaluates a kernel entry —
 /// the source matrix is not even reachable from it.
 ///
 /// # Example
 ///
-/// Build once, apply twice — the second apply pays no setup:
+/// Build once, apply twice — the second apply pays no setup and recycles the
+/// first apply's workspace:
 ///
 /// ```
 /// use gofmm_core::{compress, Evaluator, GofmmConfig, TraversalPolicy};
@@ -109,20 +121,22 @@ impl EvaluationStats {
 /// let comp = compress::<f64, _>(&k, &config);
 ///
 /// // Pays block packing + DAG construction once...
-/// let mut evaluator = Evaluator::new(&k, &comp);
+/// let evaluator = Evaluator::new(&k, &comp);
 /// let w = DenseMatrix::<f64>::from_fn(n, 2, |i, j| ((i + 2 * j) % 5) as f64);
 ///
-/// // ...then serves repeated matvecs from cached state, bit-identically.
-/// let (u1, stats) = evaluator.apply(&w);
-/// let (u2, _) = evaluator.apply(&w);
+/// // ...then serves repeated matvecs from cached state, bit-identically —
+/// // through a shared reference.
+/// let (u1, stats) = evaluator.apply(&w).unwrap();
+/// let (u2, _) = evaluator.apply(&w).unwrap();
 /// assert_eq!(u1.data(), u2.data());
 /// assert!(stats.cached_bytes > 0);
 /// assert_eq!(stats.cached_bytes, evaluator.cached_bytes());
 /// ```
 pub struct Evaluator<'a, T: Scalar> {
     comp: CompRef<'a, T>,
-    policy: TraversalPolicy,
-    num_threads: usize,
+    /// Default traversal policy / worker count, overridable per call through
+    /// [`ApplyOptions`].
+    defaults: RunDefaults<TraversalPolicy>,
     /// Per-node far blocks `K_{skel(beta), skel(alpha)}`: packed into one
     /// panel (persistent mode) or borrowed from the compression's block cache
     /// (zero-copy one-shot mode); [`Panel::Empty`] when the node has none.
@@ -134,43 +148,65 @@ pub struct Evaluator<'a, T: Scalar> {
     /// gather list applied to `w` before the single L2L GEMM. Empty in
     /// borrowed mode, where L2L gathers per near block instead.
     near_gather: Vec<Vec<usize>>,
-    /// The evaluation task DAG, built once and re-run per apply.
+    /// The evaluation task DAG, built once and re-run per apply (safe to run
+    /// from many threads at once).
     plan: ReusablePlan,
     setup_time: f64,
     cached_bytes: usize,
-    /// Skeleton weights `w~` per node (recycled across applies).
+    /// Per-apply value buffers, leased per call and recycled across calls.
+    pool: WorkspacePool<ApplyWorkspace<T>>,
+}
+
+/// One apply's per-node value buffers, pooled by right-hand-side count.
+///
+/// Every cell is written by exactly one task per apply, ordered by the plan's
+/// dependency edges; concurrent applies run on *different* workspaces, so the
+/// DAG-delegated synchronization story is unchanged from the `&mut self`
+/// days — it just holds per lease instead of per evaluator.
+struct ApplyWorkspace<T: Scalar> {
+    /// Skeleton weights `w~` per node.
     wtilde: DisjointCells<DenseMatrix<T>>,
-    /// Skeleton potentials `u~` per node (recycled across applies).
+    /// Skeleton potentials `u~` per node.
     utilde: DisjointCells<DenseMatrix<T>>,
     /// Far-field contribution to the output, per leaf.
     u_far: DisjointCells<DenseMatrix<T>>,
     /// Near-field (direct) contribution to the output, per leaf.
     u_near: DisjointCells<DenseMatrix<T>>,
-    /// Right-hand-side count the buffers are currently sized for
-    /// (`usize::MAX` until the first apply, so that a first apply with any
-    /// width — including zero columns — takes the allocation path).
-    rhs: usize,
-    flops: AtomicU64,
 }
 
-/// How an [`Evaluator`] holds the compression it evaluates.
-///
-/// The persistent constructors borrow it (the caller usually keeps the
-/// [`Compressed`] around anyway); [`Compressed::into_evaluator`] moves it in,
-/// which lets the evaluator *steal* the cached interaction blocks instead of
-/// copying them.
-enum CompRef<'a, T: Scalar> {
-    Borrowed(&'a Compressed<T>),
-    Owned(Box<Compressed<T>>),
-}
-
-impl<T: Scalar> std::ops::Deref for CompRef<'_, T> {
-    type Target = Compressed<T>;
-    fn deref(&self) -> &Compressed<T> {
-        match self {
-            CompRef::Borrowed(c) => c,
-            CompRef::Owned(c) => c,
+impl<T: Scalar> ApplyWorkspace<T> {
+    /// Allocate buffers shaped for `r` right-hand sides.
+    fn allocate(comp: &Compressed<T>, r: usize) -> Self {
+        let node_count = comp.tree.node_count();
+        let rank_of = |heap: usize| comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
+        let leaf_dims = |heap: usize| {
+            if comp.tree.is_leaf(heap) {
+                (comp.tree.node(heap).len, r)
+            } else {
+                (0, 0)
+            }
+        };
+        Self {
+            wtilde: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
+            utilde: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
+            u_far: DisjointCells::from_fn(node_count, |h| {
+                let (rows, cols) = leaf_dims(h);
+                DenseMatrix::zeros(rows, cols)
+            }),
+            u_near: DisjointCells::from_fn(node_count, |h| {
+                let (rows, cols) = leaf_dims(h);
+                DenseMatrix::zeros(rows, cols)
+            }),
         }
+    }
+
+    /// Zero the accumulator families of a recycled workspace. `wtilde` needs
+    /// no reset: every cell that is ever read is fully overwritten by its
+    /// node's N2S task.
+    fn reset(&mut self) {
+        self.utilde.for_each_mut(|_, m| m.fill(T::zero()));
+        self.u_far.for_each_mut(|_, m| m.fill(T::zero()));
+        self.u_near.for_each_mut(|_, m| m.fill(T::zero()));
     }
 }
 
@@ -233,6 +269,29 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         policy: TraversalPolicy,
         num_threads: usize,
     ) -> Self {
+        Self::packed(matrix, CompRef::Borrowed(comp), policy, num_threads)
+    }
+
+    /// Build an evaluator over an `Arc`-shared compression, packing blocks
+    /// like [`Evaluator::new`]. The result is `'static` and `Send + Sync`,
+    /// so it can live inside a shared service handle alongside other engines
+    /// (e.g. a hierarchical factorization) serving the same compression.
+    pub fn from_shared<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: std::sync::Arc<Compressed<T>>,
+    ) -> Evaluator<'static, T> {
+        let (policy, threads) = (comp.config.policy, comp.config.num_threads);
+        Evaluator::packed(matrix, CompRef::Shared(comp), policy, threads)
+    }
+
+    /// Shared packing constructor behind [`Evaluator::new`],
+    /// [`Evaluator::with_options`] and [`Evaluator::from_shared`].
+    fn packed<'c, M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: CompRef<'c, T>,
+        policy: TraversalPolicy,
+        num_threads: usize,
+    ) -> Evaluator<'c, T> {
         let t0 = Instant::now();
         let tree = &comp.tree;
         let node_count = tree.node_count();
@@ -240,38 +299,41 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         // --- Pack interaction blocks into contiguous per-node storage ------
         // Every parallel iteration writes only its own node's cells
         // (DisjointCells verifies that at runtime).
-        let far_cells: DisjointCells<Panel<'a, T>> =
+        let far_cells: DisjointCells<Panel<'c, T>> =
             DisjointCells::from_fn(node_count, |_| Panel::Empty);
-        let near_cells: DisjointCells<Panel<'a, T>> =
+        let near_cells: DisjointCells<Panel<'c, T>> =
             DisjointCells::from_fn(node_count, |_| Panel::Empty);
         let gather_cells: DisjointCells<Vec<usize>> =
             DisjointCells::from_fn(node_count, |_| Vec::new());
 
-        parallel_for(node_count, num_threads.max(1), |heap| {
-            if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
-                let gather = near_gather_indices(comp, heap);
-                let mat = if !comp.near_blocks[heap].is_empty() {
-                    hstack_blocks(tree.indices(heap).len(), &comp.near_blocks[heap])
-                } else {
-                    matrix.submatrix(tree.indices(heap), &gather)
-                };
-                near_cells.set(heap, Panel::Packed(mat));
-                gather_cells.set(heap, gather);
-            }
-            if let Some(basis) = comp.bases[heap].as_ref() {
-                if !comp.lists.far[heap].is_empty() {
-                    let mat = if !comp.far_blocks[heap].is_empty() {
-                        hstack_blocks(basis.rank(), &comp.far_blocks[heap])
+        {
+            let comp = &*comp;
+            parallel_for(node_count, num_threads.max(1), |heap| {
+                if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
+                    let gather = near_gather_indices(comp, heap);
+                    let mat = if !comp.near_blocks[heap].is_empty() {
+                        hstack_blocks(tree.indices(heap).len(), &comp.near_blocks[heap])
                     } else {
-                        extract_far_panel(matrix, comp, heap)
+                        matrix.submatrix(tree.indices(heap), &gather)
                     };
-                    far_cells.set(heap, Panel::Packed(mat));
+                    near_cells.set(heap, Panel::Packed(mat));
+                    gather_cells.set(heap, gather);
                 }
-            }
-        });
+                if let Some(basis) = comp.bases[heap].as_ref() {
+                    if !comp.lists.far[heap].is_empty() {
+                        let mat = if !comp.far_blocks[heap].is_empty() {
+                            hstack_blocks(basis.rank(), &comp.far_blocks[heap])
+                        } else {
+                            extract_far_panel(matrix, comp, heap)
+                        };
+                        far_cells.set(heap, Panel::Packed(mat));
+                    }
+                }
+            });
+        }
 
-        Self::assemble_evaluator(
-            CompRef::Borrowed(comp),
+        Evaluator::assemble_evaluator(
+            comp,
             policy,
             num_threads,
             far_cells.into_inner(),
@@ -339,17 +401,16 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
     }
 
     /// Shared tail of every constructor: DAG construction, cache accounting
-    /// and buffer setup.
-    fn assemble_evaluator(
-        comp: CompRef<'a, T>,
+    /// and pool setup.
+    fn assemble_evaluator<'c>(
+        comp: CompRef<'c, T>,
         policy: TraversalPolicy,
         num_threads: usize,
-        far: Vec<Panel<'a, T>>,
-        near: Vec<Panel<'a, T>>,
+        far: Vec<Panel<'c, T>>,
+        near: Vec<Panel<'c, T>>,
         near_gather: Vec<Vec<usize>>,
         t0: Instant,
-    ) -> Self {
-        let node_count = comp.tree.node_count();
+    ) -> Evaluator<'c, T> {
         let cached_bytes = far
             .iter()
             .chain(near.iter())
@@ -363,22 +424,16 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         // --- Build the evaluation DAG once ---------------------------------
         let plan = evaluation_plan(&comp);
 
-        Self {
+        Evaluator {
             comp,
-            policy,
-            num_threads: num_threads.max(1),
+            defaults: RunDefaults::new(policy, num_threads),
             far,
             near,
             near_gather,
             plan,
             setup_time: t0.elapsed().as_secs_f64(),
             cached_bytes,
-            wtilde: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            utilde: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            u_far: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            u_near: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            rhs: usize::MAX,
-            flops: AtomicU64::new(0),
+            pool: WorkspacePool::new(),
         }
     }
 
@@ -389,6 +444,32 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         mut comp: Compressed<T>,
     ) -> Evaluator<'static, T> {
         let t0 = Instant::now();
+        let (far, near, near_gather) = Evaluator::steal_packed(matrix, &mut comp);
+        let (policy, threads) = (comp.config.policy, comp.config.num_threads);
+        Evaluator::assemble_evaluator(
+            CompRef::Owned(Box::new(comp)),
+            policy,
+            threads,
+            far,
+            near,
+            near_gather,
+            t0,
+        )
+    }
+
+    /// Move the block caches out of `comp` and pack them into per-node
+    /// panels, leaving the caches empty. The stealing half of
+    /// [`Compressed::into_evaluator`] and
+    /// [`Compressed::into_shared_evaluator`].
+    #[allow(clippy::type_complexity)]
+    fn steal_packed<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &mut Compressed<T>,
+    ) -> (
+        Vec<Panel<'static, T>>,
+        Vec<Panel<'static, T>>,
+        Vec<Vec<usize>>,
+    ) {
         let node_count = comp.tree.node_count();
         let stolen_near = std::mem::take(&mut comp.near_blocks);
         let stolen_far = std::mem::take(&mut comp.far_blocks);
@@ -401,7 +482,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         for (heap, (nb, fb)) in stolen_near.into_iter().zip(stolen_far).enumerate() {
             let tree = &comp.tree;
             if tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
-                let gather = near_gather_indices(&comp, heap);
+                let gather = near_gather_indices(comp, heap);
                 let mat = if !nb.is_empty() {
                     hstack_blocks(tree.indices(heap).len(), &nb)
                 } else {
@@ -417,7 +498,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                 let mat = if !fb.is_empty() {
                     hstack_blocks(rank, &fb)
                 } else {
-                    extract_far_panel(matrix, &comp, heap)
+                    extract_far_panel(matrix, comp, heap)
                 };
                 far.push(Panel::Packed(mat));
             } else {
@@ -427,16 +508,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         // Keep the per-node cache vectors aligned with the tree (now empty).
         comp.near_blocks = vec![Vec::new(); node_count];
         comp.far_blocks = vec![Vec::new(); node_count];
-        let (policy, threads) = (comp.config.policy, comp.config.num_threads);
-        Evaluator::assemble_evaluator(
-            CompRef::Owned(Box::new(comp)),
-            policy,
-            threads,
-            far,
-            near,
-            near_gather,
-            t0,
-        )
+        (far, near, near_gather)
     }
 
     /// Matrix dimension `N`.
@@ -444,8 +516,8 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         self.comp.n()
     }
 
-    /// The compressed representation this evaluator serves (owned or
-    /// borrowed).
+    /// The compressed representation this evaluator serves (owned, borrowed
+    /// or shared).
     ///
     /// When the evaluator was built with [`Compressed::into_evaluator`], the
     /// returned compression's `near_blocks`/`far_blocks` caches are empty —
@@ -470,37 +542,86 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         self.cached_bytes
     }
 
-    /// The traversal policy used by [`Evaluator::apply`].
+    /// The default traversal policy of [`Evaluator::apply`] (override per
+    /// call with [`Evaluator::apply_with`]).
     pub fn policy(&self) -> TraversalPolicy {
-        self.policy
+        self.defaults.policy()
     }
 
-    /// Change the traversal policy for subsequent applies. All policies share
-    /// the cached state and produce bit-identical outputs.
+    /// The default worker-thread count of [`Evaluator::apply`] (override per
+    /// call with [`Evaluator::apply_with`]).
+    pub fn threads(&self) -> usize {
+        self.defaults.threads()
+    }
+
+    /// Change the default traversal policy for subsequent applies.
+    #[deprecated(
+        since = "0.1.0",
+        note = "apply is now `&self`; pass a per-call policy via \
+                `apply_with(w, &ApplyOptions::new().with_policy(..))` instead"
+    )]
     pub fn set_policy(&mut self, policy: TraversalPolicy) {
-        self.policy = policy;
+        self.defaults.set_policy(policy);
     }
 
-    /// Change the worker-thread count for subsequent applies.
+    /// Change the default worker-thread count for subsequent applies.
+    #[deprecated(
+        since = "0.1.0",
+        note = "apply is now `&self`; pass a per-call thread count via \
+                `apply_with(w, &ApplyOptions::new().with_threads(..))` instead"
+    )]
     pub fn set_threads(&mut self, num_threads: usize) {
-        self.num_threads = num_threads.max(1);
+        self.defaults.set_threads(num_threads);
     }
 
-    /// Evaluate `u ≈ K w` from cached state.
+    /// Evaluate `u ≈ K w` from cached state, using the evaluator's default
+    /// policy and thread count.
     ///
-    /// Performs zero kernel-entry evaluations: every interaction block was
-    /// packed at construction. The per-node buffers are recycled between
-    /// calls and reallocated only when `w.cols()` changes.
-    pub fn apply(&mut self, w: &DenseMatrix<T>) -> (DenseMatrix<T>, EvaluationStats) {
-        assert_eq!(w.rows(), self.comp.n(), "input vector size mismatch");
+    /// Takes `&self`: any number of threads may call this simultaneously on
+    /// one shared evaluator; each call leases its own buffer workspace from
+    /// the internal pool. Performs zero kernel-entry evaluations — every
+    /// interaction block was packed at construction.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `w.rows() != n`.
+    pub fn apply(&self, w: &DenseMatrix<T>) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+        self.apply_with(w, &ApplyOptions::default())
+    }
+
+    /// Evaluate `u ≈ K w` with per-call policy / thread-count overrides.
+    ///
+    /// All policies and worker counts produce bit-identical outputs; the
+    /// options only steer scheduling. See [`Evaluator::apply`].
+    pub fn apply_with(
+        &self,
+        w: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+        if w.rows() != self.comp.n() {
+            return Err(Error::DimensionMismatch {
+                what: "input rows",
+                expected: self.comp.n(),
+                got: w.rows(),
+            });
+        }
+        let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
         let t0 = Instant::now();
-        self.prepare_buffers(w.cols());
-        self.flops.store(0, Ordering::Relaxed);
+        let mut ws = self
+            .pool
+            .lease(w.cols(), || ApplyWorkspace::allocate(&self.comp, w.cols()));
+        if ws.recycled() {
+            ws.reset();
+        }
+        let flops = AtomicU64::new(0);
 
         let tree = &self.comp.tree;
-        let num_threads = self.num_threads;
-        let pass = ApplyPass { ev: &*self, w };
-        let exec_stats = match self.policy.schedule_policy() {
+        let pass = ApplyPass {
+            ev: self,
+            ws: &ws,
+            w,
+            flops: &flops,
+        };
+        let exec_stats = match policy.schedule_policy() {
             None => {
                 // Level-by-level: one barrier per tree level / task family.
                 // The phase order (all S2S before any S2N, S2N levels
@@ -531,45 +652,10 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             time: t0.elapsed().as_secs_f64(),
             setup_time: self.setup_time,
             cached_bytes: self.cached_bytes,
-            flops: self.flops.load(Ordering::Relaxed),
+            flops: flops.load(Ordering::Relaxed),
             exec: exec_stats,
         };
-        (out, stats)
-    }
-
-    /// Allocate the per-node buffers for `r` right-hand sides, or zero the
-    /// accumulated ones in place when the width is unchanged.
-    fn prepare_buffers(&mut self, r: usize) {
-        let node_count = self.comp.tree.node_count();
-        if self.rhs == r {
-            // `wtilde` needs no reset: every cell that is ever read is fully
-            // overwritten by its node's N2S task. The three accumulator
-            // families start from zero each apply.
-            self.utilde.for_each_mut(|_, m| m.fill(T::zero()));
-            self.u_far.for_each_mut(|_, m| m.fill(T::zero()));
-            self.u_near.for_each_mut(|_, m| m.fill(T::zero()));
-            return;
-        }
-        let comp = &*self.comp;
-        let rank_of = |heap: usize| comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
-        let leaf_dims = |heap: usize| {
-            if comp.tree.is_leaf(heap) {
-                (comp.tree.node(heap).len, r)
-            } else {
-                (0, 0)
-            }
-        };
-        self.wtilde = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r));
-        self.utilde = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r));
-        self.u_far = DisjointCells::from_fn(node_count, |h| {
-            let (rows, cols) = leaf_dims(h);
-            DenseMatrix::zeros(rows, cols)
-        });
-        self.u_near = DisjointCells::from_fn(node_count, |h| {
-            let (rows, cols) = leaf_dims(h);
-            DenseMatrix::zeros(rows, cols)
-        });
-        self.rhs = r;
+        Ok((out, stats))
     }
 }
 
@@ -620,27 +706,29 @@ fn hstack_blocks<T: Scalar>(rows: usize, blocks: &[DenseMatrix<T>]) -> DenseMatr
     mat
 }
 
-/// One in-flight apply: the evaluator's cached state plus the current
-/// right-hand sides.
+/// One in-flight apply: the evaluator's cached state, the leased workspace,
+/// and the current right-hand sides.
 ///
-/// All four per-node value families live in [`DisjointCells`]: every cell has
-/// exactly one writing task, and every cross-task read/write pair is ordered
-/// either by a plan dependency edge (DAG policies, sequential) or by a phase
-/// barrier (level-by-level), so no cell ever takes a blocking lock. In
-/// particular the `utilde` accumulation — written by a node's own S2S *and*
-/// by its parent's S2N — is ordered by the explicit `S2S(child) ->
-/// S2N(parent)` edges in [`evaluation_plan`], which also fixes the
-/// floating-point accumulation order, making outputs bit-identical across
-/// all policies.
+/// All four per-node value families live in [`DisjointCells`] inside the
+/// leased workspace: every cell has exactly one writing task, and every
+/// cross-task read/write pair is ordered either by a plan dependency edge
+/// (DAG policies, sequential) or by a phase barrier (level-by-level), so no
+/// cell ever takes a blocking lock. In particular the `utilde` accumulation —
+/// written by a node's own S2S *and* by its parent's S2N — is ordered by the
+/// explicit `S2S(child) -> S2N(parent)` edges in [`evaluation_plan`], which
+/// also fixes the floating-point accumulation order, making outputs
+/// bit-identical across all policies. Concurrent applies never share a
+/// workspace, so they cannot interact at all.
 struct ApplyPass<'p, 'a, T: Scalar> {
     ev: &'p Evaluator<'a, T>,
+    ws: &'p ApplyWorkspace<T>,
     w: &'p DenseMatrix<T>,
+    flops: &'p AtomicU64,
 }
 
 impl<T: Scalar> ApplyPass<'_, '_, T> {
     fn count_gemm(&self, m: usize, n: usize, k: usize) {
-        self.ev
-            .flops
+        self.flops
             .fetch_add(2 * m as u64 * n as u64 * k as u64, Ordering::Relaxed);
     }
 
@@ -666,11 +754,11 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             self.w.select_rows(comp.tree.indices(heap))
         } else {
             let (l, r) = comp.tree.children(heap);
-            let wl = self.ev.wtilde.read(l);
-            let wr = self.ev.wtilde.read(r);
+            let wl = self.ws.wtilde.read(l);
+            let wr = self.ws.wtilde.read(r);
             wl.vstack(&wr)
         };
-        let mut wt = self.ev.wtilde.write(heap);
+        let mut wt = self.ws.wtilde.write(heap);
         gemm(
             T::one(),
             &basis.interp,
@@ -700,12 +788,12 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 let mut wstack = DenseMatrix::zeros(far.cols(), r);
                 let mut off = 0;
                 for &alpha in &comp.lists.far[heap] {
-                    let wa = self.ev.wtilde.read(alpha);
+                    let wa = self.ws.wtilde.read(alpha);
                     wstack.set_block(off, 0, &wa);
                     off += wa.rows();
                 }
                 debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
-                let mut ut = self.ev.utilde.write(heap);
+                let mut ut = self.ws.utilde.write(heap);
                 gemm(
                     T::one(),
                     far,
@@ -718,9 +806,9 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 self.count_gemm(far.rows(), r, far.cols());
             }
             Panel::Blocks(blocks) => {
-                let mut ut = self.ev.utilde.write(heap);
+                let mut ut = self.ws.utilde.write(heap);
                 for (&alpha, block) in comp.lists.far[heap].iter().zip(*blocks) {
-                    let wa = self.ev.wtilde.read(alpha);
+                    let wa = self.ws.wtilde.read(alpha);
                     gemm(
                         T::one(),
                         block,
@@ -743,10 +831,10 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             return;
         };
         let r = self.w.cols();
-        let ut = self.ev.utilde.read(heap);
+        let ut = self.ws.utilde.read(heap);
         if comp.tree.is_leaf(heap) {
             let len = comp.tree.node(heap).len;
-            let mut out = self.ev.u_far.write(heap);
+            let mut out = self.ws.u_far.write(heap);
             gemm(
                 T::one(),
                 &basis.interp,
@@ -775,8 +863,8 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             self.count_gemm(sl + sr, r, basis.rank());
             let top = contrib.block(0, sl, 0, r);
             let bottom = contrib.block(sl, sl + sr, 0, r);
-            self.ev.utilde.write(l).axpy(T::one(), &top);
-            self.ev.utilde.write(rgt).axpy(T::one(), &bottom);
+            self.ws.utilde.write(l).axpy(T::one(), &top);
+            self.ws.utilde.write(rgt).axpy(T::one(), &bottom);
         }
     }
 
@@ -792,7 +880,7 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             Panel::Empty => {}
             Panel::Packed(near) => {
                 let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
-                let mut out = self.ev.u_near.write(heap);
+                let mut out = self.ws.u_near.write(heap);
                 gemm(
                     T::one(),
                     near,
@@ -806,7 +894,7 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             }
             Panel::Blocks(blocks) => {
                 let comp = self.ev.compressed();
-                let mut out = self.ev.u_near.write(heap);
+                let mut out = self.ws.u_near.write(heap);
                 for (&alpha, block) in comp.lists.near[heap].iter().zip(*blocks) {
                     let w_alpha = self.w.select_rows(comp.tree.indices(alpha));
                     gemm(
@@ -832,8 +920,8 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
         let r = self.w.cols();
         let mut out = DenseMatrix::zeros(n, r);
         for leaf in comp.tree.leaf_range() {
-            let uf = self.ev.u_far.read(leaf);
-            let un = self.ev.u_near.read(leaf);
+            let uf = self.ws.u_far.read(leaf);
+            let un = self.ws.u_near.read(leaf);
             for (local, &orig) in comp.tree.indices(leaf).iter().enumerate() {
                 for c in 0..r {
                     let far_v = if uf.rows() > 0 {
@@ -867,6 +955,38 @@ impl<T: Scalar> Compressed<T> {
     pub fn into_evaluator<M: SpdMatrix<T> + ?Sized>(self, matrix: &M) -> Evaluator<'static, T> {
         Evaluator::from_owned(matrix, self)
     }
+
+    /// Like [`Compressed::into_evaluator`], but the (cache-stripped)
+    /// compression survives behind an [`std::sync::Arc`] that other engines
+    /// can share: the cached interaction blocks are *stolen* into the
+    /// evaluator's packed panels, and the returned `Arc<Compressed>` — whose
+    /// block caches are now **empty** — still carries everything a
+    /// hierarchical factorization or diagnostics need (tree, lists, bases).
+    /// This is how the `GofmmOperator` front door avoids holding every
+    /// interaction block twice (once cached, once packed) for its lifetime.
+    ///
+    /// Consumers that need the block caches themselves must run *before*
+    /// this call (or keep the `Compressed` and use [`Evaluator::from_shared`],
+    /// which copies instead of stealing).
+    pub fn into_shared_evaluator<M: SpdMatrix<T> + ?Sized>(
+        mut self,
+        matrix: &M,
+    ) -> (std::sync::Arc<Compressed<T>>, Evaluator<'static, T>) {
+        let t0 = Instant::now();
+        let (far, near, near_gather) = Evaluator::steal_packed(matrix, &mut self);
+        let (policy, threads) = (self.config.policy, self.config.num_threads);
+        let comp = std::sync::Arc::new(self);
+        let evaluator = Evaluator::assemble_evaluator(
+            CompRef::Shared(std::sync::Arc::clone(&comp)),
+            policy,
+            threads,
+            far,
+            near,
+            near_gather,
+            t0,
+        );
+        (comp, evaluator)
+    }
 }
 
 /// Evaluate `u ≈ K w` using the policy and thread count stored in the
@@ -877,18 +997,33 @@ impl<T: Scalar> Compressed<T> {
 /// cached inside `comp` directly (no packed copies), and applies it once.
 /// Callers issuing repeated matvecs against the same compression should hold
 /// a packed [`Evaluator`] instead and amortize the setup.
+///
+/// Panics on a dimension mismatch; [`try_evaluate`] is the fallible form.
 pub fn evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
     w: &DenseMatrix<T>,
 ) -> (DenseMatrix<T>, EvaluationStats) {
-    evaluate_with(matrix, comp, w, comp.config.policy, comp.config.num_threads)
+    match try_evaluate(matrix, comp, w) {
+        Ok(out) => out,
+        Err(err) => panic!("evaluate: {err}"),
+    }
+}
+
+/// Fallible form of [`evaluate`].
+pub fn try_evaluate<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    w: &DenseMatrix<T>,
+) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+    try_evaluate_with(matrix, comp, w, comp.config.policy, comp.config.num_threads)
 }
 
 /// Evaluate `u ≈ K w` with an explicit traversal policy and thread count
 /// (used by the scheduling experiments).
 ///
-/// One-shot wrapper over [`Evaluator::borrowing`]; see [`evaluate`].
+/// One-shot wrapper over [`Evaluator::borrowing`]; see [`evaluate`]. Panics
+/// on a dimension mismatch; [`try_evaluate_with`] is the fallible form.
 pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
@@ -896,8 +1031,21 @@ pub fn evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     policy: TraversalPolicy,
     num_threads: usize,
 ) -> (DenseMatrix<T>, EvaluationStats) {
-    let mut evaluator = Evaluator::borrowing(matrix, comp, policy, num_threads);
-    evaluator.apply(w)
+    match try_evaluate_with(matrix, comp, w, policy, num_threads) {
+        Ok(out) => out,
+        Err(err) => panic!("evaluate: {err}"),
+    }
+}
+
+/// Fallible form of [`evaluate_with`].
+pub fn try_evaluate_with<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    w: &DenseMatrix<T>,
+    policy: TraversalPolicy,
+    num_threads: usize,
+) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+    Evaluator::borrowing(matrix, comp, policy, num_threads).apply(w)
 }
 
 /// Build the evaluation phase plan (N2S postorder, S2S any order after its
@@ -1131,8 +1279,9 @@ mod tests {
         let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
         // References in each storage mode (sequential, single-threaded).
         let (once_ref, _) = evaluate_with(&k, &comp, &w, TraversalPolicy::Sequential, 1);
-        let (packed_ref, _) =
-            Evaluator::with_options(&k, &comp, TraversalPolicy::Sequential, 1).apply(&w);
+        let (packed_ref, _) = Evaluator::with_options(&k, &comp, TraversalPolicy::Sequential, 1)
+            .apply(&w)
+            .unwrap();
         for policy in [
             TraversalPolicy::Sequential,
             TraversalPolicy::LevelByLevel,
@@ -1147,9 +1296,9 @@ mod tests {
             // Packed persistent evaluator is bit-identical across policies
             // and across consecutive applies (the second runs entirely on
             // recycled buffers and must not see leaked state).
-            let mut evaluator = Evaluator::with_options(&k, &comp, policy, 4);
-            let (u1, s1) = evaluator.apply(&w);
-            let (u2, s2) = evaluator.apply(&w);
+            let evaluator = Evaluator::with_options(&k, &comp, policy, 4);
+            let (u1, s1) = evaluator.apply(&w).unwrap();
+            let (u2, s2) = evaluator.apply(&w).unwrap();
             for (idx, (a, b)) in packed_ref.data().iter().zip(u1.data()).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "{policy}: apply #1 entry {idx}");
             }
@@ -1163,6 +1312,54 @@ mod tests {
         // accumulation order: equal to roundoff, not necessarily to the bit.
         let diff = once_ref.sub(&packed_ref).norm_max();
         assert!(diff < 1e-10, "borrowed vs packed drift {diff}");
+    }
+
+    #[test]
+    fn concurrent_applies_on_one_shared_evaluator_are_bit_identical() {
+        // The &self serving contract: one evaluator, several threads, each
+        // leasing its own workspace from the pool — every result must match
+        // the single-threaded reference bit-for-bit, for every policy.
+        let n = 320;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(40);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let evaluator = Evaluator::new(&k, &comp);
+        let (u_ref, _) = evaluator.apply(&w).unwrap();
+        let policies = [
+            TraversalPolicy::Sequential,
+            TraversalPolicy::LevelByLevel,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let (evaluator, w, u_ref) = (&evaluator, &w, &u_ref);
+                let policy = policies[t % policies.len()];
+                scope.spawn(move || {
+                    let opts = ApplyOptions::new().with_policy(policy).with_threads(2);
+                    for _ in 0..3 {
+                        let (u, _) = evaluator.apply_with(w, &opts).unwrap();
+                        assert_eq!(u.data(), u_ref.data(), "{policy}: concurrent apply drifted");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn apply_reports_dimension_mismatch() {
+        let n = 200;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let evaluator = Evaluator::new(&k, &comp);
+        let w_bad = DenseMatrix::<f64>::zeros(n + 1, 2);
+        match evaluator.apply(&w_bad) {
+            Err(Error::DimensionMismatch { expected, got, .. }) => {
+                assert_eq!((expected, got), (n, n + 1));
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1185,10 +1382,9 @@ mod tests {
         let packed = Evaluator::<f64>::new(&k, &comp);
         assert!(ev.cached_bytes() > 0);
         assert!(ev.cached_bytes() <= packed.cached_bytes());
-        let mut ev = ev;
         let mut rng = StdRng::seed_from_u64(36);
         let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
-        let (u, _) = ev.apply(&w);
+        let (u, _) = ev.apply(&w).unwrap();
         assert_eq!(
             counter.count(),
             0,
@@ -1208,11 +1404,12 @@ mod tests {
         let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
         let (u_ref, _) =
             Evaluator::with_options(&k, &comp, comp.config.policy, comp.config.num_threads)
-                .apply(&w);
+                .apply(&w)
+                .unwrap();
 
         let comp2 = compress::<f64, _>(&k, &config());
         let counter = CountingMatrix::new(&k);
-        let mut owned = comp2.into_evaluator(&counter);
+        let owned = comp2.into_evaluator(&counter);
         assert_eq!(
             counter.count(),
             0,
@@ -1223,11 +1420,29 @@ mod tests {
         assert!(owned.compressed().far_blocks.iter().all(|b| b.is_empty()));
         // ...but packs the identical panels, so applies are bit-identical to
         // the copying constructor.
-        let (u, _) = owned.apply(&w);
+        let (u, _) = owned.apply(&w).unwrap();
         assert_eq!(counter.count(), 0);
         for (idx, (a, b)) in u_ref.data().iter().zip(u.data()).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "owned evaluator entry {idx}");
         }
+    }
+
+    #[test]
+    fn shared_evaluator_matches_borrowed_construction() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(38);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let (u_ref, _) = Evaluator::new(&k, &comp).apply(&w).unwrap();
+        let shared = std::sync::Arc::new(comp);
+        let ev = Evaluator::from_shared(&k, std::sync::Arc::clone(&shared));
+        let (u, _) = ev.apply(&w).unwrap();
+        assert_eq!(u_ref.data(), u.data());
+        // The Arc is genuinely shared: the caller's handle and the
+        // evaluator's both see the same compression.
+        assert_eq!(std::sync::Arc::strong_count(&shared), 2);
+        assert_eq!(ev.compressed().n(), n);
     }
 
     #[test]
@@ -1238,10 +1453,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(32);
         let w2 = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
         let w5 = DenseMatrix::<f64>::random_gaussian(n, 5, &mut rng);
-        let mut evaluator = Evaluator::new(&k, &comp);
-        let (u2a, _) = evaluator.apply(&w2);
-        let (u5, _) = evaluator.apply(&w5); // grow
-        let (u2b, _) = evaluator.apply(&w2); // shrink back
+        let evaluator = Evaluator::new(&k, &comp);
+        let (u2a, _) = evaluator.apply(&w2).unwrap();
+        let (u5, _) = evaluator.apply(&w5).unwrap(); // different width, new workspace
+        let (u2b, _) = evaluator.apply(&w2).unwrap(); // recycles the width-2 workspace
         let (u2_ref, _) = evaluate(&k, &comp, &w2);
         let (u5_ref, _) = evaluate(&k, &comp, &w5);
         assert!(u2a.sub(&u2_ref).norm_max() == 0.0);
@@ -1256,7 +1471,7 @@ mod tests {
         // Cached compression: even setup reads no kernel entries.
         let comp = compress::<f64, _>(&k, &config());
         let counter = CountingMatrix::new(&k);
-        let mut evaluator = Evaluator::new(&counter, &comp);
+        let evaluator = Evaluator::new(&counter, &comp);
         assert_eq!(
             counter.count(),
             0,
@@ -1264,9 +1479,9 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(33);
         let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
-        let (u1, _) = evaluator.apply(&w);
+        let (u1, _) = evaluator.apply(&w).unwrap();
         assert_eq!(counter.count(), 0, "first apply must not touch the kernel");
-        let (u2, _) = evaluator.apply(&w);
+        let (u2, _) = evaluator.apply(&w).unwrap();
         assert_eq!(counter.count(), 0, "second apply must not touch the kernel");
         assert_eq!(u1.data(), u2.data());
 
@@ -1276,11 +1491,11 @@ mod tests {
         cfg.cache_blocks = false;
         let comp_uncached = compress::<f64, _>(&k, &cfg);
         let counter = CountingMatrix::new(&k);
-        let mut evaluator = Evaluator::new(&counter, &comp_uncached);
+        let evaluator = Evaluator::new(&counter, &comp_uncached);
         let setup_evals = counter.count();
         assert!(setup_evals > 0, "uncached setup must extract blocks");
-        let (_, _) = evaluator.apply(&w);
-        let (_, _) = evaluator.apply(&w);
+        let (_, _) = evaluator.apply(&w).unwrap();
+        let (_, _) = evaluator.apply(&w).unwrap();
         assert_eq!(
             counter.count(),
             setup_evals,
@@ -1290,16 +1505,15 @@ mod tests {
 
     #[test]
     fn zero_column_rhs_yields_empty_output() {
-        // Degenerate but legal: no right-hand sides. The first apply must
-        // take the allocation path (not mistake the unsized buffers for
-        // zero-width ones) and return an n x 0 result, as evaluate() always
-        // has.
+        // Degenerate but legal: no right-hand sides. The apply must allocate
+        // a zero-width workspace and return an n x 0 result, as evaluate()
+        // always has.
         let n = 200;
         let k = test_matrix(n);
         let comp = compress::<f64, _>(&k, &config());
         let w = DenseMatrix::<f64>::zeros(n, 0);
-        let mut evaluator = Evaluator::new(&k, &comp);
-        let (u, stats) = evaluator.apply(&w);
+        let evaluator = Evaluator::new(&k, &comp);
+        let (u, stats) = evaluator.apply(&w).unwrap();
         assert_eq!((u.rows(), u.cols()), (n, 0));
         assert_eq!(stats.flops, 0);
         let (u2, _) = evaluate(&k, &comp, &w);
@@ -1314,28 +1528,52 @@ mod tests {
         let evaluator = Evaluator::<f64>::new(&k, &comp);
         assert!(evaluator.setup_time() > 0.0);
         assert!(evaluator.cached_bytes() > 0);
-        let mut evaluator = evaluator;
         let mut rng = StdRng::seed_from_u64(34);
         let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
-        let (_, stats) = evaluator.apply(&w);
+        let (_, stats) = evaluator.apply(&w).unwrap();
         assert_eq!(stats.cached_bytes, evaluator.cached_bytes());
         assert_eq!(stats.setup_time, evaluator.setup_time());
         assert!(stats.time > 0.0);
     }
 
     #[test]
-    fn evaluator_policy_can_change_between_applies() {
+    fn apply_options_override_policy_per_call() {
         let n = 256;
         let k = test_matrix(n);
         let comp = compress::<f64, _>(&k, &config());
         let mut rng = StdRng::seed_from_u64(35);
         let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
-        let mut evaluator = Evaluator::new(&k, &comp);
+        let evaluator = Evaluator::new(&k, &comp);
         assert_eq!(evaluator.policy(), TraversalPolicy::Sequential);
-        let (u_seq, _) = evaluator.apply(&w);
+        assert_eq!(evaluator.threads(), 2);
+        let (u_seq, _) = evaluator.apply(&w).unwrap();
+        let opts = ApplyOptions::new()
+            .with_policy(TraversalPolicy::DagHeft)
+            .with_threads(4);
+        let (u_heft, stats) = evaluator.apply_with(&w, &opts).unwrap();
+        assert!(stats.exec.is_some());
+        for (a, b) in u_seq.data().iter().zip(u_heft.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The per-call override did not mutate the shared defaults.
+        assert_eq!(evaluator.policy(), TraversalPolicy::Sequential);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setter_shims_still_change_defaults() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &config());
+        let mut rng = StdRng::seed_from_u64(39);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let mut evaluator = Evaluator::new(&k, &comp);
+        let (u_seq, _) = evaluator.apply(&w).unwrap();
         evaluator.set_policy(TraversalPolicy::DagHeft);
         evaluator.set_threads(4);
-        let (u_heft, stats) = evaluator.apply(&w);
+        assert_eq!(evaluator.policy(), TraversalPolicy::DagHeft);
+        assert_eq!(evaluator.threads(), 4);
+        let (u_heft, stats) = evaluator.apply(&w).unwrap();
         assert!(stats.exec.is_some());
         for (a, b) in u_seq.data().iter().zip(u_heft.data()) {
             assert_eq!(a.to_bits(), b.to_bits());

@@ -54,15 +54,19 @@ pub mod accuracy;
 pub mod compress;
 pub mod config;
 pub mod distance;
+pub mod error;
 pub mod evaluate;
 pub mod lists;
 pub mod skel;
 
 pub use accuracy::{accuracy_report, AccuracyReport};
-pub use compress::{compress, Compressed, CompressionStats};
-pub use config::{GofmmConfig, TraversalPolicy};
+pub use compress::{compress, try_compress, CompRef, Compressed, CompressionStats};
+pub use config::{ApplyOptions, GofmmConfig, TraversalPolicy};
 pub use distance::{DistanceMetric, GramOracle};
-pub use evaluate::{evaluate, evaluate_with, EvaluationStats, Evaluator};
+pub use error::Error;
+pub use evaluate::{
+    evaluate, evaluate_with, try_evaluate, try_evaluate_with, EvaluationStats, Evaluator,
+};
 pub use lists::{build_interaction_lists, check_coverage, InteractionLists};
 pub use skel::{skeletonize_node, NodeBasis, SkelParams};
 

@@ -24,6 +24,11 @@ pub struct Id<T: Scalar> {
     /// Estimated `rank+1`-st singular value of the input (the first rejected
     /// pivot magnitude); zero when the factorization ran to completion.
     pub residual_estimate: f64,
+    /// True when the rank cap `max_rank`, rather than the adaptive
+    /// tolerance, decided the rank: pivoting stopped at the cap while the
+    /// next candidate column was still above the stopping threshold. Callers
+    /// enforcing a strict accuracy budget key off this flag.
+    pub budget_limited: bool,
 }
 
 impl<T: Scalar> Id<T> {
@@ -51,6 +56,7 @@ pub fn interpolative_decomposition<T: Scalar>(
             skeleton: Vec::new(),
             interp: DenseMatrix::zeros(0, n),
             residual_estimate: 0.0,
+            budget_limited: false,
         };
     }
     // Safeguard: even with a "fixed rank" request (rel_tol = 0) we must not
@@ -75,6 +81,7 @@ pub fn interpolative_decomposition<T: Scalar>(
             skeleton: vec![0],
             interp,
             residual_estimate: 0.0,
+            budget_limited: false,
         };
     }
     let s = qr.rank().min(n);
@@ -87,16 +94,11 @@ pub fn interpolative_decomposition<T: Scalar>(
         trsm_left(Triangle::Upper, false, &r11, &mut t);
     }
 
-    // Residual estimate: magnitude of the next pivot's column norm is not
-    // directly available once the factorization stopped, so use |R[s-1,s-1]|
-    // scaled relative to |R[0,0]| as the classical GEQP3 estimate of
-    // sigma_{s+1} when the adaptive test terminated early.
-    let diag = qr.r_diag();
-    let residual_estimate = if s < n && !diag.is_empty() {
-        diag[s - 1].abs().to_f64()
-    } else {
-        0.0
-    };
+    // Residual estimate: the largest column norm among the candidates
+    // pivoting never consumed — the magnitude of the first *rejected* pivot,
+    // the classical estimate of sigma_{s+1} (zero when the factorization
+    // consumed every column).
+    let residual_estimate = qr.next_pivot_norm();
 
     // Scatter back to the original column ordering.
     let mut interp = DenseMatrix::zeros(s, n);
@@ -114,6 +116,7 @@ pub fn interpolative_decomposition<T: Scalar>(
         skeleton: pivots[..s].to_vec(),
         interp,
         residual_estimate,
+        budget_limited: qr.rank_capped(),
     }
 }
 
@@ -140,6 +143,38 @@ mod tests {
         assert_eq!(id.rank(), 4);
         let recon = id_reconstruct(&a, &id);
         assert!(recon.sub(&a).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn budget_limited_distinguishes_cap_from_tolerance_termination() {
+        let mut rng = StdRng::seed_from_u64(54);
+        // Exact numerical rank 4 with candidates left over.
+        let u = DenseMatrix::<f64>::random_gaussian(30, 4, &mut rng);
+        let v = DenseMatrix::<f64>::random_gaussian(25, 4, &mut rng);
+        let a = matmul_nt(&u, &v);
+
+        // Cap exactly at the numerical rank: the tolerance is met at the
+        // cap, so the budget did NOT decide the rank — no false positive.
+        let at_cap = interpolative_decomposition(&a, 4, 1e-10);
+        assert_eq!(at_cap.rank(), 4);
+        assert!(
+            !at_cap.budget_limited,
+            "tolerance met at exactly max_rank must not read as budget-limited"
+        );
+        // The rejected candidates really are at round-off.
+        assert!(at_cap.residual_estimate < 1e-9);
+
+        // Cap below the numerical rank with a tight tolerance: the budget
+        // genuinely decided, and the residual estimate (the first rejected
+        // pivot) is far above the tolerance scale.
+        let capped = interpolative_decomposition(&a, 2, 1e-10);
+        assert_eq!(capped.rank(), 2);
+        assert!(capped.budget_limited);
+        assert!(capped.residual_estimate > 1e-6);
+
+        // No cap pressure at all.
+        let roomy = interpolative_decomposition(&a, 25, 1e-10);
+        assert!(!roomy.budget_limited);
     }
 
     #[test]

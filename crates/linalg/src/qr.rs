@@ -22,6 +22,14 @@ pub struct QrFactors<T: Scalar> {
     /// Numerical rank detected during factorization (= number of Householder
     /// steps actually performed).
     rank: usize,
+    /// Largest (downdated) column norm among the candidates left when
+    /// pivoting stopped — the classical estimate of `sigma_{rank+1}`; zero
+    /// when every column was consumed.
+    next_norm: f64,
+    /// True when pivoting stopped at the `max_rank` cap while the next
+    /// candidate was still above the stopping threshold: the rank budget,
+    /// not the tolerance, decided the rank.
+    rank_capped: bool,
 }
 
 /// Termination options for the pivoted QR.
@@ -72,6 +80,20 @@ impl<T: Scalar> QrFactors<T> {
     /// Detected numerical rank (number of Householder reflections).
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Largest remaining (downdated) column norm when pivoting stopped: the
+    /// classical estimate of `sigma_{rank+1}`, i.e. the magnitude of the
+    /// first rejected pivot. Zero when every column was consumed.
+    pub fn next_pivot_norm(&self) -> f64 {
+        self.next_norm
+    }
+
+    /// True when pivoting stopped at the `max_rank` cap with the next
+    /// candidate still above the stopping threshold — the rank budget, not
+    /// the adaptive tolerance, decided the rank.
+    pub fn rank_capped(&self) -> bool {
+        self.rank_capped
     }
 
     /// Column pivot permutation: position `k` holds original column `pivots[k]`.
@@ -306,11 +328,28 @@ pub fn pivoted_qr<T: Scalar>(a: &DenseMatrix<T>, opts: QrOptions) -> QrFactors<T
         rank = k + 1;
     }
 
+    // Estimate of the first rejected pivot: the largest downdated norm among
+    // the columns pivoting never consumed.
+    let next_norm = if rank < n {
+        colnorm[rank..]
+            .iter()
+            .fold(T::zero(), |acc, v| acc.max(*v))
+            .to_f64()
+    } else {
+        0.0
+    };
+    let threshold = (opts.rel_tol * norm0).max(opts.abs_tol);
+    // Cap-decided only when the cap (not row/column exhaustion) ended the
+    // loop and the tolerance criterion was still unmet.
+    let rank_capped = rank == opts.max_rank && rank < m.min(n) && next_norm > threshold;
+
     QrFactors {
         factors: f,
         tau,
         pivots,
         rank,
+        next_norm,
+        rank_capped,
     }
 }
 
@@ -368,6 +407,8 @@ fn pivoted_qr_nopivot<T: Scalar>(a: &DenseMatrix<T>) -> QrFactors<T> {
         tau,
         pivots,
         rank: kmax,
+        next_norm: 0.0,
+        rank_capped: false,
     }
 }
 

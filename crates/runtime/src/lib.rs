@@ -23,7 +23,12 @@
 //!   One-shot phases use [`plan::PhasePlan`]; phases that run repeatedly
 //!   (the evaluation DAG behind a persistent evaluator) use
 //!   [`plan::ReusablePlan`], which freezes the DAG once and re-executes it
-//!   any number of times.
+//!   any number of times — including from several threads at once,
+//! * [`pool`] — shared-state serving support: [`pool::WorkspacePool`] leases
+//!   per-call buffer bundles (keyed by right-hand-side width) so persistent
+//!   engines can serve `&self` applies/solves concurrently, and
+//!   [`pool::RunDefaults`] holds an engine's default policy/worker count
+//!   with per-call override resolution.
 //!
 //! See `ARCHITECTURE.md` at the repository root for how these pieces fit the
 //! paper's phases.
@@ -34,6 +39,7 @@ pub mod executor;
 pub mod graph;
 pub mod parallel;
 pub mod plan;
+pub mod pool;
 
 pub use executor::{
     execute, execute_fifo, execute_heft, execute_sequential, ExecStats, SchedulePolicy,
@@ -41,3 +47,4 @@ pub use executor::{
 pub use graph::{Task, TaskGraph, TaskId};
 pub use parallel::{available_threads, parallel_for, parallel_map, parallel_ranges, split_ranges};
 pub use plan::{DisjointCells, Family, PhasePlan, PlanTopology, ReusablePlan, SharedCells};
+pub use pool::{Lease, RunDefaults, WorkspacePool};

@@ -243,6 +243,14 @@ impl ReusablePlan {
     /// plan can be executed arbitrarily often — with any mix of policies and
     /// worker counts — and every run observes the identical DAG, which keeps
     /// outputs bit-identical across policies for deterministic tasks.
+    ///
+    /// Runs are also safe to issue **concurrently** from several threads:
+    /// every piece of mutable scheduling state (remaining-dependency
+    /// counters, ready queues, worker accounting) is allocated per run, and
+    /// the shared successor/indegree tables are frozen once behind a
+    /// `OnceLock`. Callers only need to hand each concurrent run its own
+    /// disjoint output storage — which is exactly what a
+    /// [`crate::pool::WorkspacePool`] lease provides.
     pub fn run(
         &self,
         policy: SchedulePolicy,
@@ -827,6 +835,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reusable_plan_runs_concurrently_from_many_threads() {
+        // The serving contract: one frozen plan, many simultaneous runs, each
+        // with its own cell storage, all producing the identical result. This
+        // is what lets a shared evaluator serve parallel request streams.
+        let topo = HeapTree { levels: 6 };
+        let n = topo.node_count();
+        let mut plan = ReusablePlan::new();
+        plan.add_bottom_up("UP", &topo, |_| false, |_| 1.0);
+        let task = |cells: &DisjointCells<f64>, node: usize| {
+            let v = match topo.plan_children(node) {
+                Some((l, r)) => (*cells.read(l)).mul_add(1.01, *cells.read(r)),
+                None => (node as f64).cos(),
+            };
+            *cells.write(node) += v;
+        };
+        // Sequential reference.
+        let reference = {
+            let cells: DisjointCells<f64> = DisjointCells::from_fn(n, |i| i as f64 * 0.5);
+            plan.run(SchedulePolicy::Sequential, 1, |_, node| task(&cells, node));
+            cells.into_inner()
+        };
+        let plan = &plan;
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let reference = &reference;
+                let task = &task;
+                scope.spawn(move || {
+                    let policy = [
+                        SchedulePolicy::Sequential,
+                        SchedulePolicy::Fifo,
+                        SchedulePolicy::Heft,
+                    ][t % 3];
+                    for _ in 0..4 {
+                        let cells: DisjointCells<f64> =
+                            DisjointCells::from_fn(n, |i| i as f64 * 0.5);
+                        plan.run(policy, 3, |_, node| task(&cells, node));
+                        let out = cells.into_inner();
+                        assert!(
+                            reference
+                                .iter()
+                                .zip(&out)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "{policy}: concurrent run diverged from the sequential reference"
+                        );
+                    }
+                });
+            }
+        });
     }
 
     #[test]

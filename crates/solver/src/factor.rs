@@ -42,6 +42,12 @@
 //! compression and evaluation — and, because every cell has exactly one
 //! writing task per run, solves are bit-identical across policies.
 //!
+//! [`HierarchicalFactor::solve`] takes `&self`: the per-solve sweep buffers
+//! live in a [`WorkspacePool`] keyed by the right-hand-side count, so one
+//! factorization can serve parallel request streams exactly like the
+//! evaluator (concurrent solves lease disjoint workspaces; sequential solves
+//! recycle one).
+//!
 //! The factorization covers the *hierarchical* (HSS) part of the compressed
 //! operator plus the regularization; off-diagonal near blocks beyond the
 //! leaf diagonal are left to the Krylov iteration it preconditions. With a
@@ -64,47 +70,22 @@
 //! Krylov iteration counts grow and a backward-stable ULV sweep is the
 //! roadmap item that would remove the limitation.
 
-use gofmm_core::{Compressed, TraversalPolicy};
+use gofmm_core::{ApplyOptions, CompRef, Compressed, Error, TraversalPolicy};
 use gofmm_linalg::{gemm, matmul, matmul_tn, Cholesky, DenseMatrix, LuFactor, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
-use gofmm_runtime::{parallel_for, DisjointCells, ExecStats, PhasePlan, ReusablePlan};
+use gofmm_runtime::{
+    parallel_for, DisjointCells, ExecStats, PhasePlan, ReusablePlan, RunDefaults, WorkspacePool,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Why a hierarchical factorization could not be built.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FactorError {
-    /// A leaf's regularized diagonal block was not positive definite.
-    NotPositiveDefinite {
-        /// Heap index of the offending leaf.
-        node: usize,
-        /// Pivot at which the Cholesky factorization broke down.
-        pivot: usize,
-    },
-    /// An interior node's SMW core `I + C G` was numerically singular.
-    SingularCore {
-        /// Heap index of the offending interior node.
-        node: usize,
-    },
-}
-
-impl std::fmt::Display for FactorError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FactorError::NotPositiveDefinite { node, pivot } => write!(
-                f,
-                "leaf {node}: regularized diagonal block not positive definite (pivot {pivot}); \
-                 increase lambda"
-            ),
-            FactorError::SingularCore { node } => write!(
-                f,
-                "interior node {node}: SMW core I + C*G is numerically singular; \
-                 increase lambda or tighten the compression tolerance"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for FactorError {}
+/// Former error type of the factorization; the variants now live on the
+/// workspace-wide [`gofmm_core::Error`].
+#[deprecated(
+    since = "0.1.0",
+    note = "match on `gofmm_core::Error::{NotPositiveDefinite, SingularCore}` instead"
+)]
+pub type FactorError = Error;
 
 /// Options of [`HierarchicalFactor::with_options`].
 #[derive(Clone, Debug)]
@@ -174,11 +155,60 @@ impl<T: Scalar> NodeFactor<T> {
     }
 }
 
+/// Everything a factorization computes before it is attached to a
+/// compression handle: the per-node factor storage plus defaults and stats.
+/// Produced by `HierarchicalFactor::compute_parts`, consumed by
+/// `HierarchicalFactor::from_parts`.
+pub(crate) struct FactorParts<T: Scalar> {
+    nodes: Vec<NodeFactor<T>>,
+    defaults: RunDefaults<TraversalPolicy>,
+    stats: FactorStats,
+}
+
 /// Outcome slot of one node's factor task.
 enum Slot<T: Scalar> {
     Pending,
     Ready(Box<NodeFactor<T>>),
-    Failed(FactorError),
+    Failed(Error),
+}
+
+/// One solve's per-node sweep buffers, pooled by right-hand-side count.
+///
+/// No reset between solves is needed: every cell that a solve reads is fully
+/// overwritten earlier in the same solve (the sweeps have no `+=`
+/// accumulators into pooled storage).
+struct SolveWorkspace<T: Scalar> {
+    /// Leaf Cholesky solutions `y = H_leaf^{-1} b`.
+    y: DisjointCells<DenseMatrix<T>>,
+    /// Per-leaf output blocks.
+    x: DisjointCells<DenseMatrix<T>>,
+    /// Upward skeleton projections.
+    v: DisjointCells<DenseMatrix<T>>,
+    /// SMW coefficients per interior node.
+    z: DisjointCells<DenseMatrix<T>>,
+    /// Downward corrections.
+    delta: DisjointCells<DenseMatrix<T>>,
+}
+
+impl<T: Scalar> SolveWorkspace<T> {
+    fn allocate(comp: &Compressed<T>, nodes: &[NodeFactor<T>], r: usize) -> Self {
+        let node_count = comp.tree.node_count();
+        let rank_of = |heap: usize| comp.basis(heap).map(|b| b.rank()).unwrap_or(0);
+        let leaf_rows = |heap: usize| {
+            if comp.tree.is_leaf(heap) {
+                comp.tree.node(heap).len
+            } else {
+                0
+            }
+        };
+        Self {
+            y: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(leaf_rows(h), r)),
+            x: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(leaf_rows(h), r)),
+            v: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
+            z: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].w.rows(), r)),
+            delta: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r)),
+        }
+    }
 }
 
 /// A persistent hierarchical factorization of `K + lambda I`.
@@ -186,11 +216,12 @@ enum Slot<T: Scalar> {
 /// Built once per compression (one `FACTOR` bottom-up sweep), it serves
 /// unlimited [`HierarchicalFactor::solve`] calls — each a cached-plan
 /// `SUP`/`SDOWN` double sweep that performs **zero kernel-entry
-/// evaluations**, re-running one frozen DAG against recycled per-node
-/// buffers (only small per-task temporaries are allocated per solve). It is
-/// the preconditioner behind [`crate::cg`] and
-/// [`crate::gmres`], and with a pure-HSS compression it is accurate enough
-/// to serve as a direct solver for the compressed operator.
+/// evaluations**, re-running one frozen DAG against a leased per-call
+/// workspace. `solve` takes `&self`, so one factorization can serve many
+/// threads concurrently; solutions are bit-identical across policies, worker
+/// counts, and concurrency. It is the preconditioner behind [`crate::cg`]
+/// and [`crate::gmres`], and with a pure-HSS compression it is accurate
+/// enough to serve as a direct solver for the compressed operator.
 ///
 /// # Example
 ///
@@ -215,26 +246,23 @@ enum Slot<T: Scalar> {
 ///     .with_threads(2)
 ///     .with_policy(TraversalPolicy::Sequential);
 /// let comp = compress::<f64, _>(&k, &config);
-/// let mut factor = HierarchicalFactor::new(&k, &comp, 1e-2).unwrap();
+/// let factor = HierarchicalFactor::new(&k, &comp, 1e-2).unwrap();
 /// let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| (i % 7) as f64);
-/// let x = factor.solve(&b);
+/// let x = factor.solve(&b).unwrap(); // &self: shareable across threads
 /// assert_eq!(x.rows(), n);
 /// ```
 pub struct HierarchicalFactor<'a, T: Scalar> {
-    comp: &'a Compressed<T>,
+    comp: CompRef<'a, T>,
     nodes: Vec<NodeFactor<T>>,
-    /// The SUP/SDOWN solve DAG, built once and re-run per solve.
+    /// The SUP/SDOWN solve DAG, built once and re-run per solve (safe to run
+    /// from many threads at once).
     plan: ReusablePlan,
-    policy: TraversalPolicy,
-    num_threads: usize,
+    /// Default traversal policy / worker count, overridable per call through
+    /// [`ApplyOptions`].
+    defaults: RunDefaults<TraversalPolicy>,
     stats: FactorStats,
-    // Recycled per-solve buffers (see `prepare_buffers`).
-    y: DisjointCells<DenseMatrix<T>>,
-    x: DisjointCells<DenseMatrix<T>>,
-    v: DisjointCells<DenseMatrix<T>>,
-    z: DisjointCells<DenseMatrix<T>>,
-    delta: DisjointCells<DenseMatrix<T>>,
-    rhs: usize,
+    /// Per-solve sweep buffers, leased per call and recycled across calls.
+    pool: WorkspacePool<SolveWorkspace<T>>,
 }
 
 impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
@@ -250,7 +278,7 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
         matrix: &M,
         comp: &'a Compressed<T>,
         lambda: f64,
-    ) -> Result<Self, FactorError> {
+    ) -> Result<Self, Error> {
         Self::with_options(
             matrix,
             comp,
@@ -266,7 +294,47 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
         matrix: &M,
         comp: &'a Compressed<T>,
         opts: &FactorOptions,
-    ) -> Result<Self, FactorError> {
+    ) -> Result<Self, Error> {
+        Self::build(matrix, CompRef::Borrowed(comp), opts)
+    }
+
+    /// Factor an `Arc`-shared compression. The result is `'static` and
+    /// `Send + Sync`, so it can live inside a shared service handle next to
+    /// an evaluator serving the same compression (the `GofmmOperator` front
+    /// door is built this way).
+    pub fn from_shared<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: Arc<Compressed<T>>,
+        opts: &FactorOptions,
+    ) -> Result<HierarchicalFactor<'static, T>, Error> {
+        HierarchicalFactor::build(matrix, CompRef::Shared(comp), opts)
+    }
+
+    /// Shared construction tail behind every public constructor.
+    fn build<'c, M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: CompRef<'c, T>,
+        opts: &FactorOptions,
+    ) -> Result<HierarchicalFactor<'c, T>, Error> {
+        let parts = Self::compute_parts(matrix, &comp, opts)?;
+        Ok(Self::from_parts(comp, parts))
+    }
+
+    /// Run the `FACTOR` sweep against `comp`, producing everything except
+    /// the compression handle itself. Split from [`Self::from_parts`] so the
+    /// operator front door can factor (which reads the block caches) *before*
+    /// handing those caches to the evaluator's stealing constructor.
+    pub(crate) fn compute_parts<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &Compressed<T>,
+        opts: &FactorOptions,
+    ) -> Result<FactorParts<T>, Error> {
+        if !opts.lambda.is_finite() {
+            return Err(Error::InvalidConfig {
+                what: "lambda",
+                constraint: "must be finite",
+            });
+        }
         let policy = opts.policy.unwrap_or(comp.config.policy);
         let num_threads = opts.num_threads.unwrap_or(comp.config.num_threads).max(1);
         let lambda = T::from_f64(opts.lambda);
@@ -275,16 +343,17 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
         let node_count = tree.node_count();
 
         let slots: DisjointCells<Slot<T>> = DisjointCells::from_fn(node_count, |_| Slot::Pending);
+        let comp_ref = comp;
         let factor_one = |heap: usize| {
             let slot = if tree.is_leaf(heap) {
-                factor_leaf(matrix, comp, heap, lambda)
+                factor_leaf(matrix, comp_ref, heap, lambda)
             } else {
                 let (l, r) = tree.children(heap);
                 let gl = slots.read(l);
                 let gr = slots.read(r);
                 match (&*gl, &*gr) {
                     (Slot::Ready(fl), Slot::Ready(fr)) => {
-                        factor_interior(matrix, comp, heap, &fl.g, &fr.g)
+                        factor_interior(matrix, comp_ref, heap, &fl.g, &fr.g)
                     }
                     // A failed child already recorded its error; stay silent.
                     _ => Slot::Pending,
@@ -345,26 +414,33 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
         }
 
         let bytes = nodes.iter().map(NodeFactor::bytes).sum();
-        let plan = solve_plan(comp);
-        Ok(Self {
-            comp,
+        Ok(FactorParts {
             nodes,
-            plan,
-            policy,
-            num_threads,
+            defaults: RunDefaults::new(policy, num_threads),
             stats: FactorStats {
                 setup_time: t0.elapsed().as_secs_f64(),
                 bytes,
                 lambda: opts.lambda,
                 exec,
             },
-            y: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            x: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            v: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            z: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            delta: DisjointCells::from_fn(node_count, |_| DenseMatrix::zeros(0, 0)),
-            rhs: usize::MAX,
         })
+    }
+
+    /// Attach precomputed [`FactorParts`] to a compression handle (the solve
+    /// plan depends only on the compressed structure, so it is built here).
+    pub(crate) fn from_parts<'c>(
+        comp: CompRef<'c, T>,
+        parts: FactorParts<T>,
+    ) -> HierarchicalFactor<'c, T> {
+        let plan = solve_plan(&comp);
+        HierarchicalFactor {
+            comp,
+            nodes: parts.nodes,
+            plan,
+            defaults: parts.defaults,
+            stats: parts.stats,
+            pool: WorkspacePool::new(),
+        }
     }
 
     /// Matrix dimension `N`.
@@ -382,81 +458,97 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
         &self.stats
     }
 
-    /// The traversal policy used by [`HierarchicalFactor::solve`].
+    /// The default traversal policy of [`HierarchicalFactor::solve`]
+    /// (override per call with [`HierarchicalFactor::solve_with`]).
     pub fn policy(&self) -> TraversalPolicy {
-        self.policy
+        self.defaults.policy()
     }
 
-    /// Change the traversal policy for subsequent solves. All policies
-    /// produce bit-identical solutions.
+    /// The default worker-thread count of [`HierarchicalFactor::solve`]
+    /// (override per call with [`HierarchicalFactor::solve_with`]).
+    pub fn threads(&self) -> usize {
+        self.defaults.threads()
+    }
+
+    /// Change the default traversal policy for subsequent solves.
+    #[deprecated(
+        since = "0.1.0",
+        note = "solve is now `&self`; pass a per-call policy via \
+                `solve_with(b, &ApplyOptions::new().with_policy(..))` instead"
+    )]
     pub fn set_policy(&mut self, policy: TraversalPolicy) {
-        self.policy = policy;
+        self.defaults.set_policy(policy);
     }
 
-    /// Change the worker-thread count for subsequent solves.
+    /// Change the default worker-thread count for subsequent solves.
+    #[deprecated(
+        since = "0.1.0",
+        note = "solve is now `&self`; pass a per-call thread count via \
+                `solve_with(b, &ApplyOptions::new().with_threads(..))` instead"
+    )]
     pub fn set_threads(&mut self, num_threads: usize) {
-        self.num_threads = num_threads.max(1);
+        self.defaults.set_threads(num_threads);
     }
 
     /// Solve `(K_hss + lambda I) x = b` from the factored state: one upward
-    /// and one downward tree sweep, zero kernel evaluations, buffers
-    /// recycled across calls.
-    pub fn solve(&mut self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
-        assert_eq!(b.rows(), self.comp.n(), "right-hand-side size mismatch");
-        let r = b.cols();
-        self.prepare_buffers(r);
+    /// and one downward tree sweep, zero kernel evaluations, the sweep
+    /// buffers leased from an internal pool.
+    ///
+    /// Takes `&self`: any number of threads may call this simultaneously on
+    /// one shared factorization; all of them produce bit-identical
+    /// solutions.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `b.rows() != n`.
+    pub fn solve(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, Error> {
+        self.solve_with(b, &ApplyOptions::default())
+    }
+
+    /// Solve with per-call policy / thread-count overrides (bit-identical to
+    /// every other policy/thread combination).
+    pub fn solve_with(
+        &self,
+        b: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<DenseMatrix<T>, Error> {
+        if b.rows() != self.comp.n() {
+            return Err(Error::DimensionMismatch {
+                what: "right-hand-side rows",
+                expected: self.comp.n(),
+                got: b.rows(),
+            });
+        }
+        let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
+        let ws = self.pool.lease(b.cols(), || {
+            SolveWorkspace::allocate(&self.comp, &self.nodes, b.cols())
+        });
         let tree = &self.comp.tree;
-        let pass = SolvePass { factor: self, b };
-        match self.policy.schedule_policy() {
+        let pass = SolvePass {
+            factor: self,
+            ws: &ws,
+            b,
+        };
+        match policy.schedule_policy() {
             None => {
                 for level in (0..=tree.depth()).rev() {
                     let nodes: Vec<usize> = tree.level_range(level).collect();
-                    parallel_for(nodes.len(), self.num_threads, |i| pass.task_up(nodes[i]));
+                    parallel_for(nodes.len(), num_threads, |i| pass.task_up(nodes[i]));
                 }
                 for level in 0..=tree.depth() {
                     let nodes: Vec<usize> = tree.level_range(level).collect();
-                    parallel_for(nodes.len(), self.num_threads, |i| pass.task_down(nodes[i]));
+                    parallel_for(nodes.len(), num_threads, |i| pass.task_down(nodes[i]));
                 }
             }
             Some(sched) => {
                 self.plan
-                    .run(sched, self.num_threads, |family, node| match family {
+                    .run(sched, num_threads, |family, node| match family {
                         "SUP" => pass.task_up(node),
                         "SDOWN" => pass.task_down(node),
                         other => unreachable!("unknown solve task family {other}"),
                     });
             }
         }
-        pass.assemble()
-    }
-
-    /// Allocate the per-node sweep buffers for `r` right-hand sides, or just
-    /// leave them in place when the width is unchanged (every cell that is
-    /// read during a solve is fully overwritten first, so no zeroing is
-    /// needed).
-    fn prepare_buffers(&mut self, r: usize) {
-        if self.rhs == r {
-            return;
-        }
-        let comp = self.comp;
-        let node_count = comp.tree.node_count();
-        let rank_of = |heap: usize| comp.basis(heap).map(|b| b.rank()).unwrap_or(0);
-        let leaf_rows = |heap: usize| {
-            if comp.tree.is_leaf(heap) {
-                comp.tree.node(heap).len
-            } else {
-                0
-            }
-        };
-        self.y = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(leaf_rows(h), r));
-        self.x = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(leaf_rows(h), r));
-        self.v = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r));
-        self.z = DisjointCells::from_fn(node_count, |h| {
-            let rows = self.nodes[h].w.rows();
-            DenseMatrix::zeros(rows, r)
-        });
-        self.delta = DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rank_of(h), r));
-        self.rhs = r;
+        Ok(pass.assemble())
     }
 }
 
@@ -480,7 +572,7 @@ fn factor_leaf<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     let chol = match Cholesky::factor(&a) {
         Ok(c) => c,
         Err(e) => {
-            return Slot::Failed(FactorError::NotPositiveDefinite {
+            return Slot::Failed(Error::NotPositiveDefinite {
                 node: heap,
                 pivot: e.pivot,
             })
@@ -552,7 +644,7 @@ fn factor_interior<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     }
     let lu = match LuFactor::factor(&core) {
         Ok(lu) => lu,
-        Err(_) => return Slot::Failed(FactorError::SingularCore { node: heap }),
+        Err(_) => return Slot::Failed(Error::SingularCore { node: heap }),
     };
     let mut w = lu.solve(&c);
     // `(I + C G)^{-1} C` is symmetric in exact arithmetic; enforcing the
@@ -616,31 +708,34 @@ fn solve_plan<T: Scalar>(comp: &Compressed<T>) -> ReusablePlan {
     plan
 }
 
-/// One in-flight solve: the factor's cached state plus the right-hand side.
+/// One in-flight solve: the factor's cached state, the leased workspace, and
+/// the right-hand side.
 ///
 /// Every buffer cell has exactly one writing task per solve, and every
 /// cross-task read/write pair is ordered by a plan edge (or level barrier),
 /// so no cell takes a blocking lock and the solution is bit-identical
-/// across traversal policies and worker counts.
+/// across traversal policies and worker counts. Concurrent solves never
+/// share a workspace, so they cannot interact at all.
 struct SolvePass<'p, 'a, T: Scalar> {
     factor: &'p HierarchicalFactor<'a, T>,
+    ws: &'p SolveWorkspace<T>,
     b: &'p DenseMatrix<T>,
 }
 
 impl<T: Scalar> SolvePass<'_, '_, T> {
     /// `SUP`: leaf Cholesky solves + upward skeleton reductions.
     fn task_up(&self, heap: usize) {
-        let comp = self.factor.comp;
+        let comp = &*self.factor.comp;
         let nf = &self.factor.nodes[heap];
         if comp.tree.is_leaf(heap) {
-            let mut y = self.factor.y.write(heap);
+            let mut y = self.ws.y.write(heap);
             *y = self.b.select_rows(comp.tree.indices(heap));
             nf.chol
                 .as_ref()
                 .expect("leaf factor missing")
                 .solve_into(&mut y);
             if let Some(basis) = comp.basis(heap) {
-                let mut v = self.factor.v.write(heap);
+                let mut v = self.ws.v.write(heap);
                 gemm(
                     T::one(),
                     &basis.interp,
@@ -653,11 +748,11 @@ impl<T: Scalar> SolvePass<'_, '_, T> {
             }
         } else {
             let (l, r) = comp.tree.children(heap);
-            let vl = self.factor.v.read(l);
-            let vr = self.factor.v.read(r);
+            let vl = self.ws.v.read(l);
+            let vr = self.ws.v.read(r);
             let vstack = vl.vstack(&vr);
             drop((vl, vr));
-            let mut z = self.factor.z.write(heap);
+            let mut z = self.ws.z.write(heap);
             gemm(
                 T::one(),
                 &nf.w,
@@ -679,7 +774,7 @@ impl<T: Scalar> SolvePass<'_, '_, T> {
                     T::one(),
                     &mut q,
                 );
-                let mut v = self.factor.v.write(heap);
+                let mut v = self.ws.v.write(heap);
                 gemm(
                     T::one(),
                     &basis.interp,
@@ -695,16 +790,16 @@ impl<T: Scalar> SolvePass<'_, '_, T> {
 
     /// `SDOWN`: push corrections toward the leaves, fold them into `x`.
     fn task_down(&self, heap: usize) {
-        let comp = self.factor.comp;
+        let comp = &*self.factor.comp;
         let nf = &self.factor.nodes[heap];
         let is_root = heap == 0;
         if comp.tree.is_leaf(heap) {
-            let y = self.factor.y.read(heap);
-            let mut x = self.factor.x.write(heap);
+            let y = self.ws.y.read(heap);
+            let mut x = self.ws.x.write(heap);
             x.data_mut().copy_from_slice(y.data());
             drop(y);
             if !is_root {
-                let delta = self.factor.delta.read(heap);
+                let delta = self.ws.delta.read(heap);
                 gemm(
                     -T::one(),
                     &nf.yu,
@@ -717,11 +812,11 @@ impl<T: Scalar> SolvePass<'_, '_, T> {
             }
         } else {
             // gamma = z + (E - W G_hat E) delta, split between the children.
-            let z = self.factor.z.read(heap);
+            let z = self.ws.z.read(heap);
             let mut gamma = z.clone();
             drop(z);
             if !is_root {
-                let delta = self.factor.delta.read(heap);
+                let delta = self.ws.delta.read(heap);
                 gemm(
                     T::one(),
                     &nf.down,
@@ -734,8 +829,8 @@ impl<T: Scalar> SolvePass<'_, '_, T> {
             }
             let (l, r) = comp.tree.children(heap);
             let cols = gamma.cols();
-            self.factor.delta.set(l, gamma.block(0, nf.split, 0, cols));
-            self.factor
+            self.ws.delta.set(l, gamma.block(0, nf.split, 0, cols));
+            self.ws
                 .delta
                 .set(r, gamma.block(nf.split, gamma.rows(), 0, cols));
         }
@@ -743,12 +838,12 @@ impl<T: Scalar> SolvePass<'_, '_, T> {
 
     /// Scatter the per-leaf solutions back into original index order.
     fn assemble(&self) -> DenseMatrix<T> {
-        let comp = self.factor.comp;
+        let comp = &*self.factor.comp;
         let n = comp.n();
         let r = self.b.cols();
         let mut out = DenseMatrix::zeros(n, r);
         for leaf in comp.tree.leaf_range() {
-            let x = self.factor.x.read(leaf);
+            let x = self.ws.x.read(leaf);
             for (local, &orig) in comp.tree.indices(leaf).iter().enumerate() {
                 for c in 0..r {
                     out.set(orig, c, x.get(local, c));

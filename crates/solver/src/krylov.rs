@@ -4,15 +4,17 @@
 //! persistent `gofmm_core::Evaluator`, by the [`Shifted`] regularized
 //! wrapper, and by plain dense matrices for testing) and a
 //! [`Preconditioner`] (implemented by [`crate::HierarchicalFactor`] and the
-//! trivial [`IdentityPreconditioner`]). The operators take `&mut self`
-//! because the GOFMM evaluator and factorization recycle their internal
-//! buffers between applications.
+//! trivial [`IdentityPreconditioner`]). Both traits take `&self`: the GOFMM
+//! evaluator and factorization lease their scratch from internal workspace
+//! pools, so shared references are all an iteration needs — which is what
+//! lets one `GofmmOperator` handle run Krylov solves from many threads at
+//! once.
 //!
 //! CG runs all right-hand-side columns simultaneously with per-column
 //! scalars, so one evaluator apply serves every column per iteration. GMRES
 //! builds a separate Arnoldi basis per column.
 
-use gofmm_core::Evaluator;
+use gofmm_core::{Error, Evaluator};
 use gofmm_linalg::{axpy, dot, matmul, nrm2, DenseMatrix, Scalar};
 use std::time::Instant;
 
@@ -24,23 +26,25 @@ pub trait LinearOperator<T: Scalar> {
     fn dim(&self) -> usize;
 
     /// Apply the operator to a block of vectors (`N x r`).
-    fn matvec(&mut self, x: &DenseMatrix<T>) -> DenseMatrix<T>;
+    fn matvec(&self, x: &DenseMatrix<T>) -> DenseMatrix<T>;
 }
 
 impl<T: Scalar> LinearOperator<T> for Evaluator<'_, T> {
     fn dim(&self) -> usize {
         self.n()
     }
-    fn matvec(&mut self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
-        self.apply(x).0
+    fn matvec(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        // The drivers pre-check dimensions, so a failure here is an internal
+        // invariant violation, not an input error.
+        self.apply(x).expect("evaluator apply inside Krylov").0
     }
 }
 
-impl<T: Scalar, Op: LinearOperator<T>> LinearOperator<T> for &mut Op {
+impl<T: Scalar, Op: LinearOperator<T> + ?Sized> LinearOperator<T> for &Op {
     fn dim(&self) -> usize {
         (**self).dim()
     }
-    fn matvec(&mut self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+    fn matvec(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
         (**self).matvec(x)
     }
 }
@@ -73,7 +77,7 @@ impl<T: Scalar, Op: LinearOperator<T>> LinearOperator<T> for Shifted<Op> {
     fn dim(&self) -> usize {
         self.op.dim()
     }
-    fn matvec(&mut self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+    fn matvec(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
         let mut y = self.op.matvec(x);
         y.axpy(T::from_f64(self.shift), x);
         y
@@ -98,7 +102,7 @@ impl<T: Scalar> LinearOperator<T> for DenseOperator<T> {
     fn dim(&self) -> usize {
         self.a.rows()
     }
-    fn matvec(&mut self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+    fn matvec(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
         matmul(&self.a, x)
     }
 }
@@ -107,18 +111,33 @@ impl<T: Scalar> LinearOperator<T> for DenseOperator<T> {
 /// Krylov iterations.
 pub trait Preconditioner<T: Scalar> {
     /// Apply the approximate inverse to a block of residuals.
-    fn apply_inverse(&mut self, r: &DenseMatrix<T>) -> DenseMatrix<T>;
-}
+    fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T>;
 
-impl<T: Scalar> Preconditioner<T> for HierarchicalFactor<'_, T> {
-    fn apply_inverse(&mut self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
-        self.solve(r)
+    /// The dimension this preconditioner requires of its residuals, when it
+    /// has one (`None` for dimension-agnostic preconditioners like the
+    /// identity). The drivers check it up front so a mismatched
+    /// preconditioner surfaces as [`Error::DimensionMismatch`] rather than a
+    /// panic inside the iteration.
+    fn dim(&self) -> Option<usize> {
+        None
     }
 }
 
-impl<T: Scalar, P: Preconditioner<T>> Preconditioner<T> for &mut P {
-    fn apply_inverse(&mut self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
+impl<T: Scalar> Preconditioner<T> for HierarchicalFactor<'_, T> {
+    fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.solve(r).expect("factor solve inside Krylov")
+    }
+    fn dim(&self) -> Option<usize> {
+        Some(self.n())
+    }
+}
+
+impl<T: Scalar, P: Preconditioner<T> + ?Sized> Preconditioner<T> for &P {
+    fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
         (**self).apply_inverse(r)
+    }
+    fn dim(&self) -> Option<usize> {
+        (**self).dim()
     }
 }
 
@@ -127,7 +146,7 @@ impl<T: Scalar, P: Preconditioner<T>> Preconditioner<T> for &mut P {
 pub struct IdentityPreconditioner;
 
 impl<T: Scalar> Preconditioner<T> for IdentityPreconditioner {
-    fn apply_inverse(&mut self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
+    fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
         r.clone()
     }
 }
@@ -204,20 +223,50 @@ fn worst_relative<T: Scalar>(r: &DenseMatrix<T>, bnorm: &[f64]) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
+/// Check that `b` matches the operator's dimension, and that the
+/// preconditioner (when it has a dimension) matches the operator.
+fn check_system<T: Scalar>(
+    op: &impl LinearOperator<T>,
+    pre: &impl Preconditioner<T>,
+    b: &DenseMatrix<T>,
+) -> Result<(), Error> {
+    if b.rows() != op.dim() {
+        return Err(Error::DimensionMismatch {
+            what: "right-hand-side rows",
+            expected: op.dim(),
+            got: b.rows(),
+        });
+    }
+    if let Some(pdim) = pre.dim() {
+        if pdim != op.dim() {
+            return Err(Error::DimensionMismatch {
+                what: "preconditioner dimension",
+                expected: op.dim(),
+                got: pdim,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Preconditioned conjugate gradients for SPD systems `A x = b`.
 ///
 /// All columns of `b` are iterated simultaneously with per-column step
 /// sizes, so each iteration costs one operator apply and one preconditioner
 /// apply regardless of the column count. Returns the solution and a
 /// [`SolveStats`] report whose `residual_history` tracks the worst column.
+///
+/// # Errors
+/// [`Error::DimensionMismatch`] when `b.rows() != op.dim()` or the
+/// preconditioner's dimension does not match the operator's.
 pub fn cg<T: Scalar>(
-    op: &mut impl LinearOperator<T>,
-    pre: &mut impl Preconditioner<T>,
+    op: &impl LinearOperator<T>,
+    pre: &impl Preconditioner<T>,
     b: &DenseMatrix<T>,
     opts: &KrylovOptions,
-) -> (DenseMatrix<T>, SolveStats) {
+) -> Result<(DenseMatrix<T>, SolveStats), Error> {
+    check_system(op, pre, b)?;
     let n = op.dim();
-    assert_eq!(b.rows(), n, "right-hand-side size mismatch");
     let t0 = Instant::now();
     let cols = b.cols();
     let bnorm = column_norms(b);
@@ -231,7 +280,7 @@ pub fn cg<T: Scalar>(
         stats.relative_residual = history[0];
         stats.residual_history = history;
         stats.solve_time = t0.elapsed().as_secs_f64();
-        return (x, stats);
+        return Ok((x, stats));
     }
 
     let mut z = pre.apply_inverse(&r);
@@ -283,16 +332,19 @@ pub fn cg<T: Scalar>(
     stats.relative_residual = *history.last().unwrap();
     stats.residual_history = history;
     stats.solve_time = t0.elapsed().as_secs_f64();
-    (x, stats)
+    Ok((x, stats))
 }
 
 /// Unpreconditioned conjugate gradients (`M = I`).
+///
+/// # Errors
+/// [`Error::DimensionMismatch`] when `b.rows() != op.dim()`.
 pub fn cg_unpreconditioned<T: Scalar>(
-    op: &mut impl LinearOperator<T>,
+    op: &impl LinearOperator<T>,
     b: &DenseMatrix<T>,
     opts: &KrylovOptions,
-) -> (DenseMatrix<T>, SolveStats) {
-    cg(op, &mut IdentityPreconditioner, b, opts)
+) -> Result<(DenseMatrix<T>, SolveStats), Error> {
+    cg(op, &IdentityPreconditioner, b, opts)
 }
 
 /// Left-preconditioned restarted GMRES(`restart`).
@@ -302,14 +354,18 @@ pub fn cg_unpreconditioned<T: Scalar>(
 /// preconditioned residual estimate from the Givens recurrence; the final
 /// `relative_residual` is the true unpreconditioned `||b - A x|| / ||b||`
 /// (one extra matvec per column).
+///
+/// # Errors
+/// [`Error::DimensionMismatch`] when `b.rows() != op.dim()` or the
+/// preconditioner's dimension does not match the operator's.
 pub fn gmres<T: Scalar>(
-    op: &mut impl LinearOperator<T>,
-    pre: &mut impl Preconditioner<T>,
+    op: &impl LinearOperator<T>,
+    pre: &impl Preconditioner<T>,
     b: &DenseMatrix<T>,
     opts: &KrylovOptions,
-) -> (DenseMatrix<T>, SolveStats) {
+) -> Result<(DenseMatrix<T>, SolveStats), Error> {
+    check_system(op, pre, b)?;
     let n = op.dim();
-    assert_eq!(b.rows(), n, "right-hand-side size mismatch");
     let t0 = Instant::now();
     let m = opts.restart.max(1);
     let bnorm = column_norms(b);
@@ -456,5 +512,5 @@ pub fn gmres<T: Scalar>(
     stats.relative_residual = worst_final;
     stats.residual_history = history;
     stats.solve_time = t0.elapsed().as_secs_f64();
-    (x, stats)
+    Ok((x, stats))
 }

@@ -6,29 +6,35 @@
 //! kernel-free matvecs through the persistent `Evaluator`) and — factored —
 //! as the *preconditioner* for Krylov iteration.
 //!
-//! Two layers:
+//! Three layers:
 //!
+//! * [`GofmmOperator`] — the unified front door: one builder
+//!   (`GofmmOperator::builder(&k).config(cfg).factorize(lambda).build()?`)
+//!   yields a `Send + Sync` handle with `&self` `apply`, `solve` and
+//!   `solve_cg`, shareable across any number of request threads. New code
+//!   should start here.
 //! * [`HierarchicalFactor`] — a bottom-up `FACTOR` sweep over the
 //!   compression tree: Cholesky of each leaf's regularized diagonal block,
 //!   plus per-level Sherman–Morrison–Woodbury corrections assembled from the
 //!   skeleton bases and the sibling skeleton blocks. The resulting object is
-//!   persistent and serves unlimited [`HierarchicalFactor::solve`] calls,
-//!   each a cached-plan `SUP`/`SDOWN` double sweep with zero kernel-entry
-//!   evaluations — mirroring `Evaluator::apply`. All sweeps run under all
-//!   four traversal policies with bit-identical results.
+//!   persistent and serves unlimited `&self` [`HierarchicalFactor::solve`]
+//!   calls, each a cached-plan `SUP`/`SDOWN` double sweep with zero
+//!   kernel-entry evaluations — mirroring `Evaluator::apply`. All sweeps run
+//!   under all four traversal policies with bit-identical results.
 //! * [`cg`] / [`gmres`] — Krylov drivers generic over [`LinearOperator`]
-//!   (implemented by `Evaluator`, [`Shifted`], [`DenseOperator`]) and
-//!   [`Preconditioner`] (implemented by [`HierarchicalFactor`] and
-//!   [`IdentityPreconditioner`]), with per-iteration residual history in
-//!   [`SolveStats`].
+//!   (implemented by `Evaluator`, [`GofmmOperator`], [`Shifted`],
+//!   [`DenseOperator`]) and [`Preconditioner`] (implemented by
+//!   [`HierarchicalFactor`] and [`IdentityPreconditioner`]), with
+//!   per-iteration residual history in [`SolveStats`]. Both traits take
+//!   `&self`, so iterations run against shared handles.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use gofmm_core::{compress, Evaluator, GofmmConfig, TraversalPolicy};
+//! use gofmm_core::{GofmmConfig, TraversalPolicy};
 //! use gofmm_linalg::DenseMatrix;
 //! use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
-//! use gofmm_solver::{solve_cg, KrylovOptions};
+//! use gofmm_solver::{GofmmOperator, KrylovOptions};
 //!
 //! let n = 512;
 //! let k = KernelMatrix::new(
@@ -44,12 +50,17 @@
 //!     .with_budget(0.0)
 //!     .with_threads(2)
 //!     .with_policy(TraversalPolicy::Sequential);
-//! let comp = compress::<f64, _>(&k, &config);
 //! let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i % 11) as f64) - 5.0);
 //!
+//! // One builder: compress, pack the evaluator, factor K + 1e-2 I.
+//! let op = GofmmOperator::<f64>::builder(&k)
+//!     .config(config)
+//!     .factorize(1e-2)
+//!     .build()
+//!     .unwrap();
 //! // Solve (K~ + 1e-2 I) x = b with CG, preconditioned by the hierarchical
-//! // factorization of the same compression.
-//! let (x, stats) = solve_cg(&k, &comp, 1e-2, &b, &KrylovOptions::default()).unwrap();
+//! // factorization — all through one shared handle.
+//! let (x, stats) = op.solve_cg(&b, &KrylovOptions::default()).unwrap();
 //! assert!(stats.converged, "residual {}", stats.relative_residual);
 //! assert_eq!(x.rows(), n);
 //! ```
@@ -58,12 +69,17 @@
 
 pub mod factor;
 pub mod krylov;
+pub mod operator;
 
-pub use factor::{FactorError, FactorOptions, FactorStats, HierarchicalFactor};
+#[allow(deprecated)]
+pub use factor::FactorError;
+pub use factor::{FactorOptions, FactorStats, HierarchicalFactor};
+pub use gofmm_core::Error;
 pub use krylov::{
     cg, cg_unpreconditioned, gmres, DenseOperator, IdentityPreconditioner, KrylovOptions,
     LinearOperator, Preconditioner, Shifted, SolveStats,
 };
+pub use operator::{GofmmOperator, GofmmOperatorBuilder};
 
 use gofmm_core::{Compressed, Evaluator};
 use gofmm_linalg::{DenseMatrix, Scalar};
@@ -76,20 +92,21 @@ use gofmm_matrices::SpdMatrix;
 /// Builds the evaluator and the factorization (their setup time lands in
 /// [`SolveStats::setup_time`]), then iterates; after setup no kernel entry
 /// is evaluated. Callers solving many systems against one compression
-/// should hold the evaluator and factor themselves and call [`cg`] directly.
+/// should hold a [`GofmmOperator`] (or the evaluator and factor themselves)
+/// and call [`GofmmOperator::solve_cg`] / [`cg`] directly.
 pub fn solve_cg<T: Scalar, M: SpdMatrix<T> + ?Sized>(
     matrix: &M,
     comp: &Compressed<T>,
     lambda: f64,
     b: &DenseMatrix<T>,
     opts: &KrylovOptions,
-) -> Result<(DenseMatrix<T>, SolveStats), FactorError> {
+) -> Result<(DenseMatrix<T>, SolveStats), Error> {
     let t0 = std::time::Instant::now();
     let evaluator = Evaluator::new(matrix, comp);
-    let mut factor = HierarchicalFactor::new(matrix, comp, lambda)?;
+    let factor = HierarchicalFactor::new(matrix, comp, lambda)?;
     let setup_time = t0.elapsed().as_secs_f64();
-    let mut op = Shifted::new(evaluator, lambda);
-    let (x, mut stats) = cg(&mut op, &mut factor, b, opts);
+    let op = Shifted::new(evaluator, lambda);
+    let (x, mut stats) = cg(&op, &factor, b, opts)?;
     stats.setup_time = setup_time;
     Ok((x, stats))
 }
@@ -97,7 +114,7 @@ pub fn solve_cg<T: Scalar, M: SpdMatrix<T> + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gofmm_core::{compress, GofmmConfig, TraversalPolicy};
+    use gofmm_core::{compress, ApplyOptions, GofmmConfig, TraversalPolicy};
     use gofmm_linalg::matmul_nt;
     use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
     use rand::rngs::StdRng;
@@ -133,8 +150,8 @@ mod tests {
         a.symmetrize();
         let x_true = DenseMatrix::<f64>::random_gaussian(40, 2, &mut rng);
         let b = gofmm_linalg::matmul(&a, &x_true);
-        let mut op = DenseOperator::new(a);
-        let (x, stats) = cg_unpreconditioned(&mut op, &b, &KrylovOptions::default());
+        let op = DenseOperator::new(a);
+        let (x, stats) = cg_unpreconditioned(&op, &b, &KrylovOptions::default()).unwrap();
         assert!(stats.converged);
         assert!(stats.iterations > 0);
         assert!(x.sub(&x_true).norm_max() < 1e-6);
@@ -152,13 +169,9 @@ mod tests {
         a.symmetrize();
         let b = DenseMatrix::<f64>::random_gaussian(32, 2, &mut rng);
         let opts = KrylovOptions::default();
-        let (x_cg, s_cg) = cg_unpreconditioned(&mut DenseOperator::new(a.clone()), &b, &opts);
-        let (x_gm, s_gm) = gmres(
-            &mut DenseOperator::new(a),
-            &mut IdentityPreconditioner,
-            &b,
-            &opts,
-        );
+        let (x_cg, s_cg) = cg_unpreconditioned(&DenseOperator::new(a.clone()), &b, &opts).unwrap();
+        let (x_gm, s_gm) =
+            gmres(&DenseOperator::new(a), &IdentityPreconditioner, &b, &opts).unwrap();
         assert!(s_cg.converged && s_gm.converged);
         assert!(s_gm.relative_residual <= opts.tol);
         assert!(x_cg.sub(&x_gm).norm_max() < 1e-6);
@@ -174,29 +187,64 @@ mod tests {
         let x_true = DenseMatrix::<f64>::random_gaussian(24, 1, &mut rng);
         let b = gofmm_linalg::matmul(&a, &x_true);
         let (x, stats) = gmres(
-            &mut DenseOperator::new(a),
-            &mut IdentityPreconditioner,
+            &DenseOperator::new(a),
+            &IdentityPreconditioner,
             &b,
             &KrylovOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(stats.converged, "residual {}", stats.relative_residual);
         assert!(x.sub(&x_true).norm_max() < 1e-6);
     }
 
     #[test]
     fn zero_rhs_converges_immediately() {
-        let mut op = DenseOperator::new(DenseMatrix::<f64>::identity(8));
+        let op = DenseOperator::new(DenseMatrix::<f64>::identity(8));
         let b = DenseMatrix::<f64>::zeros(8, 1);
-        let (x, stats) = cg_unpreconditioned(&mut op, &b, &KrylovOptions::default());
+        let (x, stats) = cg_unpreconditioned(&op, &b, &KrylovOptions::default()).unwrap();
         assert!(stats.converged);
         assert_eq!(stats.iterations, 0);
         assert_eq!(x.norm_max(), 0.0);
     }
 
     #[test]
+    fn krylov_drivers_report_dimension_mismatch() {
+        let op = DenseOperator::new(DenseMatrix::<f64>::identity(8));
+        let b = DenseMatrix::<f64>::zeros(7, 1);
+        assert!(matches!(
+            cg_unpreconditioned(&op, &b, &KrylovOptions::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            gmres(&op, &IdentityPreconditioner, &b, &KrylovOptions::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_preconditioner_is_an_error_not_a_panic() {
+        // An operator of one size with a factorization of another: the
+        // drivers must refuse up front with a typed error instead of
+        // panicking inside the first preconditioner application.
+        let k_small = test_matrix(64);
+        let comp_small = compress::<f64, _>(&k_small, &hss_config());
+        let factor_small = HierarchicalFactor::new(&k_small, &comp_small, 1e-2).unwrap();
+        let op_big = DenseOperator::new(DenseMatrix::<f64>::identity(128));
+        let b = DenseMatrix::<f64>::zeros(128, 1);
+        assert!(matches!(
+            cg(&op_big, &factor_small, &b, &KrylovOptions::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            gmres(&op_big, &factor_small, &b, &KrylovOptions::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn shifted_operator_adds_diagonal() {
         let a = DenseMatrix::<f64>::identity(6);
-        let mut op = Shifted::new(DenseOperator::new(a), 2.5);
+        let op = Shifted::new(DenseOperator::new(a), 2.5);
         assert_eq!(op.shift(), 2.5);
         assert_eq!(LinearOperator::<f64>::dim(&op), 6);
         let x = DenseMatrix::<f64>::from_fn(6, 1, |i, _| i as f64);
@@ -214,19 +262,52 @@ mod tests {
         let k = test_matrix(n);
         let comp = compress::<f64, _>(&k, &hss_config());
         let lambda = 1e-2;
-        let mut factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
+        let factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
         assert!(factor.stats().setup_time > 0.0);
         assert!(factor.stats().bytes > 0);
         assert_eq!(factor.lambda(), lambda);
         let mut rng = StdRng::seed_from_u64(9);
         let x_true = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
         // b = (K~ + lambda I) x_true through the evaluator.
-        let mut ev = gofmm_core::Evaluator::new(&k, &comp);
-        let mut op = Shifted::new(&mut ev, lambda);
+        let ev = gofmm_core::Evaluator::new(&k, &comp);
+        let op = Shifted::new(&ev, lambda);
         let b = op.matvec(&x_true);
-        let x = factor.solve(&b);
+        let x = factor.solve(&b).unwrap();
         let resid = op.matvec(&x).sub(&b).norm_fro() / b.norm_fro();
         assert!(resid < 1e-8, "HSS factor residual {resid}");
+    }
+
+    #[test]
+    fn concurrent_solves_on_one_shared_factor_are_bit_identical() {
+        // The &self serving contract for the factorization: many threads,
+        // one factor, every result bit-identical to the sequential baseline
+        // under every policy.
+        let n = 320;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let factor = HierarchicalFactor::new(&k, &comp, 1e-2).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let x_ref = factor.solve(&b).unwrap();
+        let policies = [
+            TraversalPolicy::Sequential,
+            TraversalPolicy::LevelByLevel,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let (factor, b, x_ref) = (&factor, &b, &x_ref);
+                let policy = policies[t % policies.len()];
+                scope.spawn(move || {
+                    let opts = ApplyOptions::new().with_policy(policy).with_threads(2);
+                    for _ in 0..3 {
+                        let x = factor.solve_with(b, &opts).unwrap();
+                        assert_eq!(x.data(), x_ref.data(), "{policy}: concurrent solve drifted");
+                    }
+                });
+            }
+        });
     }
 
     #[test]
@@ -254,10 +335,21 @@ mod tests {
             Ok(_) => panic!("hostile regularization must not factor"),
         };
         match err {
-            FactorError::NotPositiveDefinite { .. } => {}
+            Error::NotPositiveDefinite { .. } => {}
             other => panic!("expected NotPositiveDefinite, got {other}"),
         }
         assert!(err.to_string().contains("lambda"));
+    }
+
+    #[test]
+    fn factor_rejects_non_finite_lambda() {
+        let n = 64;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        assert!(matches!(
+            HierarchicalFactor::<f64>::new(&k, &comp, f64::NAN),
+            Err(Error::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -268,7 +360,7 @@ mod tests {
         let comp = compress::<f64, _>(&k, &cfg);
         assert_eq!(comp.tree.leaf_count(), 1);
         let lambda = 1e-3;
-        let mut factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
+        let factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
         let mut rng = StdRng::seed_from_u64(10);
         let x_true = DenseMatrix::<f64>::random_gaussian(n, 1, &mut rng);
         // Dense reference: (K + lambda I) x.
@@ -278,7 +370,7 @@ mod tests {
             a[(i, i)] += lambda;
         }
         let b = gofmm_linalg::matmul(&a, &x_true);
-        let x = factor.solve(&b);
+        let x = factor.solve(&b).unwrap();
         assert!(x.sub(&x_true).norm_max() < 1e-8);
     }
 
@@ -287,15 +379,33 @@ mod tests {
         let n = 256;
         let k = test_matrix(n);
         let comp = compress::<f64, _>(&k, &hss_config());
-        let mut factor = HierarchicalFactor::new(&k, &comp, 1e-2).unwrap();
+        let factor = HierarchicalFactor::new(&k, &comp, 1e-2).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let b2 = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
         let b5 = DenseMatrix::<f64>::random_gaussian(n, 5, &mut rng);
-        let x2a = factor.solve(&b2);
-        let x5 = factor.solve(&b5); // grow
-        let x2b = factor.solve(&b2); // shrink back
+        let x2a = factor.solve(&b2).unwrap();
+        let x5 = factor.solve(&b5).unwrap(); // different width, new workspace
+        let x2b = factor.solve(&b2).unwrap(); // recycles the width-2 one
         assert_eq!(x5.cols(), 5);
         // Same input after interleaved widths must give the same bits.
         assert_eq!(x2a.data(), x2b.data());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_factor_setters_still_change_defaults() {
+        let n = 200;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let mut factor = HierarchicalFactor::new(&k, &comp, 1e-2).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let b = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let x_seq = factor.solve(&b).unwrap();
+        factor.set_policy(TraversalPolicy::DagHeft);
+        factor.set_threads(4);
+        assert_eq!(factor.policy(), TraversalPolicy::DagHeft);
+        assert_eq!(factor.threads(), 4);
+        let x_heft = factor.solve(&b).unwrap();
+        assert_eq!(x_seq.data(), x_heft.data());
     }
 }

@@ -1,0 +1,417 @@
+//! The unified front door: one `Send + Sync` handle for the whole
+//! compress-once / serve-many pipeline.
+//!
+//! Before this type existed, standing up a kernel-matrix service meant
+//! composing the zoo of entry points by hand — `compress` → [`Compressed`] →
+//! `Evaluator::new` / `HierarchicalFactor::new` → `cg` — and none of the
+//! resulting engines could be shared across request threads. A
+//! [`GofmmOperator`] wraps all of it behind one builder:
+//!
+//! ```text
+//! GofmmOperator::builder(&matrix)   // any SpdMatrix
+//!     .config(cfg)                  // GofmmConfig (optional)
+//!     .factorize(lambda)            // enable solve/solve_cg (optional)
+//!     .build()?                     // compress + pack + factor, fallibly
+//! ```
+//!
+//! The built operator holds the compression behind an [`Arc`] and serves
+//! [`GofmmOperator::apply`], [`GofmmOperator::solve`] and
+//! [`GofmmOperator::solve_cg`] through `&self`: wrap it in an `Arc` and any
+//! number of threads can fire requests at one handle, each call leasing its
+//! scratch from the internal workspace pools. Every entry point returns
+//! `Result<_, gofmm_core::Error>` instead of panicking, and results are
+//! bit-identical across traversal policies, worker counts, and concurrency.
+
+use crate::factor::{FactorOptions, HierarchicalFactor};
+use crate::krylov::{cg, KrylovOptions, LinearOperator, Shifted, SolveStats};
+use gofmm_core::{
+    try_compress, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator, GofmmConfig,
+};
+use gofmm_linalg::{DenseMatrix, Scalar};
+use gofmm_matrices::SpdMatrix;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A compressed SPD operator as a shareable service handle: kernel-free
+/// matvecs ([`GofmmOperator::apply`]), hierarchical direct solves
+/// ([`GofmmOperator::solve`]) and preconditioned CG
+/// ([`GofmmOperator::solve_cg`]) of `K + lambda I`, all through `&self`.
+///
+/// The handle is `Send + Sync`; put it in an [`Arc`] and share it across as
+/// many request threads as the hardware allows. Concurrent calls lease
+/// disjoint workspaces from internal pools and produce outputs bit-identical
+/// to a sequential caller's, under every traversal policy.
+///
+/// # Example: one shared handle, two threads, all four policies
+///
+/// ```
+/// use gofmm_core::{ApplyOptions, GofmmConfig, TraversalPolicy};
+/// use gofmm_linalg::DenseMatrix;
+/// use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+/// use gofmm_solver::GofmmOperator;
+/// use std::sync::Arc;
+///
+/// let n = 192;
+/// let k = KernelMatrix::new(
+///     PointCloud::uniform(n, 3, 7),
+///     KernelType::Gaussian { bandwidth: 1.0 },
+///     1e-6,
+///     "doc",
+/// );
+/// let config = GofmmConfig::default()
+///     .with_leaf_size(32)
+///     .with_max_rank(32)
+///     .with_tolerance(1e-6)
+///     .with_budget(0.0)
+///     .with_threads(2)
+///     .with_policy(TraversalPolicy::Sequential);
+/// let op = Arc::new(
+///     GofmmOperator::<f64>::builder(&k)
+///         .config(config)
+///         .factorize(1e-2)
+///         .build()
+///         .unwrap(),
+/// );
+/// let w = DenseMatrix::<f64>::from_fn(n, 2, |i, j| ((i + 3 * j) % 7) as f64 - 3.0);
+///
+/// // Sequential baseline on the same handle...
+/// let u_seq = op.apply(&w).unwrap();
+/// let x_seq = op.solve(&w).unwrap();
+///
+/// // ...then two threads share the operator, one applying and one solving,
+/// // under every traversal policy: all results must be bit-identical to the
+/// // sequential baseline.
+/// for policy in [
+///     TraversalPolicy::Sequential,
+///     TraversalPolicy::LevelByLevel,
+///     TraversalPolicy::DagHeft,
+///     TraversalPolicy::DagFifo,
+/// ] {
+///     let opts = ApplyOptions::new().with_policy(policy).with_threads(2);
+///     let (u, x) = std::thread::scope(|s| {
+///         let op_a = Arc::clone(&op);
+///         let op_b = Arc::clone(&op);
+///         let (wr, or) = (&w, &opts);
+///         let ha = s.spawn(move || op_a.apply_with(wr, or).unwrap().0);
+///         let hb = s.spawn(move || op_b.solve_with(wr, or).unwrap());
+///         (ha.join().unwrap(), hb.join().unwrap())
+///     });
+///     assert_eq!(u.data(), u_seq.data(), "{policy}: apply drifted");
+///     assert_eq!(x.data(), x_seq.data(), "{policy}: solve drifted");
+/// }
+/// ```
+pub struct GofmmOperator<T: Scalar> {
+    comp: Arc<Compressed<T>>,
+    evaluator: Evaluator<'static, T>,
+    factor: Option<HierarchicalFactor<'static, T>>,
+}
+
+// Compile-time proof of the serving contract: the handle is shareable.
+const _: () = {
+    const fn assert_send_sync<X: Send + Sync>() {}
+    assert_send_sync::<GofmmOperator<f32>>();
+    assert_send_sync::<GofmmOperator<f64>>();
+};
+
+impl<T: Scalar> GofmmOperator<T> {
+    /// Start building an operator over `matrix` (any entry-evaluable SPD
+    /// matrix). The matrix is only read during [`GofmmOperatorBuilder::build`];
+    /// the finished operator serves requests without touching it.
+    pub fn builder<M: SpdMatrix<T> + ?Sized>(matrix: &M) -> GofmmOperatorBuilder<'_, T, M> {
+        GofmmOperatorBuilder {
+            matrix,
+            config: GofmmConfig::default(),
+            lambda: None,
+            _scalar: PhantomData,
+        }
+    }
+
+    /// Matrix dimension `N`.
+    pub fn n(&self) -> usize {
+        self.comp.n()
+    }
+
+    /// The shared compressed representation behind this handle.
+    ///
+    /// Its `near_blocks`/`far_blocks` caches are **empty**: the builder
+    /// steals them into the evaluator's packed panels (and the
+    /// factorization consumes them before that), so each interaction block
+    /// is held exactly once. Cache-dependent helpers
+    /// ([`Compressed::self_near_block`], [`Compressed::cached_far_block`])
+    /// therefore return `None`; consumers needing cached blocks should
+    /// compress separately.
+    pub fn compressed(&self) -> &Compressed<T> {
+        &self.comp
+    }
+
+    /// The persistent evaluator serving [`GofmmOperator::apply`].
+    pub fn evaluator(&self) -> &Evaluator<'static, T> {
+        &self.evaluator
+    }
+
+    /// The hierarchical factorization serving [`GofmmOperator::solve`], if
+    /// the operator was built with [`GofmmOperatorBuilder::factorize`].
+    pub fn factor(&self) -> Option<&HierarchicalFactor<'static, T>> {
+        self.factor.as_ref()
+    }
+
+    /// The regularization `lambda` of the factorization, if one was built.
+    pub fn lambda(&self) -> Option<f64> {
+        self.factor.as_ref().map(|f| f.lambda())
+    }
+
+    /// Matvec `u ≈ K w` from cached state (zero kernel evaluations).
+    pub fn apply(&self, w: &DenseMatrix<T>) -> Result<DenseMatrix<T>, Error> {
+        self.evaluator.apply(w).map(|(u, _)| u)
+    }
+
+    /// Matvec with per-call policy/thread overrides, returning the
+    /// per-evaluation statistics as well.
+    pub fn apply_with(
+        &self,
+        w: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+        self.evaluator.apply_with(w, opts)
+    }
+
+    /// Hierarchical direct solve `x ≈ (K_hss + lambda I)^{-1} b` (exact for
+    /// pure-HSS compressions, a strong preconditioner otherwise).
+    ///
+    /// # Errors
+    /// [`Error::NoFactorization`] when the operator was built without
+    /// [`GofmmOperatorBuilder::factorize`]; [`Error::DimensionMismatch`] when
+    /// `b.rows() != n`.
+    pub fn solve(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, Error> {
+        self.solve_with(b, &ApplyOptions::default())
+    }
+
+    /// Hierarchical direct solve with per-call policy/thread overrides.
+    pub fn solve_with(
+        &self,
+        b: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<DenseMatrix<T>, Error> {
+        self.factor
+            .as_ref()
+            .ok_or(Error::NoFactorization)?
+            .solve_with(b, opts)
+    }
+
+    /// Solve `(K~ + lambda I) x = b` by conjugate gradients: the compressed
+    /// operator supplies the matvec, the hierarchical factorization the
+    /// preconditioner — the paper's headline pipeline, on one handle.
+    ///
+    /// # Errors
+    /// [`Error::NoFactorization`] when the operator was built without
+    /// [`GofmmOperatorBuilder::factorize`]; [`Error::DimensionMismatch`] when
+    /// `b.rows() != n`.
+    pub fn solve_cg(
+        &self,
+        b: &DenseMatrix<T>,
+        opts: &KrylovOptions,
+    ) -> Result<(DenseMatrix<T>, SolveStats), Error> {
+        let factor = self.factor.as_ref().ok_or(Error::NoFactorization)?;
+        let shifted = Shifted::new(&self.evaluator, factor.lambda());
+        cg(&shifted, &factor, b, opts)
+    }
+}
+
+impl<T: Scalar> LinearOperator<T> for GofmmOperator<T> {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    fn matvec(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        // Krylov drivers pre-check dimensions; see the Evaluator impl.
+        self.apply(x).expect("operator apply inside Krylov")
+    }
+}
+
+/// Builder of a [`GofmmOperator`]; see [`GofmmOperator::builder`].
+pub struct GofmmOperatorBuilder<'m, T: Scalar, M: ?Sized> {
+    matrix: &'m M,
+    config: GofmmConfig,
+    lambda: Option<f64>,
+    _scalar: PhantomData<T>,
+}
+
+impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
+    /// Use this compression configuration (defaults to
+    /// [`GofmmConfig::default`]).
+    pub fn config(mut self, config: GofmmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Also build the hierarchical factorization of `K + lambda I`, enabling
+    /// [`GofmmOperator::solve`] and [`GofmmOperator::solve_cg`].
+    pub fn factorize(mut self, lambda: f64) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Compress the matrix, pack the evaluator, and (when requested) factor
+    /// `K + lambda I` — everything the handle will ever need from the
+    /// matrix; serving is kernel-free afterwards.
+    ///
+    /// # Errors
+    /// Everything [`try_compress`] reports (empty input, invalid
+    /// configuration, strict-mode budget exhaustion) plus the factorization
+    /// errors ([`Error::NotPositiveDefinite`], [`Error::SingularCore`]).
+    pub fn build(self) -> Result<GofmmOperator<T>, Error> {
+        let comp = try_compress(self.matrix, &self.config)?;
+        // Factor first: the FACTOR sweep reads the block caches (diagonal
+        // near blocks, sibling skeleton blocks), which the evaluator is
+        // about to steal.
+        let factor_parts = match self.lambda {
+            Some(lambda) => Some(crate::factor::HierarchicalFactor::compute_parts(
+                self.matrix,
+                &comp,
+                &FactorOptions {
+                    lambda,
+                    ..FactorOptions::default()
+                },
+            )?),
+            None => None,
+        };
+        // Steal the caches into the evaluator's packed panels rather than
+        // copying them: the shared compression keeps tree/lists/bases but no
+        // duplicate block storage, so the handle holds each interaction
+        // block exactly once.
+        let (comp, evaluator) = comp.into_shared_evaluator(self.matrix);
+        let factor = factor_parts.map(|parts| {
+            HierarchicalFactor::from_parts(gofmm_core::CompRef::Shared(Arc::clone(&comp)), parts)
+        });
+        Ok(GofmmOperator {
+            comp,
+            evaluator,
+            factor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofmm_core::TraversalPolicy;
+    use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_matrix(n: usize) -> KernelMatrix {
+        KernelMatrix::new(
+            PointCloud::uniform(n, 3, 42),
+            KernelType::Gaussian { bandwidth: 1.0 },
+            1e-6,
+            "operator-test",
+        )
+    }
+
+    fn config() -> GofmmConfig {
+        GofmmConfig::default()
+            .with_leaf_size(32)
+            .with_max_rank(48)
+            .with_tolerance(1e-9)
+            .with_budget(0.0)
+            .with_threads(2)
+            .with_policy(TraversalPolicy::Sequential)
+    }
+
+    #[test]
+    fn builder_without_factorize_applies_but_refuses_solves() {
+        let n = 256;
+        let k = test_matrix(n);
+        let op = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .build()
+            .unwrap();
+        assert_eq!(op.n(), n);
+        assert!(op.factor().is_none());
+        assert_eq!(op.lambda(), None);
+        let mut rng = StdRng::seed_from_u64(50);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        // apply matches the classic pipeline bit-for-bit.
+        let comp = gofmm_core::compress::<f64, _>(&k, &config());
+        let (u_ref, _) = Evaluator::new(&k, &comp).apply(&w).unwrap();
+        let u = op.apply(&w).unwrap();
+        assert_eq!(u.data(), u_ref.data());
+        // The builder steals the block caches into the packed panels: the
+        // shared compression holds no duplicate block storage.
+        assert!(op.compressed().near_blocks.iter().all(|b| b.is_empty()));
+        assert!(op.compressed().far_blocks.iter().all(|b| b.is_empty()));
+        // solves are a typed error, not a panic.
+        assert_eq!(op.solve(&w), Err(Error::NoFactorization));
+        assert!(matches!(
+            op.solve_cg(&w, &KrylovOptions::default()),
+            Err(Error::NoFactorization)
+        ));
+    }
+
+    #[test]
+    fn operator_solve_cg_converges_and_matches_manual_pipeline() {
+        let n = 256;
+        let k = test_matrix(n);
+        let lambda = 1e-2;
+        let op = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(lambda)
+            .build()
+            .unwrap();
+        assert_eq!(op.lambda(), Some(lambda));
+        let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 13 % 17) as f64) - 8.0);
+        let (x, stats) = op.solve_cg(&b, &KrylovOptions::default()).unwrap();
+        assert!(stats.converged, "residual {}", stats.relative_residual);
+        assert!(stats.iterations < 25);
+        // Identical to the hand-composed pipeline on the same compression.
+        let comp = op.compressed();
+        let factor = HierarchicalFactor::new(&k, comp, lambda).unwrap();
+        let shifted = Shifted::new(op.evaluator(), lambda);
+        let (x_ref, _) = cg(&shifted, &factor, &b, &KrylovOptions::default()).unwrap();
+        assert_eq!(x.data(), x_ref.data());
+    }
+
+    #[test]
+    fn operator_propagates_input_errors() {
+        let n = 200;
+        let k = test_matrix(n);
+        let op = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(1e-2)
+            .build()
+            .unwrap();
+        let bad = DenseMatrix::<f64>::zeros(n - 1, 1);
+        assert!(matches!(
+            op.apply(&bad),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            op.solve(&bad),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            op.solve_cg(&bad, &KrylovOptions::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_surfaces_compression_and_factorization_errors() {
+        let n = 128;
+        let k = test_matrix(n);
+        // Invalid config flows out of build() as a typed error.
+        assert!(matches!(
+            GofmmOperator::<f64>::builder(&k)
+                .config(config().with_leaf_size(0))
+                .build(),
+            Err(Error::InvalidConfig { .. })
+        ));
+        // Hostile regularization reports the factorization failure.
+        assert!(matches!(
+            GofmmOperator::<f64>::builder(&k)
+                .config(config())
+                .factorize(-100.0)
+                .build(),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+}

@@ -65,8 +65,8 @@ fn system_residual(
     x: &DenseMatrix<f64>,
     b: &DenseMatrix<f64>,
 ) -> f64 {
-    let mut ev = Evaluator::new(&matrix, comp);
-    let mut op = Shifted::new(&mut ev, lambda);
+    let ev = Evaluator::new(&matrix, comp);
+    let op = Shifted::new(&ev, lambda);
     use gofmm_solver::LinearOperator;
     let ax = op.matvec(x);
     ax.sub(b).norm_fro() / b.norm_fro()
@@ -91,13 +91,13 @@ fn preconditioned_cg_beats_unpreconditioned_on_ill_conditioned_kernel() {
         .with_threads(4)
         .with_policy(TraversalPolicy::DagHeft);
     let comp = compress::<f64, _>(&k, &cfg);
-    let mut ev = Evaluator::new(&k, &comp);
+    let ev = Evaluator::new(&k, &comp);
 
     // Zero kernel-entry evaluations after factorization: both the CG matvec
     // (through the evaluator) and every preconditioner application run from
     // cached state.
     let counter = CountingMatrix::new(&k);
-    let mut factor = HierarchicalFactor::new(&counter, &comp, lambda)
+    let factor = HierarchicalFactor::new(&counter, &comp, lambda)
         .expect("regularized kernel system must factor");
     let factor_evals = counter.count();
     assert_eq!(
@@ -111,9 +111,9 @@ fn preconditioned_cg_beats_unpreconditioned_on_ill_conditioned_kernel() {
         max_iters: 600,
         restart: 60,
     };
-    let mut op = Shifted::new(&mut ev, lambda);
-    let (x_un, s_un) = cg_unpreconditioned(&mut op, &b, &opts);
-    let (x_pre, s_pre) = cg(&mut op, &mut factor, &b, &opts);
+    let op = Shifted::new(&ev, lambda);
+    let (x_un, s_un) = cg_unpreconditioned(&op, &b, &opts).unwrap();
+    let (x_pre, s_pre) = cg(&op, &factor, &b, &opts).unwrap();
     assert_eq!(
         counter.count(),
         factor_evals,
@@ -160,7 +160,7 @@ fn solve_is_bit_identical_across_all_four_traversal_policies() {
     for policy in ALL_POLICIES {
         // Factor under the policy, then solve twice (the second solve runs
         // on recycled buffers) under 1 and 4 workers.
-        let mut factor = HierarchicalFactor::with_options(
+        let factor = HierarchicalFactor::with_options(
             &k,
             &comp,
             &gofmm_solver::FactorOptions {
@@ -171,9 +171,10 @@ fn solve_is_bit_identical_across_all_four_traversal_policies() {
         )
         .unwrap();
         assert_eq!(factor.policy(), policy);
-        let x1 = factor.solve(&b);
-        factor.set_threads(1);
-        let x2 = factor.solve(&b);
+        let x1 = factor.solve(&b).unwrap();
+        let x2 = factor
+            .solve_with(&b, &gofmm_core::ApplyOptions::new().with_threads(1))
+            .unwrap();
         for (idx, (a, c)) in x1.data().iter().zip(x2.data()).enumerate() {
             assert_eq!(a.to_bits(), c.to_bits(), "{policy}: resolve entry {idx}");
         }
@@ -203,16 +204,16 @@ fn gmres_with_hierarchical_preconditioner_converges_fast() {
     );
     let lambda = 1e-2;
     let comp = compress::<f64, _>(&k, &hss_config(64, 64));
-    let mut ev = Evaluator::new(&k, &comp);
-    let mut factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
+    let ev = Evaluator::new(&k, &comp);
+    let factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
     let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i % 13) as f64) - 6.0);
     let opts = KrylovOptions {
         tol: 1e-10,
         max_iters: 200,
         restart: 30,
     };
-    let mut op = Shifted::new(&mut ev, lambda);
-    let (x, stats) = gmres(&mut op, &mut factor, &b, &opts);
+    let op = Shifted::new(&ev, lambda);
+    let (x, stats) = gmres(&op, &factor, &b, &opts).unwrap();
     assert!(stats.converged, "residual {:.3e}", stats.relative_residual);
     assert!(
         stats.iterations <= 20,
@@ -250,17 +251,17 @@ fn fmm_mode_compression_still_preconditions() {
         comp.lists.near_pair_count() > comp.tree.leaf_count(),
         "budget must produce off-diagonal near blocks"
     );
-    let mut ev = Evaluator::new(&k, &comp);
-    let mut factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
+    let ev = Evaluator::new(&k, &comp);
+    let factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
     let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 13 % 29) as f64) / 14.0 - 1.0);
     let opts = KrylovOptions {
         tol: 1e-10,
         max_iters: 400,
         restart: 50,
     };
-    let mut op = Shifted::new(&mut ev, lambda);
-    let (_, s_un) = cg_unpreconditioned(&mut op, &b, &opts);
-    let (x, s_pre) = cg(&mut op, &mut factor, &b, &opts);
+    let op = Shifted::new(&ev, lambda);
+    let (_, s_un) = cg_unpreconditioned(&op, &b, &opts).unwrap();
+    let (x, s_pre) = cg(&op, &factor, &b, &opts).unwrap();
     assert!(s_pre.converged, "residual {:.3e}", s_pre.relative_residual);
     assert!(
         s_pre.iterations < s_un.iterations,
@@ -303,17 +304,17 @@ proptest! {
         let n_actual = m.n();
         let cfg = hss_config(32, 32).with_tolerance(1e-8);
         let comp = compress::<f64, _>(&m, &cfg);
-        let mut factor = match HierarchicalFactor::new(&m, &comp, lambda) {
+        let factor = match HierarchicalFactor::new(&m, &comp, lambda) {
             Ok(f) => f,
             Err(e) => panic!("{id} n={n_actual} lambda={lambda}: {e}"),
         };
         let b = DenseMatrix::<f64>::from_fn(n_actual, 1, |i, _| {
             ((i as u64).wrapping_mul(seed.wrapping_add(3)) % 17) as f64 / 8.0 - 1.0
         });
-        let mut ev = Evaluator::new(&m, &comp);
+        let ev = Evaluator::new(&m, &comp);
         let opts = KrylovOptions { tol: 1e-10, max_iters: 300, restart: 40 };
-        let mut op = Shifted::new(&mut ev, lambda);
-        let (x, stats) = cg(&mut op, &mut factor, &b, &opts);
+        let op = Shifted::new(&ev, lambda);
+        let (x, stats) = cg(&op, &factor, &b, &opts).unwrap();
         prop_assert!(
             stats.relative_residual <= 1e-8,
             "{id} n={n_actual} lambda={lambda}: residual {:.3e} after {} iters",

@@ -45,7 +45,7 @@ fn main() {
     //    interaction block and the task DAG, so each subsequent apply touches
     //    the kernel zero times. This is the amortized path for solvers and
     //    services that issue many matvecs against one compression.
-    let mut evaluator = Evaluator::new(&kernel, &compressed);
+    let evaluator = Evaluator::new(&kernel, &compressed);
     println!(
         "evaluator setup: {:.3}s ({:.1} MB of packed blocks, paid once)",
         evaluator.setup_time(),
@@ -55,13 +55,13 @@ fn main() {
     // 5. Evaluate u = K w for 128 right-hand sides — twice, to show the
     //    steady-state cost. Both applies are bit-identical to evaluate().
     let w = DenseMatrix::<f64>::from_fn(n, 128, |i, j| ((i * 7 + j * 13) % 32) as f64 / 32.0 - 0.5);
-    let (u, eval_stats) = evaluator.apply(&w);
+    let (u, eval_stats) = evaluator.apply(&w).expect("matching dimensions");
     println!(
         "evaluation #1: {:.3}s ({:.1} GFLOP/s)",
         eval_stats.time,
         eval_stats.gflops()
     );
-    let (u_again, eval_stats2) = evaluator.apply(&w);
+    let (u_again, eval_stats2) = evaluator.apply(&w).expect("matching dimensions");
     println!(
         "evaluation #2 (recycled buffers, cached DAG): {:.3}s ({:.1} GFLOP/s)",
         eval_stats2.time,

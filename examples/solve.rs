@@ -37,8 +37,8 @@ fn main() {
         compressed.stats.total_time,
         compressed.average_rank()
     );
-    let mut evaluator = Evaluator::new(&kernel, &compressed);
-    let mut factor = HierarchicalFactor::new(&kernel, &compressed, lambda)
+    let evaluator = Evaluator::new(&kernel, &compressed);
+    let factor = HierarchicalFactor::new(&kernel, &compressed, lambda)
         .expect("regularized kernel system must factor");
     println!(
         "hierarchical factorization: {:.3}s setup, {:.1} MB",
@@ -53,15 +53,15 @@ fn main() {
         max_iters: 600,
         restart: 60,
     };
-    let mut op = Shifted::new(&mut evaluator, lambda);
+    let op = Shifted::new(&evaluator, lambda);
 
-    let (_, plain) = cg_unpreconditioned(&mut op, &b, &opts);
+    let (_, plain) = cg_unpreconditioned(&op, &b, &opts).expect("well-formed system");
     println!(
         "unpreconditioned CG : {:>4} iterations, {:.2}s, residual {:.2e}",
         plain.iterations, plain.solve_time, plain.relative_residual
     );
 
-    let (x, pre) = cg(&mut op, &mut factor, &b, &opts);
+    let (x, pre) = cg(&op, &factor, &b, &opts).expect("well-formed system");
     println!(
         "preconditioned CG   : {:>4} iterations, {:.2}s, residual {:.2e}",
         pre.iterations, pre.solve_time, pre.relative_residual

@@ -1,7 +1,10 @@
 //! Umbrella crate for the GOFMM reproduction workspace.
 //!
 //! Re-exports the public APIs of all member crates so that examples and
-//! integration tests can use a single import root.
+//! integration tests can use a single import root, and surfaces the
+//! serving front door at the top level: [`GofmmOperator`] (one builder for
+//! compress → evaluate → factor → solve, yielding a `Send + Sync` handle
+//! with `&self` entry points) and the workspace-wide [`Error`] type.
 
 pub use gofmm_baselines as baselines;
 pub use gofmm_core as core;
@@ -10,3 +13,6 @@ pub use gofmm_matrices as matrices;
 pub use gofmm_runtime as runtime;
 pub use gofmm_solver as solver;
 pub use gofmm_tree as tree;
+
+pub use gofmm_core::{ApplyOptions, Error};
+pub use gofmm_solver::{GofmmOperator, GofmmOperatorBuilder, KrylovOptions};

@@ -207,11 +207,11 @@ fn persistent_evaluator_serves_a_stream_of_matvecs() {
     );
     let cfg = config(64, 64, 1e-6, 0.05).with_policy(TraversalPolicy::DagHeft);
     let comp = compress::<f64, _>(&k, &cfg);
-    let mut evaluator = Evaluator::new(&k, &comp);
+    let evaluator = Evaluator::new(&k, &comp);
     let mut total_apply = 0.0;
     for (round, r) in [4usize, 4, 1, 8, 4].into_iter().enumerate() {
         let w = rhs(k.n(), r);
-        let (u, stats) = evaluator.apply(&w);
+        let (u, stats) = evaluator.apply(&w).unwrap();
         total_apply += stats.time;
         let (u_ref, _) = evaluate(&k, &comp, &w);
         assert_eq!(

@@ -39,8 +39,8 @@ fn kernel_regression_pipeline_solves_covtype_like_system() {
     assert!(stats.iterations <= 30, "iterations {}", stats.iterations);
 
     // Verify against the operator that was actually solved.
-    let mut ev = Evaluator::new(&k, &comp);
-    let mut op = Shifted::new(&mut ev, lambda);
+    let ev = Evaluator::new(&k, &comp);
+    let op = Shifted::new(&ev, lambda);
     let resid = op.matvec(&w).sub(&y).norm_fro() / y.norm_fro();
     assert!(resid <= 1e-9, "true residual {resid:.3e}");
 }
@@ -65,11 +65,11 @@ fn multi_rhs_solve_shares_iterations_across_columns() {
         .with_threads(2)
         .with_policy(TraversalPolicy::Sequential);
     let comp = compress::<f64, _>(&k, &cfg);
-    let mut ev = Evaluator::new(&k, &comp);
-    let mut factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
+    let ev = Evaluator::new(&k, &comp);
+    let factor = HierarchicalFactor::new(&k, &comp, lambda).unwrap();
     let b = DenseMatrix::<f64>::from_fn(n, 4, |i, j| ((i * (j + 2) % 19) as f64) / 9.0 - 1.0);
-    let mut op = Shifted::new(&mut ev, lambda);
-    let (x, stats) = cg(&mut op, &mut factor, &b, &KrylovOptions::default());
+    let op = Shifted::new(&ev, lambda);
+    let (x, stats) = cg(&op, &factor, &b, &KrylovOptions::default()).unwrap();
     assert!(stats.converged);
     assert_eq!(x.cols(), 4);
     // Batched CG: one matvec per iteration regardless of the column count.

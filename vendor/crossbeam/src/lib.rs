@@ -61,6 +61,14 @@ pub mod deque {
                 Err(p) => p.into_inner().is_empty(),
             }
         }
+
+        /// Number of queued tasks (upstream `Injector::len`).
+        pub fn len(&self) -> usize {
+            match self.queue.lock() {
+                Ok(q) => q.len(),
+                Err(p) => p.into_inner().len(),
+            }
+        }
     }
 }
 
