@@ -1,18 +1,28 @@
 //! Solver convergence: CG iterations and wall time versus problem size `n`
 //! and regularization `lambda`, unpreconditioned versus preconditioned with
-//! the hierarchical regularized factorization — the paper's headline use
-//! case for the compressed operator.
+//! the hierarchical factorizations — the paper's headline use case for the
+//! compressed operator.
 //!
 //! Each row solves `(K~ + lambda I) x = b` to 1e-10 relative residual,
 //! where `K~` is the HSS-compressed Gaussian kernel served by the persistent
-//! `Evaluator` (kernel-free matvecs) and the preconditioner is the
-//! `HierarchicalFactor` of the same compression (kernel-free solves).
+//! `Evaluator` (kernel-free matvecs). The `ulv_*` and `smw_*` columns
+//! compare the two preconditioner backends head to head: factor setup time,
+//! preconditioned-CG iterations, and iteration wall time for the
+//! backward-stable ULV factorization (the default backend) versus the plain
+//! SMW recursion (retained for comparison). The contrast is visible right
+//! in the table: at `lambda = 1e-4` the SMW rows carry `*` (its documented
+//! envelope — SMW-preconditioned CG stalls or diverges) while ULV still
+//! converges in a couple of iterations; `tests/stability_envelope.rs` pins
+//! the full picture down across `lambda` from `1e-8` to `1e8` times the
+//! operator scale.
 
 use gofmm_bench::harness::{bench_threads, print_table, scaled, timed};
 use gofmm_core::{compress, Evaluator, GofmmConfig, TraversalPolicy};
 use gofmm_linalg::DenseMatrix;
 use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
-use gofmm_solver::{cg, cg_unpreconditioned, HierarchicalFactor, KrylovOptions, Shifted};
+use gofmm_solver::{
+    cg, cg_unpreconditioned, HierarchicalFactor, KrylovOptions, Shifted, UlvFactor,
+};
 
 fn main() {
     let threads = bench_threads();
@@ -44,49 +54,52 @@ fn main() {
         let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 7919 % 101) as f64) / 50.0 - 1.0);
 
         for &lambda in &lambdas {
-            let (factor, t_factor) =
-                timed(|| HierarchicalFactor::new(&k, &comp, lambda).expect("factorization"));
+            let (ulv, t_ulv_factor) =
+                timed(|| UlvFactor::new(&k, &comp, lambda).expect("ULV factorization"));
+            let (smw, t_smw_factor) =
+                timed(|| HierarchicalFactor::new(&k, &comp, lambda).expect("SMW factorization"));
             let op = Shifted::new(&evaluator, lambda);
             let ((_, s_un), t_un) =
                 timed(|| cg_unpreconditioned(&op, &b, &opts).expect("well-formed system"));
-            let ((_, s_pre), t_pre) =
-                timed(|| cg(&op, &factor, &b, &opts).expect("well-formed system"));
+            let ((_, s_ulv), t_ulv) = timed(|| cg(&op, &ulv, &b, &opts).expect("ULV-PCG"));
+            let ((_, s_smw), t_smw) = timed(|| cg(&op, &smw, &b, &opts).expect("SMW-PCG"));
+            let iters = |s: &gofmm_solver::SolveStats| {
+                format!("{}{}", s.iterations, if s.converged { "" } else { "*" })
+            };
             rows.push(vec![
                 format!("{n}"),
                 format!("{lambda:.0e}"),
                 format!("{:.2}", t_compress + t_ev),
-                format!("{:.2}", t_factor),
-                format!(
-                    "{}{}",
-                    s_un.iterations,
-                    if s_un.converged { "" } else { "*" }
-                ),
+                iters(&s_un),
                 format!("{t_un:.2}"),
-                format!("{:.1e}", s_un.relative_residual),
-                format!(
-                    "{}{}",
-                    s_pre.iterations,
-                    if s_pre.converged { "" } else { "*" }
-                ),
-                format!("{t_pre:.2}"),
-                format!("{:.1e}", s_pre.relative_residual),
+                format!("{:.2}", t_ulv_factor),
+                iters(&s_ulv),
+                format!("{t_ulv:.2}"),
+                format!("{:.1e}", s_ulv.relative_residual),
+                format!("{:.2}", t_smw_factor),
+                iters(&s_smw),
+                format!("{t_smw:.2}"),
+                format!("{:.1e}", s_smw.relative_residual),
             ]);
         }
     }
 
     print_table(
-        "Solver convergence: unpreconditioned vs hierarchically preconditioned CG (tol 1e-10; * = not converged within 1000 iterations)",
+        "Solver convergence: unpreconditioned CG vs ULV- and SMW-preconditioned CG (tol 1e-10; * = not converged within 1000 iterations)",
         &[
             "n",
             "lambda",
             "setup (s)",
-            "factor (s)",
             "cg iters",
             "cg (s)",
-            "cg resid",
-            "pcg iters",
-            "pcg (s)",
-            "pcg resid",
+            "ulv factor (s)",
+            "ulv pcg iters",
+            "ulv pcg (s)",
+            "ulv resid",
+            "smw factor (s)",
+            "smw pcg iters",
+            "smw pcg (s)",
+            "smw resid",
         ],
         &rows,
     );

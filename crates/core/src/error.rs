@@ -54,18 +54,21 @@ pub enum Error {
         /// Estimated first rejected singular value at that node.
         residual: f64,
     },
-    /// A leaf's regularized diagonal block was not positive definite during
-    /// hierarchical factorization.
+    /// A regularized block was not positive definite during hierarchical
+    /// factorization: a leaf's diagonal block (SMW backend), or a rotated
+    /// diagonal / eliminated trailing block (ULV backend).
     NotPositiveDefinite {
-        /// Heap index of the offending leaf.
+        /// Heap index of the offending node.
         node: usize,
         /// Pivot at which the Cholesky factorization broke down.
         pivot: usize,
     },
-    /// An interior node's Sherman–Morrison–Woodbury core `I + C G` was
-    /// numerically singular during hierarchical factorization.
+    /// A factorization core block was numerically singular: the
+    /// Sherman–Morrison–Woodbury core `I + C G` (SMW backend), or a
+    /// regularized block whose Cholesky pivot sat at roundoff scale (ULV
+    /// backend — the block is singular rather than indefinite).
     SingularCore {
-        /// Heap index of the offending interior node.
+        /// Heap index of the offending node.
         node: usize,
     },
     /// A solve was requested from an operator handle that was built without
@@ -97,12 +100,12 @@ impl std::fmt::Display for Error {
             ),
             Error::NotPositiveDefinite { node, pivot } => write!(
                 f,
-                "leaf {node}: regularized diagonal block not positive definite (pivot {pivot}); \
+                "node {node}: regularized block not positive definite (pivot {pivot}); \
                  increase lambda"
             ),
             Error::SingularCore { node } => write!(
                 f,
-                "interior node {node}: SMW core I + C*G is numerically singular; \
+                "node {node}: factorization core block is numerically singular; \
                  increase lambda or tighten the compression tolerance"
             ),
             Error::NoFactorization => write!(

@@ -10,18 +10,24 @@ use crate::scalar::Scalar;
 use crate::trsm::{tri_inverse, trsm_left, trsm_left_blocked, Triangle};
 
 /// Error returned when a matrix is not (numerically) positive definite.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NotPositiveDefinite {
     /// Pivot index at which the factorization broke down.
     pub pivot: usize,
+    /// The non-positive (or non-finite) downdated diagonal value at that
+    /// pivot. A strongly negative value means the matrix is indefinite; a
+    /// value at roundoff scale means it is numerically singular — callers
+    /// use the distinction to report "increase lambda" versus "the block is
+    /// singular".
+    pub value: f64,
 }
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "matrix is not positive definite (non-positive pivot at index {})",
-            self.pivot
+            "matrix is not positive definite (pivot {} has non-positive value {:.3e})",
+            self.pivot, self.value
         )
     }
 }
@@ -48,7 +54,10 @@ impl<T: Scalar> Cholesky<T> {
                 d -= v * v;
             }
             if d.to_f64() <= 0.0 || !d.is_finite() {
-                return Err(NotPositiveDefinite { pivot: j });
+                return Err(NotPositiveDefinite {
+                    pivot: j,
+                    value: d.to_f64(),
+                });
             }
             let dj = d.sqrt();
             l.set(j, j, dj);

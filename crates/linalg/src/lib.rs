@@ -8,8 +8,10 @@
 //!
 //! * [`matrix::DenseMatrix`] — column-major dense matrices,
 //! * [`blas`] — blocked GEMM, GEMV, dots and norm estimates,
-//! * [`qr`] — Householder QR and column-pivoted (rank-revealing) QR,
+//! * [`qr`] — Householder QR/QL and column-pivoted (rank-revealing) QR,
 //! * [`trsm`] — triangular solves,
+//! * [`ulv`] — ULV building blocks: two-sided orthogonal block reduction and
+//!   trailing Schur elimination for backward-stable hierarchical solves,
 //! * [`cholesky`] — Cholesky factorization / SPD solves / SPD inversion,
 //! * [`lu`] — partial-pivoted LU for the solver's small non-symmetric cores,
 //! * [`id`] — interpolative decomposition built on the pivoted QR.
@@ -26,12 +28,14 @@ pub mod matrix;
 pub mod qr;
 pub mod scalar;
 pub mod trsm;
+pub mod ulv;
 
 pub use blas::{axpy, dot, gemm, gemv, matmul, matmul_nt, matmul_tn, norm2_est, nrm2, Transpose};
 pub use cholesky::{is_spd, Cholesky, NotPositiveDefinite};
 pub use id::{id_reconstruct, interpolative_decomposition, Id};
 pub use lu::{LuFactor, SingularMatrix};
 pub use matrix::DenseMatrix;
-pub use qr::{householder_qr, pivoted_qr, QrFactors, QrOptions};
+pub use qr::{householder_ql, householder_qr, pivoted_qr, QlFactors, QrFactors, QrOptions};
 pub use scalar::Scalar;
 pub use trsm::{tri_inverse, trsm_left, trsm_left_blocked, trsv, Triangle};
+pub use ulv::{eliminate_trailing, rotate_symmetric, TrailingElimination};

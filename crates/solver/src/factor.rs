@@ -65,10 +65,18 @@
 //! amplifies roundoff. In the regime the paper targets — kernel regression
 //! and inverse-operator preconditioning, `lambda` within a few orders of
 //! `||K||` — the factorization is accurate to solver precision (see the
-//! `solver_convergence` experiment); for extreme `lambda` it still returns a
-//! symmetric operator (the SMW matrices are explicitly symmetrized), but
-//! Krylov iteration counts grow and a backward-stable ULV sweep is the
-//! roadmap item that would remove the limitation.
+//! `solver_convergence` experiment); for extreme small `lambda` it still
+//! returns a symmetric operator (the SMW matrices are explicitly
+//! symmetrized), but its backward error grows like the condition number.
+//!
+//! The limitation is *removed* by the backward-stable orthogonal
+//! [`crate::UlvFactor`], which is the default solve backend behind
+//! `GofmmOperator` (this SMW recursion is retained behind
+//! `FactorBackend::Smw` for comparison). Both envelopes — ULV backward
+//! stable across `lambda` from `1e-8` to `1e8` times the operator scale,
+//! SMW accurate inside its band and degraded below it — are *enforced* by
+//! the CI-gated `tests/stability_envelope.rs` suite, so a regression in
+//! either backend fails loudly.
 
 use gofmm_core::{ApplyOptions, CompRef, Compressed, Error, TraversalPolicy};
 use gofmm_linalg::{gemm, matmul, matmul_tn, Cholesky, DenseMatrix, LuFactor, Scalar, Transpose};
@@ -682,8 +690,10 @@ fn factor_interior<T: Scalar, M: SpdMatrix<T> + ?Sized>(
 /// Build the two-sweep solve DAG: `SUP` postorder, `SDOWN` preorder with an
 /// explicit `SUP(node) -> SDOWN(node)` edge (the downward task reads the
 /// coefficients its upward task wrote). Like the evaluation plan, it depends
-/// only on the compressed structure, so one plan serves every solve.
-fn solve_plan<T: Scalar>(comp: &Compressed<T>) -> ReusablePlan {
+/// only on the compressed structure, so one plan serves every solve — and
+/// both solver backends (`HierarchicalFactor` and `crate::UlvFactor`) share
+/// this builder, since their sweeps have identical task-family shapes.
+pub(crate) fn solve_plan<T: Scalar>(comp: &Compressed<T>) -> ReusablePlan {
     let tree = &comp.tree;
     let m = comp.config.leaf_size as f64;
     let s = comp.config.max_rank as f64;

@@ -132,6 +132,15 @@ impl<T: Scalar> Preconditioner<T> for HierarchicalFactor<'_, T> {
     }
 }
 
+impl<T: Scalar> Preconditioner<T> for crate::ulv::UlvFactor<'_, T> {
+    fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.solve(r).expect("ULV factor solve inside Krylov")
+    }
+    fn dim(&self) -> Option<usize> {
+        Some(self.n())
+    }
+}
+
 impl<T: Scalar, P: Preconditioner<T> + ?Sized> Preconditioner<T> for &P {
     fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
         (**self).apply_inverse(r)

@@ -12,21 +12,26 @@
 //!   (`GofmmOperator::builder(&k).config(cfg).factorize(lambda).build()?`)
 //!   yields a `Send + Sync` handle with `&self` `apply`, `solve` and
 //!   `solve_cg`, shareable across any number of request threads. New code
-//!   should start here.
-//! * [`HierarchicalFactor`] — a bottom-up `FACTOR` sweep over the
-//!   compression tree: Cholesky of each leaf's regularized diagonal block,
-//!   plus per-level Sherman–Morrison–Woodbury corrections assembled from the
-//!   skeleton bases and the sibling skeleton blocks. The resulting object is
-//!   persistent and serves unlimited `&self` [`HierarchicalFactor::solve`]
-//!   calls, each a cached-plan `SUP`/`SDOWN` double sweep with zero
-//!   kernel-entry evaluations — mirroring `Evaluator::apply`. All sweeps run
-//!   under all four traversal policies with bit-identical results.
+//!   should start here. [`FactorBackend`] selects the factorization behind
+//!   `solve`/`solve_cg` (backward-stable ULV by default, SMW for
+//!   comparison).
+//! * [`UlvFactor`] / [`HierarchicalFactor`] — bottom-up `FACTOR` sweeps
+//!   over the compression tree. The default [`UlvFactor`] eliminates with
+//!   orthogonal rotations and Cholesky factorizations only, making it
+//!   backward stable across the whole regularization range (enforced by
+//!   `tests/stability_envelope.rs`); [`HierarchicalFactor`] builds the
+//!   classical Sherman–Morrison–Woodbury corrections from the skeleton
+//!   bases and sibling skeleton blocks, accurate for `lambda` within a few
+//!   orders of the operator scale. Both are persistent, serve unlimited
+//!   `&self` `solve` calls — each a cached-plan `SUP`/`SDOWN` double sweep
+//!   with zero kernel-entry evaluations, mirroring `Evaluator::apply` — and
+//!   run under all four traversal policies with bit-identical results.
 //! * [`cg`] / [`gmres`] — Krylov drivers generic over [`LinearOperator`]
 //!   (implemented by `Evaluator`, [`GofmmOperator`], [`Shifted`],
 //!   [`DenseOperator`]) and [`Preconditioner`] (implemented by
-//!   [`HierarchicalFactor`] and [`IdentityPreconditioner`]), with
-//!   per-iteration residual history in [`SolveStats`]. Both traits take
-//!   `&self`, so iterations run against shared handles.
+//!   [`UlvFactor`], [`HierarchicalFactor`] and [`IdentityPreconditioner`]),
+//!   with per-iteration residual history in [`SolveStats`]. Both traits
+//!   take `&self`, so iterations run against shared handles.
 //!
 //! ## Quick start
 //!
@@ -70,6 +75,7 @@
 pub mod factor;
 pub mod krylov;
 pub mod operator;
+pub mod ulv;
 
 #[allow(deprecated)]
 pub use factor::FactorError;
@@ -79,7 +85,8 @@ pub use krylov::{
     cg, cg_unpreconditioned, gmres, DenseOperator, IdentityPreconditioner, KrylovOptions,
     LinearOperator, Preconditioner, Shifted, SolveStats,
 };
-pub use operator::{GofmmOperator, GofmmOperatorBuilder};
+pub use operator::{FactorBackend, GofmmOperator, GofmmOperatorBuilder};
+pub use ulv::UlvFactor;
 
 use gofmm_core::{Compressed, Evaluator};
 use gofmm_linalg::{DenseMatrix, Scalar};

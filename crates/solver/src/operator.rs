@@ -24,6 +24,7 @@
 
 use crate::factor::{FactorOptions, HierarchicalFactor};
 use crate::krylov::{cg, KrylovOptions, LinearOperator, Shifted, SolveStats};
+use crate::ulv::UlvFactor;
 use gofmm_core::{
     try_compress, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator, GofmmConfig,
 };
@@ -31,6 +32,73 @@ use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Which hierarchical factorization backs [`GofmmOperator::solve`] and
+/// preconditions [`GofmmOperator::solve_cg`].
+///
+/// | Backend | Algorithm | Stability envelope |
+/// | --- | --- | --- |
+/// | [`FactorBackend::Ulv`] (default) | orthogonal ULV elimination ([`UlvFactor`]) | backward stable for any `lambda > -lambda_min`: roundoff-level residuals across `lambda` from `1e-8` to `1e8` times the operator scale |
+/// | [`FactorBackend::Smw`] | recursive Sherman–Morrison–Woodbury ([`HierarchicalFactor`]) | accurate for `lambda` within a few orders of the operator scale; degrades for extreme small `lambda` (cores condition like the system itself) |
+///
+/// Both run the same `FACTOR`/`SUP`/`SDOWN` task families on the shared
+/// execution-plan layer, serve `&self` solves from pooled workspaces, and
+/// produce bit-identical solutions across all four traversal policies. The
+/// SMW backend is retained for comparison (see the `ulv_vs_smw` columns of
+/// the `solver_convergence` bench and `tests/stability_envelope.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FactorBackend {
+    /// Backward-stable orthogonal ULV factorization (the default).
+    #[default]
+    Ulv,
+    /// Plain recursive Sherman–Morrison–Woodbury factorization.
+    Smw,
+}
+
+/// The factorization engine behind a [`GofmmOperator`], selected by
+/// [`FactorBackend`].
+enum FactorEngine<T: Scalar> {
+    Smw(HierarchicalFactor<'static, T>),
+    Ulv(UlvFactor<'static, T>),
+}
+
+impl<T: Scalar> FactorEngine<T> {
+    fn lambda(&self) -> f64 {
+        match self {
+            FactorEngine::Smw(f) => f.lambda(),
+            FactorEngine::Ulv(f) => f.lambda(),
+        }
+    }
+
+    fn backend(&self) -> FactorBackend {
+        match self {
+            FactorEngine::Smw(_) => FactorBackend::Smw,
+            FactorEngine::Ulv(_) => FactorBackend::Ulv,
+        }
+    }
+
+    fn solve_with(&self, b: &DenseMatrix<T>, opts: &ApplyOptions) -> Result<DenseMatrix<T>, Error> {
+        match self {
+            FactorEngine::Smw(f) => f.solve_with(b, opts),
+            FactorEngine::Ulv(f) => f.solve_with(b, opts),
+        }
+    }
+}
+
+impl<T: Scalar> crate::krylov::Preconditioner<T> for FactorEngine<T> {
+    fn apply_inverse(&self, r: &DenseMatrix<T>) -> DenseMatrix<T> {
+        match self {
+            FactorEngine::Smw(f) => f.apply_inverse(r),
+            FactorEngine::Ulv(f) => f.apply_inverse(r),
+        }
+    }
+    fn dim(&self) -> Option<usize> {
+        match self {
+            FactorEngine::Smw(f) => crate::krylov::Preconditioner::dim(f),
+            FactorEngine::Ulv(f) => crate::krylov::Preconditioner::dim(f),
+        }
+    }
+}
 
 /// A compressed SPD operator as a shareable service handle: kernel-free
 /// matvecs ([`GofmmOperator::apply`]), hierarchical direct solves
@@ -103,7 +171,7 @@ use std::sync::Arc;
 pub struct GofmmOperator<T: Scalar> {
     comp: Arc<Compressed<T>>,
     evaluator: Evaluator<'static, T>,
-    factor: Option<HierarchicalFactor<'static, T>>,
+    factor: Option<FactorEngine<T>>,
 }
 
 // Compile-time proof of the serving contract: the handle is shareable.
@@ -122,6 +190,7 @@ impl<T: Scalar> GofmmOperator<T> {
             matrix,
             config: GofmmConfig::default(),
             lambda: None,
+            backend: FactorBackend::default(),
             _scalar: PhantomData,
         }
     }
@@ -149,10 +218,32 @@ impl<T: Scalar> GofmmOperator<T> {
         &self.evaluator
     }
 
-    /// The hierarchical factorization serving [`GofmmOperator::solve`], if
-    /// the operator was built with [`GofmmOperatorBuilder::factorize`].
+    /// The SMW factorization serving [`GofmmOperator::solve`], if the
+    /// operator was built with [`GofmmOperatorBuilder::factorize`] **and**
+    /// [`FactorBackend::Smw`]; `None` under the default ULV backend (use
+    /// [`GofmmOperator::ulv_factor`] there).
     pub fn factor(&self) -> Option<&HierarchicalFactor<'static, T>> {
-        self.factor.as_ref()
+        match &self.factor {
+            Some(FactorEngine::Smw(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The backward-stable ULV factorization serving
+    /// [`GofmmOperator::solve`], if the operator was built with
+    /// [`GofmmOperatorBuilder::factorize`] under the default
+    /// [`FactorBackend::Ulv`].
+    pub fn ulv_factor(&self) -> Option<&UlvFactor<'static, T>> {
+        match &self.factor {
+            Some(FactorEngine::Ulv(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Which factorization backend this operator solves with, if one was
+    /// built.
+    pub fn backend(&self) -> Option<FactorBackend> {
+        self.factor.as_ref().map(FactorEngine::backend)
     }
 
     /// The regularization `lambda` of the factorization, if one was built.
@@ -176,7 +267,8 @@ impl<T: Scalar> GofmmOperator<T> {
     }
 
     /// Hierarchical direct solve `x ≈ (K_hss + lambda I)^{-1} b` (exact for
-    /// pure-HSS compressions, a strong preconditioner otherwise).
+    /// pure-HSS compressions, a strong preconditioner otherwise), through
+    /// whichever [`FactorBackend`] the operator was built with.
     ///
     /// # Errors
     /// [`Error::NoFactorization`] when the operator was built without
@@ -213,7 +305,7 @@ impl<T: Scalar> GofmmOperator<T> {
     ) -> Result<(DenseMatrix<T>, SolveStats), Error> {
         let factor = self.factor.as_ref().ok_or(Error::NoFactorization)?;
         let shifted = Shifted::new(&self.evaluator, factor.lambda());
-        cg(&shifted, &factor, b, opts)
+        cg(&shifted, factor, b, opts)
     }
 }
 
@@ -232,6 +324,7 @@ pub struct GofmmOperatorBuilder<'m, T: Scalar, M: ?Sized> {
     matrix: &'m M,
     config: GofmmConfig,
     lambda: Option<f64>,
+    backend: FactorBackend,
     _scalar: PhantomData<T>,
 }
 
@@ -244,9 +337,19 @@ impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
     }
 
     /// Also build the hierarchical factorization of `K + lambda I`, enabling
-    /// [`GofmmOperator::solve`] and [`GofmmOperator::solve_cg`].
+    /// [`GofmmOperator::solve`] and [`GofmmOperator::solve_cg`]. The
+    /// backward-stable ULV backend is used unless
+    /// [`GofmmOperatorBuilder::backend`] selects otherwise.
     pub fn factorize(mut self, lambda: f64) -> Self {
         self.lambda = Some(lambda);
+        self
+    }
+
+    /// Select the factorization backend (defaults to
+    /// [`FactorBackend::Ulv`]; has no effect without
+    /// [`GofmmOperatorBuilder::factorize`]).
+    pub fn backend(mut self, backend: FactorBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -263,24 +366,39 @@ impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
         // Factor first: the FACTOR sweep reads the block caches (diagonal
         // near blocks, sibling skeleton blocks), which the evaluator is
         // about to steal.
-        let factor_parts = match self.lambda {
-            Some(lambda) => Some(crate::factor::HierarchicalFactor::compute_parts(
+        enum Parts<T: Scalar> {
+            Smw(crate::factor::FactorParts<T>),
+            Ulv(crate::ulv::UlvParts<T>),
+        }
+        let opts = |lambda| FactorOptions {
+            lambda,
+            ..FactorOptions::default()
+        };
+        let factor_parts = match (self.lambda, self.backend) {
+            (None, _) => None,
+            (Some(lambda), FactorBackend::Smw) => Some(Parts::Smw(
+                HierarchicalFactor::compute_parts(self.matrix, &comp, &opts(lambda))?,
+            )),
+            (Some(lambda), FactorBackend::Ulv) => Some(Parts::Ulv(UlvFactor::compute_parts(
                 self.matrix,
                 &comp,
-                &FactorOptions {
-                    lambda,
-                    ..FactorOptions::default()
-                },
-            )?),
-            None => None,
+                &opts(lambda),
+            )?)),
         };
         // Steal the caches into the evaluator's packed panels rather than
         // copying them: the shared compression keeps tree/lists/bases but no
         // duplicate block storage, so the handle holds each interaction
         // block exactly once.
         let (comp, evaluator) = comp.into_shared_evaluator(self.matrix);
-        let factor = factor_parts.map(|parts| {
-            HierarchicalFactor::from_parts(gofmm_core::CompRef::Shared(Arc::clone(&comp)), parts)
+        let factor = factor_parts.map(|parts| match parts {
+            Parts::Smw(parts) => FactorEngine::Smw(HierarchicalFactor::from_parts(
+                gofmm_core::CompRef::Shared(Arc::clone(&comp)),
+                parts,
+            )),
+            Parts::Ulv(parts) => FactorEngine::Ulv(UlvFactor::from_parts(
+                gofmm_core::CompRef::Shared(Arc::clone(&comp)),
+                parts,
+            )),
         });
         Ok(GofmmOperator {
             comp,
@@ -352,22 +470,97 @@ mod tests {
         let n = 256;
         let k = test_matrix(n);
         let lambda = 1e-2;
+        // Default backend is the backward-stable ULV factorization.
         let op = GofmmOperator::<f64>::builder(&k)
             .config(config())
             .factorize(lambda)
             .build()
             .unwrap();
         assert_eq!(op.lambda(), Some(lambda));
+        assert_eq!(op.backend(), Some(FactorBackend::Ulv));
+        assert!(op.ulv_factor().is_some());
+        assert!(op.factor().is_none(), "default backend must be ULV");
         let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 13 % 17) as f64) - 8.0);
         let (x, stats) = op.solve_cg(&b, &KrylovOptions::default()).unwrap();
         assert!(stats.converged, "residual {}", stats.relative_residual);
         assert!(stats.iterations < 25);
-        // Identical to the hand-composed pipeline on the same compression.
+        // Identical to the hand-composed ULV pipeline on the same
+        // compression.
+        let comp = op.compressed();
+        let factor = UlvFactor::new(&k, comp, lambda).unwrap();
+        let shifted = Shifted::new(op.evaluator(), lambda);
+        let (x_ref, _) = cg(&shifted, &factor, &b, &KrylovOptions::default()).unwrap();
+        assert_eq!(x.data(), x_ref.data());
+    }
+
+    #[test]
+    fn smw_backend_still_selectable_and_matches_manual_pipeline() {
+        let n = 256;
+        let k = test_matrix(n);
+        let lambda = 1e-2;
+        let op = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(lambda)
+            .backend(FactorBackend::Smw)
+            .build()
+            .unwrap();
+        assert_eq!(op.backend(), Some(FactorBackend::Smw));
+        assert!(op.factor().is_some());
+        assert!(op.ulv_factor().is_none());
+        let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 13 % 17) as f64) - 8.0);
+        let (x, stats) = op.solve_cg(&b, &KrylovOptions::default()).unwrap();
+        assert!(stats.converged, "residual {}", stats.relative_residual);
+        // Identical to the hand-composed SMW pipeline on the same
+        // compression.
         let comp = op.compressed();
         let factor = HierarchicalFactor::new(&k, comp, lambda).unwrap();
         let shifted = Shifted::new(op.evaluator(), lambda);
         let (x_ref, _) = cg(&shifted, &factor, &b, &KrylovOptions::default()).unwrap();
         assert_eq!(x.data(), x_ref.data());
+    }
+
+    #[test]
+    fn both_backends_direct_solve_the_hss_operator() {
+        // With a pure-HSS compression both factorizations invert the
+        // compressed operator; their solutions agree to roundoff (never
+        // bit-for-bit: the algorithms differ).
+        let n = 300;
+        let k = test_matrix(n);
+        let lambda = 1e-2;
+        let ulv = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(lambda)
+            .build()
+            .unwrap();
+        let smw = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(lambda)
+            .backend(FactorBackend::Smw)
+            .build()
+            .unwrap();
+        let b = DenseMatrix::<f64>::from_fn(n, 2, |i, j| (((i + 5 * j) % 13) as f64) - 6.0);
+        let x_ulv = ulv.solve(&b).unwrap();
+        let x_smw = smw.solve(&b).unwrap();
+        // Both act as direct solvers of the same compressed operator; the
+        // meaningful cross-backend property is the normwise backward error
+        // eta = ||b - A x|| / (||A|| ||x|| + ||b||) (solutions themselves
+        // may differ by kappa * resid on an ill-conditioned kernel). ULV is
+        // backward stable; SMW is merely accurate at this mild lambda.
+        let shifted = Shifted::new(ulv.evaluator(), lambda);
+        let mut v = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i % 3) as f64) - 1.0);
+        let mut opnorm = 0.0f64;
+        for _ in 0..3 {
+            let av = shifted.matvec(&v);
+            opnorm = av.norm_fro() / v.norm_fro();
+            let scale = 1.0 / av.norm_fro();
+            v = av;
+            v.scale(scale);
+        }
+        for (name, x, tol) in [("ulv", &x_ulv, 1e-12), ("smw", &x_smw, 1e-9)] {
+            let resid = shifted.matvec(x).sub(&b).norm_fro();
+            let eta = resid / (opnorm * x.norm_fro() + b.norm_fro());
+            assert!(eta < tol, "{name} backward error {eta}");
+        }
     }
 
     #[test]

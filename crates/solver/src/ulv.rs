@@ -1,0 +1,964 @@
+//! Backward-stable ULV factorization of `K + lambda I`.
+//!
+//! [`UlvFactor`] factors the same hierarchical (HSS) part of the compressed
+//! operator as [`crate::HierarchicalFactor`], but with *orthogonal*
+//! eliminations instead of the recursive Sherman–Morrison–Woodbury identity.
+//! Per node the sweep performs three dense steps (the `gofmm_linalg::ulv`
+//! building blocks):
+//!
+//! 1. **Compress the basis.** A Householder QR of the node's outgoing basis
+//!    (`U = P^T` at a leaf; the stacked `diag(U~_l, U~_r) E` at an interior
+//!    node) rotates the local coordinates so that all coupling to the rest
+//!    of the matrix lives in the leading `s` rotated variables:
+//!    `Q^T U = [U~; 0]`.
+//! 2. **Rotate the block.** `D^ = Q^T (D + lambda I) Q` (two-sided
+//!    reduction, `Q` kept in compact Householder form).
+//! 3. **Eliminate the trailing block.** `D^_22 = L L^T` (Cholesky),
+//!    `X^T = L^{-1} D^_21`, Schur complement `S = D^_11 - X X^T`. The
+//!    `(S, U~)` pair is what the parent sees as its child's diagonal block
+//!    and basis; the root has no outgoing basis and Cholesky-factors its
+//!    whole merged block (`s = 0`, everything eliminated).
+//!
+//! Because every transformation is orthogonal or a Cholesky factorization of
+//! a principal submatrix of an SPD matrix, the factorization is backward
+//! stable for **any** `lambda > -lambda_min(K~)`: unlike the SMW recursion
+//! there is no `(I + C G)^{-1}` core whose conditioning tracks the
+//! condition number of the system itself. The solver stack's stability
+//! envelope test (`tests/stability_envelope.rs`) pins this down across
+//! `lambda in 1e-8..1e8` times the operator scale; the SMW backend remains
+//! available for comparison via `FactorBackend::Smw`.
+//!
+//! The runtime shape mirrors the SMW backend exactly: the factorization runs
+//! bottom-up as a `FACTOR` task family on a [`PhasePlan`], solves are a
+//! cached [`ReusablePlan`] `SUP`/`SDOWN` double sweep over DAG-ordered
+//! [`DisjointCells`] (one writer per cell per solve, hence bit-identical
+//! solutions across all four traversal policies and worker counts), and
+//! [`UlvFactor::solve`] takes `&self` with per-call workspaces leased from a
+//! [`WorkspacePool`], so one factorization serves parallel request streams.
+
+use gofmm_core::{ApplyOptions, CompRef, Compressed, Error, TraversalPolicy};
+use gofmm_linalg::{
+    eliminate_trailing, gemm, householder_qr, matmul, matmul_nt, rotate_symmetric, DenseMatrix,
+    NotPositiveDefinite, QrFactors, Scalar, TrailingElimination, Transpose,
+};
+use gofmm_matrices::SpdMatrix;
+use gofmm_runtime::{
+    parallel_for, DisjointCells, PhasePlan, ReusablePlan, RunDefaults, WorkspacePool,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::factor::{solve_plan, FactorOptions, FactorStats};
+
+/// Relative threshold separating "numerically singular" from "indefinite"
+/// when a Cholesky pivot fails: a non-positive pivot within this fraction of
+/// the block's diagonal scale reports [`Error::SingularCore`], anything more
+/// negative reports [`Error::NotPositiveDefinite`].
+const SINGULAR_REL: f64 = 1e-10;
+
+/// Per-node ULV factor storage.
+struct UlvNode<T: Scalar> {
+    /// Compact Householder rotation of the node's outgoing basis; `None` at
+    /// the root (no basis above) — there the block is factored unrotated.
+    rotation: Option<QrFactors<T>>,
+    /// Trailing elimination of the rotated block: Cholesky of `D^_22`,
+    /// coupling panel `X^T`, (Schur complement stripped after the upward
+    /// factor pass — parents consume it during factorization only).
+    elim: TrailingElimination<T>,
+    /// Kept (reduced) variables `s` = the node's skeleton rank.
+    reduced: usize,
+    /// Eliminated variables `t` (`m - s` at a leaf, `s_l + s_r - s` inside,
+    /// everything at the root).
+    eliminated: usize,
+    /// Interior: the left child's reduced rank (row split of the merged
+    /// block between the children).
+    split: usize,
+}
+
+impl<T: Scalar> UlvNode<T> {
+    fn bytes(&self) -> usize {
+        let scalar = std::mem::size_of::<T>();
+        let mat = |m: &DenseMatrix<T>| m.rows() * m.cols() * scalar;
+        let rot = self
+            .rotation
+            .as_ref()
+            .map(|q| q.rows() * q.cols() * scalar + q.rank() * scalar)
+            .unwrap_or(0);
+        let chol = self.elim.chol.as_ref().map(|c| mat(c.l())).unwrap_or(0);
+        rot + chol + mat(&self.elim.xt)
+    }
+}
+
+/// Outcome slot of one node's factor task; `schur`/`utilde` are the
+/// transient `(S, U~)` pair the parent consumes.
+enum Slot<T: Scalar> {
+    Pending,
+    Ready {
+        node: Box<UlvNode<T>>,
+        schur: DenseMatrix<T>,
+        utilde: DenseMatrix<T>,
+    },
+    Failed(Error),
+}
+
+/// Everything a ULV factorization computes before it is attached to a
+/// compression handle; mirrors `factor::FactorParts`.
+pub(crate) struct UlvParts<T: Scalar> {
+    nodes: Vec<UlvNode<T>>,
+    defaults: RunDefaults<TraversalPolicy>,
+    stats: FactorStats,
+}
+
+/// One solve's per-node sweep buffers, pooled by right-hand-side count.
+///
+/// Every cell is fully overwritten by its (single) writing task before any
+/// reader runs, so no reset between solves is needed.
+struct UlvWorkspace<T: Scalar> {
+    /// Reduced right-hand sides passed upward (`s x r`), written by
+    /// `SUP(node)`, read by `SUP(parent)`.
+    bred: DisjointCells<DenseMatrix<T>>,
+    /// Forward-eliminated components `y2 = L^{-1} b^_2` (`t x r`), written
+    /// by `SUP(node)`, read by `SDOWN(node)`.
+    y2: DisjointCells<DenseMatrix<T>>,
+    /// Reduced solutions passed downward (`s x r`), written by
+    /// `SDOWN(parent)`, read by `SDOWN(node)`.
+    xred: DisjointCells<DenseMatrix<T>>,
+    /// Per-leaf output blocks in local coordinates.
+    x: DisjointCells<DenseMatrix<T>>,
+}
+
+impl<T: Scalar> UlvWorkspace<T> {
+    fn allocate(comp: &Compressed<T>, nodes: &[UlvNode<T>], r: usize) -> Self {
+        let node_count = comp.tree.node_count();
+        let leaf_rows = |heap: usize| {
+            if comp.tree.is_leaf(heap) {
+                comp.tree.node(heap).len
+            } else {
+                0
+            }
+        };
+        Self {
+            bred: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].reduced, r)),
+            y2: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].eliminated, r)),
+            xred: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].reduced, r)),
+            x: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(leaf_rows(h), r)),
+        }
+    }
+}
+
+/// A persistent backward-stable ULV factorization of `K + lambda I` — the
+/// default solve backend behind `GofmmOperator` (the SMW
+/// [`crate::HierarchicalFactor`] remains available via
+/// `FactorBackend::Smw`).
+///
+/// Built once per compression (one `FACTOR` bottom-up sweep), it serves
+/// unlimited [`UlvFactor::solve`] calls: each is a cached-plan `SUP`/`SDOWN`
+/// double sweep with **zero kernel-entry evaluations**, bit-identical across
+/// traversal policies, worker counts, and concurrency (`solve` takes
+/// `&self`). Accuracy holds across the full regularization range — `lambda`
+/// from `1e-8` to `1e8` times the operator scale solves to roundoff-level
+/// relative residual, where the SMW recursion demonstrably degrades at the
+/// small-`lambda` end.
+///
+/// # Example
+///
+/// ```
+/// use gofmm_core::{compress, GofmmConfig, TraversalPolicy};
+/// use gofmm_linalg::DenseMatrix;
+/// use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+/// use gofmm_solver::UlvFactor;
+///
+/// let n = 256;
+/// let k = KernelMatrix::new(
+///     PointCloud::uniform(n, 3, 7),
+///     KernelType::Gaussian { bandwidth: 1.0 },
+///     1e-6,
+///     "doc",
+/// );
+/// let config = GofmmConfig::default()
+///     .with_leaf_size(32)
+///     .with_max_rank(32)
+///     .with_tolerance(1e-7)
+///     .with_budget(0.0) // pure HSS: the factorization is essentially exact
+///     .with_threads(2)
+///     .with_policy(TraversalPolicy::Sequential);
+/// let comp = compress::<f64, _>(&k, &config);
+/// let factor = UlvFactor::new(&k, &comp, 1e-2).unwrap();
+/// let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| (i % 7) as f64);
+/// let x = factor.solve(&b).unwrap(); // &self: shareable across threads
+/// assert_eq!(x.rows(), n);
+/// ```
+pub struct UlvFactor<'a, T: Scalar> {
+    comp: CompRef<'a, T>,
+    nodes: Vec<UlvNode<T>>,
+    /// The SUP/SDOWN solve DAG (same shape as the SMW backend's), built once
+    /// and re-run per solve.
+    plan: ReusablePlan,
+    defaults: RunDefaults<TraversalPolicy>,
+    stats: FactorStats,
+    /// Per-solve sweep buffers, leased per call and recycled across calls.
+    pool: WorkspacePool<UlvWorkspace<T>>,
+}
+
+impl<'a, T: Scalar> UlvFactor<'a, T> {
+    /// Factor `K + lambda I` using the compression's configured policy and
+    /// thread count.
+    ///
+    /// The `matrix` is consulted only for blocks the compression did not
+    /// cache; after this returns, [`UlvFactor::solve`] never evaluates a
+    /// kernel entry.
+    pub fn new<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &'a Compressed<T>,
+        lambda: f64,
+    ) -> Result<Self, Error> {
+        Self::with_options(
+            matrix,
+            comp,
+            &FactorOptions {
+                lambda,
+                ..FactorOptions::default()
+            },
+        )
+    }
+
+    /// Factor with explicit policy / thread-count overrides.
+    pub fn with_options<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &'a Compressed<T>,
+        opts: &FactorOptions,
+    ) -> Result<Self, Error> {
+        Self::build(matrix, CompRef::Borrowed(comp), opts)
+    }
+
+    /// Factor an `Arc`-shared compression; the result is `'static` and
+    /// `Send + Sync` (how the `GofmmOperator` front door holds it).
+    pub fn from_shared<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: Arc<Compressed<T>>,
+        opts: &FactorOptions,
+    ) -> Result<UlvFactor<'static, T>, Error> {
+        UlvFactor::build(matrix, CompRef::Shared(comp), opts)
+    }
+
+    /// Shared construction tail behind every public constructor.
+    fn build<'c, M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: CompRef<'c, T>,
+        opts: &FactorOptions,
+    ) -> Result<UlvFactor<'c, T>, Error> {
+        let parts = Self::compute_parts(matrix, &comp, opts)?;
+        Ok(Self::from_parts(comp, parts))
+    }
+
+    /// Run the `FACTOR` sweep against `comp`. Split from
+    /// [`Self::from_parts`] so the operator front door can factor (which
+    /// reads the block caches) *before* the evaluator steals those caches.
+    pub(crate) fn compute_parts<M: SpdMatrix<T> + ?Sized>(
+        matrix: &M,
+        comp: &Compressed<T>,
+        opts: &FactorOptions,
+    ) -> Result<UlvParts<T>, Error> {
+        if !opts.lambda.is_finite() {
+            return Err(Error::InvalidConfig {
+                what: "lambda",
+                constraint: "must be finite",
+            });
+        }
+        let policy = opts.policy.unwrap_or(comp.config.policy);
+        let num_threads = opts.num_threads.unwrap_or(comp.config.num_threads).max(1);
+        let lambda = T::from_f64(opts.lambda);
+        let t0 = Instant::now();
+        let tree = &comp.tree;
+        let node_count = tree.node_count();
+
+        let slots: DisjointCells<Slot<T>> = DisjointCells::from_fn(node_count, |_| Slot::Pending);
+        let factor_one = |heap: usize| {
+            let slot = if tree.is_leaf(heap) {
+                factor_leaf(matrix, comp, heap, lambda)
+            } else {
+                let (l, r) = tree.children(heap);
+                let gl = slots.read(l);
+                let gr = slots.read(r);
+                match (&*gl, &*gr) {
+                    (
+                        Slot::Ready {
+                            schur: sl,
+                            utilde: ul,
+                            ..
+                        },
+                        Slot::Ready {
+                            schur: sr,
+                            utilde: ur,
+                            ..
+                        },
+                    ) => factor_interior(matrix, comp, heap, sl, ul, sr, ur),
+                    // A failed child already recorded its error; stay silent.
+                    _ => Slot::Pending,
+                }
+            };
+            slots.set(heap, slot);
+        };
+
+        let exec = match policy.schedule_policy() {
+            None => {
+                // Level-by-level: a barrier per level orders child factor
+                // writes before parent reads.
+                for level in (0..=tree.depth()).rev() {
+                    let nodes: Vec<usize> = tree.level_range(level).collect();
+                    parallel_for(nodes.len(), num_threads, |i| factor_one(nodes[i]));
+                }
+                None
+            }
+            Some(sched) => {
+                let m = comp.config.leaf_size as f64;
+                let s = comp.config.max_rank as f64;
+                let factor_ref = &factor_one;
+                let mut plan = PhasePlan::new();
+                plan.add_bottom_up(
+                    "FACTOR",
+                    tree,
+                    |_| false,
+                    |heap| {
+                        if tree.is_leaf(heap) {
+                            // QR of the basis + two-sided rotation + trailing
+                            // Cholesky: all O(m^2 s + m^3)-ish.
+                            2.0 * m * m * s + m * m * m / 3.0
+                        } else {
+                            16.0 * s * s * s
+                        }
+                    },
+                    |heap| move || factor_ref(heap),
+                );
+                Some(plan.run(sched, num_threads))
+            }
+        };
+
+        let mut slots = slots.into_inner();
+        // Surface the deepest-level failure first; ancestors of a failed
+        // node deliberately stay pending.
+        if let Some(err) = slots.iter().rev().find_map(|s| match s {
+            Slot::Failed(err) => Some(err.clone()),
+            _ => None,
+        }) {
+            return Err(err);
+        }
+        let mut nodes: Vec<UlvNode<T>> = Vec::with_capacity(node_count);
+        for (heap, slot) in slots.drain(..).enumerate() {
+            match slot {
+                Slot::Ready { node, .. } => nodes.push(*node),
+                _ => unreachable!(
+                    "ULV factor task for node {heap} neither completed nor reported an error"
+                ),
+            }
+        }
+
+        let bytes = nodes.iter().map(UlvNode::bytes).sum();
+        Ok(UlvParts {
+            nodes,
+            defaults: RunDefaults::new(policy, num_threads),
+            stats: FactorStats {
+                setup_time: t0.elapsed().as_secs_f64(),
+                bytes,
+                lambda: opts.lambda,
+                exec,
+            },
+        })
+    }
+
+    /// Attach precomputed [`UlvParts`] to a compression handle.
+    pub(crate) fn from_parts<'c>(comp: CompRef<'c, T>, parts: UlvParts<T>) -> UlvFactor<'c, T> {
+        let plan = solve_plan(&comp);
+        UlvFactor {
+            comp,
+            nodes: parts.nodes,
+            plan,
+            defaults: parts.defaults,
+            stats: parts.stats,
+            pool: WorkspacePool::new(),
+        }
+    }
+
+    /// Matrix dimension `N`.
+    pub fn n(&self) -> usize {
+        self.comp.n()
+    }
+
+    /// The regularization this factorization inverts with.
+    pub fn lambda(&self) -> f64 {
+        self.stats.lambda
+    }
+
+    /// Factorization statistics (setup time, storage, scheduler stats).
+    pub fn stats(&self) -> &FactorStats {
+        &self.stats
+    }
+
+    /// The default traversal policy of [`UlvFactor::solve`] (override per
+    /// call with [`UlvFactor::solve_with`]).
+    pub fn policy(&self) -> TraversalPolicy {
+        self.defaults.policy()
+    }
+
+    /// The default worker-thread count of [`UlvFactor::solve`] (override per
+    /// call with [`UlvFactor::solve_with`]).
+    pub fn threads(&self) -> usize {
+        self.defaults.threads()
+    }
+
+    /// Solve `(K_hss + lambda I) x = b` from the factored state: one upward
+    /// and one downward tree sweep, zero kernel evaluations, the sweep
+    /// buffers leased from an internal pool.
+    ///
+    /// Takes `&self`: any number of threads may call this simultaneously on
+    /// one shared factorization; all of them produce bit-identical
+    /// solutions.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `b.rows() != n`.
+    pub fn solve(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, Error> {
+        self.solve_with(b, &ApplyOptions::default())
+    }
+
+    /// Solve with per-call policy / thread-count overrides (bit-identical to
+    /// every other policy/thread combination).
+    pub fn solve_with(
+        &self,
+        b: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<DenseMatrix<T>, Error> {
+        if b.rows() != self.comp.n() {
+            return Err(Error::DimensionMismatch {
+                what: "right-hand-side rows",
+                expected: self.comp.n(),
+                got: b.rows(),
+            });
+        }
+        let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
+        let ws = self.pool.lease(b.cols(), || {
+            UlvWorkspace::allocate(&self.comp, &self.nodes, b.cols())
+        });
+        let tree = &self.comp.tree;
+        let pass = UlvSolvePass {
+            factor: self,
+            ws: &ws,
+            b,
+        };
+        match policy.schedule_policy() {
+            None => {
+                for level in (0..=tree.depth()).rev() {
+                    let nodes: Vec<usize> = tree.level_range(level).collect();
+                    parallel_for(nodes.len(), num_threads, |i| pass.task_up(nodes[i]));
+                }
+                for level in 0..=tree.depth() {
+                    let nodes: Vec<usize> = tree.level_range(level).collect();
+                    parallel_for(nodes.len(), num_threads, |i| pass.task_down(nodes[i]));
+                }
+            }
+            Some(sched) => {
+                self.plan
+                    .run(sched, num_threads, |family, node| match family {
+                        "SUP" => pass.task_up(node),
+                        "SDOWN" => pass.task_down(node),
+                        other => unreachable!("unknown solve task family {other}"),
+                    });
+            }
+        }
+        Ok(pass.assemble())
+    }
+}
+
+/// Classify a failed trailing Cholesky: a pivot at roundoff scale relative
+/// to the block's diagonal means the regularized block is numerically
+/// singular ([`Error::SingularCore`]); a genuinely negative pivot means it
+/// is indefinite ([`Error::NotPositiveDefinite`]).
+fn classify_breakdown<T: Scalar>(
+    heap: usize,
+    keep: usize,
+    dhat: &DenseMatrix<T>,
+    err: &NotPositiveDefinite,
+) -> Error {
+    let scale = (0..dhat.rows())
+        .map(|i| dhat.get(i, i).to_f64().abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    if err.value.is_finite() && err.value.abs() <= SINGULAR_REL * scale {
+        Error::SingularCore { node: heap }
+    } else {
+        Error::NotPositiveDefinite {
+            node: heap,
+            // Report the pivot in rotated-block coordinates (the eliminated
+            // block starts at row `keep`).
+            pivot: keep + err.pivot,
+        }
+    }
+}
+
+/// Shared tail of the leaf and interior factor tasks: rotate the block (when
+/// the node has an outgoing basis), eliminate the trailing variables, and
+/// package the persistent node plus the transient `(S, U~)` pair.
+fn finish_node<T: Scalar>(
+    heap: usize,
+    d: DenseMatrix<T>,
+    rotation: Option<QrFactors<T>>,
+    reduced: usize,
+    split: usize,
+) -> Slot<T> {
+    let dhat = match &rotation {
+        Some(qr) => rotate_symmetric(qr, &d),
+        None => d,
+    };
+    let utilde = match &rotation {
+        Some(qr) => qr.r(),
+        None => DenseMatrix::zeros(0, 0),
+    };
+    let mut elim = match eliminate_trailing(&dhat, reduced) {
+        Ok(elim) => elim,
+        Err(e) => return Slot::Failed(classify_breakdown(heap, reduced, &dhat, &e)),
+    };
+    // The Schur complement travels up through the slot; the persistent node
+    // keeps only what the solve sweeps read.
+    let schur = std::mem::replace(&mut elim.schur, DenseMatrix::zeros(0, 0));
+    let eliminated = dhat.rows() - reduced;
+    Slot::Ready {
+        node: Box::new(UlvNode {
+            rotation,
+            elim,
+            reduced,
+            eliminated,
+            split,
+        }),
+        schur,
+        utilde,
+    }
+}
+
+/// Factor one leaf: QR of the leaf basis, two-sided rotation of the
+/// regularized diagonal block, trailing elimination.
+fn factor_leaf<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    heap: usize,
+    lambda: T,
+) -> Slot<T> {
+    let rows = comp.tree.indices(heap);
+    let mut a = match comp.self_near_block(heap) {
+        Some(cached) => cached.clone(),
+        None => matrix.submatrix(rows, rows),
+    };
+    for i in 0..a.rows() {
+        let d = a.get(i, i);
+        a.set(i, i, d + lambda);
+    }
+    let (rotation, reduced) = match comp.basis(heap) {
+        Some(basis) => {
+            // U = P^T (m x s): compress it so the trailing m - s rotated
+            // variables decouple from the rest of the matrix.
+            let u = basis.interp.transpose();
+            let qr = householder_qr(&u);
+            debug_assert_eq!(qr.rank(), basis.rank(), "leaf basis must be tall");
+            (Some(qr), basis.rank())
+        }
+        // Depth-0 tree: the root leaf has no outgoing basis; eliminate
+        // everything (plain dense Cholesky).
+        None => (None, 0),
+    };
+    finish_node(heap, a, rotation, reduced, 0)
+}
+
+/// Factor one interior node: assemble the merged block from the children's
+/// Schur complements and the sibling skeleton block, compress the stacked
+/// basis, rotate, eliminate.
+fn factor_interior<T: Scalar, M: SpdMatrix<T> + ?Sized>(
+    matrix: &M,
+    comp: &Compressed<T>,
+    heap: usize,
+    schur_l: &DenseMatrix<T>,
+    utilde_l: &DenseMatrix<T>,
+    schur_r: &DenseMatrix<T>,
+    utilde_r: &DenseMatrix<T>,
+) -> Slot<T> {
+    let (l, r) = comp.tree.children(heap);
+    let (sl, sr) = (schur_l.rows(), schur_r.rows());
+    let merged = sl + sr;
+
+    // B = K_{skel(l), skel(r)}: from the cached sibling far block when the
+    // interaction lists have it (always in HSS mode), from the kernel
+    // otherwise.
+    let b = match comp.cached_far_block(l, r) {
+        Some(cached) => cached.clone(),
+        None => {
+            let skel_l = &comp.basis(l).expect("child skeleton").skeleton;
+            let skel_r = &comp.basis(r).expect("child skeleton").skeleton;
+            matrix.submatrix(skel_l, skel_r)
+        }
+    };
+    debug_assert_eq!((b.rows(), b.cols()), (sl, sr), "sibling block shape");
+
+    // Merged block in the children's reduced coordinates:
+    // [ S_l              U~_l B U~_r^T ]
+    // [ (U~_l B U~_r^T)^T     S_r      ]
+    let mut d = DenseMatrix::zeros(merged, merged);
+    d.set_block(0, 0, schur_l);
+    d.set_block(sl, sl, schur_r);
+    let coupling = matmul_nt(&matmul(utilde_l, &b), utilde_r);
+    d.set_block(0, sl, &coupling);
+    d.set_block(sl, 0, &coupling.transpose());
+
+    let (rotation, reduced) = match comp.basis(heap) {
+        Some(basis) => {
+            // Stacked outgoing basis diag(U~_l, U~_r) E, E = P^T.
+            let e = basis.interp.transpose();
+            debug_assert_eq!(e.rows(), merged, "nested basis shape");
+            let cols = e.cols();
+            let mut ue = DenseMatrix::zeros(merged, cols);
+            ue.set_block(0, 0, &matmul(utilde_l, &e.block(0, sl, 0, cols)));
+            ue.set_block(sl, 0, &matmul(utilde_r, &e.block(sl, merged, 0, cols)));
+            let qr = householder_qr(&ue);
+            debug_assert_eq!(qr.rank(), basis.rank(), "stacked basis must be tall");
+            (Some(qr), basis.rank())
+        }
+        // Root: no outgoing basis; Cholesky-factor the whole merged block.
+        None => (None, 0),
+    };
+    finish_node(heap, d, rotation, reduced, sl)
+}
+
+/// One in-flight ULV solve: the factor's frozen state, the leased
+/// workspace, and the right-hand side.
+///
+/// Every buffer cell has exactly one writing task per solve, and every
+/// cross-task read/write pair is ordered by a plan edge (or level barrier),
+/// so solutions are bit-identical across traversal policies and worker
+/// counts; concurrent solves never share a workspace.
+struct UlvSolvePass<'p, 'a, T: Scalar> {
+    factor: &'p UlvFactor<'a, T>,
+    ws: &'p UlvWorkspace<T>,
+    b: &'p DenseMatrix<T>,
+}
+
+impl<T: Scalar> UlvSolvePass<'_, '_, T> {
+    /// `SUP`: rotate the gathered right-hand side, forward-eliminate the
+    /// trailing variables, push the reduced right-hand side upward.
+    fn task_up(&self, heap: usize) {
+        let comp = &*self.factor.comp;
+        let nf = &self.factor.nodes[heap];
+        let (s, t) = (nf.reduced, nf.eliminated);
+        let r = self.b.cols();
+        let mut bh = if comp.tree.is_leaf(heap) {
+            self.b.select_rows(comp.tree.indices(heap))
+        } else {
+            let (l, rr) = comp.tree.children(heap);
+            let bl = self.ws.bred.read(l);
+            let br = self.ws.bred.read(rr);
+            bl.vstack(&br)
+        };
+        if let Some(qr) = &nf.rotation {
+            qr.apply_qt(&mut bh);
+        }
+        // y2 = L^{-1} b^_2 — kept for the downward substitution. Copied into
+        // the pooled buffer (not replaced), so recycled workspaces really do
+        // recycle their allocations.
+        let mut y2 = self.ws.y2.write(heap);
+        for j in 0..r {
+            y2.col_mut(j).copy_from_slice(&bh.col(j)[s..s + t]);
+        }
+        nf.elim.forward_eliminated(&mut y2);
+        // Reduced RHS for the parent: b~ = b^_1 - X y2.
+        let mut bred = self.ws.bred.write(heap);
+        for j in 0..r {
+            bred.col_mut(j).copy_from_slice(&bh.col(j)[..s]);
+        }
+        if s > 0 && t > 0 {
+            gemm(
+                -T::one(),
+                &nf.elim.xt,
+                Transpose::Yes,
+                &y2,
+                Transpose::No,
+                T::one(),
+                &mut bred,
+            );
+        }
+    }
+
+    /// `SDOWN`: back-substitute the eliminated variables, rotate back to the
+    /// incoming coordinates, split to the children (or emit the leaf block).
+    fn task_down(&self, heap: usize) {
+        let comp = &*self.factor.comp;
+        let nf = &self.factor.nodes[heap];
+        let (s, t) = (nf.reduced, nf.eliminated);
+        let r = self.b.cols();
+        let mut u = DenseMatrix::zeros(s + t, r);
+        if s > 0 {
+            let x1 = self.ws.xred.read(heap);
+            u.set_block(0, 0, &x1);
+        }
+        if t > 0 {
+            // x2 = L^{-T} (y2 - X^T x1).
+            let mut x2 = self.ws.y2.read(heap).clone();
+            if s > 0 {
+                let x1 = self.ws.xred.read(heap);
+                gemm(
+                    -T::one(),
+                    &nf.elim.xt,
+                    Transpose::No,
+                    &x1,
+                    Transpose::No,
+                    T::one(),
+                    &mut x2,
+                );
+            }
+            nf.elim.backward_eliminated(&mut x2);
+            u.set_block(s, 0, &x2);
+        }
+        if let Some(qr) = &nf.rotation {
+            qr.apply_q(&mut u);
+        }
+        if comp.tree.is_leaf(heap) {
+            let mut x = self.ws.x.write(heap);
+            x.data_mut().copy_from_slice(u.data());
+        } else {
+            let (l, rr) = comp.tree.children(heap);
+            let mut xl = self.ws.xred.write(l);
+            for j in 0..r {
+                xl.col_mut(j).copy_from_slice(&u.col(j)[..nf.split]);
+            }
+            drop(xl);
+            let mut xr = self.ws.xred.write(rr);
+            for j in 0..r {
+                xr.col_mut(j).copy_from_slice(&u.col(j)[nf.split..]);
+            }
+        }
+    }
+
+    /// Scatter the per-leaf solutions back into original index order.
+    fn assemble(&self) -> DenseMatrix<T> {
+        let comp = &*self.factor.comp;
+        let n = comp.n();
+        let r = self.b.cols();
+        let mut out = DenseMatrix::zeros(n, r);
+        for leaf in comp.tree.leaf_range() {
+            let x = self.ws.x.read(leaf);
+            for (local, &orig) in comp.tree.indices(leaf).iter().enumerate() {
+                for c in 0..r {
+                    out.set(orig, c, x.get(local, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krylov::LinearOperator;
+    use crate::Shifted;
+    use gofmm_core::{compress, GofmmConfig};
+    use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_matrix(n: usize) -> KernelMatrix {
+        KernelMatrix::new(
+            PointCloud::uniform(n, 3, 42),
+            KernelType::Gaussian { bandwidth: 1.0 },
+            1e-6,
+            "ulv-test",
+        )
+    }
+
+    fn hss_config() -> GofmmConfig {
+        GofmmConfig::default()
+            .with_leaf_size(32)
+            .with_max_rank(48)
+            .with_tolerance(1e-9)
+            .with_budget(0.0)
+            .with_threads(2)
+            .with_policy(TraversalPolicy::Sequential)
+    }
+
+    #[test]
+    fn ulv_factor_inverts_hss_operator() {
+        // Budget 0: the factorization covers the whole compressed operator,
+        // so factor.solve is (numerically) its exact inverse.
+        let n = 300;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let lambda = 1e-2;
+        let factor = UlvFactor::new(&k, &comp, lambda).unwrap();
+        assert!(factor.stats().setup_time > 0.0);
+        assert!(factor.stats().bytes > 0);
+        assert_eq!(factor.lambda(), lambda);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x_true = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        // b = (K~ + lambda I) x_true through the evaluator.
+        let ev = gofmm_core::Evaluator::new(&k, &comp);
+        let op = Shifted::new(&ev, lambda);
+        let b = op.matvec(&x_true);
+        let x = factor.solve(&b).unwrap();
+        let resid = op.matvec(&x).sub(&b).norm_fro() / b.norm_fro();
+        assert!(resid < 1e-10, "ULV factor residual {resid}");
+    }
+
+    #[test]
+    fn solves_are_bit_identical_across_policies_and_threads() {
+        let n = 320;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let factor = UlvFactor::new(&k, &comp, 1e-3).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let x_ref = factor.solve(&b).unwrap();
+        for policy in [
+            TraversalPolicy::Sequential,
+            TraversalPolicy::LevelByLevel,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ] {
+            for threads in [1, 4] {
+                let opts = ApplyOptions::new()
+                    .with_policy(policy)
+                    .with_threads(threads);
+                let x = factor.solve_with(&b, &opts).unwrap();
+                assert_eq!(
+                    x.data(),
+                    x_ref.data(),
+                    "{policy}/{threads} threads: solve drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_solves_on_one_shared_factor_are_bit_identical() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let factor = UlvFactor::new(&k, &comp, 1e-2).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let b = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let x_ref = factor.solve(&b).unwrap();
+        let policies = [
+            TraversalPolicy::Sequential,
+            TraversalPolicy::LevelByLevel,
+            TraversalPolicy::DagHeft,
+            TraversalPolicy::DagFifo,
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let (factor, b, x_ref) = (&factor, &b, &x_ref);
+                let policy = policies[t % policies.len()];
+                scope.spawn(move || {
+                    let opts = ApplyOptions::new().with_policy(policy).with_threads(2);
+                    for _ in 0..3 {
+                        let x = factor.solve_with(b, &opts).unwrap();
+                        assert_eq!(x.data(), x_ref.data(), "{policy}: concurrent solve drifted");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn depth_zero_tree_factors_as_dense_cholesky() {
+        let n = 24;
+        let k = test_matrix(n);
+        let cfg = hss_config().with_leaf_size(64); // single-leaf tree
+        let comp = compress::<f64, _>(&k, &cfg);
+        assert_eq!(comp.tree.leaf_count(), 1);
+        let lambda = 1e-3;
+        let factor = UlvFactor::new(&k, &comp, lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let x_true = DenseMatrix::<f64>::random_gaussian(n, 1, &mut rng);
+        let all: Vec<usize> = (0..n).collect();
+        let mut a = k.submatrix(&all, &all);
+        for i in 0..n {
+            a[(i, i)] += lambda;
+        }
+        let b = gofmm_linalg::matmul(&a, &x_true);
+        let x = factor.solve(&b).unwrap();
+        assert!(x.sub(&x_true).norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn solve_recycles_buffers_across_rhs_widths() {
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let factor = UlvFactor::new(&k, &comp, 1e-2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let b2 = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let b5 = DenseMatrix::<f64>::random_gaussian(n, 5, &mut rng);
+        let x2a = factor.solve(&b2).unwrap();
+        let x5 = factor.solve(&b5).unwrap(); // different width, new workspace
+        let x2b = factor.solve(&b2).unwrap(); // recycles the width-2 one
+        assert_eq!(x5.cols(), 5);
+        assert_eq!(x2a.data(), x2b.data());
+    }
+
+    #[test]
+    fn rejects_non_finite_lambda_and_wrong_rhs() {
+        let n = 64;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        assert!(matches!(
+            UlvFactor::<f64>::new(&k, &comp, f64::NAN),
+            Err(Error::InvalidConfig { .. })
+        ));
+        let factor = UlvFactor::new(&k, &comp, 1e-2).unwrap();
+        let bad = DenseMatrix::<f64>::zeros(n - 1, 1);
+        assert!(matches!(
+            factor.solve(&bad),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_regularization_reports_not_positive_definite() {
+        let n = 200;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        match UlvFactor::<f64>::new(&k, &comp, -100.0) {
+            Err(Error::NotPositiveDefinite { .. }) => {}
+            Err(other) => panic!("expected NotPositiveDefinite, got {other}"),
+            Ok(_) => panic!("hostile regularization must not factor"),
+        }
+    }
+
+    #[test]
+    fn extreme_lambdas_solve_to_roundoff_backward_error() {
+        // The backward-stability claim in miniature: 12 orders of magnitude
+        // of regularization, every solve at roundoff-level *backward error*
+        // eta = ||b - A x|| / (||A|| ||x|| + ||b||) against the compressed
+        // operator. (The b-relative residual necessarily scales like
+        // eps * kappa for small lambda — no solver can beat that — which is
+        // what CG refinement is for; see tests/stability_envelope.rs.)
+        let n = 256;
+        let k = test_matrix(n);
+        let comp = compress::<f64, _>(&k, &hss_config());
+        let ev = gofmm_core::Evaluator::new(&k, &comp);
+        let mut rng = StdRng::seed_from_u64(15);
+        let b = DenseMatrix::<f64>::random_gaussian(n, 1, &mut rng);
+        for lambda in [1e-6, 1e-3, 1.0, 1e3, 1e6] {
+            let factor = UlvFactor::new(&k, &comp, lambda).unwrap();
+            let x = factor.solve(&b).unwrap();
+            let op = Shifted::new(&ev, lambda);
+            // Power-iteration estimate of ||A||_2 (a lower bound suffices:
+            // it only makes the asserted backward error larger).
+            let mut v = DenseMatrix::<f64>::random_gaussian(n, 1, &mut rng);
+            let mut opnorm = 0.0f64;
+            for _ in 0..3 {
+                let av = op.matvec(&v);
+                opnorm = av.norm_fro() / v.norm_fro();
+                let scale = 1.0 / av.norm_fro();
+                v = av;
+                v.scale(scale);
+            }
+            let resid = op.matvec(&x).sub(&b).norm_fro();
+            let eta = resid / (opnorm * x.norm_fro() + b.norm_fro());
+            assert!(eta < 1e-12, "lambda {lambda}: backward error {eta}");
+        }
+    }
+}

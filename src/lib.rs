@@ -15,4 +15,4 @@ pub use gofmm_solver as solver;
 pub use gofmm_tree as tree;
 
 pub use gofmm_core::{ApplyOptions, Error};
-pub use gofmm_solver::{GofmmOperator, GofmmOperatorBuilder, KrylovOptions};
+pub use gofmm_solver::{FactorBackend, GofmmOperator, GofmmOperatorBuilder, KrylovOptions};

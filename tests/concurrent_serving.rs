@@ -6,7 +6,7 @@
 use gofmm_suite::core::{GofmmConfig, TraversalPolicy};
 use gofmm_suite::linalg::DenseMatrix;
 use gofmm_suite::matrices::{KernelMatrix, KernelType, PointCloud};
-use gofmm_suite::{ApplyOptions, GofmmOperator, KrylovOptions};
+use gofmm_suite::{ApplyOptions, FactorBackend, GofmmOperator, KrylovOptions};
 use std::sync::Arc;
 
 const ALL_POLICIES: [TraversalPolicy; 4] = [
@@ -16,7 +16,7 @@ const ALL_POLICIES: [TraversalPolicy; 4] = [
     TraversalPolicy::DagFifo,
 ];
 
-fn build_operator(n: usize, lambda: f64) -> GofmmOperator<f64> {
+fn build_operator_with(n: usize, lambda: f64, backend: FactorBackend) -> GofmmOperator<f64> {
     let k = KernelMatrix::new(
         PointCloud::uniform(n, 3, 23),
         KernelType::Gaussian { bandwidth: 1.0 },
@@ -33,8 +33,14 @@ fn build_operator(n: usize, lambda: f64) -> GofmmOperator<f64> {
     GofmmOperator::builder(&k)
         .config(cfg)
         .factorize(lambda)
+        .backend(backend)
         .build()
         .expect("operator must build")
+}
+
+/// The default (ULV-backed) operator.
+fn build_operator(n: usize, lambda: f64) -> GofmmOperator<f64> {
+    build_operator_with(n, lambda, FactorBackend::default())
 }
 
 fn rhs(n: usize, cols: usize, seed: usize) -> DenseMatrix<f64> {
@@ -46,7 +52,10 @@ fn rhs(n: usize, cols: usize, seed: usize) -> DenseMatrix<f64> {
 #[test]
 fn shared_operator_serves_mixed_concurrent_traffic_bit_identically() {
     let n = 512;
+    // The default operator is ULV-backed: the serving contract below covers
+    // the new backend.
     let op = Arc::new(build_operator(n, 1e-2));
+    assert_eq!(op.backend(), Some(FactorBackend::Ulv));
 
     // Sequential baselines for every (request kind, width) this test issues.
     let w1 = rhs(n, 1, 0);
@@ -101,23 +110,65 @@ fn shared_operator_serves_mixed_concurrent_traffic_bit_identically() {
 #[test]
 fn concurrent_evaluator_and_factor_handles_match_one_shot_pipeline() {
     // The operator's engines are also reachable directly; concurrent use of
-    // the evaluator and the factor through their &self entry points must
-    // agree with the operator's own results.
+    // the evaluator and the factorization through their &self entry points
+    // must agree with the operator's own results — for both backends.
     let n = 384;
-    let op = Arc::new(build_operator(n, 5e-2));
-    let w = rhs(n, 2, 3);
-    let u_ref = op.apply(&w).unwrap();
-    let x_ref = op.solve(&w).unwrap();
+    for backend in [FactorBackend::Ulv, FactorBackend::Smw] {
+        let op = Arc::new(build_operator_with(n, 5e-2, backend));
+        let w = rhs(n, 2, 3);
+        let u_ref = op.apply(&w).unwrap();
+        let x_ref = op.solve(&w).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let op = Arc::clone(&op);
+                let w = &w;
+                let (u_ref, x_ref) = (&u_ref, &x_ref);
+                scope.spawn(move || {
+                    let (u, _) = op.evaluator().apply(w).unwrap();
+                    let x = match backend {
+                        FactorBackend::Ulv => op
+                            .ulv_factor()
+                            .expect("ULV-backed handle")
+                            .solve(w)
+                            .unwrap(),
+                        FactorBackend::Smw => {
+                            op.factor().expect("SMW-backed handle").solve(w).unwrap()
+                        }
+                    };
+                    assert_eq!(u.data(), u_ref.data());
+                    assert_eq!(x.data(), x_ref.data(), "{backend:?} engine drifted");
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn smw_backed_operator_still_serves_concurrent_traffic_bit_identically() {
+    // The comparison backend keeps the same serving contract: shared handle,
+    // mixed policies, bit-identical to its own sequential baseline.
+    let n = 384;
+    let op = Arc::new(build_operator_with(n, 1e-2, FactorBackend::Smw));
+    assert_eq!(op.backend(), Some(FactorBackend::Smw));
+    let w = rhs(n, 2, 5);
+    let x_ref = op.solve(&w).expect("baseline solve");
+    let (xcg_ref, _) = op
+        .solve_cg(&w, &KrylovOptions::default())
+        .expect("baseline CG");
     std::thread::scope(|scope| {
-        for _ in 0..4 {
+        for t in 0..4 {
             let op = Arc::clone(&op);
             let w = &w;
-            let (u_ref, x_ref) = (&u_ref, &x_ref);
+            let (x_ref, xcg_ref) = (&x_ref, &xcg_ref);
+            let policy = ALL_POLICIES[t % ALL_POLICIES.len()];
             scope.spawn(move || {
-                let (u, _) = op.evaluator().apply(w).unwrap();
-                let x = op.factor().expect("factorized handle").solve(w).unwrap();
-                assert_eq!(u.data(), u_ref.data());
-                assert_eq!(x.data(), x_ref.data());
+                let opts = ApplyOptions::new().with_policy(policy).with_threads(2);
+                for _ in 0..3 {
+                    let x = op.solve_with(w, &opts).unwrap();
+                    assert_eq!(x.data(), x_ref.data(), "{policy}: SMW solve drifted");
+                    let (xcg, _) = op.solve_cg(w, &KrylovOptions::default()).unwrap();
+                    assert_eq!(xcg.data(), xcg_ref.data(), "{policy}: SMW CG drifted");
+                }
             });
         }
     });

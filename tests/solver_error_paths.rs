@@ -1,0 +1,151 @@
+//! Solver error paths through the `GofmmOperator` front door, exercised
+//! against **both** factorization backends: a deliberately singular
+//! regularized block surfaces as a typed error (never a panic),
+//! solve-before-factorize reports `NoFactorization`, and a wrong-length
+//! right-hand side reports `DimensionMismatch`.
+
+use gofmm_suite::linalg::DenseMatrix;
+use gofmm_suite::matrices::{KernelMatrix, KernelType, PointCloud, SpdMatrix};
+use gofmm_suite::{Error, FactorBackend, GofmmOperator, KrylovOptions};
+
+/// A diagonal SPD-except-for-one-entry matrix: entry `n/2` of the diagonal
+/// is exactly zero, so with `lambda = 0` one leaf's regularized block is
+/// *deliberately, exactly singular* — the factorizations must refuse with a
+/// typed error instead of producing garbage or panicking.
+struct DiagonalWithZero {
+    n: usize,
+}
+
+impl SpdMatrix<f64> for DiagonalWithZero {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        if i == j && i != self.n / 2 {
+            1.0 + (i as f64) / (self.n as f64)
+        } else {
+            0.0
+        }
+    }
+    fn name(&self) -> String {
+        "diag-with-zero".to_string()
+    }
+}
+
+fn well_posed_kernel(n: usize) -> KernelMatrix {
+    KernelMatrix::new(
+        PointCloud::uniform(n, 3, 31),
+        KernelType::Gaussian { bandwidth: 1.0 },
+        1e-6,
+        "error-paths",
+    )
+}
+
+fn config() -> gofmm_suite::core::GofmmConfig {
+    gofmm_suite::core::GofmmConfig::default()
+        .with_leaf_size(16)
+        .with_max_rank(32)
+        .with_tolerance(1e-9)
+        .with_budget(0.0)
+        .with_threads(2)
+}
+
+const BOTH_BACKENDS: [FactorBackend; 2] = [FactorBackend::Ulv, FactorBackend::Smw];
+
+#[test]
+fn singular_regularized_block_is_a_typed_error_in_both_backends() {
+    let m = DiagonalWithZero { n: 128 };
+    for backend in BOTH_BACKENDS {
+        let err = match GofmmOperator::<f64>::builder(&m)
+            .config(config())
+            .factorize(0.0) // keeps the zero diagonal entry exactly singular
+            .backend(backend)
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("{backend:?}: a singular block must not factor"),
+        };
+        // ULV classifies the exactly-zero pivot as a singular core; SMW
+        // reports the failed leaf Cholesky as not positive definite. Both
+        // are typed errors with an actionable message.
+        match (backend, &err) {
+            (FactorBackend::Ulv, Error::SingularCore { .. }) => {}
+            (FactorBackend::Smw, Error::NotPositiveDefinite { .. }) => {}
+            other => panic!("unexpected classification {other:?}"),
+        }
+        assert!(err.to_string().contains("lambda"), "message: {err}");
+    }
+}
+
+#[test]
+fn indefinite_regularization_is_not_positive_definite_in_both_backends() {
+    // A strongly negative shift is indefinite, not singular: both backends
+    // must say so (and not confuse it with the roundoff-singular case).
+    let k = well_posed_kernel(128);
+    for backend in BOTH_BACKENDS {
+        let result = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(-50.0)
+            .backend(backend)
+            .build();
+        assert!(
+            matches!(result, Err(Error::NotPositiveDefinite { .. })),
+            "{backend:?}: expected NotPositiveDefinite"
+        );
+    }
+}
+
+#[test]
+fn solve_before_factorize_reports_no_factorization() {
+    let k = well_posed_kernel(96);
+    // `backend` without `factorize` is inert: still no factorization.
+    for backend in BOTH_BACKENDS {
+        let op = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .backend(backend)
+            .build()
+            .expect("operator without factorization must build");
+        assert_eq!(op.backend(), None);
+        assert_eq!(op.lambda(), None);
+        let b = DenseMatrix::<f64>::zeros(96, 1);
+        assert_eq!(op.solve(&b), Err(Error::NoFactorization));
+        assert!(matches!(
+            op.solve_cg(&b, &KrylovOptions::default()),
+            Err(Error::NoFactorization)
+        ));
+        // Matvecs still work: the evaluator does not need a factorization.
+        assert!(op.apply(&b).is_ok());
+    }
+}
+
+#[test]
+fn wrong_length_rhs_reports_dimension_mismatch_in_both_backends() {
+    let n = 96;
+    let k = well_posed_kernel(n);
+    for backend in BOTH_BACKENDS {
+        let op = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(1e-2)
+            .backend(backend)
+            .build()
+            .expect("well-posed operator must build");
+        assert_eq!(op.backend(), Some(backend));
+        let bad = DenseMatrix::<f64>::zeros(n - 3, 2);
+        for err in [
+            op.solve(&bad).unwrap_err(),
+            op.apply(&bad).unwrap_err(),
+            op.solve_cg(&bad, &KrylovOptions::default()).unwrap_err(),
+        ] {
+            match err {
+                Error::DimensionMismatch { expected, got, .. } => {
+                    assert_eq!((expected, got), (n, n - 3));
+                }
+                other => panic!("{backend:?}: expected DimensionMismatch, got {other}"),
+            }
+        }
+        // And the well-formed path still solves.
+        let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i % 5) as f64) - 2.0);
+        let (_, stats) = op.solve_cg(&b, &KrylovOptions::default()).unwrap();
+        assert!(stats.converged);
+    }
+}
