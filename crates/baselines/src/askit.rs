@@ -15,7 +15,8 @@
 //! level-by-level traversals, and a single-RHS matvec API.
 
 use gofmm_core::{
-    compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, TraversalPolicy,
+    compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, PanelPrecision,
+    TraversalPolicy,
 };
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
@@ -86,6 +87,7 @@ impl<T: Scalar> AskitMatrix<T> {
             ann_iters: 10,
             seed: config.seed,
             strict_rank_budget: false,
+            panel_precision: PanelPrecision::Native,
         };
         let t0 = Instant::now();
         let inner = compress(matrix, &gofmm_cfg);

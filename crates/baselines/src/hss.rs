@@ -15,7 +15,8 @@
 //! the effect of the matrix-aware permutation and of the sparse correction.
 
 use gofmm_core::{
-    compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, TraversalPolicy,
+    compress, evaluate_with, Compressed, DistanceMetric, GofmmConfig, PanelPrecision,
+    TraversalPolicy,
 };
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
@@ -80,6 +81,7 @@ impl<T: Scalar> HssMatrix<T> {
             ann_iters: 0,
             seed: 1,
             strict_rank_budget: false,
+            panel_precision: PanelPrecision::Native,
         };
         let t0 = Instant::now();
         let inner = compress(matrix, &gofmm_cfg);

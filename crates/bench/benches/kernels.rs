@@ -1,10 +1,12 @@
 //! Criterion micro-benchmarks of the computational kernels GOFMM is built on:
 //! GEMM, pivoted QR (GEQP3 stand-in), metric tree construction and the
-//! neighbor search.
+//! neighbor search — plus the precision x kernel x dispatch grid over the
+//! SIMD substrate (dispatched vs scalar-pinned reference paths).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gofmm_core::{DistanceMetric, GramOracle};
-use gofmm_linalg::{matmul, pivoted_qr, DenseMatrix, QrOptions};
+use gofmm_linalg::blas::reference;
+use gofmm_linalg::{gemm, gemm_mixed, matmul, pivoted_qr, DenseMatrix, QrOptions, Transpose};
 use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
 use gofmm_tree::{ann_search, AnnConfig, DistanceOracle, PartitionTree, TreeOptions};
 use rand::rngs::StdRng;
@@ -93,5 +95,102 @@ fn bench_tree_and_ann(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_pivoted_qr, bench_tree_and_ann);
+/// The precision x kernel x (simd | scalar) grid over the dense substrate.
+///
+/// "simd" rows run the runtime-dispatched entry points (AVX2/FMA where the
+/// host supports it, the portable kernel otherwise — set
+/// `GOFMM_FORCE_SCALAR=1` to pin it); "scalar" rows run the retained
+/// reference kernels, so the simd/scalar ratio *is* the dispatch speedup.
+fn bench_kernel_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_grid");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // GEMM at an evaluator panel shape (packed panel x gathered weights)
+    // and a square compression shape.
+    for &(m, n, k) in &[(256usize, 8usize, 256usize), (256, 256, 256)] {
+        let label = format!("{m}x{n}x{k}");
+        let a = DenseMatrix::<f64>::random_uniform(m, k, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(k, n, &mut rng);
+        let mut c64 = DenseMatrix::<f64>::zeros(m, n);
+        group.bench_with_input(BenchmarkId::new("gemm_f64_simd", &label), &k, |be, _| {
+            be.iter(|| gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c64));
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_f64_scalar", &label), &k, |be, _| {
+            be.iter(|| reference::gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c64));
+        });
+        let a32: DenseMatrix<f32> = a.cast();
+        let b32: DenseMatrix<f32> = b.cast();
+        let mut c32 = DenseMatrix::<f32>::zeros(m, n);
+        group.bench_with_input(BenchmarkId::new("gemm_f32_simd", &label), &k, |be, _| {
+            be.iter(|| {
+                gemm(
+                    1.0f32,
+                    &a32,
+                    Transpose::No,
+                    &b32,
+                    Transpose::No,
+                    0.0,
+                    &mut c32,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_f32_scalar", &label), &k, |be, _| {
+            be.iter(|| {
+                reference::gemm(
+                    1.0f32,
+                    &a32,
+                    Transpose::No,
+                    &b32,
+                    Transpose::No,
+                    0.0,
+                    &mut c32,
+                )
+            });
+        });
+        // f32-storage / f64-accumulation panels (the mixed serving mode).
+        group.bench_with_input(BenchmarkId::new("gemm_mixed_f32s", &label), &k, |be, _| {
+            be.iter(|| gemm_mixed(1.0f64, &a32, &b, 0.0, &mut c64));
+        });
+    }
+
+    // Vector kernels at a leaf-sized and a panel-sized length.
+    for &len in &[512usize, 8192] {
+        let x = DenseMatrix::<f64>::random_uniform(len, 1, &mut rng);
+        let y = DenseMatrix::<f64>::random_uniform(len, 1, &mut rng);
+        let (xs, ys) = (x.data().to_vec(), y.data().to_vec());
+        let mut acc = ys.clone();
+        group.bench_with_input(BenchmarkId::new("dot_f64_simd", len), &len, |be, _| {
+            be.iter(|| gofmm_linalg::dot(&xs, &ys));
+        });
+        group.bench_with_input(BenchmarkId::new("dot_f64_scalar", len), &len, |be, _| {
+            be.iter(|| reference::dot(&xs, &ys));
+        });
+        group.bench_with_input(BenchmarkId::new("axpy_f64_simd", len), &len, |be, _| {
+            be.iter(|| gofmm_linalg::axpy(0.5, &xs, &mut acc));
+        });
+        group.bench_with_input(BenchmarkId::new("axpy_f64_scalar", len), &len, |be, _| {
+            be.iter(|| reference::axpy(0.5, &xs, &mut acc));
+        });
+        let xs32: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+        let ys32: Vec<f32> = ys.iter().map(|&v| v as f32).collect();
+        group.bench_with_input(BenchmarkId::new("dot_f32_simd", len), &len, |be, _| {
+            be.iter(|| gofmm_linalg::dot(&xs32, &ys32));
+        });
+        group.bench_with_input(BenchmarkId::new("dot_f32_scalar", len), &len, |be, _| {
+            be.iter(|| reference::dot(&xs32, &ys32));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_kernel_grid,
+    bench_pivoted_qr,
+    bench_tree_and_ann
+);
 criterion_main!(benches);

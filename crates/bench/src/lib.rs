@@ -7,3 +7,4 @@
 //! performance.
 
 pub mod harness;
+pub mod trajectory;

@@ -1,0 +1,211 @@
+//! Reading, writing and diffing the committed performance-trajectory files
+//! (`BENCH_kernels.json`, `BENCH_serving.json` at the repository root).
+//!
+//! The format is a deliberately minimal JSON subset — one metric per line,
+//! emitted and parsed only by this module — so the trajectory needs no
+//! external serialization dependency:
+//!
+//! ```json
+//! {
+//!   "schema": "gofmm-bench-trajectory-v1",
+//!   "suite": "kernels",
+//!   "metrics": {
+//!     "gemm_f64_square_256_gflops": { "value": 12.345678, "better": "higher" }
+//!   }
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// Relative regression beyond which `--check` warns (soft gate).
+pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// One named scalar metric with its improvement direction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Metric identifier (stable across runs; the diff joins on it).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// `true` when larger values are better (throughput), `false` when
+    /// smaller values are (latency, footprint).
+    pub higher_is_better: bool,
+}
+
+impl Measurement {
+    /// A throughput-style metric (larger is better).
+    pub fn higher(name: &str, value: f64) -> Self {
+        Measurement {
+            name: name.to_string(),
+            value,
+            higher_is_better: true,
+        }
+    }
+
+    /// A latency/footprint-style metric (smaller is better).
+    pub fn lower(name: &str, value: f64) -> Self {
+        Measurement {
+            name: name.to_string(),
+            value,
+            higher_is_better: false,
+        }
+    }
+
+    /// Relative regression of `current` against this baseline: positive
+    /// when `current` is worse, in the baseline's direction.
+    pub fn regression_vs(&self, current: f64) -> f64 {
+        if self.value == 0.0 {
+            return 0.0;
+        }
+        if self.higher_is_better {
+            (self.value - current) / self.value
+        } else {
+            (current - self.value) / self.value
+        }
+    }
+}
+
+/// The repository root, resolved from this crate's manifest directory at
+/// compile time (`crates/bench` → two levels up).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Serialize a suite to the trajectory format (stable ordering, one metric
+/// per line) and write it to `path`.
+pub fn write(path: &Path, suite: &str, measurements: &[Measurement]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"gofmm-bench-trajectory-v1\",\n");
+    out.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    out.push_str("  \"metrics\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let dir = if m.higher_is_better {
+            "higher"
+        } else {
+            "lower"
+        };
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {{ \"value\": {:.6}, \"better\": \"{}\" }}{}\n",
+            m.name, m.value, dir, comma
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Parse a trajectory file written by [`write()`]. Unknown lines are skipped;
+/// a malformed metric line is a hard error (the file is machine-written).
+pub fn read(path: &Path) -> Option<Vec<Measurement>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut metrics = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        // Metric lines look like:
+        //   "name": { "value": 1.234567, "better": "higher" }
+        if !(line.starts_with('"') && line.contains("\"value\"")) {
+            continue;
+        }
+        let name_end = line[1..].find('"')? + 1;
+        let name = line[1..name_end].to_string();
+        let value_key = "\"value\":";
+        let vstart = line.find(value_key)? + value_key.len();
+        let rest = line[vstart..].trim_start();
+        let vend = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..vend].parse().ok()?;
+        let higher_is_better = line.contains("\"better\": \"higher\"");
+        metrics.push(Measurement {
+            name,
+            value,
+            higher_is_better,
+        });
+    }
+    Some(metrics)
+}
+
+/// Diff freshly measured values against the committed baseline at `path`,
+/// printing one line per metric. Returns the number of metrics that
+/// regressed beyond [`REGRESSION_THRESHOLD`]; missing baselines count as
+/// zero (first recording).
+pub fn diff_against(path: &Path, suite: &str, measured: &[Measurement]) -> usize {
+    let Some(baseline) = read(path) else {
+        println!(
+            "perf_trajectory[{suite}]: no committed baseline at {} — run without \
+             --check to record one",
+            path.display()
+        );
+        return 0;
+    };
+    let mut regressions = 0;
+    for m in measured {
+        let Some(base) = baseline.iter().find(|b| b.name == m.name) else {
+            println!(
+                "perf_trajectory[{suite}]: {} = {:.4} (new metric)",
+                m.name, m.value
+            );
+            continue;
+        };
+        let reg = base.regression_vs(m.value);
+        let marker = if reg > REGRESSION_THRESHOLD {
+            regressions += 1;
+            "  <-- REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "perf_trajectory[{suite}]: {} = {:.4} (baseline {:.4}, {:+.1}%){}",
+            m.name,
+            m.value,
+            base.value,
+            -reg * 100.0,
+            marker
+        );
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_the_trajectory_format() {
+        let dir = std::env::temp_dir().join("gofmm-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let metrics = vec![
+            Measurement::higher("gemm_gflops", 12.5),
+            Measurement::lower("apply_ms", 3.25),
+        ];
+        write(&path, "test", &metrics);
+        let back = read(&path).expect("parse what we wrote");
+        assert_eq!(back, metrics);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn regression_direction_respects_better() {
+        let thr = Measurement::higher("t", 10.0);
+        assert!(thr.regression_vs(8.0) > 0.15); // throughput dropped: bad
+        assert!(thr.regression_vs(12.0) < 0.0); // throughput rose: good
+        let lat = Measurement::lower("l", 10.0);
+        assert!(lat.regression_vs(12.0) > 0.15); // latency rose: bad
+        assert!(lat.regression_vs(8.0) < 0.0); // latency dropped: good
+    }
+
+    #[test]
+    fn missing_baseline_is_not_a_regression() {
+        let path = std::env::temp_dir().join("gofmm-trajectory-missing.json");
+        std::fs::remove_file(&path).ok();
+        let n = diff_against(&path, "test", &[Measurement::higher("x", 1.0)]);
+        assert_eq!(n, 0);
+    }
+}

@@ -61,6 +61,43 @@ impl std::fmt::Display for TraversalPolicy {
     }
 }
 
+/// Storage precision of the evaluator's packed interaction panels.
+///
+/// The paper (§3) runs single precision where storage, not conditioning, is
+/// the binding constraint. [`PanelPrecision::MixedF32`] ports that trade to
+/// the serving layer: packed near/far panels are *stored* in `f32` while
+/// every multiply *accumulates* in the operator precision
+/// (`gofmm_linalg::gemm_mixed`), roughly halving `cached_bytes` for an `f64`
+/// operator at the cost of one `f32` rounding per panel entry — a relative
+/// apply perturbation of order `1e-7` (single-precision epsilon), far below
+/// typical compression tolerances. The mode only affects owned (packed)
+/// panels; zero-copy borrowing evaluators keep the compression's native
+/// precision, and for an `f32` operator `MixedF32` is the identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PanelPrecision {
+    /// Panels stored in the operator's own precision (the default).
+    #[default]
+    Native,
+    /// Panels stored in `f32`, accumulated in the operator precision.
+    MixedF32,
+}
+
+impl PanelPrecision {
+    /// Display label used in stats and experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PanelPrecision::Native => "native",
+            PanelPrecision::MixedF32 => "mixed-f32",
+        }
+    }
+}
+
+impl std::fmt::Display for PanelPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 /// User-facing parameters of GOFMM (paper §3, "Parameter selection").
 #[derive(Clone, Debug)]
 pub struct GofmmConfig {
@@ -99,6 +136,9 @@ pub struct GofmmConfig {
     /// instead of silently accepting the rank-capped basis. Off by default:
     /// the paper's experiments intentionally run rank-capped.
     pub strict_rank_budget: bool,
+    /// Storage precision of the evaluator's packed interaction panels (see
+    /// [`PanelPrecision`]).
+    pub panel_precision: PanelPrecision,
 }
 
 impl Default for GofmmConfig {
@@ -117,6 +157,7 @@ impl Default for GofmmConfig {
             ann_iters: 10,
             seed: 0,
             strict_rank_budget: false,
+            panel_precision: PanelPrecision::Native,
         }
     }
 }
@@ -195,6 +236,13 @@ impl GofmmConfig {
     /// [`GofmmConfig::strict_rank_budget`]).
     pub fn with_strict_rank_budget(mut self, strict: bool) -> Self {
         self.strict_rank_budget = strict;
+        self
+    }
+
+    /// Builder-style setter for the packed-panel storage precision (see
+    /// [`PanelPrecision`]).
+    pub fn with_panel_precision(mut self, precision: PanelPrecision) -> Self {
+        self.panel_precision = precision;
         self
     }
 
@@ -296,6 +344,16 @@ mod tests {
         assert_eq!(c.policy, TraversalPolicy::Sequential);
         assert_eq!(c.num_threads, 2);
         assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn panel_precision_knob() {
+        let c = GofmmConfig::default();
+        assert_eq!(c.panel_precision, PanelPrecision::Native);
+        let c = c.with_panel_precision(PanelPrecision::MixedF32);
+        assert_eq!(c.panel_precision, PanelPrecision::MixedF32);
+        assert_eq!(c.panel_precision.to_string(), "mixed-f32");
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -31,9 +31,9 @@
 //! product at a time.
 
 use crate::compress::{CompRef, Compressed};
-use crate::config::{ApplyOptions, TraversalPolicy};
+use crate::config::{ApplyOptions, PanelPrecision, TraversalPolicy};
 use crate::error::Error;
-use gofmm_linalg::{gemm, DenseMatrix, Scalar, Transpose};
+use gofmm_linalg::{gemm, gemm_mixed, DenseMatrix, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
 use gofmm_runtime::{
     parallel_for, DisjointCells, ExecStats, Family, ReusablePlan, RunDefaults, WorkspacePool,
@@ -51,8 +51,12 @@ pub struct EvaluationStats {
     /// Amortized over every subsequent apply on the same evaluator.
     pub setup_time: f64,
     /// Bytes of interaction blocks (plus gather indices) packed inside the
-    /// evaluator. These are read, never recomputed, on every apply.
+    /// evaluator. These are read, never recomputed, on every apply. With
+    /// [`PanelPrecision::MixedF32`] panels this reflects the reduced `f32`
+    /// storage footprint.
     pub cached_bytes: usize,
+    /// Storage precision of the evaluator's owned packed panels.
+    pub panel_precision: PanelPrecision,
     /// Floating-point operations performed (GEMM counts).
     pub flops: u64,
     /// Scheduler statistics when the evaluation ran through the shared
@@ -153,6 +157,9 @@ pub struct Evaluator<'a, T: Scalar> {
     plan: ReusablePlan,
     setup_time: f64,
     cached_bytes: usize,
+    /// Storage precision of the owned packed panels ([`Panel::Packed`] vs
+    /// [`Panel::Mixed`]); borrowing evaluators always report `Native`.
+    panel_precision: PanelPrecision,
     /// Per-apply value buffers, leased per call and recycled across calls.
     pool: WorkspacePool<ApplyWorkspace<T>>,
 }
@@ -225,6 +232,10 @@ enum Panel<'a, T: Scalar> {
     Empty,
     /// All blocks packed into one contiguous column-major matrix.
     Packed(DenseMatrix<T>),
+    /// All blocks packed like `Packed`, but *stored* in the reduced panel
+    /// precision ([`PanelPrecision::MixedF32`]); applies upconvert during
+    /// GEMM packing and accumulate in `T` ([`gemm_mixed`]).
+    Mixed(DenseMatrix<<T as Scalar>::PanelScalar>),
     /// Blocks borrowed from the compression's cache, in interaction-list
     /// order.
     Blocks(&'a [DenseMatrix<T>]),
@@ -235,6 +246,7 @@ impl<T: Scalar> Panel<'_, T> {
         match self {
             Panel::Empty => true,
             Panel::Packed(m) => m.is_empty(),
+            Panel::Mixed(m) => m.is_empty(),
             Panel::Blocks(b) => b.is_empty(),
         }
     }
@@ -245,8 +257,21 @@ impl<T: Scalar> Panel<'_, T> {
         match self {
             Panel::Empty => 0,
             Panel::Packed(m) => m.rows() * m.cols() * scalar,
+            Panel::Mixed(m) => {
+                m.rows() * m.cols() * std::mem::size_of::<<T as Scalar>::PanelScalar>()
+            }
             Panel::Blocks(b) => b.iter().map(|m| m.rows() * m.cols() * scalar).sum(),
         }
+    }
+}
+
+/// Wrap a freshly packed owned panel in the configured storage precision:
+/// native keeps the operator precision, mixed downcasts the stored values to
+/// [`Scalar::PanelScalar`] (applies re-accumulate in the operator precision).
+fn make_owned_panel<'a, T: Scalar>(mat: DenseMatrix<T>, precision: PanelPrecision) -> Panel<'a, T> {
+    match precision {
+        PanelPrecision::Native => Panel::Packed(mat),
+        PanelPrecision::MixedF32 => Panel::Mixed(mat.cast::<T::PanelScalar>()),
     }
 }
 
@@ -306,6 +331,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         let gather_cells: DisjointCells<Vec<usize>> =
             DisjointCells::from_fn(node_count, |_| Vec::new());
 
+        let precision = comp.config.panel_precision;
         {
             let comp = &*comp;
             parallel_for(node_count, num_threads.max(1), |heap| {
@@ -316,7 +342,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                     } else {
                         matrix.submatrix(tree.indices(heap), &gather)
                     };
-                    near_cells.set(heap, Panel::Packed(mat));
+                    near_cells.set(heap, make_owned_panel(mat, precision));
                     gather_cells.set(heap, gather);
                 }
                 if let Some(basis) = comp.bases[heap].as_ref() {
@@ -326,7 +352,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                         } else {
                             extract_far_panel(matrix, comp, heap)
                         };
-                        far_cells.set(heap, Panel::Packed(mat));
+                        far_cells.set(heap, make_owned_panel(mat, precision));
                     }
                 }
             });
@@ -336,6 +362,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             comp,
             policy,
             num_threads,
+            precision,
             far_cells.into_inner(),
             near_cells.into_inner(),
             gather_cells.into_inner(),
@@ -393,6 +420,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             CompRef::Borrowed(comp),
             policy,
             num_threads,
+            PanelPrecision::Native,
             far,
             near,
             near_gather,
@@ -402,10 +430,12 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
 
     /// Shared tail of every constructor: DAG construction, cache accounting
     /// and pool setup.
+    #[allow(clippy::too_many_arguments)]
     fn assemble_evaluator<'c>(
         comp: CompRef<'c, T>,
         policy: TraversalPolicy,
         num_threads: usize,
+        panel_precision: PanelPrecision,
         far: Vec<Panel<'c, T>>,
         near: Vec<Panel<'c, T>>,
         near_gather: Vec<Vec<usize>>,
@@ -433,6 +463,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             plan,
             setup_time: t0.elapsed().as_secs_f64(),
             cached_bytes,
+            panel_precision,
             pool: WorkspacePool::new(),
         }
     }
@@ -446,10 +477,12 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         let t0 = Instant::now();
         let (far, near, near_gather) = Evaluator::steal_packed(matrix, &mut comp);
         let (policy, threads) = (comp.config.policy, comp.config.num_threads);
+        let precision = comp.config.panel_precision;
         Evaluator::assemble_evaluator(
             CompRef::Owned(Box::new(comp)),
             policy,
             threads,
+            precision,
             far,
             near,
             near_gather,
@@ -471,6 +504,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         Vec<Vec<usize>>,
     ) {
         let node_count = comp.tree.node_count();
+        let precision = comp.config.panel_precision;
         let stolen_near = std::mem::take(&mut comp.near_blocks);
         let stolen_far = std::mem::take(&mut comp.far_blocks);
         let mut far: Vec<Panel<'static, T>> = Vec::with_capacity(node_count);
@@ -488,7 +522,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                 } else {
                     matrix.submatrix(tree.indices(heap), &gather)
                 };
-                near.push(Panel::Packed(mat));
+                near.push(make_owned_panel(mat, precision));
                 near_gather[heap] = gather;
             } else {
                 near.push(Panel::Empty);
@@ -500,7 +534,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                 } else {
                     extract_far_panel(matrix, comp, heap)
                 };
-                far.push(Panel::Packed(mat));
+                far.push(make_owned_panel(mat, precision));
             } else {
                 far.push(Panel::Empty);
             }
@@ -540,6 +574,14 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
     /// evaluator.
     pub fn cached_bytes(&self) -> usize {
         self.cached_bytes
+    }
+
+    /// Storage precision of the owned packed panels. Packing constructors
+    /// take it from [`crate::GofmmConfig::panel_precision`]; borrowing
+    /// evaluators always report [`PanelPrecision::Native`] (they reference
+    /// the compression's cached blocks in place).
+    pub fn panel_precision(&self) -> PanelPrecision {
+        self.panel_precision
     }
 
     /// The default traversal policy of [`Evaluator::apply`] (override per
@@ -652,6 +694,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             time: t0.elapsed().as_secs_f64(),
             setup_time: self.setup_time,
             cached_bytes: self.cached_bytes,
+            panel_precision: self.panel_precision,
             flops: flops.load(Ordering::Relaxed),
             exec: exec_stats,
         };
@@ -805,6 +848,19 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 );
                 self.count_gemm(far.rows(), r, far.cols());
             }
+            Panel::Mixed(far) => {
+                let mut wstack = DenseMatrix::zeros(far.cols(), r);
+                let mut off = 0;
+                for &alpha in &comp.lists.far[heap] {
+                    let wa = self.ws.wtilde.read(alpha);
+                    wstack.set_block(off, 0, &wa);
+                    off += wa.rows();
+                }
+                debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
+                let mut ut = self.ws.utilde.write(heap);
+                gemm_mixed(T::one(), far, &wstack, T::one(), &mut ut);
+                self.count_gemm(far.rows(), r, far.cols());
+            }
             Panel::Blocks(blocks) => {
                 let mut ut = self.ws.utilde.write(heap);
                 for (&alpha, block) in comp.lists.far[heap].iter().zip(*blocks) {
@@ -892,6 +948,12 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 );
                 self.count_gemm(near.rows(), r, near.cols());
             }
+            Panel::Mixed(near) => {
+                let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
+                let mut out = self.ws.u_near.write(heap);
+                gemm_mixed(T::one(), near, &w_near, T::one(), &mut out);
+                self.count_gemm(near.rows(), r, near.cols());
+            }
             Panel::Blocks(blocks) => {
                 let comp = self.ev.compressed();
                 let mut out = self.ws.u_near.write(heap);
@@ -975,11 +1037,13 @@ impl<T: Scalar> Compressed<T> {
         let t0 = Instant::now();
         let (far, near, near_gather) = Evaluator::steal_packed(matrix, &mut self);
         let (policy, threads) = (self.config.policy, self.config.num_threads);
+        let precision = self.config.panel_precision;
         let comp = std::sync::Arc::new(self);
         let evaluator = Evaluator::assemble_evaluator(
             CompRef::Shared(std::sync::Arc::clone(&comp)),
             policy,
             threads,
+            precision,
             far,
             near,
             near_gather,
@@ -1636,6 +1700,68 @@ mod tests {
         let exact = SpdMatrix::<f32>::matvec_exact(&k, &w);
         let rel = (u.sub(&exact).norm_fro() / exact.norm_fro()) as f64;
         assert!(rel < 1e-3, "f32 relative error {rel}");
+    }
+
+    #[test]
+    fn mixed_precision_panels_halve_storage_and_track_native() {
+        let n = 300;
+        let k = test_matrix(n);
+        let native = compress::<f64, _>(&k, &config());
+        let mixed =
+            compress::<f64, _>(&k, &config().with_panel_precision(PanelPrecision::MixedF32));
+        let ev_native = Evaluator::new(&k, &native);
+        let ev_mixed = Evaluator::new(&k, &mixed);
+        assert_eq!(ev_native.panel_precision(), PanelPrecision::Native);
+        assert_eq!(ev_mixed.panel_precision(), PanelPrecision::MixedF32);
+        // Panels dominate cached_bytes; f32 storage should cut the total to
+        // roughly half (gather indices are precision-independent overhead).
+        assert!(
+            ev_mixed.cached_bytes() * 2 <= ev_native.cached_bytes() + n * 64,
+            "mixed {} vs native {}",
+            ev_mixed.cached_bytes(),
+            ev_native.cached_bytes()
+        );
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 3, &mut rng);
+        let (u_native, _) = ev_native.apply(&w).unwrap();
+        let (u_mixed, stats) = ev_mixed.apply(&w).unwrap();
+        assert_eq!(stats.panel_precision, PanelPrecision::MixedF32);
+        // f32 storage / f64 accumulation: agreement at single-precision level.
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for c in 0..3 {
+            for r in 0..n {
+                let d = u_native.get(r, c) - u_mixed.get(r, c);
+                num += d * d;
+                den += u_native.get(r, c) * u_native.get(r, c);
+            }
+        }
+        let rel = (num / den).sqrt();
+        assert!(rel < 1e-5, "mixed-vs-native relative error {rel}");
+    }
+
+    #[test]
+    fn mixed_precision_is_identity_for_f32_operators() {
+        let n = 200;
+        let k = test_matrix(n);
+        let native = compress::<f32, _>(&k, &config());
+        let mixed =
+            compress::<f32, _>(&k, &config().with_panel_precision(PanelPrecision::MixedF32));
+        let ev_native = Evaluator::new(&k, &native);
+        let ev_mixed = Evaluator::new(&k, &mixed);
+        // f32 panels are already single precision: same footprint either way.
+        assert_eq!(ev_mixed.cached_bytes(), ev_native.cached_bytes());
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = DenseMatrix::<f32>::random_gaussian(n, 2, &mut rng);
+        let (u_native, _) = ev_native.apply(&w).unwrap();
+        let (u_mixed, _) = ev_mixed.apply(&w).unwrap();
+        for c in 0..2 {
+            for r in 0..n {
+                let d = (u_native.get(r, c) - u_mixed.get(r, c)).abs();
+                assert!(d <= 1e-4 * u_native.get(r, c).abs().max(1.0));
+            }
+        }
     }
 
     #[test]

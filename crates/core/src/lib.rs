@@ -61,7 +61,7 @@ pub mod skel;
 
 pub use accuracy::{accuracy_report, AccuracyReport};
 pub use compress::{compress, try_compress, CompRef, Compressed, CompressionStats};
-pub use config::{ApplyOptions, GofmmConfig, TraversalPolicy};
+pub use config::{ApplyOptions, GofmmConfig, PanelPrecision, TraversalPolicy};
 pub use distance::{DistanceMetric, GramOracle};
 pub use error::Error;
 pub use evaluate::{

@@ -2,12 +2,26 @@
 //!
 //! These are the work-horses behind skeletonization (`GEQP3`/`TRSM` call into
 //! them) and behind the N2S/S2S/S2N/L2L evaluation tasks. The GEMM is a
-//! register-blocked, cache-blocked triple loop — far from MKL, but it keeps the
-//! asymptotic story of the paper intact and reaches a few GFLOP/s per core,
-//! which is enough to reproduce the *shape* of every experiment.
+//! BLIS-style packed, cache-blocked kernel: operands are copied into
+//! contiguous `MR`/`NR` strips with row/column **slice** copies (no
+//! per-element bounds checks), then multiplied by the register micro-kernel
+//! dispatched through [`Scalar::gemm_microkernel`] — AVX2/FMA on x86-64,
+//! a portable scalar loop elsewhere (see [`crate::simd`]). Both paths
+//! accumulate each output element over `k` in the same order, so GEMM
+//! results are bit-identical across dispatch paths.
+//!
+//! [`gemm_mixed`] is the mixed-precision variant the serving layer uses for
+//! `f32`-stored interaction panels: the pack step upconverts the panel to the
+//! accumulator precision `T`, so all arithmetic runs in `T` (f64 accumulation
+//! over f32 storage) through the very same micro-kernel.
+//!
+//! The pre-SIMD scalar kernels are retained verbatim under [`mod@reference`] as
+//! the comparison baseline for the kernel-equivalence suite and the bench
+//! grid.
 
 use crate::matrix::DenseMatrix;
 use crate::scalar::Scalar;
+use crate::simd;
 
 /// Whether an operand of [`gemm`] is used as-is or transposed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,18 +32,26 @@ pub enum Transpose {
     Yes,
 }
 
-/// Cache-block sizes for the packed GEMM. Chosen for ~32 KiB L1 / 1 MiB L2.
+/// Cache-block sizes for the packed GEMM. Chosen for ~32 KiB L1 / 1 MiB L2;
+/// `MC` is divisible by both precisions' `MR` so A-strips never straddle the
+/// block edge.
 const MC: usize = 128;
 const KC: usize = 256;
 const NC: usize = 512;
-/// Register block (micro-kernel) sizes.
-const MR: usize = 4;
-const NR: usize = 4;
+
+/// Lossless storage-to-accumulator upconversion used by the packing step
+/// (`f32 -> f64` for mixed panels, identity otherwise).
+#[inline(always)]
+fn up<P: Scalar, T: Scalar>(x: P) -> T {
+    T::from_f64(x.to_f64())
+}
 
 /// General matrix-matrix multiply: `C = alpha * op_a(A) * op_b(B) + beta * C`.
 ///
 /// Dimensions are checked at runtime; the operands are packed into
-/// cache-friendly panels and multiplied with an `MR x NR` micro-kernel.
+/// cache-friendly panels and multiplied with the runtime-dispatched
+/// `MR x NR` micro-kernel. Results are bit-identical between the SIMD and
+/// scalar dispatch paths (see [`crate::simd`] for why).
 pub fn gemm<T: Scalar>(
     alpha: T,
     a: &DenseMatrix<T>,
@@ -38,6 +60,43 @@ pub fn gemm<T: Scalar>(
     op_b: Transpose,
     beta: T,
     c: &mut DenseMatrix<T>,
+) {
+    gemm_core(alpha, a, op_a, b, op_b, beta, c, false);
+}
+
+/// Mixed-precision multiply `C = alpha * A * B + beta * C` where `A` is
+/// stored in the reduced panel precision [`Scalar::PanelScalar`] and all
+/// arithmetic accumulates in `T`.
+///
+/// This is the serving-layer kernel for `f32`-stored far-field panels: the
+/// pack step upconverts `A` losslessly to `T`, after which the standard
+/// `T` micro-kernel runs — i.e. f32 storage, f64 accumulation when
+/// `T = f64`. Only the no-transpose form is provided because the evaluator
+/// multiplies its panels untransposed.
+pub fn gemm_mixed<T: Scalar>(
+    alpha: T,
+    a: &DenseMatrix<T::PanelScalar>,
+    b: &DenseMatrix<T>,
+    beta: T,
+    c: &mut DenseMatrix<T>,
+) {
+    gemm_core(alpha, a, Transpose::No, b, Transpose::No, beta, c, false);
+}
+
+/// The shared packed GEMM behind [`gemm`], [`gemm_mixed`] and
+/// [`reference::gemm`]. `P` is the storage precision of `A` (equal to `T`
+/// except for mixed panels); `force_scalar` pins the scalar micro-kernel for
+/// the retained reference path.
+#[allow(clippy::too_many_arguments)]
+fn gemm_core<P: Scalar, T: Scalar>(
+    alpha: T,
+    a: &DenseMatrix<P>,
+    op_a: Transpose,
+    b: &DenseMatrix<T>,
+    op_b: Transpose,
+    beta: T,
+    c: &mut DenseMatrix<T>,
+    force_scalar: bool,
 ) {
     let (m, ka) = match op_a {
         Transpose::No => (a.rows(), a.cols()),
@@ -68,26 +127,21 @@ pub fn gemm<T: Scalar>(
         return;
     }
 
-    let at = |i: usize, p: usize| -> T {
-        match op_a {
-            Transpose::No => a.get(i, p),
-            Transpose::Yes => a.get(p, i),
-        }
-    };
-    let bt = |p: usize, j: usize| -> T {
-        match op_b {
-            Transpose::No => b.get(p, j),
-            Transpose::Yes => b.get(j, p),
-        }
-    };
+    let mr = T::MR;
+    let nr = T::NR;
+    debug_assert!(MC % mr == 0, "MC must be a multiple of MR");
+    debug_assert!(mr * nr <= simd::ACC_TILE);
 
-    // Packed panels reused across blocks. Deliberately heap-allocated: the
-    // panels are hundreds of kilobytes, far too large for the stack arrays
-    // clippy would otherwise suggest.
+    // Packed panels reused across blocks. A is packed in `mr`-row strips
+    // (`a_pack[strip][p*mr + r]`), B in `nr`-column strips
+    // (`b_pack[strip][p*nr + c]`), both zero-padded to full strip width so
+    // the micro-kernel always runs complete tiles.
+    // 256 KiB: far too large for the stack, so not the array clippy suggests.
     #[allow(clippy::useless_vec)]
     let mut a_pack = vec![T::zero(); MC * KC];
-    #[allow(clippy::useless_vec)]
-    let mut b_pack = vec![T::zero(); KC * NC];
+    let mut b_pack = vec![T::zero(); NC.div_ceil(nr) * nr * KC];
+    let mut acc = [T::zero(); simd::ACC_TILE];
+    let acc = &mut acc[..mr * nr];
 
     let mut jc = 0;
     while jc < n {
@@ -95,53 +149,99 @@ pub fn gemm<T: Scalar>(
         let mut pc = 0;
         while pc < k {
             let kb_ = KC.min(k - pc);
-            // Pack B panel: b_pack[p + j*kb_] = B(pc+p, jc+j)
-            for j in 0..nb {
-                for p in 0..kb_ {
-                    b_pack[j * kb_ + p] = bt(pc + p, jc + j);
+            // Pack B panel with contiguous column-slice reads.
+            for jstrip in 0..nb.div_ceil(nr) {
+                let j0 = jstrip * nr;
+                let cmax = nr.min(nb - j0);
+                let dst = &mut b_pack[jstrip * (KC * nr)..jstrip * (KC * nr) + kb_ * nr];
+                match op_b {
+                    Transpose::No => {
+                        for cc in 0..nr {
+                            if cc < cmax {
+                                let src = &b.col(jc + j0 + cc)[pc..pc + kb_];
+                                for (p, v) in src.iter().enumerate() {
+                                    dst[p * nr + cc] = *v;
+                                }
+                            } else {
+                                for p in 0..kb_ {
+                                    dst[p * nr + cc] = T::zero();
+                                }
+                            }
+                        }
+                    }
+                    Transpose::Yes => {
+                        // bt(p, j) = B(j, p): row `p` of the packed strip is a
+                        // contiguous run of column `pc + p`.
+                        for p in 0..kb_ {
+                            let src = &b.col(pc + p)[jc + j0..jc + j0 + cmax];
+                            let row = &mut dst[p * nr..(p + 1) * nr];
+                            row[..cmax].copy_from_slice(src);
+                            for v in &mut row[cmax..] {
+                                *v = T::zero();
+                            }
+                        }
+                    }
                 }
             }
             let mut ic = 0;
             while ic < m {
                 let mb = MC.min(m - ic);
-                // Pack A panel in MR-row strips: a_pack[strip][p*MR + r]
-                for istrip in 0..mb.div_ceil(MR) {
-                    let i0 = istrip * MR;
-                    let rmax = MR.min(mb - i0);
-                    for p in 0..kb_ {
-                        for r in 0..MR {
-                            let v = if r < rmax {
-                                at(ic + i0 + r, pc + p)
-                            } else {
-                                T::zero()
-                            };
-                            a_pack[istrip * (KC * MR) + p * MR + r] = v;
+                // Pack A panel in `mr`-row strips with slice reads, upconverting
+                // storage precision to the accumulator precision.
+                for istrip in 0..mb.div_ceil(mr) {
+                    let i0 = istrip * mr;
+                    let rmax = mr.min(mb - i0);
+                    let dst = &mut a_pack[istrip * (KC * mr)..istrip * (KC * mr) + kb_ * mr];
+                    match op_a {
+                        Transpose::No => {
+                            for p in 0..kb_ {
+                                let src = &a.col(pc + p)[ic + i0..ic + i0 + rmax];
+                                let row = &mut dst[p * mr..(p + 1) * mr];
+                                for (rv, sv) in row.iter_mut().zip(src.iter()) {
+                                    *rv = up(*sv);
+                                }
+                                for rv in &mut row[rmax..] {
+                                    *rv = T::zero();
+                                }
+                            }
+                        }
+                        Transpose::Yes => {
+                            // at(i, p) = A(p, i): lane `r` of the strip reads a
+                            // contiguous run of column `ic + i0 + r`.
+                            for r in 0..mr {
+                                if r < rmax {
+                                    let src = &a.col(ic + i0 + r)[pc..pc + kb_];
+                                    for (p, v) in src.iter().enumerate() {
+                                        dst[p * mr + r] = up(*v);
+                                    }
+                                } else {
+                                    for p in 0..kb_ {
+                                        dst[p * mr + r] = T::zero();
+                                    }
+                                }
+                            }
                         }
                     }
                 }
                 // Macro kernel over micro tiles.
-                for jstrip in 0..nb.div_ceil(NR) {
-                    let j0 = jstrip * NR;
-                    let cmax = NR.min(nb - j0);
-                    for istrip in 0..mb.div_ceil(MR) {
-                        let i0 = istrip * MR;
-                        let rmax = MR.min(mb - i0);
-                        // MR x NR accumulator tile.
-                        let mut acc = [[T::zero(); NR]; MR];
-                        let a_strip = &a_pack[istrip * (KC * MR)..istrip * (KC * MR) + kb_ * MR];
-                        for p in 0..kb_ {
-                            let arow = &a_strip[p * MR..p * MR + MR];
-                            for jj in 0..cmax {
-                                let bv = b_pack[(j0 + jj) * kb_ + p];
-                                for rr in 0..MR {
-                                    acc[rr][jj] = arow[rr].mul_add(bv, acc[rr][jj]);
-                                }
-                            }
+                for jstrip in 0..nb.div_ceil(nr) {
+                    let j0 = jstrip * nr;
+                    let cmax = nr.min(nb - j0);
+                    let b_strip = &b_pack[jstrip * (KC * nr)..jstrip * (KC * nr) + kb_ * nr];
+                    for istrip in 0..mb.div_ceil(mr) {
+                        let i0 = istrip * mr;
+                        let rmax = mr.min(mb - i0);
+                        let a_strip = &a_pack[istrip * (KC * mr)..istrip * (KC * mr) + kb_ * mr];
+                        if force_scalar {
+                            simd::microkernel_scalar(mr, nr, kb_, a_strip, b_strip, acc);
+                        } else {
+                            T::gemm_microkernel(kb_, a_strip, b_strip, acc);
                         }
-                        for jj in 0..cmax {
-                            for rr in 0..rmax {
-                                let cur = c.get(ic + i0 + rr, jc + j0 + jj);
-                                c.set(ic + i0 + rr, jc + j0 + jj, alpha.mul_add(acc[rr][jj], cur));
+                        for cc in 0..cmax {
+                            let tile = &acc[cc * mr..cc * mr + rmax];
+                            let col = &mut c.col_mut(jc + j0 + cc)[ic + i0..ic + i0 + rmax];
+                            for (cv, tv) in col.iter_mut().zip(tile.iter()) {
+                                *cv = alpha.mul_add(*tv, *cv);
                             }
                         }
                     }
@@ -200,6 +300,10 @@ pub fn matmul_nt<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatr
 }
 
 /// Matrix-vector multiply `y = alpha * op(A) x + beta * y`.
+///
+/// The no-transpose form sweeps columns with the dispatched axpy (bit-
+/// identical across dispatch paths); the transposed form reduces each column
+/// with the dispatched dot product.
 pub fn gemv<T: Scalar>(
     alpha: T,
     a: &DenseMatrix<T>,
@@ -225,33 +329,22 @@ pub fn gemv<T: Scalar>(
                 if s == T::zero() {
                     continue;
                 }
-                let col = a.col(j);
-                for i in 0..m {
-                    y[i] = col[i].mul_add(s, y[i]);
-                }
+                T::axpy_kernel(s, a.col(j), y);
             }
         }
         Transpose::Yes => {
             for i in 0..m {
-                let col = a.col(i);
-                let mut acc = T::zero();
-                for (cv, xv) in col.iter().zip(x.iter()) {
-                    acc = cv.mul_add(*xv, acc);
-                }
+                let acc = T::dot_kernel(a.col(i), x);
                 y[i] = alpha.mul_add(acc, y[i]);
             }
         }
     }
 }
 
-/// Euclidean dot product.
+/// Euclidean dot product (runtime-dispatched).
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len());
-    let mut acc = T::zero();
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc = a.mul_add(*b, acc);
-    }
-    acc
+    T::dot_kernel(x, y)
 }
 
 /// Euclidean norm of a vector.
@@ -259,12 +352,10 @@ pub fn nrm2<T: Scalar>(x: &[T]) -> T {
     dot(x, x).sqrt()
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (runtime-dispatched, bit-identical across paths).
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len());
-    for (a, b) in y.iter_mut().zip(x.iter()) {
-        *a = alpha.mul_add(*b, *a);
-    }
+    T::axpy_kernel(alpha, x, y);
 }
 
 /// Estimate the spectral norm of `A` with a few power iterations on `A^T A`.
@@ -299,6 +390,82 @@ pub fn norm2_est<T: Scalar>(a: &DenseMatrix<T>, iters: usize) -> T {
 /// GFLOPS reporting in the experiment harness).
 pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
+}
+
+pub mod reference {
+    //! Retained scalar reference kernels.
+    //!
+    //! These run the exact packed-GEMM structure of [`super::gemm`] but pin
+    //! the portable scalar micro-kernel regardless of the runtime dispatch
+    //! decision, plus plain sequential-fma loops for GEMV/dot/axpy. The
+    //! kernel-equivalence proptest suite compares the dispatched kernels
+    //! against these, and the bench grid times simd-vs-scalar through them.
+
+    use super::{DenseMatrix, Scalar, Transpose};
+    use crate::simd;
+
+    /// Scalar-pinned GEMM: bit-identical to [`super::gemm`] by construction
+    /// (same packing, same per-element accumulation order).
+    pub fn gemm<T: Scalar>(
+        alpha: T,
+        a: &DenseMatrix<T>,
+        op_a: Transpose,
+        b: &DenseMatrix<T>,
+        op_b: Transpose,
+        beta: T,
+        c: &mut DenseMatrix<T>,
+    ) {
+        super::gemm_core(alpha, a, op_a, b, op_b, beta, c, true);
+    }
+
+    /// Scalar GEMV with sequential fma accumulation.
+    pub fn gemv<T: Scalar>(
+        alpha: T,
+        a: &DenseMatrix<T>,
+        op_a: Transpose,
+        x: &[T],
+        beta: T,
+        y: &mut [T],
+    ) {
+        let (m, n) = match op_a {
+            Transpose::No => (a.rows(), a.cols()),
+            Transpose::Yes => (a.cols(), a.rows()),
+        };
+        assert_eq!(x.len(), n, "gemv x length mismatch");
+        assert_eq!(y.len(), m, "gemv y length mismatch");
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+        match op_a {
+            Transpose::No => {
+                for j in 0..n {
+                    let s = alpha * x[j];
+                    if s == T::zero() {
+                        continue;
+                    }
+                    simd::axpy_scalar(s, a.col(j), y);
+                }
+            }
+            Transpose::Yes => {
+                for i in 0..m {
+                    let acc = simd::dot_scalar(a.col(i), x);
+                    y[i] = alpha.mul_add(acc, y[i]);
+                }
+            }
+        }
+    }
+
+    /// Scalar dot product (sequential fma).
+    pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+        assert_eq!(x.len(), y.len());
+        simd::dot_scalar(x, y)
+    }
+
+    /// Scalar axpy.
+    pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), y.len());
+        simd::axpy_scalar(alpha, x, y);
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +540,60 @@ mod tests {
         half_c0.scale(0.5);
         expect = expect.add(&half_c0);
         assert!(c.sub(&expect).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn dispatched_gemm_is_bit_identical_to_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, n, k) in &[(1, 1, 1), (7, 5, 3), (17, 13, 9), (130, 70, 300)] {
+            let a = DenseMatrix::<f64>::random_uniform(m, k, &mut rng);
+            let b = DenseMatrix::<f64>::random_uniform(k, n, &mut rng);
+            for (oa, ob, ad, bd) in [
+                (Transpose::No, Transpose::No, (m, k), (k, n)),
+                (Transpose::Yes, Transpose::No, (k, m), (k, n)),
+                (Transpose::No, Transpose::Yes, (m, k), (n, k)),
+                (Transpose::Yes, Transpose::Yes, (k, m), (n, k)),
+            ] {
+                let at = DenseMatrix::<f64>::from_fn(ad.0, ad.1, |i, j| {
+                    if oa == Transpose::No {
+                        a[(i, j)]
+                    } else {
+                        a[(j, i)]
+                    }
+                });
+                let bt = DenseMatrix::<f64>::from_fn(bd.0, bd.1, |i, j| {
+                    if ob == Transpose::No {
+                        b[(i, j)]
+                    } else {
+                        b[(j, i)]
+                    }
+                });
+                let mut c1 = DenseMatrix::<f64>::zeros(m, n);
+                let mut c2 = DenseMatrix::<f64>::zeros(m, n);
+                gemm(1.0, &at, oa, &bt, ob, 0.0, &mut c1);
+                reference::gemm(1.0, &at, oa, &bt, ob, 0.0, &mut c2);
+                assert_eq!(c1.data(), c2.data(), "{m}x{n}x{k} {oa:?}/{ob:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_mixed_tracks_full_precision() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (m, n, k) = (33, 9, 150);
+        let a = DenseMatrix::<f64>::random_uniform(m, k, &mut rng);
+        let b = DenseMatrix::<f64>::random_uniform(k, n, &mut rng);
+        let a32 = a.cast::<f32>();
+        let mut c_mixed = DenseMatrix::<f64>::zeros(m, n);
+        gemm_mixed(1.0, &a32, &b, 0.0, &mut c_mixed);
+        let c_full = matmul(&a, &b);
+        // Storage roundoff only: one f32 rounding per A entry, f64 accumulation.
+        let bound = f32::EPSILON as f64 * k as f64;
+        assert!(
+            c_mixed.sub(&c_full).norm_max() < bound,
+            "mixed drift {} above {bound}",
+            c_mixed.sub(&c_full).norm_max()
+        );
     }
 
     #[test]

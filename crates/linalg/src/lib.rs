@@ -7,7 +7,10 @@
 //! exactly that functionality, generic over [`Scalar`] (`f32`/`f64`):
 //!
 //! * [`matrix::DenseMatrix`] — column-major dense matrices,
-//! * [`blas`] — blocked GEMM, GEMV, dots and norm estimates,
+//! * [`blas`] — packed, cache-blocked GEMM (plus the mixed-precision
+//!   [`blas::gemm_mixed`]), GEMV, dots and norm estimates,
+//! * [`simd`] — the runtime-dispatched AVX2/FMA micro-kernels behind them,
+//!   with a portable scalar fallback (`GOFMM_FORCE_SCALAR=1` pins it),
 //! * [`qr`] — Householder QR/QL and column-pivoted (rank-revealing) QR,
 //! * [`trsm`] — triangular solves,
 //! * [`ulv`] — ULV building blocks: two-sided orthogonal block reduction and
@@ -27,15 +30,19 @@ pub mod lu;
 pub mod matrix;
 pub mod qr;
 pub mod scalar;
+pub mod simd;
 pub mod trsm;
 pub mod ulv;
 
-pub use blas::{axpy, dot, gemm, gemv, matmul, matmul_nt, matmul_tn, norm2_est, nrm2, Transpose};
+pub use blas::{
+    axpy, dot, gemm, gemm_mixed, gemv, matmul, matmul_nt, matmul_tn, norm2_est, nrm2, Transpose,
+};
 pub use cholesky::{is_spd, Cholesky, NotPositiveDefinite};
 pub use id::{id_reconstruct, interpolative_decomposition, Id};
 pub use lu::{LuFactor, SingularMatrix};
 pub use matrix::DenseMatrix;
 pub use qr::{householder_ql, householder_qr, pivoted_qr, QlFactors, QrFactors, QrOptions};
 pub use scalar::Scalar;
+pub use simd::{simd_level, SimdLevel};
 pub use trsm::{tri_inverse, trsm_left, trsm_left_blocked, trsv, Triangle};
 pub use ulv::{eliminate_trailing, rotate_symmetric, TrailingElimination};

@@ -165,16 +165,36 @@ impl<T: Scalar> DenseMatrix<T> {
     /// Extract a contiguous block `[r0..r1) x [c0..c1)`.
     pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Self {
         assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
-        Self::from_fn(r1 - r0, c1 - c0, |i, j| self.get(r0 + i, c0 + j))
+        let mut out = Self::zeros(r1 - r0, c1 - c0);
+        for j in 0..(c1 - c0) {
+            out.col_mut(j).copy_from_slice(&self.col(c0 + j)[r0..r1]);
+        }
+        out
     }
 
     /// Copy `other` into the block starting at `(r0, c0)`.
     pub fn set_block(&mut self, r0: usize, c0: usize, other: &Self) {
         assert!(r0 + other.rows <= self.rows && c0 + other.cols <= self.cols);
         for j in 0..other.cols {
-            for i in 0..other.rows {
-                self.set(r0 + i, c0 + j, other.get(i, j));
-            }
+            self.col_mut(c0 + j)[r0..r0 + other.rows].copy_from_slice(other.col(j));
+        }
+    }
+
+    /// Split-borrow two distinct columns: `j_read` immutably, `j_write`
+    /// mutably. Used by the Householder trailing updates, where the reflector
+    /// column scatters into the columns to its right through the dispatched
+    /// axpy kernel.
+    #[inline(always)]
+    pub fn two_cols_mut(&mut self, j_read: usize, j_write: usize) -> (&[T], &mut [T]) {
+        assert!(j_read != j_write, "two_cols_mut requires distinct columns");
+        debug_assert!(j_read < self.cols && j_write < self.cols);
+        let r = self.rows;
+        if j_read < j_write {
+            let (lo, hi) = self.data.split_at_mut(j_write * r);
+            (&lo[j_read * r..j_read * r + r], &mut hi[..r])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(j_read * r);
+            (&hi[..r], &mut lo[j_write * r..j_write * r + r])
         }
     }
 

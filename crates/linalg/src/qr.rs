@@ -153,7 +153,10 @@ impl<T: Scalar> QrFactors<T> {
     /// Apply the stored Householder reflections to `b` in place: steps
     /// `0..rank` in order for `Q^T` (`forward`), in reverse for `Q`. The one
     /// place the compact-representation conventions (implicit `v[step] = 1`,
-    /// `tau == 0` skip) live.
+    /// `tau == 0` skip) live. Both the reflector and the updated column are
+    /// contiguous column slices, so the reduction and the rank-1 update run
+    /// through the dispatched dot/axpy kernels — this apply dominates the
+    /// ULV `FACTOR` sweep.
     fn apply_reflections(&self, b: &mut DenseMatrix<T>, transpose: bool) {
         assert_eq!(b.rows(), self.rows());
         let m = self.rows();
@@ -163,18 +166,14 @@ impl<T: Scalar> QrFactors<T> {
             if tau == T::zero() {
                 continue;
             }
+            // v = [1, factors[step+1.., step]]
+            let v = &self.factors.col(step)[step + 1..m];
             for j in 0..b.cols() {
-                // v = [1, factors[step+1.., step]]
-                let mut dotv = b.get(step, j);
-                for i in (step + 1)..m {
-                    dotv = self.factors.get(i, step).mul_add(b.get(i, j), dotv);
-                }
+                let bj = b.col_mut(j);
+                let dotv = bj[step] + T::dot_kernel(v, &bj[step + 1..m]);
                 let s = tau * dotv;
-                b.set(step, j, b.get(step, j) - s);
-                for i in (step + 1)..m {
-                    let updated = b.get(i, j) - s * self.factors.get(i, step);
-                    b.set(i, j, updated);
-                }
+                bj[step] -= s;
+                T::axpy_kernel(-s, v, &mut bj[step + 1..m]);
             }
         }
     }
@@ -253,25 +252,20 @@ pub fn pivoted_qr<T: Scalar>(a: &DenseMatrix<T>, opts: QrOptions) -> QrFactors<T
             break;
         }
         if jmax != k {
-            // Swap columns k and jmax plus bookkeeping.
-            for i in 0..m {
-                let tmp = f.get(i, k);
-                f.set(i, k, f.get(i, jmax));
-                f.set(i, jmax, tmp);
-            }
+            // Swap columns k and jmax (jmax > k) plus bookkeeping.
+            let (lo, hi) = f.data_mut().split_at_mut(jmax * m);
+            lo[k * m..(k + 1) * m].swap_with_slice(&mut hi[..m]);
             colnorm.swap(k, jmax);
             colnorm_ref.swap(k, jmax);
             pivots.swap(k, jmax);
         }
 
         // Householder reflector for column k, rows k..m.
-        let mut alpha = f.get(k, k);
-        let mut normx = T::zero();
-        for i in k..m {
-            let v = f.get(i, k);
-            normx = v.mul_add(v, normx);
-        }
-        normx = normx.sqrt();
+        let alpha = f.get(k, k);
+        let normx = {
+            let x = &f.col(k)[k..m];
+            T::dot_kernel(x, x).sqrt()
+        };
         if normx == T::zero() {
             tau.push(T::zero());
             rank = k + 1;
@@ -281,26 +275,21 @@ pub fn pivoted_qr<T: Scalar>(a: &DenseMatrix<T>, opts: QrOptions) -> QrFactors<T
         let tau_k = (beta - alpha) / beta;
         let scale = T::one() / (alpha - beta);
         // v = [1, x_{k+1..m} * scale], stored below the diagonal.
-        for i in (k + 1)..m {
-            f.set(i, k, f.get(i, k) * scale);
+        for v in &mut f.col_mut(k)[k + 1..m] {
+            *v *= scale;
         }
         f.set(k, k, beta);
-        alpha = beta;
-        let _ = alpha;
         tau.push(tau_k);
 
-        // Apply reflector to trailing columns: A_j -= tau * v (v^T A_j).
+        // Apply reflector to trailing columns: A_j -= tau * v (v^T A_j),
+        // one dispatched dot + axpy per column via a split borrow.
         for j in (k + 1)..n {
-            let mut dotv = f.get(k, j);
-            for i in (k + 1)..m {
-                dotv = f.get(i, k).mul_add(f.get(i, j), dotv);
-            }
+            let (ck, cj) = f.two_cols_mut(k, j);
+            let v = &ck[k + 1..m];
+            let dotv = cj[k] + T::dot_kernel(v, &cj[k + 1..m]);
             let s = tau_k * dotv;
-            f.set(k, j, f.get(k, j) - s);
-            for i in (k + 1)..m {
-                let updated = f.get(i, j) - s * f.get(i, k);
-                f.set(i, j, updated);
-            }
+            cj[k] -= s;
+            T::axpy_kernel(-s, v, &mut cj[k + 1..m]);
         }
 
         // Downdate partial column norms (LAPACK's safeguarded update).
@@ -314,12 +303,8 @@ pub fn pivoted_qr<T: Scalar>(a: &DenseMatrix<T>, opts: QrOptions) -> QrFactors<T
             let temp2 = temp * ratio * ratio;
             if temp2.to_f64() <= 1e-7 {
                 // Recompute the norm from scratch to avoid cancellation.
-                let mut acc = T::zero();
-                for i in (k + 1)..m {
-                    let v = f.get(i, j);
-                    acc = v.mul_add(v, acc);
-                }
-                colnorm[j] = acc.sqrt();
+                let x = &f.col(j)[k + 1..m];
+                colnorm[j] = T::dot_kernel(x, x).sqrt();
                 colnorm_ref[j] = colnorm[j];
             } else {
                 colnorm[j] *= temp.sqrt();
@@ -370,12 +355,10 @@ fn pivoted_qr_nopivot<T: Scalar>(a: &DenseMatrix<T>) -> QrFactors<T> {
     let mut tau = Vec::with_capacity(kmax);
     let pivots: Vec<usize> = (0..n).collect();
     for k in 0..kmax {
-        let mut normx = T::zero();
-        for i in k..m {
-            let v = f.get(i, k);
-            normx = v.mul_add(v, normx);
-        }
-        normx = normx.sqrt();
+        let normx = {
+            let x = &f.col(k)[k..m];
+            T::dot_kernel(x, x).sqrt()
+        };
         if normx == T::zero() {
             tau.push(T::zero());
             continue;
@@ -384,22 +367,18 @@ fn pivoted_qr_nopivot<T: Scalar>(a: &DenseMatrix<T>) -> QrFactors<T> {
         let beta = if alpha.to_f64() >= 0.0 { -normx } else { normx };
         let tau_k = (beta - alpha) / beta;
         let scale = T::one() / (alpha - beta);
-        for i in (k + 1)..m {
-            f.set(i, k, f.get(i, k) * scale);
+        for v in &mut f.col_mut(k)[k + 1..m] {
+            *v *= scale;
         }
         f.set(k, k, beta);
         tau.push(tau_k);
         for j in (k + 1)..n {
-            let mut dotv = f.get(k, j);
-            for i in (k + 1)..m {
-                dotv = f.get(i, k).mul_add(f.get(i, j), dotv);
-            }
+            let (ck, cj) = f.two_cols_mut(k, j);
+            let v = &ck[k + 1..m];
+            let dotv = cj[k] + T::dot_kernel(v, &cj[k + 1..m]);
             let s = tau_k * dotv;
-            f.set(k, j, f.get(k, j) - s);
-            for i in (k + 1)..m {
-                let updated = f.get(i, j) - s * f.get(i, k);
-                f.set(i, j, updated);
-            }
+            cj[k] -= s;
+            T::axpy_kernel(-s, v, &mut cj[k + 1..m]);
         }
     }
     QrFactors {

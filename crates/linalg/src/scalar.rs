@@ -68,10 +68,33 @@ pub trait Scalar:
     /// Short human-readable name of the precision ("f32"/"f64"), used in
     /// experiment reports.
     fn precision_name() -> &'static str;
+
+    /// Storage precision of mixed-precision interaction panels: `f32` for an
+    /// `f64` operator (halving panel memory), identity for `f32`. The GEMM
+    /// against such a panel upconverts during packing and accumulates in
+    /// `Self` — i.e. `Self` is the accumulator precision, `PanelScalar` the
+    /// storage precision (paper §3 runs storage-bound problems in single
+    /// precision for exactly this trade).
+    type PanelScalar: Scalar;
+
+    /// Register micro-kernel rows (`MR`) of this precision's GEMM tile.
+    const MR: usize;
+    /// Register micro-kernel columns (`NR`) of this precision's GEMM tile.
+    const NR: usize;
+
+    /// Runtime-dispatched `MR x NR` GEMM micro-kernel over packed panels
+    /// (see [`crate::simd::microkernel_scalar`] for the layout contract).
+    fn gemm_microkernel(kb: usize, a: &[Self], b: &[Self], acc: &mut [Self]);
+    /// Runtime-dispatched dot product.
+    fn dot_kernel(x: &[Self], y: &[Self]) -> Self;
+    /// Runtime-dispatched axpy `y[i] = fma(alpha, x[i], y[i])` (bit-identical
+    /// to the scalar loop on every dispatch path).
+    fn axpy_kernel(alpha: Self, x: &[Self], y: &mut [Self]);
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $name:expr) => {
+    ($t:ty, $name:expr, $panel:ty, $mr:expr, $nr:expr,
+     $microkernel:path, $dot:path, $axpy:path) => {
         impl Scalar for $t {
             #[inline(always)]
             fn zero() -> Self {
@@ -136,12 +159,47 @@ macro_rules! impl_scalar {
             fn precision_name() -> &'static str {
                 $name
             }
+
+            type PanelScalar = $panel;
+            const MR: usize = $mr;
+            const NR: usize = $nr;
+
+            #[inline(always)]
+            fn gemm_microkernel(kb: usize, a: &[Self], b: &[Self], acc: &mut [Self]) {
+                $microkernel(kb, a, b, acc)
+            }
+            #[inline(always)]
+            fn dot_kernel(x: &[Self], y: &[Self]) -> Self {
+                $dot(x, y)
+            }
+            #[inline(always)]
+            fn axpy_kernel(alpha: Self, x: &[Self], y: &mut [Self]) {
+                $axpy(alpha, x, y)
+            }
         }
     };
 }
 
-impl_scalar!(f32, "f32");
-impl_scalar!(f64, "f64");
+impl_scalar!(
+    f32,
+    "f32",
+    f32,
+    16,
+    6,
+    crate::simd::microkernel_f32,
+    crate::simd::dot_f32,
+    crate::simd::axpy_f32
+);
+impl_scalar!(
+    f64,
+    "f64",
+    f32,
+    8,
+    6,
+    crate::simd::microkernel_f64,
+    crate::simd::dot_f64,
+    crate::simd::axpy_f64
+);
 
 #[cfg(test)]
 mod tests {
@@ -174,6 +232,19 @@ mod tests {
     fn mul_add_matches_separate_ops() {
         let a = 1.5f64;
         assert!((Scalar::mul_add(a, 2.0, 3.0) - (a * 2.0 + 3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn tile_sizes_fit_the_accumulator_buffer() {
+        assert!(<f32 as Scalar>::MR * <f32 as Scalar>::NR <= crate::simd::ACC_TILE);
+        assert!(<f64 as Scalar>::MR * <f64 as Scalar>::NR <= crate::simd::ACC_TILE);
+    }
+
+    #[test]
+    fn panel_scalar_is_single_precision() {
+        assert_eq!(<f64 as Scalar>::PanelScalar::precision_name(), "f32");
+        assert_eq!(<f32 as Scalar>::PanelScalar::precision_name(), "f32");
     }
 
     #[test]

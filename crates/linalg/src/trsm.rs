@@ -20,6 +20,12 @@ pub enum Triangle {
 /// Solve `op(T) * X = B` in place, overwriting `B` with the solution, where
 /// `T` is triangular. `transpose` selects `op`.
 ///
+/// The substitution is phrased so every inner loop runs over a contiguous
+/// column slice of `T` through the runtime-dispatched [`Scalar::dot_kernel`]
+/// / [`Scalar::axpy_kernel`]: the transposed solves reduce with dots
+/// (`op(T)`'s row `i` is `T`'s column `i`), the untransposed ones scatter
+/// with axpy column sweeps (right-looking substitution).
+///
 /// # Panics
 /// Panics on dimension mismatch or an exactly zero diagonal entry.
 pub fn trsm_left<T: Scalar>(
@@ -36,36 +42,52 @@ pub fn trsm_left<T: Scalar>(
         (Triangle::Lower, false) | (Triangle::Upper, true) => true,
         (Triangle::Upper, false) | (Triangle::Lower, true) => false,
     };
-    let coef = |i: usize, j: usize| -> T {
-        if transpose {
-            t.get(j, i)
-        } else {
-            t.get(i, j)
-        }
-    };
     for col in 0..b.cols() {
-        if lower_effective {
-            // Forward substitution.
-            for i in 0..n {
-                let mut acc = b.get(i, col);
-                for k in 0..i {
-                    acc -= coef(i, k) * b.get(k, col);
+        let x = b.col_mut(col);
+        match (lower_effective, transpose) {
+            // Forward substitution, op(T) = T^T with T upper: row i of op(T)
+            // left of the diagonal is the top of T's column i.
+            (true, true) => {
+                for i in 0..n {
+                    let ti = t.col(i);
+                    let acc = x[i] - T::dot_kernel(&ti[..i], &x[..i]);
+                    let d = ti[i];
+                    assert!(d != T::zero(), "zero diagonal in triangular solve");
+                    x[i] = acc / d;
                 }
-                let d = coef(i, i);
-                assert!(d != T::zero(), "zero diagonal in triangular solve");
-                b.set(i, col, acc / d);
             }
-        } else {
-            // Backward substitution.
-            for ii in 0..n {
-                let i = n - 1 - ii;
-                let mut acc = b.get(i, col);
-                for k in (i + 1)..n {
-                    acc -= coef(i, k) * b.get(k, col);
+            // Forward substitution, T lower: right-looking column sweep.
+            (true, false) => {
+                for k in 0..n {
+                    let tk = t.col(k);
+                    let d = tk[k];
+                    assert!(d != T::zero(), "zero diagonal in triangular solve");
+                    let xk = x[k] / d;
+                    x[k] = xk;
+                    T::axpy_kernel(-xk, &tk[k + 1..], &mut x[k + 1..]);
                 }
-                let d = coef(i, i);
-                assert!(d != T::zero(), "zero diagonal in triangular solve");
-                b.set(i, col, acc / d);
+            }
+            // Backward substitution, op(T) = T^T with T lower: row i of op(T)
+            // right of the diagonal is the bottom of T's column i.
+            (false, true) => {
+                for i in (0..n).rev() {
+                    let ti = t.col(i);
+                    let acc = x[i] - T::dot_kernel(&ti[i + 1..], &x[i + 1..]);
+                    let d = ti[i];
+                    assert!(d != T::zero(), "zero diagonal in triangular solve");
+                    x[i] = acc / d;
+                }
+            }
+            // Backward substitution, T upper: right-looking column sweep.
+            (false, false) => {
+                for k in (0..n).rev() {
+                    let tk = t.col(k);
+                    let d = tk[k];
+                    assert!(d != T::zero(), "zero diagonal in triangular solve");
+                    let xk = x[k] / d;
+                    x[k] = xk;
+                    T::axpy_kernel(-xk, &tk[..k], &mut x[..k]);
+                }
             }
         }
     }

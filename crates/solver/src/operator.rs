@@ -27,6 +27,7 @@ use crate::krylov::{cg, KrylovOptions, LinearOperator, Shifted, SolveStats};
 use crate::ulv::UlvFactor;
 use gofmm_core::{
     try_compress, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator, GofmmConfig,
+    PanelPrecision,
 };
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
@@ -251,6 +252,15 @@ impl<T: Scalar> GofmmOperator<T> {
         self.factor.as_ref().map(|f| f.lambda())
     }
 
+    /// Storage precision of the evaluator's packed panels, taken from
+    /// [`GofmmConfig::panel_precision`] at build time.
+    /// [`PanelPrecision::MixedF32`] stores the panels in `f32` (halving the
+    /// serving footprint of an `f64` operator) while every apply still
+    /// accumulates in the operator precision; factorizations are unaffected.
+    pub fn panel_precision(&self) -> PanelPrecision {
+        self.evaluator.panel_precision()
+    }
+
     /// Matvec `u ≈ K w` from cached state (zero kernel evaluations).
     pub fn apply(&self, w: &DenseMatrix<T>) -> Result<DenseMatrix<T>, Error> {
         self.evaluator.apply(w).map(|(u, _)| u)
@@ -463,6 +473,60 @@ mod tests {
             op.solve_cg(&w, &KrylovOptions::default()),
             Err(Error::NoFactorization)
         ));
+    }
+
+    #[test]
+    fn mixed_precision_operator_halves_panels_and_still_solves() {
+        let n = 256;
+        let k = test_matrix(n);
+        let lambda = 1e-2;
+        let native = GofmmOperator::<f64>::builder(&k)
+            .config(config())
+            .factorize(lambda)
+            .build()
+            .unwrap();
+        let mixed = GofmmOperator::<f64>::builder(&k)
+            .config(config().with_panel_precision(PanelPrecision::MixedF32))
+            .factorize(lambda)
+            .build()
+            .unwrap();
+        assert_eq!(native.panel_precision(), PanelPrecision::Native);
+        assert_eq!(mixed.panel_precision(), PanelPrecision::MixedF32);
+        assert!(
+            mixed.evaluator().cached_bytes() * 2 <= native.evaluator().cached_bytes() + n * 64,
+            "mixed {} vs native {}",
+            mixed.evaluator().cached_bytes(),
+            native.evaluator().cached_bytes()
+        );
+        // Applies agree at single-precision accuracy.
+        let mut rng = StdRng::seed_from_u64(51);
+        let w = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+        let u_native = native.apply(&w).unwrap();
+        let u_mixed = mixed.apply(&w).unwrap();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for c in 0..2 {
+            for r in 0..n {
+                let d = u_native.get(r, c) - u_mixed.get(r, c);
+                num += d * d;
+                den += u_native.get(r, c) * u_native.get(r, c);
+            }
+        }
+        assert!(
+            (num / den).sqrt() < 1e-5,
+            "apply drift {}",
+            (num / den).sqrt()
+        );
+        // The ULV factorization runs in full precision regardless of the
+        // panel knob, and CG preconditioned by it still converges (matvec
+        // residuals are measured against the mixed-storage operator).
+        let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| ((i * 13 % 17) as f64) - 8.0);
+        let opts = KrylovOptions {
+            tol: 1e-6,
+            ..KrylovOptions::default()
+        };
+        let (_, stats) = mixed.solve_cg(&b, &opts).unwrap();
+        assert!(stats.converged, "residual {}", stats.relative_residual);
     }
 
     #[test]

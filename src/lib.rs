@@ -14,5 +14,5 @@ pub use gofmm_runtime as runtime;
 pub use gofmm_solver as solver;
 pub use gofmm_tree as tree;
 
-pub use gofmm_core::{ApplyOptions, Error};
+pub use gofmm_core::{ApplyOptions, Error, PanelPrecision};
 pub use gofmm_solver::{FactorBackend, GofmmOperator, GofmmOperatorBuilder, KrylovOptions};

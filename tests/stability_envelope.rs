@@ -18,7 +18,7 @@
 //! Solutions are additionally checked bit-identical across all four
 //! traversal policies at the extremes.
 
-use gofmm_suite::core::{compress, Evaluator, GofmmConfig, TraversalPolicy};
+use gofmm_suite::core::{compress, Evaluator, GofmmConfig, PanelPrecision, TraversalPolicy};
 use gofmm_suite::linalg::DenseMatrix;
 use gofmm_suite::matrices::{KernelMatrix, KernelType, PointCloud, SpdMatrix};
 use gofmm_suite::solver::{cg, HierarchicalFactor, LinearOperator, Shifted, UlvFactor};
@@ -237,6 +237,67 @@ fn ulv_preconditioned_cg_converges_in_few_iterations_at_the_extremes() {
                 stats.iterations
             );
         }
+    }
+}
+
+#[test]
+fn mixed_precision_panels_stay_inside_the_serving_envelope() {
+    // The f32-storage / f64-accumulation panel mode must (a) actually halve
+    // the evaluator's cached footprint on the zoo, (b) keep matvecs within
+    // single-precision relative error of the native-storage evaluator, and
+    // (c) leave the full-precision ULV factorization usable as a CG
+    // preconditioner for the mixed-storage operator at a tolerance the f32
+    // panel rounding can support.
+    let n = 320;
+    let cfg = envelope_config();
+    let cfg_mixed = envelope_config().with_panel_precision(PanelPrecision::MixedF32);
+    for k in kernel_zoo(n) {
+        let name = SpdMatrix::<f64>::name(&k);
+        let comp = compress::<f64, _>(&k, &cfg);
+        let comp_mixed = compress::<f64, _>(&k, &cfg_mixed);
+        let ev = Evaluator::new(&k, &comp);
+        let ev_mixed = Evaluator::new(&k, &comp_mixed);
+        assert_eq!(ev_mixed.panel_precision(), PanelPrecision::MixedF32);
+        let ratio = ev_mixed.cached_bytes() as f64 / ev.cached_bytes() as f64;
+        println!(
+            "{name}: cached bytes {} -> {} (ratio {ratio:.3})",
+            ev.cached_bytes(),
+            ev_mixed.cached_bytes()
+        );
+        assert!(
+            ratio <= 0.55,
+            "{name}: mixed panels only shrank storage to {ratio:.3}x"
+        );
+
+        let w =
+            DenseMatrix::<f64>::from_fn(n, 2, |i, j| (((i * 17 + j * 5) % 13) as f64) / 6.0 - 1.0);
+        let u = ev.matvec(&w);
+        let u_mixed = ev_mixed.matvec(&w);
+        let rel = u_mixed.sub(&u).norm_fro() / u.norm_fro();
+        assert!(
+            rel <= 1e-5,
+            "{name}: mixed-storage matvec drifted {rel:.2e} from native"
+        );
+
+        // ULV runs in full precision on the compression; preconditioning the
+        // mixed-storage operator still converges, to a tolerance compatible
+        // with the f32 panel rounding in the matvec.
+        let scale = operator_scale(&ev, n);
+        let lambda = 1e-2 * scale;
+        let ulv = UlvFactor::new(&k, &comp_mixed, lambda).expect("ULV factorization");
+        let op = Shifted::new(&ev_mixed, lambda);
+        let b = DenseMatrix::<f64>::from_fn(n, 1, |i, _| (((i * 13) % 29) as f64) / 14.0 - 1.0);
+        let opts = KrylovOptions {
+            tol: 1e-6,
+            max_iters: 50,
+            restart: 50,
+        };
+        let (_, stats) = cg(&op, &ulv, &b, &opts).expect("well-formed system");
+        assert!(
+            stats.converged,
+            "{name}: CG on the mixed-storage operator stalled at {:.2e}",
+            stats.relative_residual
+        );
     }
 }
 
