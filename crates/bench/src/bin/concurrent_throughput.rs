@@ -10,16 +10,23 @@
 //! Each client issues single-threaded sequential applies (the serving
 //! sweet spot: intra-request parallelism off, inter-request parallelism from
 //! the clients), plus a mixed apply+solve column for the solver path.
+//!
+//! A second table compares thread-per-request serving against the
+//! [`BatchedServer`] front door on narrow (single-column) requests — the
+//! traffic shape where coalescing pays: one wide sweep amortizes the tree
+//! traversal over every concurrent client. Bit-identity of every served
+//! result is asserted under load in both modes.
+//!
 //! Environment overrides: `GOFMM_BENCH_SCALE`, `GOFMM_BENCH_THREADS`.
 
 use gofmm_bench::harness::{bench_threads, print_table, scaled, timed};
 use gofmm_core::{ApplyOptions, GofmmConfig, TraversalPolicy};
 use gofmm_linalg::DenseMatrix;
 use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
-use gofmm_solver::GofmmOperator;
+use gofmm_solver::{BatchedServer, GofmmOperator, ServeConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let n = scaled(4096);
@@ -112,5 +119,97 @@ fn main() {
         "Concurrent serving throughput (one shared GofmmOperator)",
         &["clients", "requests", "req/s", "speedup"],
         &rows,
+    );
+
+    // ---- thread-per-request vs batched front door, narrow requests ----
+    // Each client owns a distinct single-column right-hand side with a
+    // precomputed reference; every served result is checked bit-for-bit.
+    let max_clients = *client_counts.iter().max().unwrap_or(&1);
+    let narrow: Vec<DenseMatrix<f64>> = (0..max_clients)
+        .map(|c| DenseMatrix::from_fn(n, 1, |i, _| (((i * 7 + c * 13) % 17) as f64) / 17.0 - 0.5))
+        .collect();
+    let narrow_refs: Vec<DenseMatrix<f64>> = narrow
+        .iter()
+        .map(|w| operator.apply(w).expect("narrow baseline"))
+        .collect();
+
+    let mut duel_rows = Vec::new();
+    for &clients in &client_counts {
+        // Thread-per-request: every client drives the operator directly.
+        let served_direct = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let operator = Arc::clone(&operator);
+                let (narrow, narrow_refs, opts, served) =
+                    (&narrow, &narrow_refs, &opts, &served_direct);
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    while t0.elapsed().as_secs_f64() < window {
+                        let (u, _) = operator.apply_with(&narrow[c], opts).expect("apply");
+                        assert_eq!(u.data(), narrow_refs[c].data(), "direct client {c} drifted");
+                        local += 1;
+                    }
+                    served.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        let direct_rate = served_direct.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64();
+
+        // Batched: the same clients submit through the coalescing server.
+        // Sequential single-threaded batch execution isolates the pure
+        // coalescing win (no intra-request parallelism on either side).
+        let server = BatchedServer::new(
+            Arc::clone(&operator),
+            ServeConfig::default()
+                .with_max_batch_cols(32)
+                .with_holdoff(Duration::from_micros(300))
+                .with_options(opts.clone()),
+        );
+        let served_batched = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let (server, narrow, narrow_refs, served) =
+                    (&server, &narrow, &narrow_refs, &served_batched);
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    while t0.elapsed().as_secs_f64() < window {
+                        let ticket = server.submit_apply(&narrow[c], None).expect("admit");
+                        let u = ticket.wait().expect("batched result");
+                        // Coalescing must be invisible in the bits.
+                        assert_eq!(
+                            u.data(),
+                            narrow_refs[c].data(),
+                            "batched client {c} drifted"
+                        );
+                        local += 1;
+                    }
+                    served.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        let batched_rate =
+            served_batched.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64();
+        let stats = server.stats();
+        let mean_width = stats.coalesced_columns as f64 / (stats.batches.max(1)) as f64;
+        duel_rows.push(vec![
+            format!("{clients}"),
+            format!("{direct_rate:.1}"),
+            format!("{batched_rate:.1}"),
+            format!("{mean_width:.1}"),
+            format!("{:.2}x", batched_rate / direct_rate.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Batched front door vs thread-per-request (1-column requests)",
+        &[
+            "clients",
+            "direct req/s",
+            "batched req/s",
+            "mean width",
+            "batched/direct",
+        ],
+        &duel_rows,
     );
 }

@@ -8,7 +8,11 @@
 //!   dispatched (SIMD) and scalar-pinned reference paths, plus their ratio
 //!   (the dispatch speedup), at evaluator panel shapes.
 //! * `BENCH_serving.json` — compression, evaluator setup, apply latency and
-//!   cached-panel footprint for native and mixed (`f32`-storage) serving.
+//!   cached-panel footprint for native and mixed (`f32`-storage) serving,
+//!   plus the paper-suite metrics: fig4-style apply scaling (threads 1 vs
+//!   4), evaluator-reuse speedup over one-shot evaluation, batched-server
+//!   vs thread-per-request throughput at 8 clients, and ULV-preconditioned
+//!   CG convergence (iterations and solve time).
 //!
 //! `--check` re-measures and *diffs* against the committed files instead of
 //! rewriting them, warning on every metric that regressed by more than 15%.
@@ -19,13 +23,18 @@
 //! line), so no external serialization dependency is needed.
 
 use gofmm_bench::trajectory::{self, Measurement};
-use gofmm_core::{compress, Evaluator, GofmmConfig, PanelPrecision, TraversalPolicy};
+use gofmm_core::{
+    compress, evaluate, ApplyOptions, Evaluator, GofmmConfig, PanelPrecision, TraversalPolicy,
+};
 use gofmm_linalg::blas::reference;
 use gofmm_linalg::{gemm, gemm_mixed, simd_level, DenseMatrix, Transpose};
 use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+use gofmm_solver::{BatchedServer, GofmmOperator, KrylovOptions, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Best-of-reps wall time of `f`, in seconds. Repetitions scale until the
 /// total passes ~60ms so sub-microsecond kernels still time meaningfully.
@@ -181,7 +190,7 @@ fn measure_serving() -> Vec<Measurement> {
     let compress_s = t0.elapsed().as_secs_f64();
 
     let ev = Evaluator::new(&k, &comp);
-    let cfg_mixed = cfg.with_panel_precision(PanelPrecision::MixedF32);
+    let cfg_mixed = cfg.clone().with_panel_precision(PanelPrecision::MixedF32);
     let comp_mixed = compress::<f64, _>(&k, &cfg_mixed);
     let ev_mixed = Evaluator::new(&k, &comp_mixed);
 
@@ -196,7 +205,7 @@ fn measure_serving() -> Vec<Measurement> {
             std::hint::black_box(ev_mixed.apply(&w).expect("apply"));
         });
 
-    vec![
+    let mut out = vec![
         Measurement::lower("compress_2048_s", compress_s),
         Measurement::lower("evaluator_setup_2048_s", ev.setup_time()),
         Measurement::lower("apply_2048_rhs4_native_ms", apply_native_ms),
@@ -213,7 +222,137 @@ fn measure_serving() -> Vec<Measurement> {
             "cached_panels_mixed_over_native",
             ev_mixed.cached_bytes() as f64 / ev.cached_bytes() as f64,
         ),
-    ]
+    ];
+
+    // Fig-4-style strong scaling of the apply sweep: the DAG-scheduled run
+    // at 4 workers against the single-threaded sequential baseline.
+    let heft4 = ApplyOptions::new()
+        .with_policy(TraversalPolicy::DagHeft)
+        .with_threads(4);
+    let apply_heft4_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(ev.apply_with(&w, &heft4).expect("heft apply"));
+        });
+    out.push(Measurement::lower(
+        "apply_2048_rhs4_heft_t4_ms",
+        apply_heft4_ms,
+    ));
+    out.push(Measurement::higher(
+        "fig4_apply_scaling_speedup_t4",
+        apply_native_ms / apply_heft4_ms,
+    ));
+
+    // Evaluator reuse: one-shot evaluation (rebuild panels + plan per call)
+    // vs the persistent evaluator's per-call cost.
+    let oneshot_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(evaluate(&k, &comp, &w));
+        });
+    out.push(Measurement::lower(
+        "evaluate_oneshot_2048_rhs4_ms",
+        oneshot_ms,
+    ));
+    out.push(Measurement::higher(
+        "evaluator_reuse_speedup",
+        oneshot_ms / apply_native_ms,
+    ));
+
+    // Concurrent serving at 8 clients with single-column requests, a short
+    // sustained window per mode: thread-per-request against the batched
+    // front door (coalescing up to 32 columns per sweep).
+    let operator = Arc::new(
+        GofmmOperator::<f64>::builder(&k)
+            .config(cfg)
+            .factorize(1e-2)
+            .build()
+            .expect("operator must build"),
+    );
+    let clients = 8usize;
+    let window = 0.25; // seconds per mode
+    let narrow: Vec<DenseMatrix<f64>> = (0..clients)
+        .map(|c| DenseMatrix::from_fn(n, 1, |i, _| (((i * 7 + c * 13) % 17) as f64) / 17.0 - 0.5))
+        .collect();
+    let request_opts = ApplyOptions::new()
+        .with_policy(TraversalPolicy::Sequential)
+        .with_threads(1);
+    let direct_rate = {
+        let served = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let operator = Arc::clone(&operator);
+                let (narrow, request_opts, served) = (&narrow, &request_opts, &served);
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    while t0.elapsed().as_secs_f64() < window {
+                        std::hint::black_box(
+                            operator
+                                .apply_with(&narrow[c], request_opts)
+                                .expect("apply"),
+                        );
+                        local += 1;
+                    }
+                    served.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        served.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let batched_rate = {
+        let server = BatchedServer::new(
+            Arc::clone(&operator),
+            ServeConfig::default()
+                .with_max_batch_cols(32)
+                .with_holdoff(Duration::from_micros(300))
+                .with_options(request_opts),
+        );
+        let served = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let (server, narrow, served) = (&server, &narrow, &served);
+                scope.spawn(move || {
+                    let mut local = 0usize;
+                    while t0.elapsed().as_secs_f64() < window {
+                        let ticket = server.submit_apply(&narrow[c], None).expect("admit");
+                        std::hint::black_box(ticket.wait().expect("batched result"));
+                        local += 1;
+                    }
+                    served.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        served.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+    };
+    out.push(Measurement::higher("serving_direct_8c_reqps", direct_rate));
+    out.push(Measurement::higher(
+        "serving_batched_8c_reqps",
+        batched_rate,
+    ));
+    out.push(Measurement::higher(
+        "serving_batched_over_direct_8c",
+        batched_rate / direct_rate.max(1e-9),
+    ));
+
+    // Solver convergence: ULV-preconditioned CG on (K~ + 1e-2 I) x = b.
+    let b = DenseMatrix::<f64>::random_gaussian(n, 2, &mut rng);
+    let krylov = KrylovOptions {
+        tol: 1e-10,
+        max_iters: 200,
+        restart: 50,
+        ..KrylovOptions::default()
+    };
+    let (_, cg_stats) = operator.solve_cg(&b, &krylov).expect("pcg solve");
+    assert!(cg_stats.converged, "trajectory PCG must converge");
+    out.push(Measurement::lower(
+        "pcg_ulv_2048_iters",
+        cg_stats.iterations as f64,
+    ));
+    out.push(Measurement::lower(
+        "pcg_ulv_2048_solve_ms",
+        1e3 * cg_stats.solve_time,
+    ));
+    out
 }
 
 fn main() {

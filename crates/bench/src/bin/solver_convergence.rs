@@ -32,6 +32,7 @@ fn main() {
         tol: 1e-10,
         max_iters: 1000,
         restart: 60,
+        ..KrylovOptions::default()
     };
 
     let mut rows = Vec::new();

@@ -1,7 +1,7 @@
 //! Configuration of the GOFMM compression and evaluation.
 
 use crate::distance::DistanceMetric;
-use gofmm_runtime::SchedulePolicy;
+use gofmm_runtime::{CancelToken, SchedulePolicy};
 
 /// How tree traversals are executed (paper §2.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -285,12 +285,21 @@ impl GofmmConfig {
 /// mutating the shared handle. `None` fields fall back to the handle's
 /// defaults (the compression configuration). Every policy/thread combination
 /// produces bit-identical results, so the options only steer scheduling.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// A [`CancelToken`] attached via [`ApplyOptions::with_cancel`] is polled at
+/// checkpoints inside the sweep (once per DAG task, or between level
+/// barriers); when it fires, the call drains its remaining tasks, returns
+/// `Err(Error::Cancelled)`, and its leased workspace goes back to the pool
+/// in a reusable state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ApplyOptions {
     /// Traversal policy override for this call.
     pub policy: Option<TraversalPolicy>,
     /// Worker-thread count override for this call (clamped to >= 1).
     pub threads: Option<usize>,
+    /// Cooperative cancellation token for this call (`None`: the call always
+    /// runs to completion).
+    pub cancel: Option<CancelToken>,
 }
 
 impl ApplyOptions {
@@ -308,6 +317,13 @@ impl ApplyOptions {
     /// Builder-style worker-thread override.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Builder-style cancellation token: the call polls `cancel` at sweep
+    /// checkpoints and returns `Err(Error::Cancelled)` once it fires.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }

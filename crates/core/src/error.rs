@@ -75,6 +75,22 @@ pub enum Error {
     /// a factorization (`GofmmOperator::builder(..).factorize(lambda)` was
     /// never called).
     NoFactorization,
+    /// The request's cooperative cancellation token fired before the work
+    /// completed: the engine drained its remaining sweep tasks (leaving its
+    /// pooled workspaces reusable) and produced no result.
+    Cancelled,
+    /// The request's deadline had already passed when it was checked — at
+    /// admission, or while the request waited in a serving queue. The work
+    /// was never started.
+    DeadlineExceeded,
+    /// A serving queue was at capacity and refused admission. Back-pressure,
+    /// not failure: the caller may retry once in-flight requests drain.
+    Overloaded {
+        /// Requests queued when admission was refused.
+        queue_depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -112,6 +128,18 @@ impl std::fmt::Display for Error {
                 f,
                 "operator was built without a factorization; call .factorize(lambda) on the \
                  builder to enable solve/solve_cg"
+            ),
+            Error::Cancelled => write!(f, "request cancelled before completion"),
+            Error::DeadlineExceeded => {
+                write!(f, "request deadline expired before the work started")
+            }
+            Error::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "serving queue at capacity ({queue_depth}/{capacity} requests queued); \
+                 retry after in-flight requests drain"
             ),
         }
     }
@@ -156,6 +184,15 @@ mod tests {
             ),
             (Error::SingularCore { node: 1 }, "singular"),
             (Error::NoFactorization, "factorize"),
+            (Error::Cancelled, "cancelled"),
+            (Error::DeadlineExceeded, "deadline"),
+            (
+                Error::Overloaded {
+                    queue_depth: 64,
+                    capacity: 64,
+                },
+                "64/64",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

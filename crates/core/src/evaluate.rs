@@ -36,7 +36,8 @@ use crate::error::Error;
 use gofmm_linalg::{gemm, gemm_mixed, DenseMatrix, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
 use gofmm_runtime::{
-    parallel_for, DisjointCells, ExecStats, Family, ReusablePlan, RunDefaults, WorkspacePool,
+    parallel_for, CancelToken, DisjointCells, ExecStats, Family, ReusablePlan, RunDefaults,
+    WorkspacePool,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -634,6 +635,13 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
     ///
     /// All policies and worker counts produce bit-identical outputs; the
     /// options only steer scheduling. See [`Evaluator::apply`].
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `w.rows() != n`;
+    /// [`Error::Cancelled`] when `opts.cancel` fires before the sweep
+    /// completes (checked once per DAG task, or between level barriers).
+    /// A cancelled call leaves the evaluator fully reusable: its leased
+    /// workspace is returned to the pool and reset on the next checkout.
     pub fn apply_with(
         &self,
         w: &DenseMatrix<T>,
@@ -645,6 +653,10 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                 expected: self.comp.n(),
                 got: w.rows(),
             });
+        }
+        let cancel = opts.cancel.as_ref();
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(Error::Cancelled);
         }
         let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
         let t0 = Instant::now();
@@ -663,30 +675,50 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             w,
             flops: &flops,
         };
-        let exec_stats = match policy.schedule_policy() {
-            None => {
+        let exec_stats = match (policy.schedule_policy(), cancel) {
+            (None, cancel) => {
                 // Level-by-level: one barrier per tree level / task family.
                 // The phase order (all S2S before any S2N, S2N levels
                 // descending the tree) matches the plan's dependency edges,
                 // so per-cell write order — and therefore the floating-point
-                // result — is identical to the DAG policies.
+                // result — is identical to the DAG policies. Cancellation is
+                // polled at each barrier (the level-by-level analogue of the
+                // DAG runners' per-task checkpoint).
+                let check = || -> Result<(), Error> {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        Err(Error::Cancelled)
+                    } else {
+                        Ok(())
+                    }
+                };
                 for level in (1..=tree.depth()).rev() {
+                    check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
                     parallel_for(nodes.len(), num_threads, |i| pass.task_n2s(nodes[i]));
                 }
+                check()?;
                 let all: Vec<usize> = (1..tree.node_count()).collect();
                 parallel_for(all.len(), num_threads, |i| pass.task_s2s(all[i]));
                 for level in 1..=tree.depth() {
+                    check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
                     parallel_for(nodes.len(), num_threads, |i| pass.task_s2n(nodes[i]));
                 }
+                check()?;
                 let leaves: Vec<usize> = tree.leaf_range().collect();
                 parallel_for(leaves.len(), num_threads, |i| pass.task_l2l(leaves[i]));
                 None
             }
-            Some(sched) => Some(self.plan.run(sched, num_threads, |family, node| {
+            (Some(sched), None) => Some(self.plan.run(sched, num_threads, |family, node| {
                 pass.dispatch(family, node)
             })),
+            (Some(sched), Some(token)) => Some(
+                self.plan
+                    .run_cancellable(sched, num_threads, token, |family, node| {
+                        pass.dispatch(family, node)
+                    })
+                    .map_err(|_| Error::Cancelled)?,
+            ),
         };
 
         let out = pass.assemble();

@@ -70,6 +70,11 @@ pub use evaluate::{
 pub use lists::{build_interaction_lists, check_coverage, InteractionLists};
 pub use skel::{skeletonize_node, NodeBasis, SkelParams};
 
+/// Cooperative cancellation token accepted by [`ApplyOptions::with_cancel`];
+/// re-exported from `gofmm-runtime` so serving callers need not depend on
+/// the runtime crate directly.
+pub use gofmm_runtime::CancelToken;
+
 /// Relative error `||K w - u|| / ||K w||` estimated on sampled rows (the
 /// paper's epsilon_2 metric); re-exported from `gofmm-matrices` for
 /// convenience.

@@ -14,6 +14,7 @@
 //! policy — it is a different driver loop in `gofmm-core` built on
 //! [`crate::parallel::parallel_for`] with a barrier per tree level.
 
+use crate::cancel::CancelToken;
 use crate::graph::TaskGraph;
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::Mutex;
@@ -56,6 +57,10 @@ pub struct ExecStats {
     pub steals: usize,
     /// Number of workers used.
     pub workers: usize,
+    /// True when a cancellation token fired mid-run: the remaining tasks
+    /// were drained (dependencies released, bodies skipped) instead of
+    /// executed, so the run's outputs are incomplete.
+    pub cancelled: bool,
 }
 
 impl ExecStats {
@@ -78,8 +83,8 @@ pub fn execute(graph: TaskGraph<'_>, policy: SchedulePolicy, workers: usize) -> 
 }
 
 /// The frozen shape of a DAG: everything a scheduler needs except the work
-/// itself. Borrowed by [`run_dag`], which pairs it with a run-task callback;
-/// the same shape can therefore drive many runs (see
+/// itself. Borrowed by [`run_dag_with_cancel`], which pairs it with a
+/// run-task callback; the same shape can therefore drive many runs (see
 /// `crate::plan::ReusablePlan`).
 pub(crate) struct DagShape<'s> {
     /// Initial dependency count per task.
@@ -99,42 +104,59 @@ impl DagShape<'_> {
 /// Execute a DAG described by `shape` with the given policy, running task `i`
 /// by calling `run(i)`. Task indices are assumed to be in topological
 /// (insertion) order, as guaranteed by [`TaskGraph`] and `PhasePlan`.
-pub(crate) fn run_dag(
+///
+/// Takes an optional cooperative cancellation token, polled once
+/// per task. Once the token fires, the remaining tasks are *drained*:
+/// popped, counted as complete and their successors released — but their
+/// bodies are skipped. Draining (rather than stopping) keeps the workers'
+/// termination detection intact, so a cancelled run winds down promptly
+/// with no thread left spinning on an abandoned queue. The returned stats
+/// have `cancelled` set when any task body was skipped.
+pub(crate) fn run_dag_with_cancel(
     shape: DagShape<'_>,
     policy: SchedulePolicy,
     workers: usize,
+    cancel: Option<&CancelToken>,
     run: impl Fn(usize) + Sync,
 ) -> ExecStats {
     match policy {
-        SchedulePolicy::Sequential => run_dag_sequential(shape.len(), run),
-        SchedulePolicy::Fifo => run_dag_fifo(shape, workers, run),
-        SchedulePolicy::Heft => run_dag_heft(shape, workers, run),
+        SchedulePolicy::Sequential => run_dag_sequential(shape.len(), cancel, run),
+        SchedulePolicy::Fifo => run_dag_fifo(shape, workers, cancel, run),
+        SchedulePolicy::Heft => run_dag_heft(shape, workers, cancel, run),
     }
 }
 
 /// Run every task on the calling thread in index (topological) order.
-fn run_dag_sequential(n: usize, run: impl Fn(usize)) -> ExecStats {
+fn run_dag_sequential(n: usize, cancel: Option<&CancelToken>, run: impl Fn(usize)) -> ExecStats {
     let start = Instant::now();
     let mut total_task_time = 0.0;
+    let mut executed = 0usize;
     for i in 0..n {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         let t0 = Instant::now();
         run(i);
         total_task_time += t0.elapsed().as_secs_f64();
+        executed += 1;
     }
     let elapsed = start.elapsed().as_secs_f64();
     ExecStats {
         elapsed,
-        tasks_executed: n,
+        tasks_executed: executed,
         total_task_time,
         worker_busy: vec![total_task_time],
         steals: 0,
         workers: 1,
+        cancelled: executed < n,
     }
 }
 
 /// Execute every task on the calling thread in insertion (topological) order.
 pub fn execute_sequential(graph: TaskGraph<'_>) -> ExecStats {
-    with_graph_slots(graph, |shape, run| run_dag_sequential(shape.len(), run))
+    with_graph_slots(graph, |shape, run| {
+        run_dag_sequential(shape.len(), None, run)
+    })
 }
 
 /// A task closure slot, emptied by whichever worker runs the task.
@@ -188,10 +210,11 @@ struct RunState<'s> {
     shape: DagShape<'s>,
     completed: AtomicUsize,
     total: usize,
+    cancel: Option<&'s CancelToken>,
 }
 
 impl<'s> RunState<'s> {
-    fn new(shape: DagShape<'s>) -> Self {
+    fn new(shape: DagShape<'s>, cancel: Option<&'s CancelToken>) -> Self {
         Self {
             remaining: shape
                 .indegrees
@@ -201,15 +224,28 @@ impl<'s> RunState<'s> {
             completed: AtomicUsize::new(0),
             total: shape.len(),
             shape,
+            cancel,
         }
     }
 
-    fn run_task(&self, idx: usize, run: &(impl Fn(usize) + Sync)) -> f64 {
-        let t0 = Instant::now();
-        run(idx);
-        let dt = t0.elapsed().as_secs_f64();
+    /// Run (or, when the cancellation token has fired, drain) task `idx`.
+    /// Returns the task's wall time when the body ran, `None` when it was
+    /// drained. Either way the task counts as completed for termination
+    /// detection, and the caller must still release its successors.
+    fn run_task(&self, idx: usize, run: &(impl Fn(usize) + Sync)) -> Option<f64> {
+        let dt = if self.is_cancelled() {
+            None
+        } else {
+            let t0 = Instant::now();
+            run(idx);
+            Some(t0.elapsed().as_secs_f64())
+        };
         self.completed.fetch_add(1, Ordering::Release);
         dt
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 
     fn done(&self) -> bool {
@@ -219,13 +255,18 @@ impl<'s> RunState<'s> {
 
 /// Execute with one shared FIFO ready queue (no cost model, no affinity).
 pub fn execute_fifo(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
-    with_graph_slots(graph, |shape, run| run_dag_fifo(shape, workers, run))
+    with_graph_slots(graph, |shape, run| run_dag_fifo(shape, workers, None, run))
 }
 
 /// Run a DAG with one shared FIFO ready queue (no cost model, no affinity).
-fn run_dag_fifo(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync) -> ExecStats {
+fn run_dag_fifo(
+    shape: DagShape<'_>,
+    workers: usize,
+    cancel: Option<&CancelToken>,
+    run: impl Fn(usize) + Sync,
+) -> ExecStats {
     let workers = workers.max(1);
-    let state = RunState::new(shape);
+    let state = RunState::new(shape, cancel);
     if state.total == 0 {
         return ExecStats {
             workers,
@@ -254,9 +295,10 @@ fn run_dag_fifo(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync)
                 }
                 match queue.steal() {
                     Steal::Success(idx) => {
-                        let dt = state.run_task(idx, run);
-                        *busy.lock() += dt;
-                        executed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(dt) = state.run_task(idx, run) {
+                            *busy.lock() += dt;
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }
                         for &s in &state.shape.successors[idx] {
                             if state.remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 queue.push(s);
@@ -272,13 +314,15 @@ fn run_dag_fifo(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync)
     });
     let elapsed = start.elapsed().as_secs_f64();
     let worker_busy: Vec<f64> = busy.iter().map(|b| *b.lock()).collect();
+    let tasks_executed = executed.load(Ordering::Relaxed);
     ExecStats {
         elapsed,
-        tasks_executed: executed.load(Ordering::Relaxed),
+        tasks_executed,
         total_task_time: worker_busy.iter().sum(),
         worker_busy,
         steals: 0,
         workers,
+        cancelled: tasks_executed < state.total,
     }
 }
 
@@ -289,13 +333,18 @@ fn run_dag_fifo(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync)
 /// workers steal from the longest queue, which covers cost-model inaccuracy
 /// exactly like the paper's job-stealing fallback.
 pub fn execute_heft(graph: TaskGraph<'_>, workers: usize) -> ExecStats {
-    with_graph_slots(graph, |shape, run| run_dag_heft(shape, workers, run))
+    with_graph_slots(graph, |shape, run| run_dag_heft(shape, workers, None, run))
 }
 
 /// Run a DAG with the GOFMM-style runtime: HEFT dispatch plus job stealing.
-fn run_dag_heft(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync) -> ExecStats {
+fn run_dag_heft(
+    shape: DagShape<'_>,
+    workers: usize,
+    cancel: Option<&CancelToken>,
+    run: impl Fn(usize) + Sync,
+) -> ExecStats {
     let workers = workers.max(1);
-    let state = RunState::new(shape);
+    let state = RunState::new(shape, cancel);
     if state.total == 0 {
         return ExecStats {
             workers,
@@ -359,9 +408,10 @@ fn run_dag_heft(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync)
                     }
                     match task {
                         Some(idx) => {
-                            let dt = state.run_task(idx, run);
-                            *busy.lock() += dt;
-                            executed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(dt) = state.run_task(idx, run) {
+                                *busy.lock() += dt;
+                                executed.fetch_add(1, Ordering::Relaxed);
+                            }
                             for &s in &state.shape.successors[idx] {
                                 if state.remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     dispatch(s);
@@ -376,13 +426,15 @@ fn run_dag_heft(shape: DagShape<'_>, workers: usize, run: impl Fn(usize) + Sync)
     });
     let elapsed = start.elapsed().as_secs_f64();
     let worker_busy: Vec<f64> = busy.iter().map(|b| *b.lock()).collect();
+    let tasks_executed = executed.load(Ordering::Relaxed);
     ExecStats {
         elapsed,
-        tasks_executed: executed.load(Ordering::Relaxed),
+        tasks_executed,
         total_task_time: worker_busy.iter().sum(),
         worker_busy,
         steals: steals.load(Ordering::Relaxed),
         workers,
+        cancelled: tasks_executed < state.total,
     }
 }
 

@@ -35,12 +35,14 @@
 
 #![deny(missing_docs)]
 
+pub mod cancel;
 pub mod executor;
 pub mod graph;
 pub mod parallel;
 pub mod plan;
 pub mod pool;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use executor::{
     execute, execute_fifo, execute_heft, execute_sequential, ExecStats, SchedulePolicy,
 };

@@ -26,7 +26,8 @@
 //! * [`SharedCells`] — mutex-backed cells for values that genuinely are
 //!   accumulated by concurrently schedulable tasks.
 
-use crate::executor::{run_dag, DagShape, ExecStats, SchedulePolicy};
+use crate::cancel::{CancelToken, Cancelled};
+use crate::executor::{run_dag_with_cancel, DagShape, ExecStats, SchedulePolicy};
 use crate::graph::{TaskGraph, TaskId};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
@@ -263,6 +264,34 @@ impl ReusablePlan {
         })
     }
 
+    /// [`ReusablePlan::run`] with a cooperative cancellation token, polled
+    /// once per task by the underlying DAG runner.
+    ///
+    /// When the token fires mid-run, the remaining tasks are drained
+    /// (dependencies released, bodies skipped) so the runner winds down
+    /// promptly, and `Err(Cancelled)` is returned — the run's outputs are
+    /// incomplete and must be discarded. A token that only fires after the
+    /// last task body ran returns `Ok`: the results are complete and
+    /// usable. This is the checkpoint layer the serving front door threads
+    /// its per-request cancellation through.
+    pub fn run_cancellable(
+        &self,
+        policy: SchedulePolicy,
+        workers: usize,
+        cancel: &CancelToken,
+        task: impl Fn(Family, usize) + Sync,
+    ) -> Result<ExecStats, Cancelled> {
+        let stats = self.run_indexed_with_cancel(policy, workers, Some(cancel), |idx| {
+            let (family, node) = self.keys[idx];
+            task(family, node);
+        });
+        if stats.cancelled {
+            Err(Cancelled)
+        } else {
+            Ok(stats)
+        }
+    }
+
     /// Execute the plan, dispatching tasks by raw index. Used by
     /// [`PhasePlan`] (whose payload is one closure per index) and by callers
     /// that keep their own per-task state.
@@ -272,8 +301,18 @@ impl ReusablePlan {
         workers: usize,
         run: impl Fn(usize) + Sync,
     ) -> ExecStats {
+        self.run_indexed_with_cancel(policy, workers, None, run)
+    }
+
+    fn run_indexed_with_cancel(
+        &self,
+        policy: SchedulePolicy,
+        workers: usize,
+        cancel: Option<&CancelToken>,
+        run: impl Fn(usize) + Sync,
+    ) -> ExecStats {
         let (successors, indegrees) = self.freeze();
-        run_dag(
+        run_dag_with_cancel(
             DagShape {
                 indegrees,
                 successors,
@@ -281,6 +320,7 @@ impl ReusablePlan {
             },
             policy,
             workers,
+            cancel,
             run,
         )
     }
@@ -886,6 +926,89 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn cancellable_run_with_quiet_token_matches_plain_run() {
+        let topo = HeapTree { levels: 4 };
+        let n = topo.node_count();
+        let mut plan = ReusablePlan::new();
+        plan.add_bottom_up("UP", &topo, |_| false, |_| 1.0);
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Heft,
+        ] {
+            let token = CancelToken::new();
+            let counter = AtomicUsize::new(0);
+            let stats = plan
+                .run_cancellable(policy, 3, &token, |_, _| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("un-cancelled run must complete");
+            assert_eq!(stats.tasks_executed, n, "{policy}");
+            assert!(!stats.cancelled, "{policy}");
+            assert_eq!(counter.load(Ordering::SeqCst), n, "{policy}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_drains_without_running_bodies() {
+        let topo = HeapTree { levels: 5 };
+        let mut plan = ReusablePlan::new();
+        plan.add_bottom_up("UP", &topo, |_| false, |_| 1.0);
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Heft,
+        ] {
+            let token = CancelToken::new();
+            token.cancel();
+            let counter = AtomicUsize::new(0);
+            let err = plan.run_cancellable(policy, 3, &token, |_, _| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(matches!(err, Err(Cancelled)), "{policy}");
+            assert_eq!(counter.load(Ordering::SeqCst), 0, "{policy}: body ran");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_terminates_and_reports() {
+        // Cancel from inside an early task: the runner must drain the rest
+        // (no hang on termination detection) and report Err, and the same
+        // plan must serve a fresh complete run afterwards.
+        let topo = HeapTree { levels: 6 };
+        let n = topo.node_count();
+        let mut plan = ReusablePlan::new();
+        plan.add_bottom_up("UP", &topo, |_| false, |_| 1.0);
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Heft,
+        ] {
+            let token = CancelToken::new();
+            let ran = AtomicUsize::new(0);
+            let err = plan.run_cancellable(policy, 4, &token, |_, _| {
+                if ran.fetch_add(1, Ordering::SeqCst) == 2 {
+                    token.cancel();
+                }
+            });
+            assert!(matches!(err, Err(Cancelled)), "{policy}");
+            assert!(
+                ran.load(Ordering::SeqCst) < n,
+                "{policy}: every body still ran"
+            );
+            // The plan itself is untouched by a cancelled run.
+            let counter = AtomicUsize::new(0);
+            let stats = plan
+                .run_cancellable(policy, 4, &CancelToken::new(), |_, _| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("fresh token must complete");
+            assert_eq!(stats.tasks_executed, n, "{policy}");
+            assert_eq!(counter.load(Ordering::SeqCst), n, "{policy}");
+        }
     }
 
     #[test]

@@ -82,7 +82,8 @@ use gofmm_core::{ApplyOptions, CompRef, Compressed, Error, TraversalPolicy};
 use gofmm_linalg::{gemm, matmul, matmul_tn, Cholesky, DenseMatrix, LuFactor, Scalar, Transpose};
 use gofmm_matrices::SpdMatrix;
 use gofmm_runtime::{
-    parallel_for, DisjointCells, ExecStats, PhasePlan, ReusablePlan, RunDefaults, WorkspacePool,
+    parallel_for, CancelToken, DisjointCells, ExecStats, PhasePlan, ReusablePlan, RunDefaults,
+    WorkspacePool,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -514,6 +515,13 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
 
     /// Solve with per-call policy / thread-count overrides (bit-identical to
     /// every other policy/thread combination).
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `b.rows() != n`;
+    /// [`Error::Cancelled`] when `opts.cancel` fires before the sweeps
+    /// complete. A cancelled solve leaves the factor fully reusable: the
+    /// sweep workspace is overwritten from scratch on every run, so no
+    /// partial state can leak into a later solve.
     pub fn solve_with(
         &self,
         b: &DenseMatrix<T>,
@@ -526,6 +534,10 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
                 got: b.rows(),
             });
         }
+        let cancel = opts.cancel.as_ref();
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(Error::Cancelled);
+        }
         let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
         let ws = self.pool.lease(b.cols(), || {
             SolveWorkspace::allocate(&self.comp, &self.nodes, b.cols())
@@ -536,24 +548,42 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
             ws: &ws,
             b,
         };
-        match policy.schedule_policy() {
-            None => {
+        match (policy.schedule_policy(), cancel) {
+            (None, cancel) => {
+                let check = || -> Result<(), Error> {
+                    if cancel.is_some_and(CancelToken::is_cancelled) {
+                        Err(Error::Cancelled)
+                    } else {
+                        Ok(())
+                    }
+                };
                 for level in (0..=tree.depth()).rev() {
+                    check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
                     parallel_for(nodes.len(), num_threads, |i| pass.task_up(nodes[i]));
                 }
                 for level in 0..=tree.depth() {
+                    check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
                     parallel_for(nodes.len(), num_threads, |i| pass.task_down(nodes[i]));
                 }
             }
-            Some(sched) => {
+            (Some(sched), None) => {
                 self.plan
                     .run(sched, num_threads, |family, node| match family {
                         "SUP" => pass.task_up(node),
                         "SDOWN" => pass.task_down(node),
                         other => unreachable!("unknown solve task family {other}"),
                     });
+            }
+            (Some(sched), Some(token)) => {
+                self.plan
+                    .run_cancellable(sched, num_threads, token, |family, node| match family {
+                        "SUP" => pass.task_up(node),
+                        "SDOWN" => pass.task_down(node),
+                        other => unreachable!("unknown solve task family {other}"),
+                    })
+                    .map_err(|_| Error::Cancelled)?;
             }
         }
         Ok(pass.assemble())

@@ -14,7 +14,7 @@
 //! scalars, so one evaluator apply serves every column per iteration. GMRES
 //! builds a separate Arnoldi basis per column.
 
-use gofmm_core::{Error, Evaluator};
+use gofmm_core::{CancelToken, Error, Evaluator};
 use gofmm_linalg::{axpy, dot, matmul, nrm2, DenseMatrix, Scalar};
 use std::time::Instant;
 
@@ -171,6 +171,11 @@ pub struct KrylovOptions {
     pub max_iters: usize,
     /// GMRES restart length (ignored by CG).
     pub restart: usize,
+    /// Optional cooperative cancellation token, polled once per iteration.
+    /// When it fires the driver returns [`Error::Cancelled`]; the operator
+    /// and preconditioner stay fully reusable (their workspaces are pooled
+    /// and reset / overwritten on reuse).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for KrylovOptions {
@@ -179,6 +184,7 @@ impl Default for KrylovOptions {
             tol: 1e-10,
             max_iters: 500,
             restart: 50,
+            cancel: None,
         }
     }
 }
@@ -207,6 +213,16 @@ pub struct SolveStats {
     /// scaled consistently across restarts, for the column that iterated
     /// longest; the authoritative final value is `relative_residual`.
     pub residual_history: Vec<f64>,
+    /// Iterations each right-hand-side column actually consumed. For [`cg`]
+    /// a column stops iterating — its solution, residual and search
+    /// direction freeze — the moment it reaches the tolerance, even while
+    /// wider columns in the same batch keep going; this is what makes a
+    /// column's result bit-identical whether it was solved alone or
+    /// coalesced into a wider batch.
+    pub column_iterations: Vec<usize>,
+    /// Final per-column relative residuals `||b_j - A x_j|| / ||b_j||`
+    /// (`relative_residual` is their maximum).
+    pub column_residuals: Vec<f64>,
 }
 
 /// Per-column norms of `b`, with zero columns mapped to 1 so the relative
@@ -223,13 +239,6 @@ fn column_norms<T: Scalar>(b: &DenseMatrix<T>) -> Vec<f64> {
             }
         })
         .collect()
-}
-
-/// Worst-column relative residual.
-fn worst_relative<T: Scalar>(r: &DenseMatrix<T>, bnorm: &[f64]) -> f64 {
-    (0..r.cols())
-        .map(|j| nrm2(r.col(j)).to_f64() / bnorm[j])
-        .fold(0.0f64, f64::max)
 }
 
 /// Check that `b` matches the operator's dimension, and that the
@@ -262,12 +271,21 @@ fn check_system<T: Scalar>(
 ///
 /// All columns of `b` are iterated simultaneously with per-column step
 /// sizes, so each iteration costs one operator apply and one preconditioner
-/// apply regardless of the column count. Returns the solution and a
-/// [`SolveStats`] report whose `residual_history` tracks the worst column.
+/// apply regardless of the column count. A column *freezes* the moment its
+/// own relative residual reaches the tolerance: its solution, residual and
+/// search direction stop updating while slower columns keep iterating.
+/// Combined with the column-invariance of the underlying block kernels,
+/// this makes every column's solution bit-identical whether it was solved
+/// alone or stacked into a wider batch — the property the batched serving
+/// front door relies on when it coalesces concurrent solves. Returns the
+/// solution and a [`SolveStats`] report whose `residual_history` tracks the
+/// worst column and whose `column_iterations` records each column's freeze
+/// point.
 ///
 /// # Errors
 /// [`Error::DimensionMismatch`] when `b.rows() != op.dim()` or the
-/// preconditioner's dimension does not match the operator's.
+/// preconditioner's dimension does not match the operator's;
+/// [`Error::Cancelled`] when `opts.cancel` fires between iterations.
 pub fn cg<T: Scalar>(
     op: &impl LinearOperator<T>,
     pre: &impl Preconditioner<T>,
@@ -279,15 +297,25 @@ pub fn cg<T: Scalar>(
     let t0 = Instant::now();
     let cols = b.cols();
     let bnorm = column_norms(b);
+    let cancel = opts.cancel.as_ref();
     let mut stats = SolveStats::default();
 
     let mut x = DenseMatrix::<T>::zeros(n, cols);
     let mut r = b.clone();
-    let mut history = vec![worst_relative(&r, &bnorm)];
+    // Per-column relative residuals; frozen columns keep their last value
+    // (their residual vector no longer changes, so recomputing it would
+    // reproduce the same number).
+    let mut col_res: Vec<f64> = (0..cols)
+        .map(|j| nrm2(r.col(j)).to_f64() / bnorm[j])
+        .collect();
+    let mut history = vec![col_res.iter().copied().fold(0.0f64, f64::max)];
+    let mut column_iterations = vec![0usize; cols];
     if history[0] <= opts.tol || cols == 0 {
         stats.converged = true;
         stats.relative_residual = history[0];
         stats.residual_history = history;
+        stats.column_iterations = column_iterations;
+        stats.column_residuals = col_res;
         stats.solve_time = t0.elapsed().as_secs_f64();
         return Ok((x, stats));
     }
@@ -295,12 +323,19 @@ pub fn cg<T: Scalar>(
     let mut z = pre.apply_inverse(&r);
     let mut p = z.clone();
     let mut rz: Vec<T> = (0..cols).map(|j| dot(r.col(j), z.col(j))).collect();
+    let mut active: Vec<bool> = col_res.iter().map(|&res| res > opts.tol).collect();
 
     for it in 0..opts.max_iters {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(Error::Cancelled);
+        }
         let q = op.matvec(&p);
         stats.matvecs += 1;
         stats.iterations += 1;
         for j in 0..cols {
+            if !active[j] {
+                continue;
+            }
             let pq = dot(p.col(j), q.col(j));
             let alpha = if pq != T::zero() {
                 rz[j] / pq
@@ -309,10 +344,17 @@ pub fn cg<T: Scalar>(
             };
             axpy(alpha, p.col(j), x.col_mut(j));
             axpy(-alpha, q.col(j), r.col_mut(j));
+            col_res[j] = nrm2(r.col(j)).to_f64() / bnorm[j];
+            column_iterations[j] += 1;
+            if col_res[j] <= opts.tol {
+                // Freeze: exactly where a solo run of this column would have
+                // broken out of the loop — before the preconditioner and
+                // direction update below.
+                active[j] = false;
+            }
         }
-        let res = worst_relative(&r, &bnorm);
-        history.push(res);
-        if res <= opts.tol {
+        history.push(col_res.iter().copied().fold(0.0f64, f64::max));
+        if active.iter().all(|&a| !a) {
             stats.converged = true;
             break;
         }
@@ -323,6 +365,9 @@ pub fn cg<T: Scalar>(
         }
         z = pre.apply_inverse(&r);
         for j in 0..cols {
+            if !active[j] {
+                continue;
+            }
             let rz_new = dot(r.col(j), z.col(j));
             let beta = if rz[j] != T::zero() {
                 rz_new / rz[j]
@@ -340,6 +385,8 @@ pub fn cg<T: Scalar>(
 
     stats.relative_residual = *history.last().unwrap();
     stats.residual_history = history;
+    stats.column_iterations = column_iterations;
+    stats.column_residuals = col_res;
     stats.solve_time = t0.elapsed().as_secs_f64();
     Ok((x, stats))
 }
@@ -366,7 +413,8 @@ pub fn cg_unpreconditioned<T: Scalar>(
 ///
 /// # Errors
 /// [`Error::DimensionMismatch`] when `b.rows() != op.dim()` or the
-/// preconditioner's dimension does not match the operator's.
+/// preconditioner's dimension does not match the operator's;
+/// [`Error::Cancelled`] when `opts.cancel` fires between restart cycles.
 pub fn gmres<T: Scalar>(
     op: &impl LinearOperator<T>,
     pre: &impl Preconditioner<T>,
@@ -378,6 +426,7 @@ pub fn gmres<T: Scalar>(
     let t0 = Instant::now();
     let m = opts.restart.max(1);
     let bnorm = column_norms(b);
+    let cancel = opts.cancel.as_ref();
     let mut stats = SolveStats {
         converged: true,
         ..SolveStats::default()
@@ -395,6 +444,9 @@ pub fn gmres<T: Scalar>(
         let mut beta0: Option<f64> = None;
 
         'restarts: while iterations_left > 0 {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(Error::Cancelled);
+            }
             // True residual at the restart, then precondition it.
             let ax = op.matvec(&xj);
             stats.matvecs += 1;
@@ -510,6 +562,10 @@ pub fn gmres<T: Scalar>(
         worst_final = worst_final.max(rel);
         let column_converged = converged || rel <= opts.tol;
         stats.converged &= column_converged;
+        stats
+            .column_iterations
+            .push(opts.max_iters - iterations_left);
+        stats.column_residuals.push(rel);
         if col_history.len() > history.len() {
             history = col_history;
         }

@@ -32,6 +32,11 @@
 //!   [`UlvFactor`], [`HierarchicalFactor`] and [`IdentityPreconditioner`]),
 //!   with per-iteration residual history in [`SolveStats`]. Both traits
 //!   take `&self`, so iterations run against shared handles.
+//! * [`BatchedServer`] — the serving traffic layer: an admission queue in
+//!   front of one shared operator that coalesces small concurrent
+//!   `apply`/`solve`/`solve_cg` requests into wide batched calls
+//!   (bit-identical to solo execution), with per-request deadlines,
+//!   cooperative cancellation and [`ServerStats`] telemetry.
 //!
 //! ## Quick start
 //!
@@ -75,6 +80,7 @@
 pub mod factor;
 pub mod krylov;
 pub mod operator;
+pub mod serve;
 pub mod ulv;
 
 #[allow(deprecated)]
@@ -86,6 +92,7 @@ pub use krylov::{
     LinearOperator, Preconditioner, Shifted, SolveStats,
 };
 pub use operator::{FactorBackend, GofmmOperator, GofmmOperatorBuilder};
+pub use serve::{BatchedServer, ServeConfig, ServerStats, Ticket};
 pub use ulv::UlvFactor;
 
 use gofmm_core::{Compressed, Evaluator};

@@ -1,0 +1,884 @@
+//! Batched serving front door: an admission queue in front of a shared
+//! [`GofmmOperator`].
+//!
+//! A compressed operator is compressed once and then queried many times,
+//! often by many concurrent clients, each with a *narrow* right-hand side
+//! (one to a handful of columns). Running those requests one at a time
+//! wastes the block structure of the sweeps: one apply over an `n x 8`
+//! block costs far less than eight applies over `n x 1` vectors, and —
+//! because every block kernel in the engine is column-invariant — produces
+//! the *same bits* for each column either way.
+//!
+//! [`BatchedServer`] exploits that. Clients submit requests and get back a
+//! [`Ticket`]; a background worker coalesces compatible queued requests
+//! (same operation, and for CG the same convergence settings) into one wide
+//! column-stacked call on the shared operator, then scatters the result
+//! columns back to the tickets. Coalescing is bounded by
+//! [`ServeConfig::max_batch_cols`] and a small [`ServeConfig::holdoff`]
+//! window that lets a burst of concurrent submissions pile into one batch.
+//!
+//! Three serving concerns ride along:
+//!
+//! - **Deadlines.** A request may carry a time budget. If it expires while
+//!   the request is still queued, the request is rejected with
+//!   [`Error::DeadlineExceeded`] *before* it consumes a batch slot — an
+//!   expired request never does work.
+//! - **Cancellation.** [`Ticket::cancel`] fires the request's cooperative
+//!   [`CancelToken`]. A queued request is dropped at the next batch
+//!   formation; an in-flight request abandons its result, and if *every*
+//!   request in a flight cancels, the flight's own token fires and the
+//!   engine drains its sweep mid-run (leaving all pooled workspaces
+//!   reusable — the next request on the same operator is bit-identical to
+//!   one served by a fresh operator).
+//! - **Back-pressure.** When the queue is at [`ServeConfig::queue_capacity`]
+//!   the submission is refused with [`Error::Overloaded`] rather than
+//!   queued into unbounded memory.
+//!
+//! Dropping the server performs a graceful drain: queued work is still
+//! executed (without holdoff) and every outstanding ticket resolves; the
+//! drop never deadlocks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gofmm_core::{ApplyOptions, CancelToken, Error};
+use gofmm_linalg::{DenseMatrix, Scalar};
+
+use crate::krylov::KrylovOptions;
+use crate::operator::GofmmOperator;
+
+/// Number of buckets in the batch-width histogram: widths 1, 2, 3–4, 5–8,
+/// 9–16, and 17+ coalesced columns.
+pub const BATCH_WIDTH_BUCKETS: usize = 6;
+
+fn width_bucket(cols: usize) -> usize {
+    match cols {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
+/// Configuration of a [`BatchedServer`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Coalescing stops once a batch holds this many columns (default 32).
+    /// A single oversized request still runs — alone in its own batch.
+    pub max_batch_cols: usize,
+    /// How long the worker holds a freshly seeded batch open for more
+    /// requests to join before executing it (default 200 µs). Larger values
+    /// trade first-request latency for wider batches.
+    pub holdoff: Duration,
+    /// Admission refuses (`Error::Overloaded`) once this many requests are
+    /// queued (default 1024).
+    pub queue_capacity: usize,
+    /// Scheduling options for the coalesced apply/solve sweeps. The `cancel`
+    /// field is ignored — the server installs its own per-flight token.
+    /// (CG batches drive the evaluator and factor through their configured
+    /// defaults; results are policy-invariant either way.)
+    pub options: ApplyOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_cols: 32,
+            holdoff: Duration::from_micros(200),
+            queue_capacity: 1024,
+            options: ApplyOptions::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set [`ServeConfig::max_batch_cols`] (clamped to at least 1).
+    pub fn with_max_batch_cols(mut self, cols: usize) -> Self {
+        self.max_batch_cols = cols.max(1);
+        self
+    }
+
+    /// Set [`ServeConfig::holdoff`].
+    pub fn with_holdoff(mut self, holdoff: Duration) -> Self {
+        self.holdoff = holdoff;
+        self
+    }
+
+    /// Set [`ServeConfig::queue_capacity`] (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the scheduling [`ServeConfig::options`] for batch execution.
+    pub fn with_options(mut self, options: ApplyOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Which operator entry point a request targets.
+#[derive(Clone, Debug)]
+enum RequestKind {
+    /// Matvec `u = K w`.
+    Apply,
+    /// Hierarchical direct solve `(K + lambda I) x = b`.
+    Solve,
+    /// Preconditioned CG solve with these convergence settings.
+    SolveCg(KrylovOptions),
+}
+
+impl RequestKind {
+    /// Whether two requests may share one coalesced call. CG requests must
+    /// agree on every setting that steers the iteration (the per-request
+    /// `cancel` field is request identity, not iteration behavior, and is
+    /// replaced by the flight token anyway).
+    fn compatible(&self, other: &RequestKind) -> bool {
+        match (self, other) {
+            (RequestKind::Apply, RequestKind::Apply) => true,
+            (RequestKind::Solve, RequestKind::Solve) => true,
+            (RequestKind::SolveCg(a), RequestKind::SolveCg(b)) => {
+                a.tol.to_bits() == b.tol.to_bits()
+                    && a.max_iters == b.max_iters
+                    && a.restart == b.restart
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Cancellation plumbing shared between a [`Ticket`] and the worker.
+///
+/// `flight` is `Some` exactly while the request's batch is executing; the
+/// lock serializes [`Ticket::cancel`] against flight registration so each
+/// cancelled request decrements the flight's live count exactly once (the
+/// count reaching zero fires the flight token and drains the engine).
+#[derive(Debug)]
+struct RequestShared {
+    token: CancelToken,
+    cancelled: AtomicBool,
+    flight: Mutex<Option<FlightHandle>>,
+}
+
+#[derive(Debug)]
+struct FlightHandle {
+    remaining: Arc<AtomicUsize>,
+    token: CancelToken,
+}
+
+impl RequestShared {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            token: CancelToken::new(),
+            cancelled: AtomicBool::new(false),
+            flight: Mutex::new(None),
+        })
+    }
+
+    fn cancel(&self) {
+        if self.cancelled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.token.cancel();
+        let guard = self.flight.lock().expect("flight lock");
+        if let Some(fh) = guard.as_ref() {
+            if fh.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                fh.token.cancel();
+            }
+        }
+    }
+
+    /// Attach this request to an executing flight. If the request cancelled
+    /// before the flight existed, its `cancel` found nothing to decrement —
+    /// settle the debt here instead of registering.
+    fn enter_flight(&self, remaining: &Arc<AtomicUsize>, token: &CancelToken) {
+        let mut guard = self.flight.lock().expect("flight lock");
+        if self.cancelled.load(Ordering::SeqCst) {
+            if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                token.cancel();
+            }
+        } else {
+            *guard = Some(FlightHandle {
+                remaining: Arc::clone(remaining),
+                token: token.clone(),
+            });
+        }
+    }
+
+    fn leave_flight(&self) {
+        *self.flight.lock().expect("flight lock") = None;
+    }
+}
+
+/// One request waiting in the admission queue.
+struct QueuedRequest<T: Scalar> {
+    kind: RequestKind,
+    rhs: DenseMatrix<T>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    shared: Arc<RequestShared>,
+    reply: mpsc::Sender<Result<DenseMatrix<T>, Error>>,
+}
+
+/// A submitted request's handle: await the result, or cancel the work.
+#[must_use = "a ticket resolves to the request's result; drop it only to abandon the request"]
+#[derive(Debug)]
+pub struct Ticket<T: Scalar> {
+    rx: mpsc::Receiver<Result<DenseMatrix<T>, Error>>,
+    shared: Arc<RequestShared>,
+}
+
+impl<T: Scalar> Ticket<T> {
+    /// Block until the request resolves.
+    ///
+    /// # Errors
+    /// Whatever the request resolved to: [`Error::DeadlineExceeded`] if its
+    /// deadline expired while queued, [`Error::Cancelled`] if it was
+    /// cancelled, or any error the underlying operator call produced.
+    pub fn wait(self) -> Result<DenseMatrix<T>, Error> {
+        self.rx.recv().unwrap_or(Err(Error::Cancelled))
+    }
+
+    /// Cooperatively cancel the request. A queued request is discarded at
+    /// the next batch formation; an in-flight request abandons its result
+    /// (and if every request in the flight cancels, the engine drains the
+    /// sweep itself). The ticket then resolves to [`Error::Cancelled`].
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.shared.cancel();
+    }
+}
+
+/// Snapshot of a [`BatchedServer`]'s telemetry counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Requests waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Requests accepted into the queue since the server started.
+    pub admitted: usize,
+    /// Requests that resolved with a result.
+    pub completed: usize,
+    /// Requests rejected because their deadline expired (at admission or
+    /// while queued) — none of them consumed a batch slot.
+    pub deadline_rejected: usize,
+    /// Submissions refused with [`Error::Overloaded`].
+    pub overload_rejected: usize,
+    /// Requests that resolved as cancelled.
+    pub cancelled: usize,
+    /// Coalesced operator calls executed.
+    pub batches: usize,
+    /// Total columns across all executed batches
+    /// (`coalesced_columns / batches` is the mean batch width).
+    pub coalesced_columns: usize,
+    /// Histogram of executed batch widths in columns; buckets cover
+    /// 1, 2, 3–4, 5–8, 9–16 and 17+.
+    pub batch_width_hist: [usize; BATCH_WIDTH_BUCKETS],
+    /// Mean admission-to-completion latency over completed requests, in
+    /// microseconds.
+    pub mean_latency_us: f64,
+    /// Worst admission-to-completion latency, in microseconds.
+    pub max_latency_us: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    admitted: AtomicUsize,
+    completed: AtomicUsize,
+    deadline_rejected: AtomicUsize,
+    overload_rejected: AtomicUsize,
+    cancelled: AtomicUsize,
+    batches: AtomicUsize,
+    coalesced_columns: AtomicUsize,
+    batch_width_hist: [AtomicUsize; BATCH_WIDTH_BUCKETS],
+    latency_total_us: AtomicU64,
+    latency_max_us: AtomicU64,
+}
+
+impl StatsInner {
+    fn record_latency(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+struct Shared<T: Scalar> {
+    op: Arc<GofmmOperator<T>>,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<QueuedRequest<T>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    stats: StatsInner,
+}
+
+/// An admission queue plus coalescing worker in front of a shared
+/// [`GofmmOperator`]; see the [module docs](crate::serve) for the serving
+/// model.
+///
+/// The server owns a background worker thread. It is deliberately *not*
+/// `Clone`: dropping the single handle is the signal to drain the queue and
+/// stop the worker (outstanding [`Ticket`]s still resolve).
+pub struct BatchedServer<T: Scalar> {
+    shared: Arc<Shared<T>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<T: Scalar> BatchedServer<T> {
+    /// Start a server over `op` with `cfg`.
+    pub fn new(op: Arc<GofmmOperator<T>>, cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            max_batch_cols: cfg.max_batch_cols.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            op,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatsInner::default(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("gofmm-serve".into())
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawn serving worker");
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// The operator being served.
+    pub fn operator(&self) -> &GofmmOperator<T> {
+        &self.shared.op
+    }
+
+    /// Submit a matvec `u = K w`. `deadline` is a time budget from now; see
+    /// [`BatchedServer::submit_solve`] for the admission rules.
+    ///
+    /// # Errors
+    /// [`Error::EmptyInput`] / [`Error::DimensionMismatch`] for a malformed
+    /// right-hand side, [`Error::DeadlineExceeded`] for an already-expired
+    /// deadline, [`Error::Overloaded`] when the queue is full.
+    pub fn submit_apply(
+        &self,
+        w: &DenseMatrix<T>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<T>, Error> {
+        self.submit(RequestKind::Apply, w, deadline)
+    }
+
+    /// Submit a hierarchical direct solve `(K + lambda I) x = b`.
+    ///
+    /// The right-hand side is validated at admission (empty input, row
+    /// count, missing factorization) so a malformed request fails
+    /// immediately instead of occupying queue space. A `deadline` of zero —
+    /// or one that expires while the request is still queued — rejects the
+    /// request with [`Error::DeadlineExceeded`] without it ever consuming a
+    /// batch slot.
+    ///
+    /// # Errors
+    /// [`Error::NoFactorization`] when the operator has no factorization;
+    /// otherwise as [`BatchedServer::submit_apply`].
+    pub fn submit_solve(
+        &self,
+        b: &DenseMatrix<T>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<T>, Error> {
+        if self.shared.op.backend().is_none() {
+            return Err(Error::NoFactorization);
+        }
+        self.submit(RequestKind::Solve, b, deadline)
+    }
+
+    /// Submit a preconditioned CG solve. Requests coalesce only with other
+    /// CG requests whose `tol`, `max_iters` and `restart` agree exactly;
+    /// `opts.cancel` is ignored (use [`Ticket::cancel`]). Per-column
+    /// iteration freezing in the CG driver makes the coalesced solution of
+    /// each column bit-identical to a solo solve.
+    ///
+    /// # Errors
+    /// As [`BatchedServer::submit_solve`].
+    pub fn submit_solve_cg(
+        &self,
+        b: &DenseMatrix<T>,
+        opts: &KrylovOptions,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<T>, Error> {
+        if self.shared.op.backend().is_none() {
+            return Err(Error::NoFactorization);
+        }
+        self.submit(RequestKind::SolveCg(opts.clone()), b, deadline)
+    }
+
+    /// Snapshot the server's telemetry counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        let completed = s.completed.load(Ordering::Relaxed);
+        let total_us = s.latency_total_us.load(Ordering::Relaxed);
+        let mut hist = [0usize; BATCH_WIDTH_BUCKETS];
+        for (dst, src) in hist.iter_mut().zip(&s.batch_width_hist) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        ServerStats {
+            queue_depth: self.shared.queue.lock().expect("queue lock").len(),
+            admitted: s.admitted.load(Ordering::Relaxed),
+            completed,
+            deadline_rejected: s.deadline_rejected.load(Ordering::Relaxed),
+            overload_rejected: s.overload_rejected.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            coalesced_columns: s.coalesced_columns.load(Ordering::Relaxed),
+            batch_width_hist: hist,
+            mean_latency_us: if completed > 0 {
+                total_us as f64 / completed as f64
+            } else {
+                0.0
+            },
+            max_latency_us: s.latency_max_us.load(Ordering::Relaxed),
+        }
+    }
+
+    fn submit(
+        &self,
+        kind: RequestKind,
+        rhs: &DenseMatrix<T>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<T>, Error> {
+        if rhs.cols() == 0 {
+            return Err(Error::EmptyInput {
+                what: "right-hand side",
+            });
+        }
+        if rhs.rows() != self.shared.op.n() {
+            return Err(Error::DimensionMismatch {
+                what: "right-hand-side rows",
+                expected: self.shared.op.n(),
+                got: rhs.rows(),
+            });
+        }
+        let now = Instant::now();
+        if let Some(budget) = deadline {
+            if budget.is_zero() {
+                self.shared
+                    .stats
+                    .deadline_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Error::DeadlineExceeded);
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let shared_req = RequestShared::new();
+        let request = QueuedRequest {
+            kind,
+            rhs: rhs.clone(),
+            deadline: deadline.map(|budget| now + budget),
+            enqueued: now,
+            shared: Arc::clone(&shared_req),
+            reply: tx,
+        };
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            if queue.len() >= self.shared.cfg.queue_capacity {
+                self.shared
+                    .stats
+                    .overload_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Error::Overloaded {
+                    queue_depth: queue.len(),
+                    capacity: self.shared.cfg.queue_capacity,
+                });
+            }
+            queue.push_back(request);
+        }
+        self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.available.notify_all();
+        Ok(Ticket {
+            rx,
+            shared: shared_req,
+        })
+    }
+}
+
+impl<T: Scalar> Drop for BatchedServer<T> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        if let Some(worker) = self.worker.take() {
+            // The worker drains the queue (skipping holdoff) before exiting,
+            // so every outstanding ticket resolves and the join terminates.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Reject `req` as expired without it ever consuming a batch slot.
+fn reject_expired<T: Scalar>(stats: &StatsInner, req: &QueuedRequest<T>) {
+    stats.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+    let _ = req.reply.send(Err(Error::DeadlineExceeded));
+}
+
+fn reject_cancelled<T: Scalar>(stats: &StatsInner, req: &QueuedRequest<T>) {
+    stats.cancelled.fetch_add(1, Ordering::Relaxed);
+    let _ = req.reply.send(Err(Error::Cancelled));
+}
+
+/// Drop expired and cancelled requests anywhere in the queue, resolving
+/// their tickets.
+fn purge_queue<T: Scalar>(
+    queue: &mut VecDeque<QueuedRequest<T>>,
+    stats: &StatsInner,
+    now: Instant,
+) {
+    queue.retain(|req| {
+        if req.shared.cancelled.load(Ordering::SeqCst) {
+            reject_cancelled(stats, req);
+            false
+        } else if req.deadline.is_some_and(|d| d <= now) {
+            reject_expired(stats, req);
+            false
+        } else {
+            true
+        }
+    });
+}
+
+/// Columns that could join a batch seeded by the queue's front request.
+fn compatible_cols<T: Scalar>(queue: &VecDeque<QueuedRequest<T>>) -> usize {
+    let Some(seed) = queue.front() else { return 0 };
+    queue
+        .iter()
+        .filter(|r| seed.kind.compatible(&r.kind))
+        .map(|r| r.rhs.cols())
+        .sum()
+}
+
+/// Extract the front request plus every compatible request behind it, in
+/// FIFO order, until the batch holds `max_cols` columns. Incompatible
+/// requests stay queued (and keep their order).
+fn form_batch<T: Scalar>(
+    queue: &mut VecDeque<QueuedRequest<T>>,
+    max_cols: usize,
+) -> Vec<QueuedRequest<T>> {
+    let mut batch: Vec<QueuedRequest<T>> = Vec::new();
+    let mut cols = 0usize;
+    let mut rest: VecDeque<QueuedRequest<T>> = VecDeque::new();
+    while let Some(req) = queue.pop_front() {
+        let join = match batch.first() {
+            None => true,
+            Some(seed) => cols < max_cols && seed.kind.compatible(&req.kind),
+        };
+        if join {
+            cols += req.rhs.cols();
+            batch.push(req);
+        } else {
+            rest.push_back(req);
+        }
+    }
+    *queue = rest;
+    batch
+}
+
+fn worker_loop<T: Scalar>(shared: &Shared<T>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            // Wait for work (or shutdown with an empty queue).
+            loop {
+                purge_queue(&mut queue, &shared.stats, Instant::now());
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Bounded wait so a queued deadline can expire promptly even
+                // with no new submissions arriving to wake the worker.
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(1))
+                    .expect("queue lock");
+                queue = guard;
+            }
+            // Hold the seeded batch open briefly for more requests to join —
+            // unless shutting down (drain fast) or already full.
+            let holdoff_until = queue.front().expect("seed").enqueued + shared.cfg.holdoff;
+            while !shared.shutdown.load(Ordering::SeqCst)
+                && compatible_cols(&queue) < shared.cfg.max_batch_cols
+            {
+                let remaining = holdoff_until.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, remaining)
+                    .expect("queue lock");
+                queue = guard;
+                purge_queue(&mut queue, &shared.stats, Instant::now());
+                if queue.is_empty() {
+                    break;
+                }
+            }
+            if queue.is_empty() {
+                continue;
+            }
+            form_batch(&mut queue, shared.cfg.max_batch_cols)
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        execute_batch(shared, batch);
+    }
+}
+
+fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
+    let n = shared.op.n();
+    let total_cols: usize = batch.iter().map(|r| r.rhs.cols()).sum();
+    let mut wide = DenseMatrix::<T>::zeros(n, total_cols);
+    let mut offset = 0usize;
+    let mut offsets = Vec::with_capacity(batch.len());
+    for req in &batch {
+        wide.set_block(0, offset, &req.rhs);
+        offsets.push(offset);
+        offset += req.rhs.cols();
+    }
+
+    // One flight token shared by the whole batch: it fires only when every
+    // request in the flight has cancelled, at which point the engine drains
+    // the sweep instead of finishing work nobody wants.
+    let flight_token = CancelToken::new();
+    let remaining = Arc::new(AtomicUsize::new(batch.len()));
+    for req in &batch {
+        req.shared.enter_flight(&remaining, &flight_token);
+    }
+
+    let result = match &batch[0].kind {
+        RequestKind::Apply => {
+            let opts = shared.cfg.options.clone().with_cancel(flight_token.clone());
+            shared.op.apply_with(&wide, &opts).map(|(u, _)| u)
+        }
+        RequestKind::Solve => {
+            let opts = shared.cfg.options.clone().with_cancel(flight_token.clone());
+            shared.op.solve_with(&wide, &opts)
+        }
+        RequestKind::SolveCg(krylov) => {
+            let opts = KrylovOptions {
+                cancel: Some(flight_token.clone()),
+                ..krylov.clone()
+            };
+            shared.op.solve_cg(&wide, &opts).map(|(x, _)| x)
+        }
+    };
+
+    for req in &batch {
+        req.shared.leave_flight();
+    }
+
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .coalesced_columns
+        .fetch_add(total_cols, Ordering::Relaxed);
+    shared.stats.batch_width_hist[width_bucket(total_cols)].fetch_add(1, Ordering::Relaxed);
+
+    match result {
+        Ok(out) => {
+            for (req, &off) in batch.iter().zip(&offsets) {
+                if req.shared.cancelled.load(Ordering::SeqCst) {
+                    reject_cancelled(&shared.stats, req);
+                } else {
+                    let cols = req.rhs.cols();
+                    let slice = out.block(0, n, off, off + cols);
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.record_latency(req.enqueued.elapsed());
+                    let _ = req.reply.send(Ok(slice));
+                }
+            }
+        }
+        Err(err) => {
+            for req in &batch {
+                if matches!(err, Error::Cancelled) || req.shared.cancelled.load(Ordering::SeqCst) {
+                    reject_cancelled(&shared.stats, req);
+                } else {
+                    let _ = req.reply.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gofmm_core::GofmmConfig;
+    use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
+
+    fn test_operator(n: usize, factorize: bool) -> Arc<GofmmOperator<f64>> {
+        let points = PointCloud::uniform(n, 3, 17);
+        let kernel = KernelMatrix::new(
+            points,
+            KernelType::Gaussian { bandwidth: 1.0 },
+            1e-6,
+            "serve-test",
+        );
+        let config = GofmmConfig::default()
+            .with_leaf_size(32)
+            .with_max_rank(32)
+            .with_tolerance(1e-7)
+            .with_budget(0.0);
+        let builder = GofmmOperator::builder(&kernel).config(config);
+        let builder = if factorize {
+            builder.factorize(1e-2)
+        } else {
+            builder
+        };
+        Arc::new(builder.build().expect("build operator"))
+    }
+
+    fn rhs(n: usize, cols: usize, seed: usize) -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(n, cols, |i, j| {
+            (((i * 31 + j * 7 + seed * 13) % 23) as f64 - 11.0) / 7.0
+        })
+    }
+
+    #[test]
+    fn coalesced_apply_matches_direct_calls() {
+        let op = test_operator(256, false);
+        // A long holdoff forces every concurrent request into one batch.
+        let cfg = ServeConfig::default().with_holdoff(Duration::from_millis(50));
+        let server = BatchedServer::new(Arc::clone(&op), cfg);
+        let inputs: Vec<_> = (0..6).map(|s| rhs(256, 1 + s % 3, s)).collect();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|w| server.submit_apply(w, None).expect("admit"))
+            .collect();
+        for (w, ticket) in inputs.iter().zip(tickets) {
+            let got = ticket.wait().expect("result");
+            let want = op.apply(w).expect("direct");
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "coalesced apply must be bit-identical"
+            );
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 6);
+        assert!(
+            stats.batches < 6,
+            "expected coalescing, got {} batches",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn expired_deadline_rejected_without_batch_slot() {
+        let op = test_operator(128, false);
+        let server = BatchedServer::new(op, ServeConfig::default());
+        let w = rhs(128, 1, 0);
+        let err = server
+            .submit_apply(&w, Some(Duration::ZERO))
+            .expect_err("zero deadline must be rejected");
+        assert!(matches!(err, Error::DeadlineExceeded));
+        let stats = server.stats();
+        assert_eq!(stats.deadline_rejected, 1);
+        assert_eq!(stats.batches, 0, "an expired request must not form a batch");
+    }
+
+    #[test]
+    fn solve_without_factorization_is_refused_at_admission() {
+        let op = test_operator(128, false);
+        let server = BatchedServer::new(op, ServeConfig::default());
+        let b = rhs(128, 1, 0);
+        assert!(matches!(
+            server.submit_solve(&b, None),
+            Err(Error::NoFactorization)
+        ));
+        assert!(matches!(
+            server.submit_solve_cg(&b, &KrylovOptions::default(), None),
+            Err(Error::NoFactorization)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_fail_fast() {
+        let op = test_operator(128, false);
+        let server = BatchedServer::new(op, ServeConfig::default());
+        assert!(matches!(
+            server.submit_apply(&DenseMatrix::<f64>::zeros(128, 0), None),
+            Err(Error::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            server.submit_apply(&rhs(64, 1, 0), None),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overload_is_reported_with_queue_depth() {
+        let op = test_operator(128, false);
+        // Capacity 1 and a long holdoff: the second submission while the
+        // first is still queued must be refused.
+        let cfg = ServeConfig::default()
+            .with_queue_capacity(1)
+            .with_holdoff(Duration::from_millis(200));
+        let server = BatchedServer::new(op, cfg);
+        let w = rhs(128, 1, 0);
+        let first = server.submit_apply(&w, None).expect("first admit");
+        let second = server.submit_apply(&w, None);
+        match second {
+            Err(Error::Overloaded {
+                queue_depth,
+                capacity,
+            }) => {
+                assert_eq!(capacity, 1);
+                assert!(queue_depth >= 1);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        first.wait().expect("first result");
+    }
+
+    #[test]
+    fn cancelled_ticket_resolves_to_cancelled() {
+        let op = test_operator(128, false);
+        let cfg = ServeConfig::default().with_holdoff(Duration::from_millis(100));
+        let server = BatchedServer::new(op, cfg);
+        let w = rhs(128, 1, 0);
+        let ticket = server.submit_apply(&w, None).expect("admit");
+        ticket.cancel();
+        assert!(matches!(ticket.wait(), Err(Error::Cancelled)));
+        let stats = server.stats();
+        assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn drop_with_queued_work_resolves_tickets() {
+        let op = test_operator(128, false);
+        let cfg = ServeConfig::default().with_holdoff(Duration::from_millis(500));
+        let server = BatchedServer::new(Arc::clone(&op), cfg);
+        let w = rhs(128, 2, 1);
+        let ticket = server.submit_apply(&w, None).expect("admit");
+        drop(server); // must drain, not deadlock
+        let got = ticket.wait().expect("drained result");
+        let want = op.apply(&w).expect("direct");
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn width_buckets_cover_all_sizes() {
+        assert_eq!(width_bucket(1), 0);
+        assert_eq!(width_bucket(2), 1);
+        assert_eq!(width_bucket(4), 2);
+        assert_eq!(width_bucket(8), 3);
+        assert_eq!(width_bucket(16), 4);
+        assert_eq!(width_bucket(64), 5);
+    }
+}

@@ -110,6 +110,7 @@ fn preconditioned_cg_beats_unpreconditioned_on_ill_conditioned_kernel() {
         tol: 1e-10,
         max_iters: 600,
         restart: 60,
+        ..KrylovOptions::default()
     };
     let op = Shifted::new(&ev, lambda);
     let (x_un, s_un) = cg_unpreconditioned(&op, &b, &opts).unwrap();
@@ -211,6 +212,7 @@ fn gmres_with_hierarchical_preconditioner_converges_fast() {
         tol: 1e-10,
         max_iters: 200,
         restart: 30,
+        ..KrylovOptions::default()
     };
     let op = Shifted::new(&ev, lambda);
     let (x, stats) = gmres(&op, &factor, &b, &opts).unwrap();
@@ -258,6 +260,7 @@ fn fmm_mode_compression_still_preconditions() {
         tol: 1e-10,
         max_iters: 400,
         restart: 50,
+        ..KrylovOptions::default()
     };
     let op = Shifted::new(&ev, lambda);
     let (_, s_un) = cg_unpreconditioned(&op, &b, &opts).unwrap();
@@ -312,7 +315,8 @@ proptest! {
             ((i as u64).wrapping_mul(seed.wrapping_add(3)) % 17) as f64 / 8.0 - 1.0
         });
         let ev = Evaluator::new(&m, &comp);
-        let opts = KrylovOptions { tol: 1e-10, max_iters: 300, restart: 40 };
+        let opts = KrylovOptions { tol: 1e-10, max_iters: 300, restart: 40,
+        ..KrylovOptions::default() };
         let op = Shifted::new(&ev, lambda);
         let (x, stats) = cg(&op, &factor, &b, &opts).unwrap();
         prop_assert!(

@@ -52,6 +52,7 @@ fn main() {
         tol: 1e-10,
         max_iters: 600,
         restart: 60,
+        ..KrylovOptions::default()
     };
     let op = Shifted::new(&evaluator, lambda);
 

@@ -4,7 +4,9 @@
 //! integration tests can use a single import root, and surfaces the
 //! serving front door at the top level: [`GofmmOperator`] (one builder for
 //! compress → evaluate → factor → solve, yielding a `Send + Sync` handle
-//! with `&self` entry points) and the workspace-wide [`Error`] type.
+//! with `&self` entry points), [`BatchedServer`] (the traffic layer that
+//! coalesces concurrent requests into wide batched calls, with deadlines
+//! and cancellation), and the workspace-wide [`Error`] type.
 
 pub use gofmm_baselines as baselines;
 pub use gofmm_core as core;
@@ -14,5 +16,8 @@ pub use gofmm_runtime as runtime;
 pub use gofmm_solver as solver;
 pub use gofmm_tree as tree;
 
-pub use gofmm_core::{ApplyOptions, Error, PanelPrecision};
-pub use gofmm_solver::{FactorBackend, GofmmOperator, GofmmOperatorBuilder, KrylovOptions};
+pub use gofmm_core::{ApplyOptions, CancelToken, Error, PanelPrecision};
+pub use gofmm_solver::{
+    BatchedServer, FactorBackend, GofmmOperator, GofmmOperatorBuilder, KrylovOptions, ServeConfig,
+    ServerStats, Ticket,
+};
