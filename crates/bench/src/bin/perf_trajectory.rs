@@ -30,6 +30,7 @@ use gofmm_linalg::blas::reference;
 use gofmm_linalg::{gemm, gemm_mixed, simd_level, DenseMatrix, Transpose};
 use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
 use gofmm_solver::{BatchedServer, GofmmOperator, KrylovOptions, ServeConfig};
+use gofmm_telemetry::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -240,6 +241,28 @@ fn measure_serving() -> Vec<Measurement> {
     out.push(Measurement::higher(
         "fig4_apply_scaling_speedup_t4",
         apply_native_ms / apply_heft4_ms,
+    ));
+
+    // Tracing overhead and the realized critical path: the same heft-4
+    // apply with a span sink installed. The traced latency rides next to
+    // the untraced column above so a tracing-cost regression is visible in
+    // the diff; the critical-path fraction (longest dependent task chain
+    // over total task time) bounds achievable sweep parallelism.
+    let heft4_traced = heft4.clone().with_trace(TraceSink::new());
+    let apply_traced_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(ev.apply_with(&w, &heft4_traced).expect("traced apply"));
+        });
+    out.push(Measurement::lower(
+        "apply_2048_rhs4_traced_ms",
+        apply_traced_ms,
+    ));
+    let cp_sink = TraceSink::new();
+    ev.apply_with(&w, &heft4.clone().with_trace(cp_sink.clone()))
+        .expect("traced apply");
+    out.push(Measurement::lower(
+        "apply_critical_path_fraction",
+        cp_sink.trace().summary().critical_path_fraction(),
     ));
 
     // Evaluator reuse: one-shot evaluation (rebuild panels + plan per call)

@@ -2,6 +2,7 @@
 
 use crate::distance::DistanceMetric;
 use gofmm_runtime::{CancelToken, SchedulePolicy};
+use gofmm_telemetry::TraceSink;
 
 /// How tree traversals are executed (paper §2.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -291,6 +292,12 @@ impl GofmmConfig {
 /// barriers); when it fires, the call drains its remaining tasks, returns
 /// `Err(Error::Cancelled)`, and its leased workspace goes back to the pool
 /// in a reusable state.
+///
+/// A [`TraceSink`] attached via [`ApplyOptions::with_trace`] records one
+/// task span per executed task body (plus a phase span for the whole call,
+/// and per-level barrier markers under the level-by-level policy) into the
+/// sink. Tracing never changes the call's outputs: traced and untraced
+/// runs are bit-identical.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ApplyOptions {
     /// Traversal policy override for this call.
@@ -300,6 +307,9 @@ pub struct ApplyOptions {
     /// Cooperative cancellation token for this call (`None`: the call always
     /// runs to completion).
     pub cancel: Option<CancelToken>,
+    /// Span sink recording this call's task/phase spans (`None`: the call
+    /// records nothing and pays only an option check per task).
+    pub trace: Option<TraceSink>,
 }
 
 impl ApplyOptions {
@@ -324,6 +334,13 @@ impl ApplyOptions {
     /// checkpoints and returns `Err(Error::Cancelled)` once it fires.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Builder-style trace sink: the call records task/phase spans into
+    /// `trace` (cheap `Arc` clone; all clones feed one buffer).
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = Some(trace);
         self
     }
 }

@@ -39,8 +39,8 @@ use gofmm_runtime::{
     parallel_for, CancelToken, DisjointCells, ExecStats, Family, ReusablePlan, RunDefaults,
     WorkspacePool,
 };
+use gofmm_telemetry::{traced_barrier, traced_task, PhaseTimes, SpanKind, Stopwatch};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Statistics of one evaluation.
 #[derive(Clone, Debug, Default)]
@@ -73,6 +73,16 @@ impl EvaluationStats {
         } else {
             0.0
         }
+    }
+
+    /// The timing fields as a [`PhaseTimes`] view — `"setup"` (amortized
+    /// evaluator construction) and `"apply"` (this call's sweep), in
+    /// seconds. The unified shape shared with `SolveStats::phase_times()`
+    /// and the serving stats.
+    pub fn phase_times(&self) -> PhaseTimes {
+        PhaseTimes::new()
+            .with("setup", self.setup_time)
+            .with("apply", self.time)
     }
 }
 
@@ -318,7 +328,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         policy: TraversalPolicy,
         num_threads: usize,
     ) -> Evaluator<'c, T> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let tree = &comp.tree;
         let node_count = tree.node_count();
 
@@ -388,7 +398,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         policy: TraversalPolicy,
         num_threads: usize,
     ) -> Self {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let tree = &comp.tree;
         let node_count = tree.node_count();
         let mut far: Vec<Panel<'a, T>> = Vec::with_capacity(node_count);
@@ -440,7 +450,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         far: Vec<Panel<'c, T>>,
         near: Vec<Panel<'c, T>>,
         near_gather: Vec<Vec<usize>>,
-        t0: Instant,
+        t0: Stopwatch,
     ) -> Evaluator<'c, T> {
         let cached_bytes = far
             .iter()
@@ -462,7 +472,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             near,
             near_gather,
             plan,
-            setup_time: t0.elapsed().as_secs_f64(),
+            setup_time: t0.seconds(),
             cached_bytes,
             panel_precision,
             pool: WorkspacePool::new(),
@@ -475,7 +485,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         matrix: &M,
         mut comp: Compressed<T>,
     ) -> Evaluator<'static, T> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (far, near, near_gather) = Evaluator::steal_packed(matrix, &mut comp);
         let (policy, threads) = (comp.config.policy, comp.config.num_threads);
         let precision = comp.config.panel_precision;
@@ -577,6 +587,14 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         self.cached_bytes
     }
 
+    /// Lifetime lease traffic of the internal apply-workspace pool, as
+    /// `(created, recycled)`: how many checkouts allocated a fresh workspace
+    /// versus reused a shelved one. A steady-state serving loop should see
+    /// `recycled` grow and `created` stay flat.
+    pub fn pool_lease_stats(&self) -> (usize, usize) {
+        (self.pool.created(), self.pool.recycled())
+    }
+
     /// Storage precision of the owned packed panels. Packing constructors
     /// take it from [`crate::GofmmConfig::panel_precision`]; borrowing
     /// evaluators always report [`PanelPrecision::Native`] (they reference
@@ -659,7 +677,9 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             return Err(Error::Cancelled);
         }
         let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
-        let t0 = Instant::now();
+        let sink = opts.trace.as_ref();
+        let phase_start = sink.map(|s| s.now());
+        let sw = Stopwatch::start();
         let mut ws = self
             .pool
             .lease(w.cols(), || ApplyWorkspace::allocate(&self.comp, w.cols()));
@@ -694,27 +714,49 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                 for level in (1..=tree.depth()).rev() {
                     check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
-                    parallel_for(nodes.len(), num_threads, |i| pass.task_n2s(nodes[i]));
+                    traced_barrier(sink, "N2S", level as usize, || {
+                        parallel_for(nodes.len(), num_threads, |i| {
+                            traced_task(sink, "N2S", nodes[i], level as usize, || {
+                                pass.task_n2s(nodes[i])
+                            })
+                        })
+                    });
                 }
                 check()?;
                 let all: Vec<usize> = (1..tree.node_count()).collect();
-                parallel_for(all.len(), num_threads, |i| pass.task_s2s(all[i]));
+                traced_barrier(sink, "S2S", 0, || {
+                    parallel_for(all.len(), num_threads, |i| {
+                        let node = all[i];
+                        traced_task(sink, "S2S", node, gofmm_runtime::heap_level(node), || {
+                            pass.task_s2s(node)
+                        })
+                    })
+                });
                 for level in 1..=tree.depth() {
                     check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
-                    parallel_for(nodes.len(), num_threads, |i| pass.task_s2n(nodes[i]));
+                    traced_barrier(sink, "S2N", level as usize, || {
+                        parallel_for(nodes.len(), num_threads, |i| {
+                            traced_task(sink, "S2N", nodes[i], level as usize, || {
+                                pass.task_s2n(nodes[i])
+                            })
+                        })
+                    });
                 }
                 check()?;
                 let leaves: Vec<usize> = tree.leaf_range().collect();
-                parallel_for(leaves.len(), num_threads, |i| pass.task_l2l(leaves[i]));
+                traced_barrier(sink, "L2L", tree.depth() as usize, || {
+                    parallel_for(leaves.len(), num_threads, |i| {
+                        traced_task(sink, "L2L", leaves[i], tree.depth() as usize, || {
+                            pass.task_l2l(leaves[i])
+                        })
+                    })
+                });
                 None
             }
-            (Some(sched), None) => Some(self.plan.run(sched, num_threads, |family, node| {
-                pass.dispatch(family, node)
-            })),
-            (Some(sched), Some(token)) => Some(
+            (Some(sched), cancel) => Some(
                 self.plan
-                    .run_cancellable(sched, num_threads, token, |family, node| {
+                    .run_with(sched, num_threads, cancel, sink, |family, node| {
                         pass.dispatch(family, node)
                     })
                     .map_err(|_| Error::Cancelled)?,
@@ -722,8 +764,11 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         };
 
         let out = pass.assemble();
+        if let (Some(s), Some(t0)) = (sink, phase_start) {
+            s.record(SpanKind::Phase, "APPLY", 0, 0, t0, s.now());
+        }
         let stats = EvaluationStats {
-            time: t0.elapsed().as_secs_f64(),
+            time: sw.seconds(),
             setup_time: self.setup_time,
             cached_bytes: self.cached_bytes,
             panel_precision: self.panel_precision,
@@ -1066,7 +1111,7 @@ impl<T: Scalar> Compressed<T> {
         mut self,
         matrix: &M,
     ) -> (std::sync::Arc<Compressed<T>>, Evaluator<'static, T>) {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (far, near, near_gather) = Evaluator::steal_packed(matrix, &mut self);
         let (policy, threads) = (self.config.policy, self.config.num_threads);
         let precision = self.config.panel_precision;

@@ -75,6 +75,12 @@ pub use skel::{skeletonize_node, NodeBasis, SkelParams};
 /// the runtime crate directly.
 pub use gofmm_runtime::CancelToken;
 
+/// Observability types accepted by [`ApplyOptions::with_trace`] and
+/// returned from flushed traces; re-exported from `gofmm-telemetry` so
+/// callers tracing an apply need not depend on the telemetry crate
+/// directly.
+pub use gofmm_telemetry::{MetricsRegistry, SpanKind, Trace, TraceSink, TraceSummary};
+
 /// Relative error `||K w - u|| / ||K w||` estimated on sampled rows (the
 /// paper's epsilon_2 metric); re-exported from `gofmm-matrices` for
 /// convenience.

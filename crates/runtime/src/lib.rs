@@ -48,5 +48,7 @@ pub use executor::{
 };
 pub use graph::{Task, TaskGraph, TaskId};
 pub use parallel::{available_threads, parallel_for, parallel_map, parallel_ranges, split_ranges};
-pub use plan::{DisjointCells, Family, PhasePlan, PlanTopology, ReusablePlan, SharedCells};
+pub use plan::{
+    heap_level, DisjointCells, Family, PhasePlan, PlanTopology, ReusablePlan, SharedCells,
+};
 pub use pool::{Lease, RunDefaults, WorkspacePool};

@@ -29,6 +29,7 @@
 use crate::cancel::{CancelToken, Cancelled};
 use crate::executor::{run_dag_with_cancel, DagShape, ExecStats, SchedulePolicy};
 use crate::graph::{TaskGraph, TaskId};
+use gofmm_telemetry::{SpanKind, TraceSink};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
@@ -38,6 +39,12 @@ use std::sync::OnceLock;
 /// A task family inside a phase, e.g. `"SKEL"` or `"N2S"`. Families plus the
 /// node index form the symbolic key of a task.
 pub type Family = &'static str;
+
+/// Tree level of a heap-indexed node (root 0 is level 0, its children are
+/// level 1, ...). This is the level recorded on task spans.
+pub fn heap_level(node: usize) -> usize {
+    (node + 1).ilog2() as usize
+}
 
 /// The minimal binary-tree shape information a [`PhasePlan`] needs to wire
 /// structural (parent/child) dependencies. Implemented by
@@ -281,9 +288,41 @@ impl ReusablePlan {
         cancel: &CancelToken,
         task: impl Fn(Family, usize) + Sync,
     ) -> Result<ExecStats, Cancelled> {
-        let stats = self.run_indexed_with_cancel(policy, workers, Some(cancel), |idx| {
+        self.run_with(policy, workers, Some(cancel), None, task)
+    }
+
+    /// The fully general entry point: [`ReusablePlan::run`] plus optional
+    /// cooperative cancellation *and* optional span tracing in one call.
+    ///
+    /// When `trace` is `Some`, every task body is wrapped in a
+    /// [`SpanKind::Task`] span recorded into the sink — keyed by the
+    /// task's family, node and heap level — with zero effect on the task's
+    /// outputs (the hard observability contract: traced and untraced runs
+    /// are bit-identical). When `trace` is `None` the only extra cost over
+    /// [`ReusablePlan::run`] is one branch per task.
+    ///
+    /// Cancellation semantics match [`ReusablePlan::run_cancellable`]; pass
+    /// `cancel: None` for an uncancellable run (the `Err` case is then
+    /// unreachable).
+    pub fn run_with(
+        &self,
+        policy: SchedulePolicy,
+        workers: usize,
+        cancel: Option<&CancelToken>,
+        trace: Option<&TraceSink>,
+        task: impl Fn(Family, usize) + Sync,
+    ) -> Result<ExecStats, Cancelled> {
+        let stats = self.run_indexed_with_cancel(policy, workers, cancel, |idx| {
             let (family, node) = self.keys[idx];
-            task(family, node);
+            match trace {
+                None => task(family, node),
+                Some(sink) => {
+                    let t0 = sink.now();
+                    task(family, node);
+                    let t1 = sink.now();
+                    sink.record(SpanKind::Task, family, node, heap_level(node), t0, t1);
+                }
+            }
         });
         if stats.cancelled {
             Err(Cancelled)
@@ -449,10 +488,30 @@ impl<'a> PhasePlan<'a> {
     /// cross-task data access is covered by a dependency edge, outputs are
     /// identical (bit-for-bit for deterministic tasks) across policies.
     pub fn run(self, policy: SchedulePolicy, workers: usize) -> ExecStats {
+        self.run_traced(policy, workers, None)
+    }
+
+    /// [`PhasePlan::run`] with optional span tracing: when `trace` is
+    /// `Some`, each task body is recorded as a [`SpanKind::Task`] span
+    /// keyed by its family, node and heap level. Outputs are identical
+    /// with or without a sink.
+    pub fn run_traced(
+        self,
+        policy: SchedulePolicy,
+        workers: usize,
+        trace: Option<&TraceSink>,
+    ) -> ExecStats {
         let PhasePlan { shape, funcs } = self;
         let slots: Vec<crate::executor::TaskSlot<'a>> = funcs.into_iter().map(Mutex::new).collect();
-        shape.run_indexed(policy, workers, |idx| {
-            crate::executor::take_and_run(&slots, idx)
+        shape.run_indexed(policy, workers, |idx| match trace {
+            None => crate::executor::take_and_run(&slots, idx),
+            Some(sink) => {
+                let (family, node) = shape.key(idx);
+                let t0 = sink.now();
+                crate::executor::take_and_run(&slots, idx);
+                let t1 = sink.now();
+                sink.record(SpanKind::Task, family, node, heap_level(node), t0, t1);
+            }
         })
     }
 
@@ -745,6 +804,45 @@ mod tests {
             let parent = topo.plan_parent(node).unwrap();
             assert!(pos(parent) < pos(node), "parent {parent} after node {node}");
         }
+    }
+
+    #[test]
+    fn traced_runs_record_one_span_per_task() {
+        let topo = HeapTree { levels: 4 };
+        let n = topo.node_count();
+        let mut shape = ReusablePlan::new();
+        shape.add_bottom_up("UP", &topo, |_| false, |_| 1.0);
+        let sink = TraceSink::new();
+        let hits = AtomicUsize::new(0);
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Heft,
+        ] {
+            shape
+                .run_with(policy, 3, None, Some(&sink), |_, _| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 3 * n);
+        let trace = sink.trace();
+        assert_eq!(trace.len(), 3 * n, "one span per executed task");
+        for ev in trace.events() {
+            assert_eq!(ev.family, "UP");
+            assert_eq!(ev.level, heap_level(ev.node), "span level matches node");
+            assert!(ev.t_end >= ev.t_start, "spans close after they open");
+        }
+    }
+
+    #[test]
+    fn heap_levels() {
+        assert_eq!(heap_level(0), 0);
+        assert_eq!(heap_level(1), 1);
+        assert_eq!(heap_level(2), 1);
+        assert_eq!(heap_level(3), 2);
+        assert_eq!(heap_level(6), 2);
+        assert_eq!(heap_level(7), 3);
     }
 
     #[test]

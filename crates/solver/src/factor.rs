@@ -85,6 +85,7 @@ use gofmm_runtime::{
     parallel_for, CancelToken, DisjointCells, ExecStats, PhasePlan, ReusablePlan, RunDefaults,
     WorkspacePool,
 };
+use gofmm_telemetry::{traced_barrier, traced_task, SpanKind};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -462,6 +463,12 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
         self.stats.lambda
     }
 
+    /// Lifetime lease traffic of the internal solve-workspace pool, as
+    /// `(created, recycled)` checkouts.
+    pub fn pool_lease_stats(&self) -> (usize, usize) {
+        (self.pool.created(), self.pool.recycled())
+    }
+
     /// Factorization statistics (setup time, storage, scheduler stats).
     pub fn stats(&self) -> &FactorStats {
         &self.stats
@@ -539,6 +546,8 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
             return Err(Error::Cancelled);
         }
         let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
+        let sink = opts.trace.as_ref();
+        let phase_start = sink.map(|s| s.now());
         let ws = self.pool.lease(b.cols(), || {
             SolveWorkspace::allocate(&self.comp, &self.nodes, b.cols())
         });
@@ -560,33 +569,47 @@ impl<'a, T: Scalar> HierarchicalFactor<'a, T> {
                 for level in (0..=tree.depth()).rev() {
                     check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
-                    parallel_for(nodes.len(), num_threads, |i| pass.task_up(nodes[i]));
+                    traced_barrier(sink, "SUP", level as usize, || {
+                        parallel_for(nodes.len(), num_threads, |i| {
+                            traced_task(sink, "SUP", nodes[i], level as usize, || {
+                                pass.task_up(nodes[i])
+                            })
+                        })
+                    });
                 }
                 for level in 0..=tree.depth() {
                     check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
-                    parallel_for(nodes.len(), num_threads, |i| pass.task_down(nodes[i]));
+                    traced_barrier(sink, "SDOWN", level as usize, || {
+                        parallel_for(nodes.len(), num_threads, |i| {
+                            traced_task(sink, "SDOWN", nodes[i], level as usize, || {
+                                pass.task_down(nodes[i])
+                            })
+                        })
+                    });
                 }
             }
-            (Some(sched), None) => {
+            (Some(sched), cancel) => {
                 self.plan
-                    .run(sched, num_threads, |family, node| match family {
-                        "SUP" => pass.task_up(node),
-                        "SDOWN" => pass.task_down(node),
-                        other => unreachable!("unknown solve task family {other}"),
-                    });
-            }
-            (Some(sched), Some(token)) => {
-                self.plan
-                    .run_cancellable(sched, num_threads, token, |family, node| match family {
-                        "SUP" => pass.task_up(node),
-                        "SDOWN" => pass.task_down(node),
-                        other => unreachable!("unknown solve task family {other}"),
-                    })
+                    .run_with(
+                        sched,
+                        num_threads,
+                        cancel,
+                        sink,
+                        |family, node| match family {
+                            "SUP" => pass.task_up(node),
+                            "SDOWN" => pass.task_down(node),
+                            other => unreachable!("unknown solve task family {other}"),
+                        },
+                    )
                     .map_err(|_| Error::Cancelled)?;
             }
         }
-        Ok(pass.assemble())
+        let out = pass.assemble();
+        if let (Some(s), Some(t0)) = (sink, phase_start) {
+            s.record(SpanKind::Phase, "SOLVE", 0, 0, t0, s.now());
+        }
+        Ok(out)
     }
 }
 

@@ -16,7 +16,7 @@
 
 use gofmm_core::{CancelToken, Error, Evaluator};
 use gofmm_linalg::{axpy, dot, matmul, nrm2, DenseMatrix, Scalar};
-use std::time::Instant;
+use gofmm_telemetry::{PhaseTimes, ProgressHandle, ProgressReport, SpanKind, Stopwatch, TraceSink};
 
 use crate::factor::HierarchicalFactor;
 
@@ -176,6 +176,17 @@ pub struct KrylovOptions {
     /// and preconditioner stay fully reusable (their workspaces are pooled
     /// and reset / overwritten on reuse).
     pub cancel: Option<CancelToken>,
+    /// Optional span sink: the driver records a phase span (`"CG"` /
+    /// `"GMRES"`) plus one [`SpanKind::Iteration`] span per iteration.
+    /// Tracing never changes the iterates — traced and untraced solves are
+    /// bit-identical.
+    pub trace: Option<TraceSink>,
+    /// Optional progress listener: [`cg`] pushes one
+    /// [`ProgressReport::KrylovIteration`] per iteration (iterations done,
+    /// worst live column residual, the per-column residuals and the
+    /// freezing mask). This is what feeds the batched server's
+    /// `Ticket::progress()`.
+    pub progress: Option<ProgressHandle>,
 }
 
 impl Default for KrylovOptions {
@@ -185,7 +196,32 @@ impl Default for KrylovOptions {
             max_iters: 500,
             restart: 50,
             cancel: None,
+            trace: None,
+            progress: None,
         }
+    }
+}
+
+impl KrylovOptions {
+    /// Builder-style cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Builder-style trace sink.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style progress listener.
+    #[must_use]
+    pub fn with_progress(mut self, progress: ProgressHandle) -> Self {
+        self.progress = Some(progress);
+        self
     }
 }
 
@@ -223,6 +259,18 @@ pub struct SolveStats {
     /// Final per-column relative residuals `||b_j - A x_j|| / ||b_j||`
     /// (`relative_residual` is their maximum).
     pub column_residuals: Vec<f64>,
+}
+
+impl SolveStats {
+    /// The timing fields as a [`PhaseTimes`] view — `"setup"`
+    /// (preconditioner construction, when the driver timed it) and
+    /// `"solve"` (the iteration), in seconds. The unified shape shared
+    /// with `EvaluationStats::phase_times()` and the serving stats.
+    pub fn phase_times(&self) -> PhaseTimes {
+        PhaseTimes::new()
+            .with("setup", self.setup_time)
+            .with("solve", self.solve_time)
+    }
 }
 
 /// Per-column norms of `b`, with zero columns mapped to 1 so the relative
@@ -294,7 +342,14 @@ pub fn cg<T: Scalar>(
 ) -> Result<(DenseMatrix<T>, SolveStats), Error> {
     check_system(op, pre, b)?;
     let n = op.dim();
-    let t0 = Instant::now();
+    let sw = Stopwatch::start();
+    let sink = opts.trace.as_ref();
+    let phase_start = sink.map(|s| s.now());
+    let close_phase = |stats_done: &SolveStats| {
+        if let (Some(s), Some(t0)) = (sink, phase_start) {
+            s.record(SpanKind::Phase, "CG", stats_done.iterations, 0, t0, s.now());
+        }
+    };
     let cols = b.cols();
     let bnorm = column_norms(b);
     let cancel = opts.cancel.as_ref();
@@ -316,7 +371,8 @@ pub fn cg<T: Scalar>(
         stats.residual_history = history;
         stats.column_iterations = column_iterations;
         stats.column_residuals = col_res;
-        stats.solve_time = t0.elapsed().as_secs_f64();
+        stats.solve_time = sw.seconds();
+        close_phase(&stats);
         return Ok((x, stats));
     }
 
@@ -325,10 +381,16 @@ pub fn cg<T: Scalar>(
     let mut rz: Vec<T> = (0..cols).map(|j| dot(r.col(j), z.col(j))).collect();
     let mut active: Vec<bool> = col_res.iter().map(|&res| res > opts.tol).collect();
 
+    let close_iter = |it: usize, iter_start: Option<u64>| {
+        if let (Some(s), Some(t0)) = (sink, iter_start) {
+            s.record(SpanKind::Iteration, "CG_ITER", it + 1, 0, t0, s.now());
+        }
+    };
     for it in 0..opts.max_iters {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             return Err(Error::Cancelled);
         }
+        let iter_start = sink.map(|s| s.now());
         let q = op.matvec(&p);
         stats.matvecs += 1;
         stats.iterations += 1;
@@ -354,13 +416,23 @@ pub fn cg<T: Scalar>(
             }
         }
         history.push(col_res.iter().copied().fold(0.0f64, f64::max));
+        if let Some(progress) = opts.progress.as_ref() {
+            progress.report(&ProgressReport::KrylovIteration {
+                iteration: it + 1,
+                max_residual: *history.last().unwrap(),
+                column_residuals: &col_res,
+                column_active: &active,
+            });
+        }
         if active.iter().all(|&a| !a) {
             stats.converged = true;
+            close_iter(it, iter_start);
             break;
         }
         if it + 1 == opts.max_iters {
             // Out of iterations: skip the preconditioner application and
             // direction update that no further step would consume.
+            close_iter(it, iter_start);
             break;
         }
         z = pre.apply_inverse(&r);
@@ -381,13 +453,15 @@ pub fn cg<T: Scalar>(
                 *pv = beta.mul_add(*pv, zv);
             }
         }
+        close_iter(it, iter_start);
     }
 
     stats.relative_residual = *history.last().unwrap();
     stats.residual_history = history;
     stats.column_iterations = column_iterations;
     stats.column_residuals = col_res;
-    stats.solve_time = t0.elapsed().as_secs_f64();
+    stats.solve_time = sw.seconds();
+    close_phase(&stats);
     Ok((x, stats))
 }
 
@@ -423,7 +497,16 @@ pub fn gmres<T: Scalar>(
 ) -> Result<(DenseMatrix<T>, SolveStats), Error> {
     check_system(op, pre, b)?;
     let n = op.dim();
-    let t0 = Instant::now();
+    let sw = Stopwatch::start();
+    let sink = opts.trace.as_ref();
+    let phase_start = sink.map(|s| s.now());
+    // One Iteration span per inner Arnoldi step; `node` is the global
+    // inner-iteration count, `level` the column being solved.
+    let close_inner = |iter: usize, col: usize, iter_start: Option<u64>| {
+        if let (Some(s), Some(t0)) = (sink, iter_start) {
+            s.record(SpanKind::Iteration, "GMRES_ITER", iter, col, t0, s.now());
+        }
+    };
     let m = opts.restart.max(1);
     let bnorm = column_norms(b);
     let cancel = opts.cancel.as_ref();
@@ -486,6 +569,7 @@ pub fn gmres<T: Scalar>(
                 }
                 iterations_left -= 1;
                 stats.iterations += 1;
+                let iter_start = sink.map(|s| s.now());
                 // w = M^{-1} A v_k, modified Gram-Schmidt.
                 let av = op.matvec(&v[k]);
                 stats.matvecs += 1;
@@ -522,12 +606,14 @@ pub fn gmres<T: Scalar>(
                     // Total breakdown: A v_k lies in the current span and the
                     // projected system is singular. The step is unusable —
                     // drop it (do not advance k_used) and close the cycle.
+                    close_inner(stats.iterations, j, iter_start);
                     break;
                 }
                 k_used = k + 1;
                 let est = g[k + 1].abs().to_f64() / beta0_val.max(f64::MIN_POSITIVE);
                 col_history.push(est);
                 let breakdown = wnorm.to_f64() == 0.0;
+                close_inner(stats.iterations, j, iter_start);
                 if est <= opts.tol * 0.1 || breakdown {
                     break;
                 }
@@ -576,6 +662,9 @@ pub fn gmres<T: Scalar>(
 
     stats.relative_residual = worst_final;
     stats.residual_history = history;
-    stats.solve_time = t0.elapsed().as_secs_f64();
+    stats.solve_time = sw.seconds();
+    if let (Some(s), Some(t0)) = (sink, phase_start) {
+        s.record(SpanKind::Phase, "GMRES", stats.iterations, 0, t0, s.now());
+    }
     Ok((x, stats))
 }

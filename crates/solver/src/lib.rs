@@ -87,12 +87,19 @@ pub mod ulv;
 pub use factor::FactorError;
 pub use factor::{FactorOptions, FactorStats, HierarchicalFactor};
 pub use gofmm_core::Error;
+pub use gofmm_telemetry::{
+    MetricsRegistry, ProgressHandle, ProgressListener, ProgressReport, Trace, TraceSink,
+    TraceSummary,
+};
 pub use krylov::{
     cg, cg_unpreconditioned, gmres, DenseOperator, IdentityPreconditioner, KrylovOptions,
     LinearOperator, Preconditioner, Shifted, SolveStats,
 };
 pub use operator::{FactorBackend, GofmmOperator, GofmmOperatorBuilder};
-pub use serve::{BatchedServer, ServeConfig, ServerStats, Ticket};
+pub use serve::{
+    BatchedServer, FlightProgress, ServeConfig, ServerStats, Ticket, BATCH_WIDTH_BUCKETS,
+    BATCH_WIDTH_BUCKET_BOUNDS, BATCH_WIDTH_BUCKET_LABELS,
+};
 pub use ulv::UlvFactor;
 
 use gofmm_core::{Compressed, Evaluator};

@@ -317,6 +317,73 @@ impl<T: Scalar> GofmmOperator<T> {
         let shifted = Shifted::new(&self.evaluator, factor.lambda());
         cg(&shifted, factor, b, opts)
     }
+
+    /// Publish a snapshot of this operator's resource state into `registry`.
+    ///
+    /// Registers (idempotently — repeated exports just refresh the values):
+    ///
+    /// - `gofmm_operator_panel_bytes` — bytes of packed interaction panels
+    ///   held by the evaluator;
+    /// - `gofmm_kernel_dispatch_level` — the process-wide dense-kernel
+    ///   dispatch (0 = scalar, 1 = AVX2);
+    /// - `gofmm_pool_apply_created` / `gofmm_pool_apply_recycled` — lease
+    ///   traffic of the apply-workspace pool (fresh allocations vs reuses);
+    /// - `gofmm_pool_solve_created` / `gofmm_pool_solve_recycled` — the
+    ///   same for the factorization's solve-workspace pool, when one was
+    ///   built.
+    ///
+    /// Call it after a serving interval (or on a scrape) to refresh the
+    /// gauges; the batched server's own counters update live instead via
+    /// [`crate::ServeConfig::with_metrics`].
+    pub fn export_metrics(&self, registry: &gofmm_telemetry::MetricsRegistry) {
+        registry
+            .gauge(
+                "gofmm_operator_panel_bytes",
+                "Bytes of packed interaction panels held by the evaluator",
+            )
+            .set(self.evaluator.cached_bytes() as f64);
+        let level = match gofmm_linalg::simd_level() {
+            gofmm_linalg::SimdLevel::Scalar => 0.0,
+            gofmm_linalg::SimdLevel::Avx2 => 1.0,
+        };
+        registry
+            .gauge(
+                "gofmm_kernel_dispatch_level",
+                "Dense-kernel instruction-set dispatch (0 = scalar, 1 = avx2)",
+            )
+            .set(level);
+        let (created, recycled) = self.evaluator.pool_lease_stats();
+        registry
+            .gauge(
+                "gofmm_pool_apply_created",
+                "Apply-workspace pool checkouts that allocated a fresh workspace",
+            )
+            .set(created as f64);
+        registry
+            .gauge(
+                "gofmm_pool_apply_recycled",
+                "Apply-workspace pool checkouts that reused a shelved workspace",
+            )
+            .set(recycled as f64);
+        if let Some(engine) = &self.factor {
+            let (created, recycled) = match engine {
+                FactorEngine::Smw(f) => f.pool_lease_stats(),
+                FactorEngine::Ulv(f) => f.pool_lease_stats(),
+            };
+            registry
+                .gauge(
+                    "gofmm_pool_solve_created",
+                    "Solve-workspace pool checkouts that allocated a fresh workspace",
+                )
+                .set(created as f64);
+            registry
+                .gauge(
+                    "gofmm_pool_solve_recycled",
+                    "Solve-workspace pool checkouts that reused a shelved workspace",
+                )
+                .set(recycled as f64);
+        }
+    }
 }
 
 impl<T: Scalar> LinearOperator<T> for GofmmOperator<T> {

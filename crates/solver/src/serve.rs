@@ -46,23 +46,35 @@ use std::time::{Duration, Instant};
 
 use gofmm_core::{ApplyOptions, CancelToken, Error};
 use gofmm_linalg::{DenseMatrix, Scalar};
+use gofmm_telemetry::{
+    Counter, Gauge, Histogram, LatencySummary, MetricsRegistry, ProgressHandle, ProgressReport,
+    TraceSink,
+};
 
 use crate::krylov::KrylovOptions;
 use crate::operator::GofmmOperator;
 
-/// Number of buckets in the batch-width histogram: widths 1, 2, 3–4, 5–8,
-/// 9–16, and 17+ coalesced columns.
+/// Number of buckets in the batch-width histogram:
+/// [`BATCH_WIDTH_BUCKET_BOUNDS`] inclusive upper bounds plus one overflow
+/// bucket.
 pub const BATCH_WIDTH_BUCKETS: usize = 6;
 
+/// Inclusive upper bounds (in coalesced columns) of the first
+/// `BATCH_WIDTH_BUCKETS - 1` batch-width buckets. Doubling bounds mirror the
+/// column-blocking sweet spots of the underlying kernels: a batch of width
+/// `w` lands in the first bucket whose bound is `>= w`, and anything past
+/// the last bound lands in the overflow bucket. The same bounds seed the
+/// `gofmm_server_batch_width_cols` histogram when a [`MetricsRegistry`] is
+/// configured.
+pub const BATCH_WIDTH_BUCKET_BOUNDS: [usize; BATCH_WIDTH_BUCKETS - 1] = [1, 2, 4, 8, 16];
+
+/// Human-readable labels of the batch-width buckets, aligned with
+/// [`ServerStats::batch_width_hist`].
+pub const BATCH_WIDTH_BUCKET_LABELS: [&str; BATCH_WIDTH_BUCKETS] =
+    ["1", "2", "3-4", "5-8", "9-16", "17+"];
+
 fn width_bucket(cols: usize) -> usize {
-    match cols {
-        0 | 1 => 0,
-        2 => 1,
-        3..=4 => 2,
-        5..=8 => 3,
-        9..=16 => 4,
-        _ => 5,
-    }
+    BATCH_WIDTH_BUCKET_BOUNDS.partition_point(|&b| b < cols)
 }
 
 /// Configuration of a [`BatchedServer`].
@@ -83,6 +95,17 @@ pub struct ServeConfig {
     /// (CG batches drive the evaluator and factor through their configured
     /// defaults; results are policy-invariant either way.)
     pub options: ApplyOptions,
+    /// Span sink for the coalesced flights (default none). When set it is
+    /// installed on every batch execution — apply/solve sweeps and CG
+    /// iterations — and overrides any sink already set on
+    /// [`ServeConfig::options`]. Tracing never changes results: outputs are
+    /// bit-identical with or without a sink.
+    pub trace: Option<TraceSink>,
+    /// Metrics registry the server publishes into (default none). At server
+    /// construction the admission counters, the `gofmm_server_queue_depth`
+    /// gauge and the `gofmm_server_batch_width_cols` histogram are
+    /// registered; see [`ServerStats`] for the same numbers as a snapshot.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +115,8 @@ impl Default for ServeConfig {
             holdoff: Duration::from_micros(200),
             queue_capacity: 1024,
             options: ApplyOptions::default(),
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -118,6 +143,19 @@ impl ServeConfig {
     /// Set the scheduling [`ServeConfig::options`] for batch execution.
     pub fn with_options(mut self, options: ApplyOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Install a [`TraceSink`] recording spans from every coalesced flight.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Install a [`MetricsRegistry`] the server publishes its admission,
+    /// queue-depth and batch-width metrics into.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -163,6 +201,21 @@ struct RequestShared {
     token: CancelToken,
     cancelled: AtomicBool,
     flight: Mutex<Option<FlightHandle>>,
+    progress: ProgressCell,
+}
+
+/// Lock-free mailbox the worker's progress listener writes into and
+/// [`Ticket::progress`] reads from. `reported` flips once the first
+/// iteration lands (Release), after which the payload fields are coherent
+/// enough for monitoring: each is updated atomically per iteration, and a
+/// torn read across fields only mixes two adjacent iterations.
+#[derive(Debug, Default)]
+struct ProgressCell {
+    reported: AtomicBool,
+    iterations: AtomicUsize,
+    residual_bits: AtomicU64,
+    frozen: AtomicUsize,
+    total: AtomicUsize,
 }
 
 #[derive(Debug)]
@@ -177,6 +230,7 @@ impl RequestShared {
             token: CancelToken::new(),
             cancelled: AtomicBool::new(false),
             flight: Mutex::new(None),
+            progress: ProgressCell::default(),
         })
     }
 
@@ -252,6 +306,41 @@ impl<T: Scalar> Ticket<T> {
     pub fn cancel(&self) {
         self.shared.cancel();
     }
+
+    /// Live progress of this request's iterative solve, while it is in
+    /// flight or after it finished. `None` until the first CG iteration of
+    /// the request's batch reports (and always `None` for plain apply /
+    /// direct-solve requests, which have no iteration structure). Reads a
+    /// lock-free cell the worker publishes into — safe to poll from any
+    /// thread at any rate without slowing the flight down.
+    pub fn progress(&self) -> Option<FlightProgress> {
+        let p = &self.shared.progress;
+        if !p.reported.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(FlightProgress {
+            iterations: p.iterations.load(Ordering::Relaxed),
+            max_residual: f64::from_bits(p.residual_bits.load(Ordering::Relaxed)),
+            columns_frozen: p.frozen.load(Ordering::Relaxed),
+            columns_total: p.total.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Snapshot of an in-flight iterative request's progress, from
+/// [`Ticket::progress`]. All numbers are scoped to the *request's own
+/// columns*, not the whole coalesced batch it rides in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlightProgress {
+    /// CG iterations completed so far.
+    pub iterations: usize,
+    /// Current largest relative residual over this request's columns.
+    pub max_residual: f64,
+    /// How many of this request's columns have converged and frozen (their
+    /// iterates no longer update).
+    pub columns_frozen: usize,
+    /// Total columns in this request's right-hand side.
+    pub columns_total: usize,
 }
 
 /// Snapshot of a [`BatchedServer`]'s telemetry counters.
@@ -285,6 +374,87 @@ pub struct ServerStats {
     pub max_latency_us: u64,
 }
 
+impl ServerStats {
+    /// The admission-to-completion latency figures as a
+    /// [`LatencySummary`] (microsecond units, like the raw fields).
+    pub fn latency(&self) -> LatencySummary {
+        LatencySummary {
+            mean_us: self.mean_latency_us,
+            max_us: self.max_latency_us,
+            count: self.completed as u64,
+        }
+    }
+}
+
+/// Handles into the configured [`MetricsRegistry`], registered once at
+/// server construction. Latency is published in microseconds, batch widths
+/// in coalesced columns (histogram bounds = the named
+/// [`BATCH_WIDTH_BUCKET_BOUNDS`]).
+struct ServerMetrics {
+    admitted: Counter,
+    completed: Counter,
+    deadline_rejected: Counter,
+    overload_rejected: Counter,
+    cancelled: Counter,
+    batches: Counter,
+    queue_depth: Gauge,
+    batch_width: Histogram,
+    latency_us: Histogram,
+}
+
+/// Bucket bounds (µs) of `gofmm_server_latency_us`: decades from 100 µs to
+/// 1 s, bracketing both in-memory hits and heavyweight coalesced solves.
+const LATENCY_BUCKET_BOUNDS_US: [f64; 5] = [100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+
+impl ServerMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        let width_bounds: Vec<f64> = BATCH_WIDTH_BUCKET_BOUNDS
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        Self {
+            admitted: registry.counter(
+                "gofmm_server_admitted_total",
+                "Requests accepted into the admission queue",
+            ),
+            completed: registry.counter(
+                "gofmm_server_completed_total",
+                "Requests that resolved with a result",
+            ),
+            deadline_rejected: registry.counter(
+                "gofmm_server_deadline_rejected_total",
+                "Requests rejected because their deadline expired before execution",
+            ),
+            overload_rejected: registry.counter(
+                "gofmm_server_overload_rejected_total",
+                "Submissions refused because the admission queue was full",
+            ),
+            cancelled: registry.counter(
+                "gofmm_server_cancelled_total",
+                "Requests that resolved as cancelled",
+            ),
+            batches: registry.counter(
+                "gofmm_server_batches_total",
+                "Coalesced operator calls executed",
+            ),
+            queue_depth: registry.gauge(
+                "gofmm_server_queue_depth",
+                "Requests waiting in the admission queue right now",
+            ),
+            batch_width: registry.histogram(
+                "gofmm_server_batch_width_cols",
+                "Executed batch widths in coalesced columns",
+                &width_bounds,
+            ),
+            latency_us: registry.histogram(
+                "gofmm_server_latency_us",
+                "Admission-to-completion latency of completed requests in microseconds",
+                &LATENCY_BUCKET_BOUNDS_US,
+            ),
+        }
+    }
+}
+
 #[derive(Default)]
 struct StatsInner {
     admitted: AtomicUsize,
@@ -297,13 +467,65 @@ struct StatsInner {
     batch_width_hist: [AtomicUsize; BATCH_WIDTH_BUCKETS],
     latency_total_us: AtomicU64,
     latency_max_us: AtomicU64,
+    metrics: Option<ServerMetrics>,
 }
 
 impl StatsInner {
-    fn record_latency(&self, elapsed: Duration) {
+    fn on_admitted(&self, queue_depth: usize) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.admitted.inc();
+            m.queue_depth.set(queue_depth as f64);
+        }
+    }
+
+    fn on_overload_rejected(&self) {
+        self.overload_rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.overload_rejected.inc();
+        }
+    }
+
+    fn on_deadline_rejected(&self) {
+        self.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.deadline_rejected.inc();
+        }
+    }
+
+    fn on_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.cancelled.inc();
+        }
+    }
+
+    fn on_completed(&self, elapsed: Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.completed.fetch_add(1, Ordering::Relaxed);
         self.latency_total_us.fetch_add(us, Ordering::Relaxed);
         self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.completed.inc();
+            m.latency_us.observe(us as f64);
+        }
+    }
+
+    fn on_batch(&self, total_cols: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_columns
+            .fetch_add(total_cols, Ordering::Relaxed);
+        self.batch_width_hist[width_bucket(total_cols)].fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+            m.batch_width.observe(total_cols as f64);
+        }
+    }
+
+    fn set_queue_depth(&self, depth: usize) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(depth as f64);
+        }
     }
 }
 
@@ -336,13 +558,17 @@ impl<T: Scalar> BatchedServer<T> {
             queue_capacity: cfg.queue_capacity.max(1),
             ..cfg
         };
+        let stats = StatsInner {
+            metrics: cfg.metrics.as_ref().map(ServerMetrics::register),
+            ..StatsInner::default()
+        };
         let shared = Arc::new(Shared {
             op,
             cfg,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            stats: StatsInner::default(),
+            stats,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -467,10 +693,7 @@ impl<T: Scalar> BatchedServer<T> {
         let now = Instant::now();
         if let Some(budget) = deadline {
             if budget.is_zero() {
-                self.shared
-                    .stats
-                    .deadline_rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.on_deadline_rejected();
                 return Err(Error::DeadlineExceeded);
             }
         }
@@ -484,21 +707,19 @@ impl<T: Scalar> BatchedServer<T> {
             shared: Arc::clone(&shared_req),
             reply: tx,
         };
-        {
+        let depth = {
             let mut queue = self.shared.queue.lock().expect("queue lock");
             if queue.len() >= self.shared.cfg.queue_capacity {
-                self.shared
-                    .stats
-                    .overload_rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.on_overload_rejected();
                 return Err(Error::Overloaded {
                     queue_depth: queue.len(),
                     capacity: self.shared.cfg.queue_capacity,
                 });
             }
             queue.push_back(request);
-        }
-        self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            queue.len()
+        };
+        self.shared.stats.on_admitted(depth);
         self.shared.available.notify_all();
         Ok(Ticket {
             rx,
@@ -521,12 +742,12 @@ impl<T: Scalar> Drop for BatchedServer<T> {
 
 /// Reject `req` as expired without it ever consuming a batch slot.
 fn reject_expired<T: Scalar>(stats: &StatsInner, req: &QueuedRequest<T>) {
-    stats.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+    stats.on_deadline_rejected();
     let _ = req.reply.send(Err(Error::DeadlineExceeded));
 }
 
 fn reject_cancelled<T: Scalar>(stats: &StatsInner, req: &QueuedRequest<T>) {
-    stats.cancelled.fetch_add(1, Ordering::Relaxed);
+    stats.on_cancelled();
     let _ = req.reply.send(Err(Error::Cancelled));
 }
 
@@ -630,13 +851,57 @@ fn worker_loop<T: Scalar>(shared: &Shared<T>) {
             if queue.is_empty() {
                 continue;
             }
-            form_batch(&mut queue, shared.cfg.max_batch_cols)
+            let batch = form_batch(&mut queue, shared.cfg.max_batch_cols);
+            shared.stats.set_queue_depth(queue.len());
+            batch
         };
         if batch.is_empty() {
             continue;
         }
         execute_batch(shared, batch);
     }
+}
+
+/// Build the progress listener for a coalesced CG flight: each batch-wide
+/// `KrylovIteration` report is folded down to every member request's own
+/// column range `[off, off + cols)` and published into its lock-free
+/// [`ProgressCell`], which [`Ticket::progress`] reads mid-flight.
+fn flight_progress_listener<T: Scalar>(
+    batch: &[QueuedRequest<T>],
+    offsets: &[usize],
+) -> ProgressHandle {
+    let spans: Vec<(Arc<RequestShared>, usize, usize)> = batch
+        .iter()
+        .zip(offsets)
+        .map(|(req, &off)| (Arc::clone(&req.shared), off, req.rhs.cols()))
+        .collect();
+    for (shared_req, _, cols) in &spans {
+        shared_req.progress.total.store(*cols, Ordering::Relaxed);
+    }
+    ProgressHandle::new(move |report: &ProgressReport<'_>| {
+        let ProgressReport::KrylovIteration {
+            iteration,
+            column_residuals,
+            column_active,
+            ..
+        } = *report
+        else {
+            return;
+        };
+        for (shared_req, off, cols) in &spans {
+            let (lo, hi) = (*off, *off + *cols);
+            let frozen = column_active[lo..hi].iter().filter(|a| !**a).count();
+            let max_res = column_residuals[lo..hi]
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max);
+            let p = &shared_req.progress;
+            p.iterations.store(iteration, Ordering::Relaxed);
+            p.residual_bits.store(max_res.to_bits(), Ordering::Relaxed);
+            p.frozen.store(frozen, Ordering::Relaxed);
+            p.reported.store(true, Ordering::Release);
+        }
+    })
 }
 
 fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
@@ -662,16 +927,24 @@ fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
 
     let result = match &batch[0].kind {
         RequestKind::Apply => {
-            let opts = shared.cfg.options.clone().with_cancel(flight_token.clone());
+            let mut opts = shared.cfg.options.clone().with_cancel(flight_token.clone());
+            if let Some(sink) = shared.cfg.trace.clone() {
+                opts.trace = Some(sink);
+            }
             shared.op.apply_with(&wide, &opts).map(|(u, _)| u)
         }
         RequestKind::Solve => {
-            let opts = shared.cfg.options.clone().with_cancel(flight_token.clone());
+            let mut opts = shared.cfg.options.clone().with_cancel(flight_token.clone());
+            if let Some(sink) = shared.cfg.trace.clone() {
+                opts.trace = Some(sink);
+            }
             shared.op.solve_with(&wide, &opts)
         }
         RequestKind::SolveCg(krylov) => {
             let opts = KrylovOptions {
                 cancel: Some(flight_token.clone()),
+                trace: shared.cfg.trace.clone().or_else(|| krylov.trace.clone()),
+                progress: Some(flight_progress_listener(&batch, &offsets)),
                 ..krylov.clone()
             };
             shared.op.solve_cg(&wide, &opts).map(|(x, _)| x)
@@ -682,12 +955,7 @@ fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
         req.shared.leave_flight();
     }
 
-    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .stats
-        .coalesced_columns
-        .fetch_add(total_cols, Ordering::Relaxed);
-    shared.stats.batch_width_hist[width_bucket(total_cols)].fetch_add(1, Ordering::Relaxed);
+    shared.stats.on_batch(total_cols);
 
     match result {
         Ok(out) => {
@@ -697,8 +965,7 @@ fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
                 } else {
                     let cols = req.rhs.cols();
                     let slice = out.block(0, n, off, off + cols);
-                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.record_latency(req.enqueued.elapsed());
+                    shared.stats.on_completed(req.enqueued.elapsed());
                     let _ = req.reply.send(Ok(slice));
                 }
             }
@@ -880,5 +1147,101 @@ mod tests {
         assert_eq!(width_bucket(8), 3);
         assert_eq!(width_bucket(16), 4);
         assert_eq!(width_bucket(64), 5);
+        // The named bounds and the match-free bucketing agree bucket-by-bucket.
+        for (i, &bound) in BATCH_WIDTH_BUCKET_BOUNDS.iter().enumerate() {
+            assert_eq!(width_bucket(bound), i);
+            assert_eq!(width_bucket(bound + 1), i + 1);
+        }
+        assert_eq!(BATCH_WIDTH_BUCKET_LABELS.len(), BATCH_WIDTH_BUCKETS);
+    }
+
+    #[test]
+    fn ticket_reports_progress_mid_flight() {
+        use gofmm_telemetry::MetricsRegistry;
+        let op = test_operator(256, true);
+        let registry = MetricsRegistry::new();
+        let cfg = ServeConfig::default().with_metrics(registry.clone());
+        let server = BatchedServer::new(Arc::clone(&op), cfg);
+        let b = rhs(256, 2, 3);
+        // An unattainable tolerance keeps the flight iterating to max_iters,
+        // leaving a wide window to observe progress before completion.
+        let opts = KrylovOptions {
+            tol: 1e-30,
+            max_iters: 400,
+            ..KrylovOptions::default()
+        };
+        let ticket = server.submit_solve_cg(&b, &opts, None).expect("admit");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mid_flight = loop {
+            if let Some(p) = ticket.progress() {
+                break p;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no progress report observed within 30s"
+            );
+            std::thread::yield_now();
+        };
+        assert!(mid_flight.iterations >= 1);
+        assert_eq!(mid_flight.columns_total, 2);
+        assert!(mid_flight.columns_frozen <= 2);
+        assert!(mid_flight.max_residual.is_finite());
+        let final_progress_seen = ticket.progress().expect("progress persists");
+        assert!(final_progress_seen.iterations >= mid_flight.iterations);
+        ticket.wait().expect("cg result");
+        // The registry saw the admission and the batch.
+        let text = registry.prometheus_text();
+        assert!(text.contains("gofmm_server_admitted_total 1"));
+        assert!(text.contains("gofmm_server_queue_depth"));
+        assert!(text.contains("gofmm_server_batch_width_cols_count 1"));
+    }
+
+    #[test]
+    fn apply_tickets_have_no_iteration_progress() {
+        let op = test_operator(128, false);
+        let server = BatchedServer::new(Arc::clone(&op), ServeConfig::default());
+        let w = rhs(128, 1, 0);
+        let ticket = server.submit_apply(&w, None).expect("admit");
+        assert!(ticket.progress().is_none());
+        ticket.wait().expect("result");
+        assert!(ticket_progress_stays_none(&op, &server));
+    }
+
+    /// A second apply through the same server still reports no progress —
+    /// the cell only ever fills for iterative (CG) flights.
+    fn ticket_progress_stays_none(
+        _op: &Arc<GofmmOperator<f64>>,
+        server: &BatchedServer<f64>,
+    ) -> bool {
+        let w = rhs(128, 2, 5);
+        let ticket = server.submit_apply(&w, None).expect("admit");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while ticket.progress().is_none() && Instant::now() < deadline {
+            if let Ok(out) = ticket.rx.try_recv() {
+                return out.is_ok() && ticket.progress().is_none();
+            }
+            std::thread::yield_now();
+        }
+        false
+    }
+
+    #[test]
+    fn traced_server_flights_are_bit_identical_and_recorded() {
+        use gofmm_telemetry::TraceSink;
+        let op = test_operator(256, false);
+        let sink = TraceSink::new();
+        let cfg = ServeConfig::default().with_trace(sink.clone());
+        let server = BatchedServer::new(Arc::clone(&op), cfg);
+        let w = rhs(256, 2, 7);
+        let got = server
+            .submit_apply(&w, None)
+            .expect("admit")
+            .wait()
+            .expect("result");
+        let want = op.apply(&w).expect("direct untraced");
+        assert_eq!(got.data(), want.data(), "tracing must not change bits");
+        assert!(sink.event_count() > 0, "flight recorded no spans");
+        let trace = sink.trace();
+        assert!(trace.summary().per_family.contains_key("N2S"));
     }
 }

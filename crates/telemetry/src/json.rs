@@ -1,0 +1,348 @@
+//! Minimal JSON validation for exported Chrome traces.
+//!
+//! The workspace deliberately carries no serde; this module implements just
+//! enough of a recursive-descent JSON parser to let the `trace_capture`
+//! example and CI assert that an exported trace (1) is syntactically valid
+//! JSON, (2) has a non-empty top-level `traceEvents` array, and (3) that
+//! every event carries the `ph` and `ts` fields Perfetto's legacy-JSON
+//! importer requires.
+
+/// Validate a Chrome trace-event JSON document.
+///
+/// Returns the number of entries in the top-level `traceEvents` array on
+/// success, or a description of the first problem found (with a byte
+/// offset for syntax errors).
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        trace_events: None,
+    };
+    p.skip_ws();
+    p.parse_top_level()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    match p.trace_events {
+        None => Err("missing top-level \"traceEvents\" array".to_string()),
+        Some(0) => Err("\"traceEvents\" array is empty".to_string()),
+        Some(n) => Ok(n),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    trace_events: Option<usize>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("{} at byte {}", what, self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    /// Top level must be an object; its `traceEvents` member, when found,
+    /// is parsed as an array of event objects.
+    fn parse_top_level(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            if key == "traceEvents" {
+                let count = self.parse_event_array()?;
+                self.trace_events = Some(count);
+            } else {
+                self.skip_value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    /// `traceEvents`: each element must be an object containing at least
+    /// `ph` and `ts`.
+    fn parse_event_array(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut count = 0usize;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(0);
+        }
+        loop {
+            self.skip_ws();
+            let (has_ph, has_ts) = self.parse_event_object()?;
+            if !has_ph {
+                return Err(format!("traceEvents[{count}] is missing \"ph\""));
+            }
+            if !has_ts {
+                return Err(format!("traceEvents[{count}] is missing \"ts\""));
+            }
+            count += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(count);
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_event_object(&mut self) -> Result<(bool, bool), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let (mut has_ph, mut has_ts) = (false, false);
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok((has_ph, has_ts));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.skip_value()?;
+            has_ph |= key == "ph";
+            has_ts |= key == "ts";
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok((has_ph, has_ts));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.skip_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn skip_number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            Err(self.err("malformed number"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'r' | b'b' | b'f') => {
+                            out.push(' ');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("malformed \\u escape")),
+                                }
+                            }
+                            out.push('?');
+                        }
+                        _ => return Err(self.err("malformed escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from &str,
+                    // so boundaries are well formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_minimal_trace() {
+        let doc = r#"{"traceEvents":[{"name":"N2S","ph":"X","ts":1.5,"dur":2.0,"pid":0,"tid":0,"args":{"node":3}}],"displayTimeUnit":"ms"}"#;
+        assert_eq!(validate_chrome_trace(doc), Ok(1));
+    }
+
+    #[test]
+    fn rejects_empty_and_missing_arrays() {
+        assert!(validate_chrome_trace(r#"{"traceEvents":[]}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"other":[1,2]}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_events_without_required_fields() {
+        let doc = r#"{"traceEvents":[{"name":"x","ts":1}]}"#;
+        let err = validate_chrome_trace(doc).unwrap_err();
+        assert!(err.contains("ph"), "{err}");
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X","ts":1},]}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X","ts":1}]"#).is_err());
+        assert!(validate_chrome_trace("").is_err());
+    }
+
+    #[test]
+    fn handles_nested_values_and_numbers() {
+        let doc = r#"{"meta":{"a":[1,-2.5,3e4,null,true,false],"b":"s"},"traceEvents":[{"ph":"M","ts":0,"args":{"deep":{"x":[{"y":1}]}}}]}"#;
+        assert_eq!(validate_chrome_trace(doc), Ok(1));
+    }
+}
