@@ -11,8 +11,10 @@
 //!   cached-panel footprint for native and mixed (`f32`-storage) serving,
 //!   plus the paper-suite metrics: fig4-style apply scaling (threads 1 vs
 //!   4), evaluator-reuse speedup over one-shot evaluation, batched-server
-//!   vs thread-per-request throughput at 8 clients, and ULV-preconditioned
-//!   CG convergence (iterations and solve time).
+//!   vs thread-per-request throughput at 8 clients, ULV-preconditioned
+//!   CG convergence (iterations and solve time), and the storage tier:
+//!   out-of-core apply latency at 25% / 10% resident budgets (vs the
+//!   in-memory operator) and the subtree-sharded sweep vs unsharded.
 //!
 //! `--check` re-measures and *diffs* against the committed files instead of
 //! rewriting them, warning on every metric that regressed by more than 15%.
@@ -29,7 +31,9 @@ use gofmm_core::{
 use gofmm_linalg::blas::reference;
 use gofmm_linalg::{gemm, gemm_mixed, simd_level, DenseMatrix, Transpose};
 use gofmm_matrices::{KernelMatrix, KernelType, PointCloud};
-use gofmm_solver::{BatchedServer, GofmmOperator, KrylovOptions, ServeConfig};
+use gofmm_solver::{
+    BatchedServer, GofmmOperator, KrylovOptions, ServeConfig, ShardedOperator, StorageConfig,
+};
 use gofmm_telemetry::TraceSink;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -285,7 +289,7 @@ fn measure_serving() -> Vec<Measurement> {
     // front door (coalescing up to 32 columns per sweep).
     let operator = Arc::new(
         GofmmOperator::<f64>::builder(&k)
-            .config(cfg)
+            .config(cfg.clone())
             .factorize(1e-2)
             .build()
             .expect("operator must build"),
@@ -374,6 +378,68 @@ fn measure_serving() -> Vec<Measurement> {
     out.push(Measurement::lower(
         "pcg_ulv_2048_solve_ms",
         1e3 * cg_stats.solve_time,
+    ));
+
+    // Storage tier: apply latency against the resident budget (the price of
+    // faulting panels through the LRU), and the subtree-sharded sweep
+    // against the unsharded one. The in-memory operator apply is the common
+    // baseline for both ratios.
+    let op_apply_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(operator.apply(&w).expect("op apply"));
+        });
+    out.push(Measurement::lower("op_apply_2048_rhs4_ms", op_apply_ms));
+    let ooc_dir = std::env::temp_dir().join(format!("gofmm-trajectory-ooc-{}", std::process::id()));
+    let panel_bytes = operator.evaluator().cached_bytes();
+    let ooc = GofmmOperator::<f64>::builder(&k)
+        .config(cfg.clone())
+        .factorize(1e-2)
+        .storage(StorageConfig::File {
+            dir: ooc_dir.clone(),
+            resident_budget: panel_bytes / 4,
+        })
+        .build()
+        .expect("out-of-core operator must build");
+    let ooc_b25_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(ooc.apply(&w).expect("ooc apply"));
+        });
+    out.push(Measurement::lower(
+        "ooc_apply_2048_rhs4_budget25_ms",
+        ooc_b25_ms,
+    ));
+    out.push(Measurement::lower(
+        "ooc_apply_budget25_overhead",
+        ooc_b25_ms / op_apply_ms.max(1e-9),
+    ));
+    // Same store file, reopened with a 10% budget: heavier eviction thrash.
+    let store_path = ooc.store().expect("store attached").path().to_path_buf();
+    let (_, ev_b10) =
+        Evaluator::<f64>::open_from(&store_path, panel_bytes / 10).expect("reopen at 10% budget");
+    let ooc_b10_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(ev_b10.apply(&w).expect("ooc apply b10"));
+        });
+    out.push(Measurement::lower(
+        "ooc_apply_2048_rhs4_budget10_ms",
+        ooc_b10_ms,
+    ));
+    drop(ev_b10);
+    drop(ooc);
+    let _ = std::fs::remove_dir_all(&ooc_dir);
+
+    let sharded = ShardedOperator::new(&operator, 2).expect("sharded engine");
+    let sharded_ms = 1e3
+        * time_best(|| {
+            std::hint::black_box(sharded.apply(&operator, &w).expect("sharded apply"));
+        });
+    out.push(Measurement::lower(
+        "sharded_apply_2048_rhs4_level2_ms",
+        sharded_ms,
+    ));
+    out.push(Measurement::lower(
+        "sharded_over_unsharded_apply",
+        sharded_ms / op_apply_ms.max(1e-9),
     ));
     out
 }

@@ -2,7 +2,7 @@
 
 use crate::distance::DistanceMetric;
 use gofmm_runtime::{CancelToken, SchedulePolicy};
-use gofmm_telemetry::TraceSink;
+use gofmm_telemetry::{ProgressHandle, TraceSink};
 
 /// How tree traversals are executed (paper §2.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -310,6 +310,11 @@ pub struct ApplyOptions {
     /// Span sink recording this call's task/phase spans (`None`: the call
     /// records nothing and pays only an option check per task).
     pub trace: Option<TraceSink>,
+    /// Progress listener receiving sweep-level reports
+    /// (`ProgressReport::SweepLevel`) as tree levels of the apply/solve
+    /// sweep complete (`None`: no reports). This is what gives plain
+    /// (non-Krylov) flights live progress through `Ticket::progress()`.
+    pub progress: Option<ProgressHandle>,
 }
 
 impl ApplyOptions {
@@ -341,6 +346,13 @@ impl ApplyOptions {
     /// `trace` (cheap `Arc` clone; all clones feed one buffer).
     pub fn with_trace(mut self, trace: TraceSink) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style progress listener: the call emits one
+    /// `ProgressReport::SweepLevel` per completed sweep stage.
+    pub fn with_progress(mut self, progress: ProgressHandle) -> Self {
+        self.progress = Some(progress);
         self
     }
 }

@@ -91,6 +91,21 @@ pub enum Error {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// The out-of-core storage tier failed: an I/O error, a corrupt or
+    /// incomplete store file, or a blob missing from it. Carries the
+    /// storage-layer message (`gofmm_store::StoreError`).
+    Storage {
+        /// The underlying storage-layer message.
+        message: String,
+    },
+}
+
+impl From<gofmm_store::StoreError> for Error {
+    fn from(e: gofmm_store::StoreError) -> Self {
+        Error::Storage {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -140,6 +155,11 @@ impl std::fmt::Display for Error {
                 f,
                 "serving queue at capacity ({queue_depth}/{capacity} requests queued); \
                  retry after in-flight requests drain"
+            ),
+            Error::Storage { message } => write!(
+                f,
+                "storage tier failure: {message}; the store file may be missing, incomplete, \
+                 or written by a different-precision operator"
             ),
         }
     }
@@ -192,6 +212,12 @@ mod tests {
                     capacity: 64,
                 },
                 "64/64",
+            ),
+            (
+                Error::Storage {
+                    message: "store has no blob for class 1 node 9".into(),
+                },
+                "class 1 node 9",
             ),
         ];
         for (err, needle) in cases {

@@ -30,17 +30,29 @@
 //! one long GEMM inner dimension where the borrowed path adds one block's
 //! product at a time.
 
-use crate::compress::{CompRef, Compressed};
-use crate::config::{ApplyOptions, PanelPrecision, TraversalPolicy};
+use crate::compress::{CompRef, Compressed, CompressionStats};
+use crate::config::{ApplyOptions, GofmmConfig, PanelPrecision, TraversalPolicy};
+use crate::distance::DistanceMetric;
 use crate::error::Error;
-use gofmm_linalg::{gemm, gemm_mixed, DenseMatrix, Scalar, Transpose};
+use crate::lists::InteractionLists;
+use crate::skel::NodeBasis;
+use gofmm_linalg::{
+    check_scalar_width, decode_scalar_vec, encode_scalar_slice, gemm, gemm_mixed, DenseMatrix,
+    Scalar, Transpose,
+};
 use gofmm_matrices::SpdMatrix;
 use gofmm_runtime::{
     parallel_for, CancelToken, DisjointCells, ExecStats, Family, ReusablePlan, RunDefaults,
     WorkspacePool,
 };
-use gofmm_telemetry::{traced_barrier, traced_task, PhaseTimes, SpanKind, Stopwatch};
+use gofmm_store::{classes, ByteReader, ByteWriter, FilePanelStore, StoreError, StoreWriter};
+use gofmm_telemetry::{
+    traced_barrier, traced_task, PhaseTimes, SpanKind, Stopwatch, SweepProgress,
+};
+use gofmm_tree::PartitionTree;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Statistics of one evaluation.
 #[derive(Clone, Debug, Default)]
@@ -181,15 +193,15 @@ pub struct Evaluator<'a, T: Scalar> {
 /// dependency edges; concurrent applies run on *different* workspaces, so the
 /// DAG-delegated synchronization story is unchanged from the `&mut self`
 /// days — it just holds per lease instead of per evaluator.
-struct ApplyWorkspace<T: Scalar> {
+pub(crate) struct ApplyWorkspace<T: Scalar> {
     /// Skeleton weights `w~` per node.
-    wtilde: DisjointCells<DenseMatrix<T>>,
+    pub(crate) wtilde: DisjointCells<DenseMatrix<T>>,
     /// Skeleton potentials `u~` per node.
-    utilde: DisjointCells<DenseMatrix<T>>,
+    pub(crate) utilde: DisjointCells<DenseMatrix<T>>,
     /// Far-field contribution to the output, per leaf.
-    u_far: DisjointCells<DenseMatrix<T>>,
+    pub(crate) u_far: DisjointCells<DenseMatrix<T>>,
     /// Near-field (direct) contribution to the output, per leaf.
-    u_near: DisjointCells<DenseMatrix<T>>,
+    pub(crate) u_near: DisjointCells<DenseMatrix<T>>,
 }
 
 impl<T: Scalar> ApplyWorkspace<T> {
@@ -218,10 +230,49 @@ impl<T: Scalar> ApplyWorkspace<T> {
         }
     }
 
+    /// Allocate only the cells a subtree shard (or the hub) touches:
+    /// `wtilde` for `wtilde_mask` nodes, `utilde` and the per-leaf output
+    /// accumulators for `value_mask` nodes; every other cell is zero-sized,
+    /// so `2^L` shard workspaces together cost about one full workspace.
+    pub(crate) fn allocate_masked(
+        comp: &Compressed<T>,
+        r: usize,
+        wtilde_mask: &[bool],
+        value_mask: &[bool],
+    ) -> Self {
+        let node_count = comp.tree.node_count();
+        let rank_of = |heap: usize| comp.bases[heap].as_ref().map(|b| b.rank()).unwrap_or(0);
+        let leaf_dims = |heap: usize| {
+            if comp.tree.is_leaf(heap) {
+                (comp.tree.node(heap).len, r)
+            } else {
+                (0, 0)
+            }
+        };
+        Self {
+            wtilde: DisjointCells::from_fn(node_count, |h| {
+                let rows = if wtilde_mask[h] { rank_of(h) } else { 0 };
+                DenseMatrix::zeros(rows, if rows > 0 { r } else { 0 })
+            }),
+            utilde: DisjointCells::from_fn(node_count, |h| {
+                let rows = if value_mask[h] { rank_of(h) } else { 0 };
+                DenseMatrix::zeros(rows, if rows > 0 { r } else { 0 })
+            }),
+            u_far: DisjointCells::from_fn(node_count, |h| {
+                let (rows, cols) = if value_mask[h] { leaf_dims(h) } else { (0, 0) };
+                DenseMatrix::zeros(rows, cols)
+            }),
+            u_near: DisjointCells::from_fn(node_count, |h| {
+                let (rows, cols) = if value_mask[h] { leaf_dims(h) } else { (0, 0) };
+                DenseMatrix::zeros(rows, cols)
+            }),
+        }
+    }
+
     /// Zero the accumulator families of a recycled workspace. `wtilde` needs
     /// no reset: every cell that is ever read is fully overwritten by its
-    /// node's N2S task.
-    fn reset(&mut self) {
+    /// node's N2S task (or, in a sharded apply, by a boundary copy).
+    pub(crate) fn reset(&mut self) {
         self.utilde.for_each_mut(|_, m| m.fill(T::zero()));
         self.u_far.for_each_mut(|_, m| m.fill(T::zero()));
         self.u_near.for_each_mut(|_, m| m.fill(T::zero()));
@@ -250,6 +301,42 @@ enum Panel<'a, T: Scalar> {
     /// Blocks borrowed from the compression's cache, in interaction-list
     /// order.
     Blocks(&'a [DenseMatrix<T>]),
+    /// The panel lives in a [`FilePanelStore`] and is faulted in per apply
+    /// behind the store's LRU resident set (the out-of-core path). Holds
+    /// exactly the bytes `Packed`/`Mixed` would, spilled to disk.
+    Stored(StoredPanel),
+}
+
+/// Locator of a panel spilled to a [`FilePanelStore`].
+struct StoredPanel {
+    store: Arc<FilePanelStore>,
+    class: u16,
+    node: u32,
+    /// True when the spilled panel holds [`Scalar::PanelScalar`] values
+    /// (mixed precision); decides the decoded matrix type at fault time.
+    mixed: bool,
+    /// Decoded panel bytes (for cache accounting; the panel itself is on
+    /// disk).
+    bytes: usize,
+}
+
+impl StoredPanel {
+    /// Fault the panel in (or hit the store's resident set).
+    ///
+    /// # Panics
+    /// On a storage failure. Apply tasks run on DAG worker threads with no
+    /// error channel; a read error on a store file that was validated at
+    /// open time is an environment failure (file deleted / device gone),
+    /// reported like any other internal invariant violation.
+    fn fetch<S: Scalar>(&self) -> Arc<DenseMatrix<S>> {
+        match self.store.get::<DenseMatrix<S>>(self.class, self.node) {
+            Ok(panel) => panel,
+            Err(e) => panic!(
+                "out-of-core panel fault failed mid-apply (class {}, node {}): {e}",
+                self.class, self.node
+            ),
+        }
+    }
 }
 
 impl<T: Scalar> Panel<'_, T> {
@@ -259,6 +346,8 @@ impl<T: Scalar> Panel<'_, T> {
             Panel::Packed(m) => m.is_empty(),
             Panel::Mixed(m) => m.is_empty(),
             Panel::Blocks(b) => b.is_empty(),
+            // Only non-empty panels are ever spilled.
+            Panel::Stored(_) => false,
         }
     }
 
@@ -272,6 +361,7 @@ impl<T: Scalar> Panel<'_, T> {
                 m.rows() * m.cols() * std::mem::size_of::<<T as Scalar>::PanelScalar>()
             }
             Panel::Blocks(b) => b.iter().map(|m| m.rows() * m.cols() * scalar).sum(),
+            Panel::Stored(sp) => sp.bytes,
         }
     }
 }
@@ -689,6 +779,10 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         let flops = AtomicU64::new(0);
 
         let tree = &self.comp.tree;
+        let sweep = opts
+            .progress
+            .as_ref()
+            .map(|handle| SweepProgress::new(handle.clone(), &self.sweep_stages()));
         let pass = ApplyPass {
             ev: self,
             ws: &ws,
@@ -721,6 +815,9 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                             })
                         })
                     });
+                    if let Some(sp) = sweep.as_ref() {
+                        sp.stage_done("N2S", level as usize);
+                    }
                 }
                 check()?;
                 let all: Vec<usize> = (1..tree.node_count()).collect();
@@ -732,6 +829,9 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                         })
                     })
                 });
+                if let Some(sp) = sweep.as_ref() {
+                    sp.stage_done("S2S", 0);
+                }
                 for level in 1..=tree.depth() {
                     check()?;
                     let nodes: Vec<usize> = tree.level_range(level).collect();
@@ -742,6 +842,9 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                             })
                         })
                     });
+                    if let Some(sp) = sweep.as_ref() {
+                        sp.stage_done("S2N", level as usize);
+                    }
                 }
                 check()?;
                 let leaves: Vec<usize> = tree.leaf_range().collect();
@@ -752,12 +855,22 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
                         })
                     })
                 });
+                if let Some(sp) = sweep.as_ref() {
+                    sp.stage_done("L2L", 0);
+                }
                 None
             }
             (Some(sched), cancel) => Some(
                 self.plan
                     .run_with(sched, num_threads, cancel, sink, |family, node| {
-                        pass.dispatch(family, node)
+                        pass.dispatch(family, node);
+                        if let Some(sp) = sweep.as_ref() {
+                            let level = match family {
+                                "N2S" | "S2N" => gofmm_runtime::heap_level(node),
+                                _ => 0,
+                            };
+                            sp.task_done(family, level);
+                        }
                     })
                     .map_err(|_| Error::Cancelled)?,
             ),
@@ -777,6 +890,263 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         };
         Ok((out, stats))
     }
+
+    /// The apply sweep's `(family, level, task_count)` stages, mirroring the
+    /// tasks [`evaluation_plan`] registers (plus the always-run L2L leaves) —
+    /// what a per-call [`SweepProgress`] tracker is seeded with.
+    fn sweep_stages(&self) -> Vec<(&'static str, usize, usize)> {
+        let comp = self.compressed();
+        let tree = &comp.tree;
+        let skip = |h: usize| h == 0 || comp.bases[h].is_none();
+        let mut stages = Vec::with_capacity(2 * tree.depth() as usize + 2);
+        for level in 1..=tree.depth() {
+            let count = tree.level_range(level).filter(|&h| !skip(h)).count();
+            stages.push(("N2S", level as usize, count));
+        }
+        let s2s = (1..tree.node_count())
+            .filter(|&h| !skip(h) && !comp.lists.far[h].is_empty())
+            .count();
+        stages.push(("S2S", 0, s2s));
+        for level in 1..=tree.depth() {
+            let count = tree.level_range(level).filter(|&h| !skip(h)).count();
+            stages.push(("S2N", level as usize, count));
+        }
+        stages.push(("L2L", 0, tree.leaf_range().len()));
+        stages
+    }
+
+    /// Default policy / worker count, for engines (sharded apply) that build
+    /// on this evaluator and must resolve per-call overrides the same way.
+    pub(crate) fn run_defaults(&self) -> &RunDefaults<TraversalPolicy> {
+        &self.defaults
+    }
+
+    /// Spill this evaluator's owned packed panels into `writer`: far panels
+    /// under [`classes::S2S`], near panels under [`classes::L2L`], keyed by
+    /// heap index, for every node `filter` accepts (pass `|_| true` for
+    /// all). After the writer is finished and the file reopened as a
+    /// [`FilePanelStore`], swap the in-memory panels out with
+    /// [`Evaluator::attach_store`].
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when a selected panel is borrowed
+    /// ([`Evaluator::borrowing`]) or already file-backed — only owned packed
+    /// panels can be spilled; [`Error::Storage`] on a write failure.
+    pub fn spill_panels(
+        &self,
+        writer: &mut StoreWriter,
+        mut filter: impl FnMut(usize) -> bool,
+    ) -> Result<(), Error> {
+        for (heap, panel) in self.far.iter().enumerate() {
+            if filter(heap) {
+                spill_one(writer, classes::S2S, heap, panel)?;
+            }
+        }
+        for (heap, panel) in self.near.iter().enumerate() {
+            if filter(heap) {
+                spill_one(writer, classes::L2L, heap, panel)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Swap every owned packed panel whose `(class, heap)` key exists in
+    /// `store` for an out-of-core `Panel::Stored` locator, freeing the
+    /// in-memory copy. Subsequent applies fault those panels per task
+    /// through the store's LRU resident set; because the spilled bytes are
+    /// exact (IEEE bit patterns), file-backed applies are bit-identical to
+    /// the in-memory evaluator under every traversal policy. Panels absent
+    /// from the store (or borrowed) are left untouched, so one evaluator can
+    /// mix resident and spilled nodes — or spread its nodes across several
+    /// stores by calling this once per store.
+    pub fn attach_store(&mut self, store: &Arc<FilePanelStore>) {
+        for (heap, panel) in self.far.iter_mut().enumerate() {
+            attach_one(panel, store, classes::S2S, heap);
+        }
+        for (heap, panel) in self.near.iter_mut().enumerate() {
+            attach_one(panel, store, classes::L2L, heap);
+        }
+    }
+
+    /// Persist the operator state this evaluator serves into `writer`: the
+    /// configuration, the partition tree, the interaction lists, the
+    /// skeleton bases, and every packed interaction panel (via
+    /// [`Evaluator::spill_panels`]). A finished file reopens with
+    /// [`Evaluator::open_from`] into an evaluator whose applies are
+    /// bit-identical to this one's.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for borrowing or already-file-backed
+    /// evaluators; [`Error::Storage`] on a write failure.
+    pub fn write_to(&self, writer: &mut StoreWriter) -> Result<(), Error> {
+        let comp = self.compressed();
+        let mut buf = Vec::new();
+        encode_header::<T>(&mut buf, &comp.config, self.panel_precision);
+        writer
+            .put_raw(classes::CONFIG, 0, &buf)
+            .map_err(Error::from)?;
+        buf.clear();
+        encode_tree(&mut buf, &comp.tree);
+        writer
+            .put_raw(classes::TREE, 0, &buf)
+            .map_err(Error::from)?;
+        buf.clear();
+        encode_lists(&mut buf, &comp.lists);
+        writer
+            .put_raw(classes::LISTS, 0, &buf)
+            .map_err(Error::from)?;
+        buf.clear();
+        encode_bases::<T>(&mut buf, &comp.bases);
+        writer
+            .put_raw(classes::BASES, 0, &buf)
+            .map_err(Error::from)?;
+        self.spill_panels(writer, |_| true)
+    }
+}
+
+impl<T: Scalar> Evaluator<'static, T> {
+    /// Reopen an operator persisted with [`Evaluator::write_to`]: rebuild
+    /// the compressed representation from the store's headers (the partition
+    /// tree is replayed deterministically from its permutation) and serve
+    /// every interaction panel *out of core* through the store's LRU
+    /// resident set, bounded by `resident_budget` decoded bytes.
+    ///
+    /// Returns the reconstructed compression (shared, as the front door's
+    /// `into_shared_evaluator` does) and the file-backed evaluator. The
+    /// reconstructed compression carries empty block caches, no neighbor
+    /// lists and zeroed compression statistics — everything the evaluation
+    /// and factorization phases read (tree, lists, bases, config) is exact.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] when the file is missing, incomplete, corrupt, or
+    /// was written by an operator of a different scalar precision.
+    pub fn open_from(
+        path: &Path,
+        resident_budget: usize,
+    ) -> Result<(Arc<Compressed<T>>, Self), Error> {
+        let t0 = Stopwatch::start();
+        let store = Arc::new(FilePanelStore::open(path, resident_budget)?);
+        let (config, panel_precision) = decode_header::<T>(&store.read_raw(classes::CONFIG, 0)?)?;
+        let tree = decode_tree(&store.read_raw(classes::TREE, 0)?)?;
+        let lists = decode_lists(&store.read_raw(classes::LISTS, 0)?)?;
+        let bases = decode_bases::<T>(&store.read_raw(classes::BASES, 0)?)?;
+        let node_count = tree.node_count();
+        if lists.near.len() != node_count
+            || lists.far.len() != node_count
+            || bases.len() != node_count
+        {
+            return Err(Error::Storage {
+                message: format!(
+                    "store headers disagree: tree has {node_count} nodes, lists {}/{}, bases {}",
+                    lists.near.len(),
+                    lists.far.len(),
+                    bases.len()
+                ),
+            });
+        }
+        let comp = Compressed {
+            tree,
+            lists,
+            bases,
+            near_blocks: vec![Vec::new(); node_count],
+            far_blocks: vec![Vec::new(); node_count],
+            neighbors: None,
+            config,
+            stats: CompressionStats::default(),
+        };
+        let mixed = panel_precision == PanelPrecision::MixedF32;
+        let mut far = Vec::with_capacity(node_count);
+        let mut near = Vec::with_capacity(node_count);
+        let mut near_gather = vec![Vec::new(); node_count];
+        for heap in 0..node_count {
+            far.push(stored_panel(&store, classes::S2S, heap, mixed));
+            near.push(stored_panel(&store, classes::L2L, heap, mixed));
+            if comp.tree.is_leaf(heap) && !comp.lists.near[heap].is_empty() {
+                near_gather[heap] = near_gather_indices(&comp, heap);
+            }
+        }
+        let (policy, threads) = (comp.config.policy, comp.config.num_threads);
+        let comp = Arc::new(comp);
+        let evaluator = Evaluator::assemble_evaluator(
+            CompRef::Shared(Arc::clone(&comp)),
+            policy,
+            threads,
+            panel_precision,
+            far,
+            near,
+            near_gather,
+            t0,
+        );
+        Ok((comp, evaluator))
+    }
+}
+
+/// Spill one owned packed panel (see [`Evaluator::spill_panels`]).
+fn spill_one<T: Scalar>(
+    writer: &mut StoreWriter,
+    class: u16,
+    heap: usize,
+    panel: &Panel<'_, T>,
+) -> Result<(), Error> {
+    match panel {
+        Panel::Empty => Ok(()),
+        Panel::Packed(m) => writer.put(class, heap as u32, m).map_err(Error::from),
+        Panel::Mixed(m) => writer.put(class, heap as u32, m).map_err(Error::from),
+        Panel::Blocks(_) | Panel::Stored(_) => Err(Error::InvalidConfig {
+            what: "storage",
+            constraint: "requires an evaluator with owned packed panels \
+                         (not a borrowing or already file-backed one)",
+        }),
+    }
+}
+
+/// Swap one panel for its file-backed locator if `store` holds its key.
+fn attach_one<T: Scalar>(
+    panel: &mut Panel<'_, T>,
+    store: &Arc<FilePanelStore>,
+    class: u16,
+    heap: usize,
+) {
+    let node = heap as u32;
+    if !store.contains(class, node) {
+        return;
+    }
+    let (mixed, bytes) = match panel {
+        Panel::Packed(_) => (false, panel.bytes()),
+        Panel::Mixed(_) => (true, panel.bytes()),
+        _ => return,
+    };
+    *panel = Panel::Stored(StoredPanel {
+        store: Arc::clone(store),
+        class,
+        node,
+        mixed,
+        bytes,
+    });
+}
+
+/// Build a [`Panel::Stored`] locator for `(class, heap)` if the store holds
+/// it, [`Panel::Empty`] otherwise (nodes without interactions spill nothing).
+fn stored_panel<'p, T: Scalar>(
+    store: &Arc<FilePanelStore>,
+    class: u16,
+    heap: usize,
+    mixed: bool,
+) -> Panel<'p, T> {
+    let node = heap as u32;
+    match store.blob_len(class, node) {
+        // A DenseMatrix blob is a 17-byte header (1-byte scalar width, two
+        // u64 dimensions) followed by the raw values, so the decoded panel
+        // footprint is the blob length minus the header.
+        Some(len) => Panel::Stored(StoredPanel {
+            store: Arc::clone(store),
+            class,
+            node,
+            mixed,
+            bytes: (len as usize).saturating_sub(17),
+        }),
+        None => Panel::Empty,
+    }
 }
 
 /// The concatenation of a leaf's near nodes' original row indices, in
@@ -786,6 +1156,241 @@ fn near_gather_indices<T: Scalar>(comp: &Compressed<T>, heap: usize) -> Vec<usiz
         .iter()
         .flat_map(|&alpha| comp.tree.indices(alpha).iter().copied())
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Persistence codecs (storage tier): the CONFIG / TREE / LISTS / BASES header
+// blobs behind `Evaluator::write_to` / `Evaluator::open_from`. All little-
+// endian, scalars by IEEE bit pattern, enums as u8 tags — deterministic and
+// exact, because the serving stack asserts bit-identity between in-memory
+// and reopened operators.
+// ---------------------------------------------------------------------------
+
+fn metric_tag(metric: DistanceMetric) -> u8 {
+    match metric {
+        DistanceMetric::Kernel => 0,
+        DistanceMetric::Angle => 1,
+        DistanceMetric::Geometric => 2,
+        DistanceMetric::Lexicographic => 3,
+        DistanceMetric::Random => 4,
+    }
+}
+
+fn metric_from_tag(tag: u8) -> Result<DistanceMetric, StoreError> {
+    Ok(match tag {
+        0 => DistanceMetric::Kernel,
+        1 => DistanceMetric::Angle,
+        2 => DistanceMetric::Geometric,
+        3 => DistanceMetric::Lexicographic,
+        4 => DistanceMetric::Random,
+        other => return Err(StoreError::Corrupt(format!("unknown metric tag {other}"))),
+    })
+}
+
+fn policy_tag(policy: TraversalPolicy) -> u8 {
+    match policy {
+        TraversalPolicy::Sequential => 0,
+        TraversalPolicy::LevelByLevel => 1,
+        TraversalPolicy::DagHeft => 2,
+        TraversalPolicy::DagFifo => 3,
+    }
+}
+
+fn policy_from_tag(tag: u8) -> Result<TraversalPolicy, StoreError> {
+    Ok(match tag {
+        0 => TraversalPolicy::Sequential,
+        1 => TraversalPolicy::LevelByLevel,
+        2 => TraversalPolicy::DagHeft,
+        3 => TraversalPolicy::DagFifo,
+        other => return Err(StoreError::Corrupt(format!("unknown policy tag {other}"))),
+    })
+}
+
+fn precision_tag(precision: PanelPrecision) -> u8 {
+    match precision {
+        PanelPrecision::Native => 0,
+        PanelPrecision::MixedF32 => 1,
+    }
+}
+
+fn precision_from_tag(tag: u8) -> Result<PanelPrecision, StoreError> {
+    Ok(match tag {
+        0 => PanelPrecision::Native,
+        1 => PanelPrecision::MixedF32,
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown panel-precision tag {other}"
+            )))
+        }
+    })
+}
+
+/// CONFIG blob: operator scalar width, every [`GofmmConfig`] field, and the
+/// evaluator's *actual* panel precision (which can differ from the config's —
+/// e.g. a borrowing evaluator always packs native).
+fn encode_header<T: Scalar>(
+    out: &mut Vec<u8>,
+    config: &GofmmConfig,
+    panel_precision: PanelPrecision,
+) {
+    let mut w = ByteWriter::new(out);
+    w.u8(std::mem::size_of::<T>() as u8);
+    w.usize(config.leaf_size);
+    w.usize(config.max_rank);
+    w.f64(config.tolerance);
+    w.usize(config.neighbors);
+    w.f64(config.budget);
+    w.u8(metric_tag(config.metric));
+    w.usize(config.num_threads);
+    w.u8(policy_tag(config.policy));
+    w.usize(config.sample_size);
+    w.u8(config.cache_blocks as u8);
+    w.usize(config.ann_iters);
+    w.u64(config.seed);
+    w.u8(config.strict_rank_budget as u8);
+    w.u8(precision_tag(config.panel_precision));
+    w.u8(precision_tag(panel_precision));
+}
+
+fn decode_header<T: Scalar>(bytes: &[u8]) -> Result<(GofmmConfig, PanelPrecision), StoreError> {
+    let mut r = ByteReader::new(bytes);
+    check_scalar_width::<T>(r.u8()?)?;
+    let config = GofmmConfig {
+        leaf_size: r.usize()?,
+        max_rank: r.usize()?,
+        tolerance: r.f64()?,
+        neighbors: r.usize()?,
+        budget: r.f64()?,
+        metric: metric_from_tag(r.u8()?)?,
+        num_threads: r.usize()?,
+        policy: policy_from_tag(r.u8()?)?,
+        sample_size: r.usize()?,
+        cache_blocks: r.u8()? != 0,
+        ann_iters: r.usize()?,
+        seed: r.u64()?,
+        strict_rank_budget: r.u8()? != 0,
+        panel_precision: precision_from_tag(r.u8()?)?,
+    };
+    let panel_precision = precision_from_tag(r.u8()?)?;
+    r.finish()?;
+    Ok((config, panel_precision))
+}
+
+/// TREE blob: `(n, depth, perm)` — everything [`PartitionTree::from_parts`]
+/// needs to replay the deterministic build.
+fn encode_tree(out: &mut Vec<u8>, tree: &PartitionTree) {
+    let mut w = ByteWriter::new(out);
+    w.usize(tree.n());
+    w.u32(tree.depth());
+    w.usize_slice(tree.perm());
+}
+
+fn decode_tree(bytes: &[u8]) -> Result<PartitionTree, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.usize()?;
+    let depth = r.u32()?;
+    let perm = r.usize_slice()?;
+    r.finish()?;
+    // Validate before from_parts, which asserts on malformed input.
+    if perm.len() != n {
+        return Err(StoreError::Corrupt(format!(
+            "tree permutation has {} entries for n = {n}",
+            perm.len()
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &p in &perm {
+        if p >= n || seen[p] {
+            return Err(StoreError::Corrupt(format!(
+                "tree permutation entry {p} out of range or duplicated"
+            )));
+        }
+        seen[p] = true;
+    }
+    Ok(PartitionTree::from_parts(n, depth, perm))
+}
+
+/// LISTS blob: the per-node Near and Far interaction lists.
+fn encode_lists(out: &mut Vec<u8>, lists: &InteractionLists) {
+    let mut w = ByteWriter::new(out);
+    w.usize(lists.near.len());
+    for l in &lists.near {
+        w.usize_slice(l);
+    }
+    w.usize(lists.far.len());
+    for l in &lists.far {
+        w.usize_slice(l);
+    }
+}
+
+fn decode_lists(bytes: &[u8]) -> Result<InteractionLists, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let near_count = r.usize()?;
+    let mut near = Vec::with_capacity(near_count);
+    for _ in 0..near_count {
+        near.push(r.usize_slice()?);
+    }
+    let far_count = r.usize()?;
+    let mut far = Vec::with_capacity(far_count);
+    for _ in 0..far_count {
+        far.push(r.usize_slice()?);
+    }
+    r.finish()?;
+    Ok(InteractionLists { near, far })
+}
+
+/// BASES blob: every node's skeleton basis (`None` encoded as a 0 tag).
+fn encode_bases<T: Scalar>(out: &mut Vec<u8>, bases: &[Option<NodeBasis<T>>]) {
+    {
+        let mut w = ByteWriter::new(out);
+        w.u8(std::mem::size_of::<T>() as u8);
+        w.usize(bases.len());
+    }
+    for basis in bases {
+        match basis {
+            None => ByteWriter::new(out).u8(0),
+            Some(b) => {
+                {
+                    let mut w = ByteWriter::new(out);
+                    w.u8(1);
+                    w.usize_slice(&b.skeleton);
+                    w.usize(b.interp.rows());
+                    w.usize(b.interp.cols());
+                }
+                encode_scalar_slice(out, b.interp.data());
+                let mut w = ByteWriter::new(out);
+                w.f64(b.residual);
+                w.u8(b.budget_limited as u8);
+            }
+        }
+    }
+}
+
+fn decode_bases<T: Scalar>(bytes: &[u8]) -> Result<Vec<Option<NodeBasis<T>>>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    check_scalar_width::<T>(r.u8()?)?;
+    let count = r.usize()?;
+    let mut bases = Vec::with_capacity(count);
+    for _ in 0..count {
+        if r.u8()? == 0 {
+            bases.push(None);
+            continue;
+        }
+        let skeleton = r.usize_slice()?;
+        let rows = r.usize()?;
+        let cols = r.usize()?;
+        let data = decode_scalar_vec::<T>(&mut r, rows * cols)?;
+        let residual = r.f64()?;
+        let budget_limited = r.u8()? != 0;
+        bases.push(Some(NodeBasis {
+            skeleton,
+            interp: DenseMatrix::from_vec(rows, cols, data),
+            residual,
+            budget_limited,
+        }));
+    }
+    r.finish()?;
+    Ok(bases)
 }
 
 /// Evaluate the packed far panel `K_{skel(heap), skel(Far(heap))}` from the
@@ -839,11 +1444,11 @@ fn hstack_blocks<T: Scalar>(rows: usize, blocks: &[DenseMatrix<T>]) -> DenseMatr
 /// also fixes the floating-point accumulation order, making outputs
 /// bit-identical across all policies. Concurrent applies never share a
 /// workspace, so they cannot interact at all.
-struct ApplyPass<'p, 'a, T: Scalar> {
-    ev: &'p Evaluator<'a, T>,
-    ws: &'p ApplyWorkspace<T>,
-    w: &'p DenseMatrix<T>,
-    flops: &'p AtomicU64,
+pub(crate) struct ApplyPass<'p, 'a, T: Scalar> {
+    pub(crate) ev: &'p Evaluator<'a, T>,
+    pub(crate) ws: &'p ApplyWorkspace<T>,
+    pub(crate) w: &'p DenseMatrix<T>,
+    pub(crate) flops: &'p AtomicU64,
 }
 
 impl<T: Scalar> ApplyPass<'_, '_, T> {
@@ -852,8 +1457,23 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             .fetch_add(2 * m as u64 * n as u64 * k as u64, Ordering::Relaxed);
     }
 
+    /// Stack the far nodes' skeleton weights in Far-list order, matching a
+    /// packed far panel's `panel_cols` column order.
+    fn far_weight_stack(&self, heap: usize, panel_cols: usize, r: usize) -> DenseMatrix<T> {
+        let comp = self.ev.compressed();
+        let mut wstack = DenseMatrix::zeros(panel_cols, r);
+        let mut off = 0;
+        for &alpha in &comp.lists.far[heap] {
+            let wa = self.ws.wtilde.read(alpha);
+            wstack.set_block(off, 0, &wa);
+            off += wa.rows();
+        }
+        debug_assert_eq!(off, panel_cols, "far panel/weight stack mismatch");
+        wstack
+    }
+
     /// Route a `(family, node)` key from the cached plan to its task.
-    fn dispatch(&self, family: Family, node: usize) {
+    pub(crate) fn dispatch(&self, family: Family, node: usize) {
         match family {
             "N2S" => self.task_n2s(node),
             "S2S" => self.task_s2s(node),
@@ -865,7 +1485,7 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
 
     /// N2S: skeleton weights `w~_alpha = P w_alpha` (leaf) or
     /// `P [w~_l; w~_r]` (interior).
-    fn task_n2s(&self, heap: usize) {
+    pub(crate) fn task_n2s(&self, heap: usize) {
         let comp = self.ev.compressed();
         let Some(basis) = comp.bases[heap].as_ref() else {
             return;
@@ -894,7 +1514,7 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     /// S2S: skeleton potentials `u~_beta += K_{skel(beta), Far-skels} w~_Far`
     /// — one GEMM against the packed far panel, or one GEMM per borrowed
     /// block in zero-copy mode.
-    fn task_s2s(&self, heap: usize) {
+    pub(crate) fn task_s2s(&self, heap: usize) {
         let comp = self.ev.compressed();
         if self.ev.far[heap].is_empty() {
             return;
@@ -954,11 +1574,37 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                     self.count_gemm(block.rows(), r, block.cols());
                 }
             }
+            Panel::Stored(sp) => {
+                // Out-of-core: fault the packed panel in (same values the
+                // Packed/Mixed arms hold resident), then run the identical
+                // single GEMM — bit-identical to the in-memory arms.
+                if sp.mixed {
+                    let far = sp.fetch::<T::PanelScalar>();
+                    let wstack = self.far_weight_stack(heap, far.cols(), r);
+                    let mut ut = self.ws.utilde.write(heap);
+                    gemm_mixed(T::one(), &far, &wstack, T::one(), &mut ut);
+                    self.count_gemm(far.rows(), r, far.cols());
+                } else {
+                    let far = sp.fetch::<T>();
+                    let wstack = self.far_weight_stack(heap, far.cols(), r);
+                    let mut ut = self.ws.utilde.write(heap);
+                    gemm(
+                        T::one(),
+                        &far,
+                        Transpose::No,
+                        &wstack,
+                        Transpose::No,
+                        T::one(),
+                        &mut ut,
+                    );
+                    self.count_gemm(far.rows(), r, far.cols());
+                }
+            }
         }
     }
 
     /// S2N: interpolate skeleton potentials back down the tree.
-    fn task_s2n(&self, heap: usize) {
+    pub(crate) fn task_s2n(&self, heap: usize) {
         let comp = self.ev.compressed();
         let Some(basis) = comp.bases[heap].as_ref() else {
             return;
@@ -1004,7 +1650,7 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     /// L2L: direct (near) interactions — one GEMM of the packed near panel
     /// against the gathered input rows, or one gather + GEMM per borrowed
     /// block in zero-copy mode.
-    fn task_l2l(&self, heap: usize) {
+    pub(crate) fn task_l2l(&self, heap: usize) {
         if self.ev.near[heap].is_empty() {
             return;
         }
@@ -1048,6 +1694,27 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                     self.count_gemm(block.rows(), r, block.cols());
                 }
             }
+            Panel::Stored(sp) => {
+                let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
+                let mut out = self.ws.u_near.write(heap);
+                if sp.mixed {
+                    let near = sp.fetch::<T::PanelScalar>();
+                    gemm_mixed(T::one(), &near, &w_near, T::one(), &mut out);
+                    self.count_gemm(near.rows(), r, near.cols());
+                } else {
+                    let near = sp.fetch::<T>();
+                    gemm(
+                        T::one(),
+                        &near,
+                        Transpose::No,
+                        &w_near,
+                        Transpose::No,
+                        T::one(),
+                        &mut out,
+                    );
+                    self.count_gemm(near.rows(), r, near.cols());
+                }
+            }
         }
     }
 
@@ -1055,10 +1722,19 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
     /// in the original index order.
     fn assemble(&self) -> DenseMatrix<T> {
         let comp = self.ev.compressed();
-        let n = comp.n();
+        let mut out = DenseMatrix::zeros(comp.n(), self.w.cols());
+        let leaves: Vec<usize> = comp.tree.leaf_range().collect();
+        self.assemble_into(&mut out, &leaves);
+        out
+    }
+
+    /// Write the given leaves' far + near contributions into `out` rows (the
+    /// per-shard half of [`ApplyPass::assemble`]; shards partition leaves, so
+    /// calling this once per shard fills the full output).
+    pub(crate) fn assemble_into(&self, out: &mut DenseMatrix<T>, leaves: &[usize]) {
+        let comp = self.ev.compressed();
         let r = self.w.cols();
-        let mut out = DenseMatrix::zeros(n, r);
-        for leaf in comp.tree.leaf_range() {
+        for &leaf in leaves {
             let uf = self.ws.u_far.read(leaf);
             let un = self.ws.u_near.read(leaf);
             for (local, &orig) in comp.tree.indices(leaf).iter().enumerate() {
@@ -1072,7 +1748,6 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 }
             }
         }
-        out
     }
 }
 

@@ -57,6 +57,7 @@ pub mod distance;
 pub mod error;
 pub mod evaluate;
 pub mod lists;
+pub mod shard;
 pub mod skel;
 
 pub use accuracy::{accuracy_report, AccuracyReport};
@@ -68,7 +69,15 @@ pub use evaluate::{
     evaluate, evaluate_with, try_evaluate, try_evaluate_with, EvaluationStats, Evaluator,
 };
 pub use lists::{build_interaction_lists, check_coverage, InteractionLists};
+pub use shard::ShardedApply;
 pub use skel::{skeletonize_node, NodeBasis, SkelParams};
+
+/// Storage-tier types accepted by the spill/attach/persistence surface
+/// ([`Evaluator::spill_panels`], [`Evaluator::attach_store`],
+/// [`Evaluator::write_to`] / [`Evaluator::open_from`]); re-exported from
+/// `gofmm-store` so out-of-core callers need not depend on the store crate
+/// directly.
+pub use gofmm_store::{FilePanelStore, StorageConfig, StoreStatsSnapshot, StoreWriter};
 
 /// Cooperative cancellation token accepted by [`ApplyOptions::with_cancel`];
 /// re-exported from `gofmm-runtime` so serving callers need not depend on

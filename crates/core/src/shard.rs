@@ -1,0 +1,495 @@
+//! Subtree-sharded evaluation: the apply sweep partitioned at a tree level.
+//!
+//! [`ShardedApply`] cuts the evaluation DAG at a chosen tree level `L` into
+//! `2^L` independently owned *subtree shards* plus one *hub* covering the
+//! levels above the cut. Each shard runs its own plans against its own
+//! (masked) workspace; the only coupling between shards is two explicit
+//! boundary exchanges:
+//!
+//! * **up-exchange** — after every shard's upward (N2S) sweep, the shard
+//!   roots' skeleton weights `w~` (plus any shard-owned weights the hub's
+//!   S2S tasks read) are copied into the hub workspace;
+//! * **down-exchange** — after the hub's own N2S / S2S / S2N sweep, each
+//!   shard imports its root's accumulated skeleton potential `u~` and the
+//!   *halo* of foreign skeleton weights its S2S tasks read.
+//!
+//! The sharded sweep is **bit-identical** to [`Evaluator::apply`] under all
+//! four traversal policies: every GEMM sees the same operands, and every
+//! accumulator cell is written in the same order as the unsharded DAG
+//! (`XADD` — the shard-side import of the hub's S2N contribution — is
+//! sequenced after the shard root's own S2S, exactly where the parent's S2N
+//! lands in the unsharded plan).
+//!
+//! This is the scheduling half of the storage tier: because a shard only
+//! touches its own subtree's panels, a shard backed by its own
+//! [`gofmm_store::FilePanelStore`] faults in one subtree's working set at a
+//! time, bounding resident panel bytes by the per-store budget instead of
+//! the whole operator.
+
+use crate::config::ApplyOptions;
+use crate::error::Error;
+use crate::evaluate::{ApplyPass, ApplyWorkspace, EvaluationStats, Evaluator};
+use gofmm_linalg::{DenseMatrix, Scalar};
+use gofmm_runtime::{heap_level, CancelToken, ReusablePlan, SchedulePolicy, WorkspacePool};
+use gofmm_telemetry::Stopwatch;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a tree node's skeleton weights are computed in a sharded sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Owner {
+    /// Above the cut: the hub's upward sweep computes it.
+    Hub,
+    /// At or below the cut: shard `s`'s upward sweep computes it.
+    Shard(usize),
+}
+
+/// One subtree shard's static description: its node set, plans, and halo.
+struct Shard {
+    /// Heap index of the shard root (a node at the cut level).
+    root: usize,
+    /// Every node of the shard's subtree, root included.
+    subtree: Vec<usize>,
+    /// The subtree's leaves (the output rows this shard assembles).
+    leaves: Vec<usize>,
+    /// Foreign nodes whose `w~` this shard's S2S tasks read; copied in from
+    /// the owning workspace during the down-exchange.
+    halo: Vec<usize>,
+    /// Upward sweep: subtree N2S (+ the independent L2L leaf tasks).
+    up_plan: ReusablePlan,
+    /// Downward sweep: subtree S2S, the `XADD` boundary import, subtree S2N.
+    down_plan: ReusablePlan,
+}
+
+/// The apply sweep of an [`Evaluator`], partitioned into subtree shards at a
+/// tree level (see the module docs). Create once per `(evaluator, level)`;
+/// [`ShardedApply::apply`] is then `&self` and poolable like the evaluator's
+/// own apply.
+pub struct ShardedApply<T: Scalar> {
+    level: u32,
+    shards: Vec<Shard>,
+    /// Hub-side halo: shard-owned nodes whose `w~` the hub's S2S tasks read.
+    hub_imports: Vec<usize>,
+    hub_plan: ReusablePlan,
+    /// Per-shard workspace pools (masked to subtree + halo), keyed by RHS
+    /// count like the evaluator's own pool.
+    shard_pools: Vec<WorkspacePool<ApplyWorkspace<T>>>,
+    hub_pool: WorkspacePool<ApplyWorkspace<T>>,
+}
+
+impl<T: Scalar> ShardedApply<T> {
+    /// Partition `ev`'s evaluation DAG at tree level `level` (`1..=depth`).
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when `level` is 0 or exceeds the tree depth.
+    pub fn new(ev: &Evaluator<'_, T>, level: u32) -> Result<Self, Error> {
+        let comp = ev.compressed();
+        let tree = &comp.tree;
+        if level == 0 || level > tree.depth() {
+            return Err(Error::InvalidConfig {
+                what: "shard level",
+                constraint: "must be between 1 and the tree depth",
+            });
+        }
+        let first_at_cut = tree.level_range(level).start;
+        let owner = |heap: usize| -> Owner {
+            if heap_level(heap) < level as usize {
+                return Owner::Hub;
+            }
+            let mut a = heap;
+            while heap_level(a) > level as usize {
+                a = (a - 1) / 2;
+            }
+            Owner::Shard(a - first_at_cut)
+        };
+        let skip = |h: usize| h == 0 || comp.bases[h].is_none();
+        let has_s2s = |h: usize| !skip(h) && !comp.lists.far[h].is_empty();
+
+        // --- shards -----------------------------------------------------
+        let mut shards = Vec::new();
+        for (s, root) in tree.level_range(level).enumerate() {
+            // Subtree nodes in ascending heap order (parents before
+            // children), collected by breadth-first descent.
+            let mut subtree = vec![root];
+            let mut i = 0;
+            while i < subtree.len() {
+                let h = subtree[i];
+                if !tree.is_leaf(h) {
+                    let (l, r) = tree.children(h);
+                    subtree.push(l);
+                    subtree.push(r);
+                }
+                i += 1;
+            }
+            subtree.sort_unstable();
+            let leaves: Vec<usize> = subtree
+                .iter()
+                .copied()
+                .filter(|&h| tree.is_leaf(h))
+                .collect();
+
+            // Halo: foreign far-list entries (far lists can cross the cut —
+            // MergeFar hoists interactions to the lowest common level).
+            let mut halo: Vec<usize> = subtree
+                .iter()
+                .filter(|&&h| has_s2s(h))
+                .flat_map(|&h| comp.lists.far[h].iter().copied())
+                .filter(|&a| owner(a) != Owner::Shard(s))
+                .collect();
+            halo.sort_unstable();
+            halo.dedup();
+
+            // Upward plan: subtree N2S (children before parents — descending
+            // heap order is a valid postorder) plus the independent L2L
+            // tasks, with the same costs the unsharded plan uses.
+            let m = comp.config.leaf_size as f64;
+            let sk = comp.config.max_rank as f64;
+            let updown_cost = |h: usize| {
+                if tree.is_leaf(h) {
+                    2.0 * m * sk
+                } else {
+                    2.0 * sk * sk
+                }
+            };
+            let mut up_plan = ReusablePlan::new();
+            for &h in subtree.iter().rev() {
+                if skip(h) {
+                    continue;
+                }
+                let deps: Vec<(&'static str, usize)> = if tree.is_leaf(h) {
+                    Vec::new()
+                } else {
+                    let (l, r) = tree.children(h);
+                    vec![("N2S", l), ("N2S", r)]
+                };
+                up_plan.add("N2S", h, updown_cost(h), &deps);
+            }
+            for &h in &leaves {
+                let cost = 2.0 * m * m * comp.lists.near[h].len() as f64;
+                up_plan.add("L2L", h, cost, &[]);
+            }
+
+            // Downward plan. S2S first (every w~ it reads — own subtree or
+            // halo — is in place before this plan runs, so no N2S deps);
+            // then XADD, folding in the hub's S2N contribution to the shard
+            // root *after* the root's own S2S, replicating the unsharded
+            // write order on `utilde[root]`; then subtree S2N in preorder.
+            let mut down_plan = ReusablePlan::new();
+            for &h in &subtree {
+                if has_s2s(h) {
+                    let cost = 2.0 * sk * sk * comp.lists.far[h].len() as f64;
+                    down_plan.add("S2S", h, cost, &[]);
+                }
+            }
+            down_plan.add("XADD", root, sk, &[("S2S", root)]);
+            for &h in &subtree {
+                if skip(h) {
+                    continue;
+                }
+                let mut deps: Vec<(&'static str, usize)> = vec![("S2S", h)];
+                if h == root {
+                    deps.push(("XADD", root));
+                } else {
+                    deps.push(("S2N", (h - 1) / 2));
+                }
+                if !tree.is_leaf(h) {
+                    let (l, r) = tree.children(h);
+                    deps.push(("S2S", l));
+                    deps.push(("S2S", r));
+                }
+                down_plan.add("S2N", h, updown_cost(h), &deps);
+            }
+
+            shards.push(Shard {
+                root,
+                subtree,
+                leaves,
+                halo,
+                up_plan,
+                down_plan,
+            });
+        }
+
+        // --- hub --------------------------------------------------------
+        let hub_nodes: Vec<usize> = (0..first_at_cut).collect();
+        let mut hub_imports: Vec<usize> = hub_nodes
+            .iter()
+            .filter(|&&h| has_s2s(h))
+            .flat_map(|&h| comp.lists.far[h].iter().copied())
+            .filter(|&a| owner(a) != Owner::Hub)
+            .collect();
+        hub_imports.sort_unstable();
+        hub_imports.dedup();
+
+        let sk = comp.config.max_rank as f64;
+        let mut hub_plan = ReusablePlan::new();
+        // N2S over levels L-1..1 (children before parents); level-L-1 nodes
+        // read the shard roots' w~, installed by the up-exchange.
+        for &h in hub_nodes.iter().rev() {
+            if skip(h) {
+                continue;
+            }
+            let (l, r) = tree.children(h);
+            // Children at the cut level are shard-owned: their N2S keys are
+            // absent from this plan and therefore already satisfied.
+            hub_plan.add("N2S", h, 2.0 * sk * sk, &[("N2S", l), ("N2S", r)]);
+        }
+        for &h in &hub_nodes {
+            if has_s2s(h) {
+                let deps: Vec<(&'static str, usize)> =
+                    comp.lists.far[h].iter().map(|&a| ("N2S", a)).collect();
+                let cost = 2.0 * sk * sk * comp.lists.far[h].len() as f64;
+                hub_plan.add("S2S", h, cost, &deps);
+            }
+        }
+        // S2N over hub levels in preorder; the level-L-1 tasks accumulate
+        // into the shard roots' u~ cells, which the down-exchange exports.
+        for &h in &hub_nodes {
+            if skip(h) {
+                continue;
+            }
+            let mut deps: Vec<(&'static str, usize)> = vec![("S2S", h)];
+            if h != 0 {
+                deps.push(("S2N", (h - 1) / 2));
+            }
+            let (l, r) = tree.children(h);
+            deps.push(("S2S", l));
+            deps.push(("S2S", r));
+            hub_plan.add("S2N", h, 2.0 * sk * sk, &deps);
+        }
+
+        // --- masked workspace pools -------------------------------------
+        let shard_pools = shards.iter().map(|_| WorkspacePool::new()).collect();
+        let hub_pool = WorkspacePool::new();
+        Ok(Self {
+            level,
+            shards,
+            hub_imports,
+            hub_plan,
+            shard_pools,
+            hub_pool,
+        })
+    }
+
+    /// The cut level this engine shards at.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of subtree shards (`2^level`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Heap indices of shard `s`'s subtree (ascending), for partitioning an
+    /// operator's panels across per-shard stores.
+    pub fn shard_subtree(&self, s: usize) -> &[usize] {
+        &self.shards[s].subtree
+    }
+
+    /// Evaluate `u ≈ K w` through the sharded sweep — bit-identical to
+    /// `ev.apply_with(w, opts)` for the evaluator this engine was built
+    /// from.
+    ///
+    /// `opts.progress` is ignored (sweep progress is reported by the
+    /// unsharded engine); policy, threads, cancellation and tracing apply.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `w.rows() != n`;
+    /// [`Error::Cancelled`] when `opts.cancel` fires between phases or
+    /// mid-plan.
+    pub fn apply(
+        &self,
+        ev: &Evaluator<'_, T>,
+        w: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+        let comp = ev.compressed();
+        let tree = &comp.tree;
+        if w.rows() != comp.n() {
+            return Err(Error::DimensionMismatch {
+                what: "input rows",
+                expected: comp.n(),
+                got: w.rows(),
+            });
+        }
+        let cancel = opts.cancel.as_ref();
+        let check = || -> Result<(), Error> {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                Err(Error::Cancelled)
+            } else {
+                Ok(())
+            }
+        };
+        check()?;
+        let (policy, num_threads) = ev.run_defaults().resolve(opts.policy, opts.threads);
+        // Level-by-level has no DAG scheduler; within a shard the plans'
+        // insertion order is already the barrier order, so run sequentially.
+        let sched = policy
+            .schedule_policy()
+            .unwrap_or(SchedulePolicy::Sequential);
+        let sink = opts.trace.as_ref();
+        let sw = Stopwatch::start();
+        let flops = AtomicU64::new(0);
+        let r = w.cols();
+
+        // Phase 1: every shard's upward sweep (N2S + L2L), each against its
+        // own masked workspace.
+        let mut shard_ws: Vec<_> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            check()?;
+            let mut ws = self.shard_pools[s].lease(r, || self.allocate_shard_ws(ev, s, r));
+            if ws.recycled() {
+                ws.reset();
+            }
+            let pass = ApplyPass {
+                ev,
+                ws: &ws,
+                w,
+                flops: &flops,
+            };
+            shard
+                .up_plan
+                .run_with(sched, num_threads, cancel, sink, |family, node| {
+                    pass.dispatch(family, node)
+                })
+                .map_err(|_| Error::Cancelled)?;
+            shard_ws.push(ws);
+        }
+
+        // Up-exchange: shard-root w~ (the hub N2S inputs) and the hub's S2S
+        // halo move into the hub workspace.
+        check()?;
+        let mut hub_ws = self.hub_pool.lease(r, || self.allocate_hub_ws(ev, r));
+        if hub_ws.recycled() {
+            hub_ws.reset();
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            copy_wtilde(&shard_ws[s], &hub_ws, shard.root);
+        }
+        let first_at_cut = tree.level_range(self.level).start;
+        for &a in &self.hub_imports {
+            if let Some(s) = self.owning_shard(a, first_at_cut) {
+                copy_wtilde(&shard_ws[s], &hub_ws, a);
+            }
+        }
+
+        // Phase 2: the hub sweep.
+        check()?;
+        {
+            let pass = ApplyPass {
+                ev,
+                ws: &hub_ws,
+                w,
+                flops: &flops,
+            };
+            self.hub_plan
+                .run_with(sched, num_threads, cancel, sink, |family, node| {
+                    pass.dispatch(family, node)
+                })
+                .map_err(|_| Error::Cancelled)?;
+        }
+
+        // Down-exchange + phase 3: each shard imports its boundary values
+        // (root u~ from the hub, halo w~ from the owners), runs its downward
+        // sweep, and assembles its leaves' output rows.
+        let mut out = DenseMatrix::zeros(comp.n(), r);
+        for (s, shard) in self.shards.iter().enumerate() {
+            check()?;
+            let xin = (*hub_ws.utilde.read(shard.root)).clone();
+            for &a in &shard.halo {
+                match self.owning_shard(a, first_at_cut) {
+                    Some(o) if o != s => copy_wtilde(&shard_ws[o], &shard_ws[s], a),
+                    None => copy_wtilde(&hub_ws, &shard_ws[s], a),
+                    _ => {}
+                }
+            }
+            let ws = &shard_ws[s];
+            let pass = ApplyPass {
+                ev,
+                ws,
+                w,
+                flops: &flops,
+            };
+            shard
+                .down_plan
+                .run_with(sched, num_threads, cancel, sink, |family, node| {
+                    if family == "XADD" {
+                        ws.utilde.write(node).axpy(T::one(), &xin);
+                    } else {
+                        pass.dispatch(family, node);
+                    }
+                })
+                .map_err(|_| Error::Cancelled)?;
+            pass.assemble_into(&mut out, &shard.leaves);
+        }
+
+        let stats = EvaluationStats {
+            time: sw.seconds(),
+            setup_time: ev.setup_time(),
+            cached_bytes: ev.cached_bytes(),
+            panel_precision: ev.panel_precision(),
+            flops: flops.load(Ordering::Relaxed),
+            exec: None,
+        };
+        Ok((out, stats))
+    }
+
+    /// Which shard owns node `a`'s upward-sweep value, or `None` for the hub.
+    fn owning_shard(&self, a: usize, first_at_cut: usize) -> Option<usize> {
+        if heap_level(a) < self.level as usize {
+            return None;
+        }
+        let mut h = a;
+        while heap_level(h) > self.level as usize {
+            h = (h - 1) / 2;
+        }
+        Some(h - first_at_cut)
+    }
+
+    /// A shard workspace: `w~` over subtree ∪ halo, `u~` and the leaf
+    /// accumulators over the subtree only; everything else zero-sized.
+    fn allocate_shard_ws(&self, ev: &Evaluator<'_, T>, s: usize, r: usize) -> ApplyWorkspace<T> {
+        let shard = &self.shards[s];
+        let node_count = ev.compressed().tree.node_count();
+        let mut wtilde_mask = vec![false; node_count];
+        let mut value_mask = vec![false; node_count];
+        for &h in &shard.subtree {
+            wtilde_mask[h] = true;
+            value_mask[h] = true;
+        }
+        for &h in &shard.halo {
+            wtilde_mask[h] = true;
+        }
+        ApplyWorkspace::allocate_masked(ev.compressed(), r, &wtilde_mask, &value_mask)
+    }
+
+    /// The hub workspace: `w~` over the hub nodes, the shard roots and the
+    /// hub's S2S halo; `u~` over the hub nodes and shard roots; no leaf
+    /// accumulators (the hub is strictly interior).
+    fn allocate_hub_ws(&self, ev: &Evaluator<'_, T>, r: usize) -> ApplyWorkspace<T> {
+        let comp = ev.compressed();
+        let node_count = comp.tree.node_count();
+        let first_at_cut = comp.tree.level_range(self.level).start;
+        let mut wtilde_mask = vec![false; node_count];
+        let mut value_mask = vec![false; node_count];
+        for h in 0..first_at_cut {
+            wtilde_mask[h] = true;
+            value_mask[h] = true;
+        }
+        for shard in &self.shards {
+            wtilde_mask[shard.root] = true;
+            value_mask[shard.root] = true;
+        }
+        for &a in &self.hub_imports {
+            wtilde_mask[a] = true;
+        }
+        ApplyWorkspace::allocate_masked(comp, r, &wtilde_mask, &value_mask)
+    }
+}
+
+/// Copy one node's `w~` between workspaces (the boundary-exchange primitive).
+fn copy_wtilde<T: Scalar>(src: &ApplyWorkspace<T>, dst: &ApplyWorkspace<T>, node: usize) {
+    let s = src.wtilde.read(node);
+    let mut d = dst.wtilde.write(node);
+    d.data_mut().copy_from_slice(s.data());
+}

@@ -1,0 +1,118 @@
+//! Storage-tier codecs for dense matrices and scalar slices.
+//!
+//! Implements [`gofmm_store::Blob`] for [`DenseMatrix`] so packed interaction
+//! panels and factor blocks can be spilled to a `FilePanelStore` and faulted
+//! back bit-identically. Scalars are written by IEEE bit pattern (`f32` as a
+//! little-endian `u32`, `f64` as a `u64`), with the scalar width recorded in
+//! the blob header so an `f32` store can never be decoded as `f64` silently.
+
+use crate::matrix::DenseMatrix;
+use crate::scalar::Scalar;
+use gofmm_store::{Blob, ByteReader, ByteWriter, StoreError};
+
+/// Append `vals` to `out` by IEEE bit pattern (no length prefix; callers
+/// record dimensions separately). Exact for both supported widths: an `f32`
+/// round-trips through `to_f64` unchanged.
+pub fn encode_scalar_slice<T: Scalar>(out: &mut Vec<u8>, vals: &[T]) {
+    let mut w = ByteWriter::new(out);
+    if std::mem::size_of::<T>() == 4 {
+        for &x in vals {
+            w.u32((x.to_f64() as f32).to_bits());
+        }
+    } else {
+        for &x in vals {
+            w.u64(x.to_f64().to_bits());
+        }
+    }
+}
+
+/// Read `count` scalars written by [`encode_scalar_slice`].
+pub fn decode_scalar_vec<T: Scalar>(
+    r: &mut ByteReader<'_>,
+    count: usize,
+) -> Result<Vec<T>, StoreError> {
+    let mut vals = Vec::with_capacity(count);
+    if std::mem::size_of::<T>() == 4 {
+        for _ in 0..count {
+            vals.push(T::from_f64(f32::from_bits(r.u32()?) as f64));
+        }
+    } else {
+        for _ in 0..count {
+            vals.push(T::from_f64(f64::from_bits(r.u64()?)));
+        }
+    }
+    Ok(vals)
+}
+
+/// Check a decoded scalar-width tag against `T`'s width.
+pub fn check_scalar_width<T: Scalar>(width: u8) -> Result<(), StoreError> {
+    if width as usize != std::mem::size_of::<T>() {
+        return Err(StoreError::Corrupt(format!(
+            "scalar width mismatch: blob holds {width}-byte scalars, caller expects {}-byte",
+            std::mem::size_of::<T>()
+        )));
+    }
+    Ok(())
+}
+
+impl<T: Scalar> Blob for DenseMatrix<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        {
+            let mut w = ByteWriter::new(out);
+            w.u8(std::mem::size_of::<T>() as u8);
+            w.usize(self.rows());
+            w.usize(self.cols());
+        }
+        encode_scalar_slice(out, self.data());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        check_scalar_width::<T>(r.u8()?)?;
+        let rows = r.usize()?;
+        let cols = r.usize()?;
+        let data = decode_scalar_vec::<T>(&mut r, rows * cols)?;
+        r.finish()?;
+        Ok(DenseMatrix::from_vec(rows, cols, data))
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.rows() * self.cols() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(m: &DenseMatrix<T>) {
+        let mut bytes = Vec::new();
+        m.encode(&mut bytes);
+        let back = DenseMatrix::<T>::decode(&bytes).unwrap();
+        assert_eq!(back.rows(), m.rows());
+        assert_eq!(back.cols(), m.cols());
+        for (a, b) in back.data().iter().zip(m.data()) {
+            assert!(a.to_f64().to_bits() == b.to_f64().to_bits(), "bit mismatch");
+        }
+    }
+
+    #[test]
+    fn matrix_blob_roundtrips_bit_exactly() {
+        let m = DenseMatrix::<f64>::from_fn(7, 5, |i, j| {
+            ((i * 31 + j) as f64).sin() * 1e3 + 1.0 / (1 + i + j) as f64
+        });
+        roundtrip(&m);
+        let s = DenseMatrix::<f32>::from_fn(4, 9, |i, j| ((i * 13 + j) as f32).cos());
+        roundtrip(&s);
+        roundtrip(&DenseMatrix::<f64>::zeros(0, 3));
+    }
+
+    #[test]
+    fn width_mismatch_is_detected() {
+        let m = DenseMatrix::<f64>::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut bytes = Vec::new();
+        m.encode(&mut bytes);
+        let err = DenseMatrix::<f32>::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+    }
+}

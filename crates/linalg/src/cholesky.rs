@@ -73,6 +73,14 @@ impl<T: Scalar> Cholesky<T> {
         Ok(Self { l })
     }
 
+    /// Rebuild a factorization from a previously computed lower-triangular
+    /// factor (as returned by [`Cholesky::l`]). The storage tier uses this
+    /// to round-trip spilled ULV leaf factors bit-identically.
+    pub fn from_l(l: DenseMatrix<T>) -> Self {
+        assert_eq!(l.rows(), l.cols(), "Cholesky factor must be square");
+        Self { l }
+    }
+
     /// The lower-triangular factor.
     pub fn l(&self) -> &DenseMatrix<T> {
         &self.l

@@ -24,6 +24,7 @@
 //! task maps to one sequential BLAS/LAPACK call).
 
 pub mod blas;
+pub mod blob;
 pub mod cholesky;
 pub mod id;
 pub mod lu;
@@ -37,6 +38,7 @@ pub mod ulv;
 pub use blas::{
     axpy, dot, gemm, gemm_mixed, gemv, matmul, matmul_nt, matmul_tn, norm2_est, nrm2, Transpose,
 };
+pub use blob::{check_scalar_width, decode_scalar_vec, encode_scalar_slice};
 pub use cholesky::{is_spd, Cholesky, NotPositiveDefinite};
 pub use id::{id_reconstruct, interpolative_decomposition, Id};
 pub use lu::{LuFactor, SingularMatrix};

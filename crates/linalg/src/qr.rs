@@ -67,6 +67,43 @@ impl QrOptions {
 }
 
 impl<T: Scalar> QrFactors<T> {
+    /// Reassemble a factorization from its raw parts, exactly as exposed by
+    /// [`QrFactors::compact`]/[`QrFactors::tau`]/[`QrFactors::pivots`] etc.
+    /// Used by the out-of-core storage tier to round-trip ULV rotations
+    /// bit-identically; `from_parts(f.compact().clone(), ...)` reproduces a
+    /// factor whose every apply matches the original bit-for-bit.
+    pub fn from_parts(
+        factors: DenseMatrix<T>,
+        tau: Vec<T>,
+        pivots: Vec<usize>,
+        rank: usize,
+        next_norm: f64,
+        rank_capped: bool,
+    ) -> Self {
+        assert!(rank <= factors.rows().min(factors.cols()));
+        assert!(tau.len() >= rank, "tau shorter than rank");
+        assert_eq!(pivots.len(), factors.cols());
+        QrFactors {
+            factors,
+            tau,
+            pivots,
+            rank,
+            next_norm,
+            rank_capped,
+        }
+    }
+
+    /// The compact LAPACK-style factor storage: Householder vectors below
+    /// the diagonal, `R` on and above it.
+    pub fn compact(&self) -> &DenseMatrix<T> {
+        &self.factors
+    }
+
+    /// The Householder scalar coefficients, one per reflection.
+    pub fn tau(&self) -> &[T] {
+        &self.tau
+    }
+
     /// Number of rows of the factored matrix.
     pub fn rows(&self) -> usize {
         self.factors.rows()

@@ -81,6 +81,7 @@ pub mod factor;
 pub mod krylov;
 pub mod operator;
 pub mod serve;
+pub mod shard;
 pub mod ulv;
 
 #[allow(deprecated)]
@@ -100,7 +101,13 @@ pub use serve::{
     BatchedServer, FlightProgress, ServeConfig, ServerStats, Ticket, BATCH_WIDTH_BUCKETS,
     BATCH_WIDTH_BUCKET_BOUNDS, BATCH_WIDTH_BUCKET_LABELS,
 };
-pub use ulv::UlvFactor;
+pub use shard::ShardedOperator;
+pub use ulv::{ShardedSolve, UlvFactor};
+
+/// Storage-tier types accepted by [`GofmmOperatorBuilder::storage`] and the
+/// spill/attach surface; re-exported from `gofmm-core` (which re-exports
+/// them from `gofmm-store`) so out-of-core callers need only this crate.
+pub use gofmm_core::{FilePanelStore, StorageConfig, StoreStatsSnapshot, StoreWriter};
 
 use gofmm_core::{Compressed, Evaluator};
 use gofmm_linalg::{DenseMatrix, Scalar};

@@ -26,8 +26,8 @@ use crate::factor::{FactorOptions, HierarchicalFactor};
 use crate::krylov::{cg, KrylovOptions, LinearOperator, Shifted, SolveStats};
 use crate::ulv::UlvFactor;
 use gofmm_core::{
-    try_compress, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator, GofmmConfig,
-    PanelPrecision,
+    try_compress, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator, FilePanelStore,
+    GofmmConfig, PanelPrecision, StorageConfig, StoreStatsSnapshot, StoreWriter,
 };
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
@@ -173,6 +173,9 @@ pub struct GofmmOperator<T: Scalar> {
     comp: Arc<Compressed<T>>,
     evaluator: Evaluator<'static, T>,
     factor: Option<FactorEngine<T>>,
+    /// The operator-wide panel/factor store, when built with
+    /// [`StorageConfig::File`].
+    store: Option<Arc<FilePanelStore>>,
 }
 
 // Compile-time proof of the serving contract: the handle is shareable.
@@ -192,6 +195,7 @@ impl<T: Scalar> GofmmOperator<T> {
             config: GofmmConfig::default(),
             lambda: None,
             backend: FactorBackend::default(),
+            storage: StorageConfig::InMemory,
             _scalar: PhantomData,
         }
     }
@@ -245,6 +249,30 @@ impl<T: Scalar> GofmmOperator<T> {
     /// built.
     pub fn backend(&self) -> Option<FactorBackend> {
         self.factor.as_ref().map(FactorEngine::backend)
+    }
+
+    /// The out-of-core panel/factor store behind this operator, when it was
+    /// built with [`StorageConfig::File`].
+    pub fn store(&self) -> Option<&Arc<FilePanelStore>> {
+        self.store.as_ref()
+    }
+
+    /// Fault/hit/eviction counters and resident-byte gauges of the
+    /// operator-wide store, when one was built.
+    pub fn store_stats(&self) -> Option<StoreStatsSnapshot> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Swap every panel and ULV factor node whose key exists in `store` for
+    /// an out-of-core locator (see [`Evaluator::attach_store`] and
+    /// [`UlvFactor::attach_store`]). An SMW factorization, when present,
+    /// stays in memory — only the evaluator's panels and the ULV backend's
+    /// nodes participate in the storage tier.
+    pub fn attach_store(&mut self, store: &Arc<FilePanelStore>) {
+        self.evaluator.attach_store(store);
+        if let Some(FactorEngine::Ulv(f)) = &mut self.factor {
+            f.attach_store(store);
+        }
     }
 
     /// The regularization `lambda` of the factorization, if one was built.
@@ -383,6 +411,33 @@ impl<T: Scalar> GofmmOperator<T> {
                 )
                 .set(recycled as f64);
         }
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            registry
+                .gauge(
+                    "gofmm_store_faults_total",
+                    "Panel-store lookups that missed the resident set and read from disk",
+                )
+                .set(s.faults as f64);
+            registry
+                .gauge(
+                    "gofmm_store_evictions_total",
+                    "Panel-store blobs evicted to stay under the resident budget",
+                )
+                .set(s.evictions as f64);
+            registry
+                .gauge(
+                    "gofmm_store_resident_bytes",
+                    "Decoded bytes currently held in the panel store's resident set",
+                )
+                .set(s.resident_bytes as f64);
+            registry
+                .gauge(
+                    "gofmm_store_peak_resident_bytes",
+                    "High-water mark of the panel store's resident bytes",
+                )
+                .set(s.peak_resident_bytes as f64);
+        }
     }
 }
 
@@ -402,6 +457,7 @@ pub struct GofmmOperatorBuilder<'m, T: Scalar, M: ?Sized> {
     config: GofmmConfig,
     lambda: Option<f64>,
     backend: FactorBackend,
+    storage: StorageConfig,
     _scalar: PhantomData<T>,
 }
 
@@ -427,6 +483,21 @@ impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
     /// [`GofmmOperatorBuilder::factorize`]).
     pub fn backend(mut self, backend: FactorBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Where the built operator's bulk state lives (defaults to
+    /// [`StorageConfig::InMemory`]). With [`StorageConfig::File`] the
+    /// builder persists every packed interaction panel — and, under the ULV
+    /// backend, every per-node factor block — into
+    /// `<dir>/operator.gfmm` and serves them *out of core* through an LRU
+    /// resident set bounded by `resident_budget` decoded bytes, so an
+    /// operator larger than RAM still applies and solves with bounded
+    /// resident memory. File-backed applies and solves are bit-identical to
+    /// in-memory ones under every traversal policy. An SMW factorization,
+    /// when selected, stays in memory.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -477,11 +548,32 @@ impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
                 parts,
             )),
         });
-        Ok(GofmmOperator {
+        let mut op = GofmmOperator {
             comp,
             evaluator,
             factor,
-        })
+            store: None,
+        };
+        if let StorageConfig::File {
+            dir,
+            resident_budget,
+        } = &self.storage
+        {
+            std::fs::create_dir_all(dir).map_err(|e| Error::Storage {
+                message: format!("create storage dir {}: {e}", dir.display()),
+            })?;
+            let path = dir.join("operator.gfmm");
+            let mut writer = StoreWriter::create(&path)?;
+            op.evaluator.write_to(&mut writer)?;
+            if let Some(FactorEngine::Ulv(f)) = &op.factor {
+                f.write_to(&mut writer)?;
+            }
+            writer.finish()?;
+            let store = Arc::new(FilePanelStore::open(&path, *resident_budget)?);
+            op.attach_store(&store);
+            op.store = Some(store);
+        }
+        Ok(op)
     }
 }
 

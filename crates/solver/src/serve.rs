@@ -216,6 +216,8 @@ struct ProgressCell {
     residual_bits: AtomicU64,
     frozen: AtomicUsize,
     total: AtomicUsize,
+    levels_done: AtomicUsize,
+    levels_total: AtomicUsize,
 }
 
 #[derive(Debug)]
@@ -307,10 +309,11 @@ impl<T: Scalar> Ticket<T> {
         self.shared.cancel();
     }
 
-    /// Live progress of this request's iterative solve, while it is in
-    /// flight or after it finished. `None` until the first CG iteration of
-    /// the request's batch reports (and always `None` for plain apply /
-    /// direct-solve requests, which have no iteration structure). Reads a
+    /// Live progress of this request's flight, while it is in flight or
+    /// after it finished. `None` until the flight first reports: the first
+    /// CG iteration for iterative solves, or the first completed sweep
+    /// stage for plain apply / direct-solve flights (which track
+    /// `levels_completed`/`levels_total` instead of iterations). Reads a
     /// lock-free cell the worker publishes into — safe to poll from any
     /// thread at any rate without slowing the flight down.
     pub fn progress(&self) -> Option<FlightProgress> {
@@ -323,24 +326,35 @@ impl<T: Scalar> Ticket<T> {
             max_residual: f64::from_bits(p.residual_bits.load(Ordering::Relaxed)),
             columns_frozen: p.frozen.load(Ordering::Relaxed),
             columns_total: p.total.load(Ordering::Relaxed),
+            levels_completed: p.levels_done.load(Ordering::Relaxed),
+            levels_total: p.levels_total.load(Ordering::Relaxed),
         })
     }
 }
 
-/// Snapshot of an in-flight iterative request's progress, from
-/// [`Ticket::progress`]. All numbers are scoped to the *request's own
-/// columns*, not the whole coalesced batch it rides in.
+/// Snapshot of an in-flight request's progress, from [`Ticket::progress`].
+/// Column numbers are scoped to the *request's own columns*, not the whole
+/// coalesced batch it rides in. Iterative (CG) flights fill the iteration /
+/// residual / column fields and leave the level fields at 0; plain apply
+/// and direct-solve flights fill the level fields (one unit per completed
+/// sweep stage — task family × tree level) and leave the rest at 0.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FlightProgress {
-    /// CG iterations completed so far.
+    /// CG iterations completed so far (0 for non-iterative flights).
     pub iterations: usize,
     /// Current largest relative residual over this request's columns.
     pub max_residual: f64,
     /// How many of this request's columns have converged and frozen (their
     /// iterates no longer update).
     pub columns_frozen: usize,
-    /// Total columns in this request's right-hand side.
+    /// Total columns in this request's right-hand side (0 for
+    /// non-iterative flights).
     pub columns_total: usize,
+    /// Sweep stages completed so far by a plain apply / direct-solve
+    /// flight (0 for CG flights).
+    pub levels_completed: usize,
+    /// Total sweep stages in the flight (0 for CG flights).
+    pub levels_total: usize,
 }
 
 /// Snapshot of a [`BatchedServer`]'s telemetry counters.
@@ -904,6 +918,28 @@ fn flight_progress_listener<T: Scalar>(
     })
 }
 
+/// Build the progress listener for a plain apply / direct-solve flight:
+/// every `SweepLevel` report (one per completed task-family × tree-level
+/// stage) is published to every member request's [`ProgressCell`], since a
+/// sweep advances for the whole coalesced batch at once.
+fn sweep_progress_listener<T: Scalar>(batch: &[QueuedRequest<T>]) -> ProgressHandle {
+    let cells: Vec<Arc<RequestShared>> = batch.iter().map(|r| Arc::clone(&r.shared)).collect();
+    ProgressHandle::new(move |report: &ProgressReport<'_>| {
+        let ProgressReport::SweepLevel {
+            completed, total, ..
+        } = *report
+        else {
+            return;
+        };
+        for shared_req in &cells {
+            let p = &shared_req.progress;
+            p.levels_done.store(completed, Ordering::Relaxed);
+            p.levels_total.store(total, Ordering::Relaxed);
+            p.reported.store(true, Ordering::Release);
+        }
+    })
+}
+
 fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
     let n = shared.op.n();
     let total_cols: usize = batch.iter().map(|r| r.rhs.cols()).sum();
@@ -931,6 +967,7 @@ fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
             if let Some(sink) = shared.cfg.trace.clone() {
                 opts.trace = Some(sink);
             }
+            opts.progress = Some(sweep_progress_listener(&batch));
             shared.op.apply_with(&wide, &opts).map(|(u, _)| u)
         }
         RequestKind::Solve => {
@@ -938,6 +975,7 @@ fn execute_batch<T: Scalar>(shared: &Shared<T>, batch: Vec<QueuedRequest<T>>) {
             if let Some(sink) = shared.cfg.trace.clone() {
                 opts.trace = Some(sink);
             }
+            opts.progress = Some(sweep_progress_listener(&batch));
             shared.op.solve_with(&wide, &opts)
         }
         RequestKind::SolveCg(krylov) => {
@@ -1197,32 +1235,35 @@ mod tests {
     }
 
     #[test]
-    fn apply_tickets_have_no_iteration_progress() {
-        let op = test_operator(128, false);
+    fn apply_tickets_report_sweep_progress() {
+        let op = test_operator(128, true);
         let server = BatchedServer::new(Arc::clone(&op), ServeConfig::default());
+
+        // Plain apply: sweep-level progress, no iteration structure.
         let w = rhs(128, 1, 0);
         let ticket = server.submit_apply(&w, None).expect("admit");
-        assert!(ticket.progress().is_none());
-        ticket.wait().expect("result");
-        assert!(ticket_progress_stays_none(&op, &server));
-    }
+        ticket.rx.recv().expect("reply").expect("result");
+        let p = ticket
+            .progress()
+            .expect("apply flight reports sweep stages");
+        assert_eq!(p.iterations, 0, "apply flights have no iterations");
+        assert_eq!(p.columns_total, 0);
+        assert!(p.levels_total > 0);
+        assert_eq!(
+            p.levels_completed, p.levels_total,
+            "a finished sweep reports every stage done"
+        );
 
-    /// A second apply through the same server still reports no progress —
-    /// the cell only ever fills for iterative (CG) flights.
-    fn ticket_progress_stays_none(
-        _op: &Arc<GofmmOperator<f64>>,
-        server: &BatchedServer<f64>,
-    ) -> bool {
-        let w = rhs(128, 2, 5);
-        let ticket = server.submit_apply(&w, None).expect("admit");
-        let deadline = Instant::now() + Duration::from_secs(30);
-        while ticket.progress().is_none() && Instant::now() < deadline {
-            if let Ok(out) = ticket.rx.try_recv() {
-                return out.is_ok() && ticket.progress().is_none();
-            }
-            std::thread::yield_now();
-        }
-        false
+        // Direct solve: same sweep-level progress through the ULV engine.
+        let b = rhs(128, 2, 5);
+        let ticket = server.submit_solve(&b, None).expect("admit");
+        ticket.rx.recv().expect("reply").expect("result");
+        let p = ticket
+            .progress()
+            .expect("solve flight reports sweep stages");
+        assert_eq!(p.iterations, 0);
+        assert!(p.levels_total > 0);
+        assert_eq!(p.levels_completed, p.levels_total);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Subtree-sharded serving: one operator partitioned into independently
+//! stored and scheduled subtree shards.
+//!
+//! [`ShardedOperator`] pairs the two sharded engines — the evaluation half
+//! ([`gofmm_core::ShardedApply`]) and the solve half ([`crate::ShardedSolve`])
+//! — over one [`GofmmOperator`], cut at the same tree level so both sweeps
+//! agree on shard ownership. Applies and solves through the sharded engines
+//! are **bit-identical** to the operator's own under all four traversal
+//! policies.
+//!
+//! The point of sharding is the storage tier:
+//! [`ShardedOperator::new_with_storage`] spills each shard's subtree —
+//! its packed interaction panels *and* its ULV factor blocks — into that
+//! shard's own store file (plus one hub file for the levels above the cut),
+//! each behind its own LRU resident budget. A sharded sweep then faults in
+//! one subtree's working set at a time, so resident bytes track the
+//! *per-shard* budget rather than the whole operator: the scheduling and
+//! storage layers bound memory together.
+
+use crate::operator::GofmmOperator;
+use crate::ulv::ShardedSolve;
+use gofmm_core::{
+    ApplyOptions, Error, EvaluationStats, FilePanelStore, ShardedApply, StoreStatsSnapshot,
+    StoreWriter,
+};
+use gofmm_linalg::{DenseMatrix, Scalar};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A [`GofmmOperator`]'s apply/solve sweeps partitioned into subtree shards
+/// at a tree level, optionally with one store file per shard (see the module
+/// docs). Built once per `(operator, level)`; the engine itself is `&self`
+/// and shareable, with the operator passed back in per call.
+pub struct ShardedOperator<T: Scalar> {
+    apply: ShardedApply<T>,
+    /// The solve half; present when the operator was factored with the ULV
+    /// backend (the SMW recursion is not sharded).
+    solve: Option<ShardedSolve<T>>,
+    /// Per-shard stores (then the hub store last), when built with
+    /// [`ShardedOperator::new_with_storage`].
+    stores: Vec<Arc<FilePanelStore>>,
+}
+
+impl<T: Scalar> ShardedOperator<T> {
+    /// Partition `op`'s sweeps at tree level `level` (`1..=depth`), keeping
+    /// every panel and factor block wherever the operator already holds it.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when `level` is 0 or exceeds the tree depth.
+    pub fn new(op: &GofmmOperator<T>, level: u32) -> Result<Self, Error> {
+        let apply = ShardedApply::new(op.evaluator(), level)?;
+        let solve = match op.ulv_factor() {
+            Some(factor) => Some(ShardedSolve::new(factor, level)?),
+            None => None,
+        };
+        Ok(Self {
+            apply,
+            solve,
+            stores: Vec::new(),
+        })
+    }
+
+    /// Partition `op`'s sweeps at `level` **and** spill each shard's subtree
+    /// into its own store file under `dir` (`shard-<s>.gfmm`, plus
+    /// `hub.gfmm` for the levels above the cut), each served through an LRU
+    /// resident set bounded by `resident_budget` decoded bytes. The
+    /// operator's in-memory panels and ULV factor blocks are swapped for
+    /// out-of-core locators, so its *unsharded* entry points also read
+    /// through the shard stores afterwards.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for a bad `level` or an operator that is
+    /// already file-backed; [`Error::Storage`] on any write/open failure.
+    pub fn new_with_storage(
+        op: &mut GofmmOperator<T>,
+        level: u32,
+        dir: &Path,
+        resident_budget: usize,
+    ) -> Result<Self, Error> {
+        let mut sharded = Self::new(op, level)?;
+        std::fs::create_dir_all(dir).map_err(|e| Error::Storage {
+            message: format!("create storage dir {}: {e}", dir.display()),
+        })?;
+        let node_count = op.compressed().tree.node_count();
+
+        // Shard files: each subtree's panels + factor blocks.
+        let mut owned = vec![false; node_count];
+        for s in 0..sharded.apply.shard_count() {
+            let mut member = vec![false; node_count];
+            for &h in sharded.apply.shard_subtree(s) {
+                member[h] = true;
+                owned[h] = true;
+            }
+            let path = dir.join(format!("shard-{s}.gfmm"));
+            let mut writer = StoreWriter::create(&path)?;
+            op.evaluator().spill_panels(&mut writer, |h| member[h])?;
+            if let Some(factor) = op.ulv_factor() {
+                factor.spill_nodes(&mut writer, |h| member[h])?;
+            }
+            writer.finish()?;
+            sharded
+                .stores
+                .push(Arc::new(FilePanelStore::open(&path, resident_budget)?));
+        }
+
+        // Hub file: everything above the cut.
+        let path = dir.join("hub.gfmm");
+        let mut writer = StoreWriter::create(&path)?;
+        op.evaluator().spill_panels(&mut writer, |h| !owned[h])?;
+        if let Some(factor) = op.ulv_factor() {
+            factor.spill_nodes(&mut writer, |h| !owned[h])?;
+        }
+        writer.finish()?;
+        sharded
+            .stores
+            .push(Arc::new(FilePanelStore::open(&path, resident_budget)?));
+
+        // Attach swaps exactly the keys each store holds, so one pass per
+        // store partitions the operator's state across all of them.
+        for store in &sharded.stores {
+            op.attach_store(store);
+        }
+        Ok(sharded)
+    }
+
+    /// The cut level this engine shards at.
+    pub fn level(&self) -> u32 {
+        self.apply.level()
+    }
+
+    /// Number of subtree shards (`2^level`).
+    pub fn shard_count(&self) -> usize {
+        self.apply.shard_count()
+    }
+
+    /// Whether [`ShardedOperator::solve`] is available (the operator was
+    /// factored with the ULV backend when this engine was built).
+    pub fn can_solve(&self) -> bool {
+        self.solve.is_some()
+    }
+
+    /// The per-shard stores (hub store last), when built with
+    /// [`ShardedOperator::new_with_storage`]; empty otherwise.
+    pub fn stores(&self) -> &[Arc<FilePanelStore>] {
+        &self.stores
+    }
+
+    /// Fault/hit/eviction counters and resident-byte gauges of every shard
+    /// store (hub store last); empty without storage.
+    pub fn store_stats(&self) -> Vec<StoreStatsSnapshot> {
+        self.stores.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Matvec `u ≈ K w` through the sharded sweep — bit-identical to
+    /// `op.apply(w)` for the operator this engine was built from.
+    pub fn apply(
+        &self,
+        op: &GofmmOperator<T>,
+        w: &DenseMatrix<T>,
+    ) -> Result<DenseMatrix<T>, Error> {
+        self.apply_with(op, w, &ApplyOptions::default())
+            .map(|(u, _)| u)
+    }
+
+    /// Matvec with per-call policy/thread/cancel/trace overrides
+    /// (`opts.progress` is ignored; see [`gofmm_core::ShardedApply::apply`]).
+    pub fn apply_with(
+        &self,
+        op: &GofmmOperator<T>,
+        w: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<(DenseMatrix<T>, EvaluationStats), Error> {
+        self.apply.apply(op.evaluator(), w, opts)
+    }
+
+    /// Direct solve `x ≈ (K_hss + lambda I)^{-1} b` through the sharded
+    /// sweep — bit-identical to `op.solve(b)`.
+    ///
+    /// # Errors
+    /// [`Error::NoFactorization`] when the operator holds no ULV
+    /// factorization; [`Error::DimensionMismatch`] on a wrong-height `b`.
+    pub fn solve(
+        &self,
+        op: &GofmmOperator<T>,
+        b: &DenseMatrix<T>,
+    ) -> Result<DenseMatrix<T>, Error> {
+        self.solve_with(op, b, &ApplyOptions::default())
+    }
+
+    /// Direct solve with per-call policy/thread/cancel/trace overrides.
+    pub fn solve_with(
+        &self,
+        op: &GofmmOperator<T>,
+        b: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<DenseMatrix<T>, Error> {
+        let engine = self.solve.as_ref().ok_or(Error::NoFactorization)?;
+        let factor = op.ulv_factor().ok_or(Error::NoFactorization)?;
+        engine.solve(factor, b, opts)
+    }
+}

@@ -38,14 +38,18 @@
 
 use gofmm_core::{ApplyOptions, CompRef, Compressed, Error, TraversalPolicy};
 use gofmm_linalg::{
-    eliminate_trailing, gemm, householder_qr, matmul, matmul_nt, rotate_symmetric, DenseMatrix,
+    check_scalar_width, decode_scalar_vec, eliminate_trailing, encode_scalar_slice, gemm,
+    householder_qr, matmul, matmul_nt, rotate_symmetric, Cholesky, DenseMatrix,
     NotPositiveDefinite, QrFactors, Scalar, TrailingElimination, Transpose,
 };
 use gofmm_matrices::SpdMatrix;
 use gofmm_runtime::{
-    parallel_for, CancelToken, DisjointCells, PhasePlan, ReusablePlan, RunDefaults, WorkspacePool,
+    heap_level, parallel_for, CancelToken, DisjointCells, PhasePlan, ReusablePlan, RunDefaults,
+    SchedulePolicy, WorkspacePool,
 };
-use gofmm_telemetry::{traced_barrier, traced_task, SpanKind};
+use gofmm_store::{classes, Blob, ByteReader, ByteWriter, FilePanelStore, StoreError, StoreWriter};
+use gofmm_telemetry::{traced_barrier, traced_task, SpanKind, SweepProgress};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -90,6 +94,130 @@ impl<T: Scalar> UlvNode<T> {
     }
 }
 
+/// Append a nested blob with a length prefix, so the outer decoder can hand
+/// the inner decoder exactly its own bytes (inner decoders reject trailers).
+fn encode_nested(out: &mut Vec<u8>, inner: &impl Blob) {
+    let mut scratch = Vec::new();
+    inner.encode(&mut scratch);
+    ByteWriter::new(out).bytes(&scratch);
+}
+
+impl<T: Scalar> Blob for UlvNode<T> {
+    /// Everything the solve sweeps read: the compact Householder rotation
+    /// (factors, tau, pivots, rank metadata), the trailing Cholesky, the
+    /// coupling panel `X^T`, and the dimension triple. The Schur complement
+    /// is *not* encoded — it is stripped after the factor pass and decodes
+    /// back as the same empty placeholder.
+    fn encode(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out).u8(std::mem::size_of::<T>() as u8);
+        ByteWriter::new(out).u8(self.rotation.is_some() as u8);
+        if let Some(qr) = &self.rotation {
+            encode_nested(out, qr.compact());
+            ByteWriter::new(out).usize(qr.tau().len());
+            encode_scalar_slice(out, qr.tau());
+            let mut w = ByteWriter::new(out);
+            w.usize_slice(qr.pivots());
+            w.usize(qr.rank());
+            w.f64(qr.next_pivot_norm());
+            w.u8(qr.rank_capped() as u8);
+        }
+        ByteWriter::new(out).u8(self.elim.chol.is_some() as u8);
+        if let Some(chol) = &self.elim.chol {
+            encode_nested(out, chol.l());
+        }
+        encode_nested(out, &self.elim.xt);
+        let mut w = ByteWriter::new(out);
+        w.usize(self.reduced);
+        w.usize(self.eliminated);
+        w.usize(self.split);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        check_scalar_width::<T>(r.u8()?)?;
+        let rotation = if r.u8()? != 0 {
+            let factors = DenseMatrix::<T>::decode(r.bytes()?)?;
+            let tau_len = r.usize()?;
+            let tau = decode_scalar_vec::<T>(&mut r, tau_len)?;
+            let pivots = r.usize_slice()?;
+            let rank = r.usize()?;
+            let next_norm = r.f64()?;
+            let rank_capped = r.u8()? != 0;
+            if rank > factors.rows().min(factors.cols())
+                || tau.len() < rank
+                || pivots.len() != factors.cols()
+            {
+                return Err(StoreError::Corrupt(
+                    "ULV rotation metadata disagrees with its factor matrix".into(),
+                ));
+            }
+            Some(QrFactors::from_parts(
+                factors,
+                tau,
+                pivots,
+                rank,
+                next_norm,
+                rank_capped,
+            ))
+        } else {
+            None
+        };
+        let chol = if r.u8()? != 0 {
+            Some(Cholesky::from_l(DenseMatrix::<T>::decode(r.bytes()?)?))
+        } else {
+            None
+        };
+        let xt = DenseMatrix::<T>::decode(r.bytes()?)?;
+        let reduced = r.usize()?;
+        let eliminated = r.usize()?;
+        let split = r.usize()?;
+        r.finish()?;
+        Ok(UlvNode {
+            rotation,
+            elim: TrailingElimination {
+                chol,
+                xt,
+                schur: DenseMatrix::zeros(0, 0),
+            },
+            reduced,
+            eliminated,
+            split,
+        })
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+/// Where one node's factor blocks live: in memory (the normal path) or in a
+/// [`FilePanelStore`], faulted in per solve task behind the store's LRU
+/// resident set (the out-of-core path).
+enum NodeSlot<T: Scalar> {
+    Mem(Box<UlvNode<T>>),
+    Stored {
+        store: Arc<FilePanelStore>,
+        key: u32,
+    },
+}
+
+/// A borrowed or store-cached view of one node's factor blocks; derefs to
+/// [`UlvNode`] so the sweep tasks are storage-agnostic.
+enum NodeRef<'a, T: Scalar> {
+    Mem(&'a UlvNode<T>),
+    Stored(Arc<UlvNode<T>>),
+}
+
+impl<T: Scalar> std::ops::Deref for NodeRef<'_, T> {
+    type Target = UlvNode<T>;
+    fn deref(&self) -> &UlvNode<T> {
+        match self {
+            NodeRef::Mem(n) => n,
+            NodeRef::Stored(n) => n,
+        }
+    }
+}
+
 /// Outcome slot of one node's factor task; `schur`/`utilde` are the
 /// transient `(S, U~)` pair the parent consumes.
 enum Slot<T: Scalar> {
@@ -129,8 +257,24 @@ struct UlvWorkspace<T: Scalar> {
 }
 
 impl<T: Scalar> UlvWorkspace<T> {
-    fn allocate(comp: &Compressed<T>, nodes: &[UlvNode<T>], r: usize) -> Self {
+    /// Full workspace: sweep cells for every node. `dims[h]` is node `h`'s
+    /// `(reduced, eliminated)` pair — kept on the factor (not read from the
+    /// nodes) so allocation never faults a store-backed node in.
+    fn allocate(comp: &Compressed<T>, dims: &[(usize, usize)], r: usize) -> Self {
         let node_count = comp.tree.node_count();
+        Self::allocate_masked(comp, dims, r, &vec![true; node_count])
+    }
+
+    /// Workspace for a subset of nodes: unmasked cells are zero-row (a
+    /// sharded sweep only ever touches its own subtree + boundary cells).
+    fn allocate_masked(
+        comp: &Compressed<T>,
+        dims: &[(usize, usize)],
+        r: usize,
+        mask: &[bool],
+    ) -> Self {
+        let node_count = comp.tree.node_count();
+        let rows = |heap: usize, want: usize| if mask[heap] { want } else { 0 };
         let leaf_rows = |heap: usize| {
             if comp.tree.is_leaf(heap) {
                 comp.tree.node(heap).len
@@ -139,10 +283,10 @@ impl<T: Scalar> UlvWorkspace<T> {
             }
         };
         Self {
-            bred: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].reduced, r)),
-            y2: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].eliminated, r)),
-            xred: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(nodes[h].reduced, r)),
-            x: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(leaf_rows(h), r)),
+            bred: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rows(h, dims[h].0), r)),
+            y2: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rows(h, dims[h].1), r)),
+            xred: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rows(h, dims[h].0), r)),
+            x: DisjointCells::from_fn(node_count, |h| DenseMatrix::zeros(rows(h, leaf_rows(h)), r)),
         }
     }
 }
@@ -191,7 +335,11 @@ impl<T: Scalar> UlvWorkspace<T> {
 /// ```
 pub struct UlvFactor<'a, T: Scalar> {
     comp: CompRef<'a, T>,
-    nodes: Vec<UlvNode<T>>,
+    slots: Vec<NodeSlot<T>>,
+    /// Per-node `(reduced, eliminated)` sweep dimensions, kept separately
+    /// from the slots so workspace allocation and sharding never fault a
+    /// store-backed node in.
+    dims: Vec<(usize, usize)>,
     /// The SUP/SDOWN solve DAG (same shape as the SMW backend's), built once
     /// and re-run per solve.
     plan: ReusablePlan,
@@ -370,13 +518,44 @@ impl<'a, T: Scalar> UlvFactor<'a, T> {
     /// Attach precomputed [`UlvParts`] to a compression handle.
     pub(crate) fn from_parts<'c>(comp: CompRef<'c, T>, parts: UlvParts<T>) -> UlvFactor<'c, T> {
         let plan = solve_plan(&comp);
+        let dims = parts
+            .nodes
+            .iter()
+            .map(|n| (n.reduced, n.eliminated))
+            .collect();
         UlvFactor {
             comp,
-            nodes: parts.nodes,
+            slots: parts
+                .nodes
+                .into_iter()
+                .map(|n| NodeSlot::Mem(Box::new(n)))
+                .collect(),
+            dims,
             plan,
             defaults: parts.defaults,
             stats: parts.stats,
             pool: WorkspacePool::new(),
+        }
+    }
+
+    /// One node's factor blocks — borrowed when resident, faulted in through
+    /// the store's LRU resident set when spilled.
+    ///
+    /// # Panics
+    /// On a storage failure for a spilled node (solve tasks run on DAG
+    /// worker threads with no error channel; a read error on a store that
+    /// validated at open time is an environment failure).
+    fn node(&self, heap: usize) -> NodeRef<'_, T> {
+        match &self.slots[heap] {
+            NodeSlot::Mem(n) => NodeRef::Mem(n),
+            NodeSlot::Stored { store, key } => {
+                match store.get::<UlvNode<T>>(classes::ULV_NODE, *key) {
+                    Ok(n) => NodeRef::Stored(n),
+                    Err(e) => {
+                        panic!("out-of-core ULV node fault failed mid-solve (node {key}): {e}")
+                    }
+                }
+            }
         }
     }
 
@@ -454,9 +633,13 @@ impl<'a, T: Scalar> UlvFactor<'a, T> {
         }
         let (policy, num_threads) = self.defaults.resolve(opts.policy, opts.threads);
         let ws = self.pool.lease(b.cols(), || {
-            UlvWorkspace::allocate(&self.comp, &self.nodes, b.cols())
+            UlvWorkspace::allocate(&self.comp, &self.dims, b.cols())
         });
         let tree = &self.comp.tree;
+        let sweep = opts
+            .progress
+            .as_ref()
+            .map(|handle| SweepProgress::new(handle.clone(), &self.sweep_stages()));
         let pass = UlvSolvePass {
             factor: self,
             ws: &ws,
@@ -483,6 +666,9 @@ impl<'a, T: Scalar> UlvFactor<'a, T> {
                             });
                         });
                     });
+                    if let Some(sp) = sweep.as_ref() {
+                        sp.stage_done("SUP", level as usize);
+                    }
                 }
                 for level in 0..=tree.depth() {
                     check()?;
@@ -494,21 +680,23 @@ impl<'a, T: Scalar> UlvFactor<'a, T> {
                             });
                         });
                     });
+                    if let Some(sp) = sweep.as_ref() {
+                        sp.stage_done("SDOWN", level as usize);
+                    }
                 }
             }
             (Some(sched), cancel) => {
                 self.plan
-                    .run_with(
-                        sched,
-                        num_threads,
-                        cancel,
-                        sink,
-                        |family, node| match family {
+                    .run_with(sched, num_threads, cancel, sink, |family, node| {
+                        match family {
                             "SUP" => pass.task_up(node),
                             "SDOWN" => pass.task_down(node),
                             other => unreachable!("unknown solve task family {other}"),
-                        },
-                    )
+                        }
+                        if let Some(sp) = sweep.as_ref() {
+                            sp.task_done(family, heap_level(node));
+                        }
+                    })
                     .map_err(|_| Error::Cancelled)?;
             }
         }
@@ -518,6 +706,214 @@ impl<'a, T: Scalar> UlvFactor<'a, T> {
         }
         Ok(out)
     }
+
+    /// The solve sweep's `(family, level, task_count)` stages — what a
+    /// per-call [`SweepProgress`] tracker is seeded with. Every node runs
+    /// one `SUP` and one `SDOWN` task, so each level's count is its node
+    /// count; stage order is sweep order (SUP bottom-up, SDOWN top-down).
+    fn sweep_stages(&self) -> Vec<(&'static str, usize, usize)> {
+        let tree = &self.comp.tree;
+        let mut stages = Vec::with_capacity(2 * tree.depth() as usize + 2);
+        for level in (0..=tree.depth()).rev() {
+            stages.push(("SUP", level as usize, tree.level_range(level).count()));
+        }
+        for level in 0..=tree.depth() {
+            stages.push(("SDOWN", level as usize, tree.level_range(level).count()));
+        }
+        stages
+    }
+
+    /// Spill this factor's per-node blocks into `writer` under
+    /// [`classes::ULV_NODE`], keyed by heap index, for every node `filter`
+    /// accepts (pass `|_| true` for all). After the writer is finished and
+    /// the file reopened as a [`FilePanelStore`], swap the in-memory nodes
+    /// out with [`UlvFactor::attach_store`].
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when a selected node is already file-backed;
+    /// [`Error::Storage`] on a write failure.
+    pub fn spill_nodes(
+        &self,
+        writer: &mut StoreWriter,
+        mut filter: impl FnMut(usize) -> bool,
+    ) -> Result<(), Error> {
+        for (heap, slot) in self.slots.iter().enumerate() {
+            if !filter(heap) {
+                continue;
+            }
+            match slot {
+                NodeSlot::Mem(n) => writer
+                    .put(classes::ULV_NODE, heap as u32, n.as_ref())
+                    .map_err(Error::from)?,
+                NodeSlot::Stored { .. } => {
+                    return Err(Error::InvalidConfig {
+                        what: "storage",
+                        constraint: "requires a factor with in-memory nodes \
+                                     (not an already file-backed one)",
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Swap every in-memory node whose key exists in `store` for an
+    /// out-of-core locator, freeing the in-memory copy. Subsequent solves
+    /// fault those nodes per task through the store's LRU resident set;
+    /// the spilled bytes are exact IEEE bit patterns, so file-backed solves
+    /// are bit-identical under every traversal policy. Nodes absent from
+    /// the store are left untouched, so one factor can spread its nodes
+    /// across several stores by calling this once per store.
+    pub fn attach_store(&mut self, store: &Arc<FilePanelStore>) {
+        for (heap, slot) in self.slots.iter_mut().enumerate() {
+            if matches!(slot, NodeSlot::Mem(_)) && store.contains(classes::ULV_NODE, heap as u32) {
+                *slot = NodeSlot::Stored {
+                    store: Arc::clone(store),
+                    key: heap as u32,
+                };
+            }
+        }
+    }
+
+    /// Persist this factorization into `writer`: the solve-sweep dimension
+    /// table, the factor metadata (lambda, run defaults, storage size), and
+    /// every per-node block (via [`UlvFactor::spill_nodes`]). A finished
+    /// file reopens with [`UlvFactor::open_from`] against the same
+    /// compression into a factor whose solves are bit-identical to this
+    /// one's.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for already-file-backed factors;
+    /// [`Error::Storage`] on a write failure.
+    pub fn write_to(&self, writer: &mut StoreWriter) -> Result<(), Error> {
+        let mut buf = Vec::new();
+        {
+            let mut w = ByteWriter::new(&mut buf);
+            w.usize(self.dims.len());
+            for &(s, t) in &self.dims {
+                w.usize(s);
+                w.usize(t);
+            }
+        }
+        writer
+            .put_raw(classes::ULV_DIMS, 0, &buf)
+            .map_err(Error::from)?;
+        buf.clear();
+        {
+            let mut w = ByteWriter::new(&mut buf);
+            w.u8(std::mem::size_of::<T>() as u8);
+            w.f64(self.stats.lambda);
+            w.u8(policy_tag(self.defaults.policy()));
+            w.usize(self.defaults.threads());
+            w.usize(self.stats.bytes);
+        }
+        writer
+            .put_raw(classes::ULV_META, 0, &buf)
+            .map_err(Error::from)?;
+        self.spill_nodes(writer, |_| true)
+    }
+}
+
+impl<T: Scalar> UlvFactor<'static, T> {
+    /// Reopen a factorization persisted with [`UlvFactor::write_to`]
+    /// against the compression it was factored from (e.g. the one
+    /// [`gofmm_core::Evaluator::open_from`] reconstructs), serving every
+    /// per-node factor block *out of core* through the store's LRU resident
+    /// set, bounded by `resident_budget` decoded bytes.
+    ///
+    /// # Errors
+    /// [`Error::Storage`] when the file is missing, incomplete, corrupt,
+    /// written at a different scalar precision, or disagrees with `comp`'s
+    /// tree shape.
+    pub fn open_from(
+        path: &Path,
+        comp: Arc<Compressed<T>>,
+        resident_budget: usize,
+    ) -> Result<UlvFactor<'static, T>, Error> {
+        let store = Arc::new(FilePanelStore::open(path, resident_budget)?);
+        let meta = store.read_raw(classes::ULV_META, 0)?;
+        let mut r = ByteReader::new(&meta);
+        check_scalar_width::<T>(r.u8()?)?;
+        let lambda = r.f64()?;
+        let policy = policy_from_tag(r.u8()?)?;
+        let threads = r.usize()?;
+        let bytes = r.usize()?;
+        r.finish().map_err(Error::from)?;
+
+        let dims_raw = store.read_raw(classes::ULV_DIMS, 0)?;
+        let mut r = ByteReader::new(&dims_raw);
+        let count = r.usize()?;
+        let node_count = comp.tree.node_count();
+        if count != node_count {
+            return Err(Error::Storage {
+                message: format!(
+                    "factor store holds {count} nodes but the compression's tree has {node_count}"
+                ),
+            });
+        }
+        let mut dims = Vec::with_capacity(count);
+        for _ in 0..count {
+            let s = r.usize()?;
+            let t = r.usize()?;
+            dims.push((s, t));
+        }
+        r.finish().map_err(Error::from)?;
+
+        let mut slots = Vec::with_capacity(node_count);
+        for heap in 0..node_count {
+            if !store.contains(classes::ULV_NODE, heap as u32) {
+                return Err(Error::Storage {
+                    message: format!("factor store is missing node {heap}"),
+                });
+            }
+            slots.push(NodeSlot::Stored {
+                store: Arc::clone(&store),
+                key: heap as u32,
+            });
+        }
+
+        let comp = CompRef::Shared(comp);
+        let plan = solve_plan(&comp);
+        Ok(UlvFactor {
+            comp,
+            slots,
+            dims,
+            plan,
+            defaults: RunDefaults::new(policy, threads),
+            stats: FactorStats {
+                setup_time: 0.0,
+                bytes,
+                lambda,
+                exec: None,
+            },
+            pool: WorkspacePool::new(),
+        })
+    }
+}
+
+/// Solver-file codec tag for a [`TraversalPolicy`] (the default-policy byte
+/// of the `ULV_META` header).
+fn policy_tag(policy: TraversalPolicy) -> u8 {
+    match policy {
+        TraversalPolicy::Sequential => 0,
+        TraversalPolicy::LevelByLevel => 1,
+        TraversalPolicy::DagHeft => 2,
+        TraversalPolicy::DagFifo => 3,
+    }
+}
+
+fn policy_from_tag(tag: u8) -> Result<TraversalPolicy, StoreError> {
+    Ok(match tag {
+        0 => TraversalPolicy::Sequential,
+        1 => TraversalPolicy::LevelByLevel,
+        2 => TraversalPolicy::DagHeft,
+        3 => TraversalPolicy::DagFifo,
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown traversal-policy tag {other}"
+            )))
+        }
+    })
 }
 
 /// Classify a failed trailing Cholesky: a pivot at roundoff scale relative
@@ -694,7 +1090,7 @@ impl<T: Scalar> UlvSolvePass<'_, '_, T> {
     /// trailing variables, push the reduced right-hand side upward.
     fn task_up(&self, heap: usize) {
         let comp = &*self.factor.comp;
-        let nf = &self.factor.nodes[heap];
+        let nf = self.factor.node(heap);
         let (s, t) = (nf.reduced, nf.eliminated);
         let r = self.b.cols();
         let mut bh = if comp.tree.is_leaf(heap) {
@@ -738,7 +1134,7 @@ impl<T: Scalar> UlvSolvePass<'_, '_, T> {
     /// incoming coordinates, split to the children (or emit the leaf block).
     fn task_down(&self, heap: usize) {
         let comp = &*self.factor.comp;
-        let nf = &self.factor.nodes[heap];
+        let nf = self.factor.node(heap);
         let (s, t) = (nf.reduced, nf.eliminated);
         let r = self.b.cols();
         let mut u = DenseMatrix::zeros(s + t, r);
@@ -787,10 +1183,18 @@ impl<T: Scalar> UlvSolvePass<'_, '_, T> {
     /// Scatter the per-leaf solutions back into original index order.
     fn assemble(&self) -> DenseMatrix<T> {
         let comp = &*self.factor.comp;
-        let n = comp.n();
+        let mut out = DenseMatrix::zeros(comp.n(), self.b.cols());
+        let leaves: Vec<usize> = comp.tree.leaf_range().collect();
+        self.assemble_into(&mut out, &leaves);
+        out
+    }
+
+    /// Scatter a subset of leaves' solutions into `out` (the sharded solve
+    /// assembles each shard's leaves from that shard's workspace).
+    fn assemble_into(&self, out: &mut DenseMatrix<T>, leaves: &[usize]) {
+        let comp = &*self.factor.comp;
         let r = self.b.cols();
-        let mut out = DenseMatrix::zeros(n, r);
-        for leaf in comp.tree.leaf_range() {
+        for &leaf in leaves {
             let x = self.ws.x.read(leaf);
             for (local, &orig) in comp.tree.indices(leaf).iter().enumerate() {
                 for c in 0..r {
@@ -798,8 +1202,323 @@ impl<T: Scalar> UlvSolvePass<'_, '_, T> {
                 }
             }
         }
-        out
     }
+}
+
+/// One subtree shard of a sharded ULV solve: its node set and its two plans.
+struct SolveShard {
+    /// Heap index of the shard root (a node at the cut level).
+    root: usize,
+    /// Every node of the shard's subtree, root included, ascending heap
+    /// order.
+    subtree: Vec<usize>,
+    /// The subtree's leaves (the output rows this shard assembles).
+    leaves: Vec<usize>,
+    /// Upward sweep: subtree `SUP`, children before parents.
+    up_plan: ReusablePlan,
+    /// Downward sweep: subtree `SDOWN`, parents before children.
+    down_plan: ReusablePlan,
+}
+
+/// The solve sweep of a [`UlvFactor`], partitioned into subtree shards at a
+/// tree level — the solver half of [`gofmm_core::ShardedApply`].
+///
+/// The ULV sweeps couple parent and child only (reduced right-hand sides up,
+/// reduced solutions down; there are no far lists), so the only boundary
+/// exchange is one `s x r` cell per shard in each direction: the shard
+/// root's `b~` is copied into the hub workspace after the shard's upward
+/// sweep, and the root's `x~` is copied back after the hub's sweep. Every
+/// cell still has exactly one writing task and every GEMM the same operands
+/// as the unsharded solve, so sharded solves are **bit-identical** to
+/// [`UlvFactor::solve_with`] under all four traversal policies.
+///
+/// Because a shard only faults its own subtree's factor blocks, a shard
+/// backed by its own [`FilePanelStore`] bounds resident factor bytes by the
+/// per-store budget instead of the whole factorization.
+pub struct ShardedSolve<T: Scalar> {
+    level: u32,
+    shards: Vec<SolveShard>,
+    /// Hub sweep: `SUP` then `SDOWN` over the levels above the cut.
+    hub_plan: ReusablePlan,
+    /// Per-shard workspace pools (masked to the subtree), keyed by RHS
+    /// count.
+    shard_pools: Vec<WorkspacePool<UlvWorkspace<T>>>,
+    /// Hub workspace pool (masked to the hub nodes + shard roots).
+    hub_pool: WorkspacePool<UlvWorkspace<T>>,
+}
+
+impl<T: Scalar> ShardedSolve<T> {
+    /// Partition `factor`'s solve DAG at tree level `level` (`1..=depth`).
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when `level` is 0 or exceeds the tree depth.
+    pub fn new(factor: &UlvFactor<'_, T>, level: u32) -> Result<Self, Error> {
+        let comp = &*factor.comp;
+        let tree = &comp.tree;
+        if level == 0 || level > tree.depth() {
+            return Err(Error::InvalidConfig {
+                what: "shard level",
+                constraint: "must be between 1 and the tree depth",
+            });
+        }
+        let m = comp.config.leaf_size as f64;
+        let sk = comp.config.max_rank as f64;
+        let cost = |heap: usize| {
+            if tree.is_leaf(heap) {
+                2.0 * m * m + 2.0 * m * sk
+            } else {
+                8.0 * sk * sk
+            }
+        };
+
+        let mut shards = Vec::new();
+        for root in tree.level_range(level) {
+            let mut subtree = vec![root];
+            let mut i = 0;
+            while i < subtree.len() {
+                let h = subtree[i];
+                if !tree.is_leaf(h) {
+                    let (l, r) = tree.children(h);
+                    subtree.push(l);
+                    subtree.push(r);
+                }
+                i += 1;
+            }
+            subtree.sort_unstable();
+            let leaves: Vec<usize> = subtree
+                .iter()
+                .copied()
+                .filter(|&h| tree.is_leaf(h))
+                .collect();
+
+            // Upward plan: children before parents (descending heap order is
+            // a valid postorder).
+            let mut up_plan = ReusablePlan::new();
+            for &h in subtree.iter().rev() {
+                let deps: Vec<(&'static str, usize)> = if tree.is_leaf(h) {
+                    Vec::new()
+                } else {
+                    let (l, r) = tree.children(h);
+                    vec![("SUP", l), ("SUP", r)]
+                };
+                up_plan.add("SUP", h, cost(h), &deps);
+            }
+
+            // Downward plan: parents before children. The shard root's x~
+            // was installed by the down-exchange, so it has no parent edge;
+            // y2 dependencies are satisfied by construction (the upward plan
+            // ran to completion before this plan starts).
+            let mut down_plan = ReusablePlan::new();
+            for &h in &subtree {
+                let deps: Vec<(&'static str, usize)> = if h == root {
+                    Vec::new()
+                } else {
+                    vec![("SDOWN", (h - 1) / 2)]
+                };
+                down_plan.add("SDOWN", h, cost(h), &deps);
+            }
+
+            shards.push(SolveShard {
+                root,
+                subtree,
+                leaves,
+                up_plan,
+                down_plan,
+            });
+        }
+
+        // Hub plan: SUP over the hub nodes (children first — level-(L-1)
+        // tasks read the shard roots' b~, installed by the up-exchange, so
+        // their SUP keys are absent and already satisfied), then SDOWN top
+        // down (level-(L-1) tasks write the shard roots' x~ cells, which the
+        // down-exchange exports).
+        let first_at_cut = tree.level_range(level).start;
+        let mut hub_plan = ReusablePlan::new();
+        for h in (0..first_at_cut).rev() {
+            let (l, r) = tree.children(h);
+            hub_plan.add("SUP", h, cost(h), &[("SUP", l), ("SUP", r)]);
+        }
+        for h in 0..first_at_cut {
+            let mut deps: Vec<(&'static str, usize)> = vec![("SUP", h)];
+            if h != 0 {
+                deps.push(("SDOWN", (h - 1) / 2));
+            }
+            hub_plan.add("SDOWN", h, cost(h), &deps);
+        }
+
+        let shard_pools = shards.iter().map(|_| WorkspacePool::new()).collect();
+        Ok(Self {
+            level,
+            shards,
+            hub_plan,
+            shard_pools,
+            hub_pool: WorkspacePool::new(),
+        })
+    }
+
+    /// The cut level this engine shards at.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of subtree shards (`2^level`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Heap indices of shard `s`'s subtree (ascending), for partitioning a
+    /// factor's nodes across per-shard stores.
+    pub fn shard_subtree(&self, s: usize) -> &[usize] {
+        &self.shards[s].subtree
+    }
+
+    /// Solve `(K_hss + lambda I) x = b` through the sharded sweep —
+    /// bit-identical to `factor.solve_with(b, opts)` for the factor this
+    /// engine was built from.
+    ///
+    /// `opts.progress` is ignored (sweep progress is reported by the
+    /// unsharded engine); policy, threads, cancellation and tracing apply.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when `b.rows() != n`;
+    /// [`Error::Cancelled`] when `opts.cancel` fires between phases or
+    /// mid-plan.
+    pub fn solve(
+        &self,
+        factor: &UlvFactor<'_, T>,
+        b: &DenseMatrix<T>,
+        opts: &ApplyOptions,
+    ) -> Result<DenseMatrix<T>, Error> {
+        let comp = &*factor.comp;
+        if b.rows() != comp.n() {
+            return Err(Error::DimensionMismatch {
+                what: "right-hand-side rows",
+                expected: comp.n(),
+                got: b.rows(),
+            });
+        }
+        let cancel = opts.cancel.as_ref();
+        let check = || -> Result<(), Error> {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                Err(Error::Cancelled)
+            } else {
+                Ok(())
+            }
+        };
+        check()?;
+        let (policy, num_threads) = factor.defaults.resolve(opts.policy, opts.threads);
+        // Level-by-level has no DAG scheduler; within a shard the plans'
+        // insertion order is already the barrier order, so run sequentially.
+        let sched = policy
+            .schedule_policy()
+            .unwrap_or(SchedulePolicy::Sequential);
+        let sink = opts.trace.as_ref();
+        let r = b.cols();
+
+        // Phase 1: every shard's upward sweep against its masked workspace.
+        let mut shard_ws: Vec<_> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            check()?;
+            let ws = self.shard_pools[s].lease(r, || self.allocate_shard_ws(factor, s, r));
+            let pass = UlvSolvePass { factor, ws: &ws, b };
+            shard
+                .up_plan
+                .run_with(sched, num_threads, cancel, sink, |_, node| {
+                    pass.task_up(node)
+                })
+                .map_err(|_| Error::Cancelled)?;
+            shard_ws.push(ws);
+        }
+
+        // Up-exchange: the shard roots' reduced right-hand sides move into
+        // the hub workspace.
+        check()?;
+        let hub_ws = self.hub_pool.lease(r, || self.allocate_hub_ws(factor, r));
+        for (s, shard) in self.shards.iter().enumerate() {
+            copy_cell(&shard_ws[s].bred, &hub_ws.bred, shard.root);
+        }
+
+        // Phase 2: the hub's SUP + SDOWN sweep.
+        check()?;
+        {
+            let pass = UlvSolvePass {
+                factor,
+                ws: &hub_ws,
+                b,
+            };
+            self.hub_plan
+                .run_with(
+                    sched,
+                    num_threads,
+                    cancel,
+                    sink,
+                    |family, node| match family {
+                        "SUP" => pass.task_up(node),
+                        "SDOWN" => pass.task_down(node),
+                        other => unreachable!("unknown solve task family {other}"),
+                    },
+                )
+                .map_err(|_| Error::Cancelled)?;
+        }
+
+        // Down-exchange + phase 3: each shard imports its root's reduced
+        // solution, runs its downward sweep, and assembles its leaves.
+        let mut out = DenseMatrix::zeros(comp.n(), r);
+        for (s, shard) in self.shards.iter().enumerate() {
+            check()?;
+            copy_cell(&hub_ws.xred, &shard_ws[s].xred, shard.root);
+            let pass = UlvSolvePass {
+                factor,
+                ws: &shard_ws[s],
+                b,
+            };
+            shard
+                .down_plan
+                .run_with(sched, num_threads, cancel, sink, |_, node| {
+                    pass.task_down(node)
+                })
+                .map_err(|_| Error::Cancelled)?;
+            pass.assemble_into(&mut out, &shard.leaves);
+        }
+        Ok(out)
+    }
+
+    /// A shard workspace: sweep cells over the subtree only.
+    fn allocate_shard_ws(&self, factor: &UlvFactor<'_, T>, s: usize, r: usize) -> UlvWorkspace<T> {
+        let comp = &*factor.comp;
+        let mut mask = vec![false; comp.tree.node_count()];
+        for &h in &self.shards[s].subtree {
+            mask[h] = true;
+        }
+        UlvWorkspace::allocate_masked(comp, &factor.dims, r, &mask)
+    }
+
+    /// The hub workspace: sweep cells over the hub nodes and the shard
+    /// roots (whose `b~`/`x~` cells carry the boundary exchange).
+    fn allocate_hub_ws(&self, factor: &UlvFactor<'_, T>, r: usize) -> UlvWorkspace<T> {
+        let comp = &*factor.comp;
+        let first_at_cut = comp.tree.level_range(self.level).start;
+        let mut mask = vec![false; comp.tree.node_count()];
+        for h in 0..first_at_cut {
+            mask[h] = true;
+        }
+        for shard in &self.shards {
+            mask[shard.root] = true;
+        }
+        UlvWorkspace::allocate_masked(comp, &factor.dims, r, &mask)
+    }
+}
+
+/// Copy one node's cell between workspaces (the boundary-exchange
+/// primitive; both sides are `s x r` with identical dimensions).
+fn copy_cell<T: Scalar>(
+    src: &DisjointCells<DenseMatrix<T>>,
+    dst: &DisjointCells<DenseMatrix<T>>,
+    node: usize,
+) {
+    let s = src.read(node);
+    let mut d = dst.write(node);
+    d.data_mut().copy_from_slice(s.data());
 }
 
 #[cfg(test)]

@@ -28,6 +28,19 @@ pub enum ProgressReport<'a> {
         /// (converged and left the iteration).
         column_active: &'a [bool],
     },
+    /// Emitted by the apply/solve sweeps as tree-level stages complete, so
+    /// plain (non-Krylov) flights can surface live progress. A "stage" is
+    /// one level of one task family (e.g. N2S at level 3); `total` is fixed
+    /// for the whole sweep, `completed` is monotone within it.
+    SweepLevel {
+        /// Task family of the stage that just finished ("N2S", "S2S",
+        /// "S2N", "L2L", "SUP", "SDOWN").
+        family: &'static str,
+        /// Sweep stages completed so far (monotone, `<= total`).
+        completed: usize,
+        /// Total stages in this sweep.
+        total: usize,
+    },
     /// A named phase began (setup, factorization, ...).
     PhaseStarted {
         /// Phase name (`"APPLY"`, `"SOLVE"`, `"CG"`, ...).
@@ -116,6 +129,87 @@ impl PartialEq for ProgressHandle {
 
 impl Eq for ProgressHandle {}
 
+/// Per-sweep progress tracker behind the [`ProgressReport::SweepLevel`]
+/// reports: the apply/solve sweeps register their stages (one per task
+/// family per tree level) up front, then tick tasks off as they finish.
+/// When a stage's last task completes, one `SweepLevel` report is emitted
+/// with the monotone completed-stage count.
+///
+/// Stages registered with zero tasks are dropped, so `total` counts only
+/// stages that actually run and `completed` always reaches `total`.
+/// Thread-safe: DAG workers tick concurrently.
+pub struct SweepProgress {
+    handle: ProgressHandle,
+    index: std::collections::HashMap<(&'static str, usize), usize>,
+    families: Vec<&'static str>,
+    remaining: Vec<std::sync::atomic::AtomicUsize>,
+    completed: std::sync::atomic::AtomicUsize,
+}
+
+impl SweepProgress {
+    /// Register the sweep's stages as `(family, level, task_count)` triples;
+    /// zero-count stages are dropped.
+    pub fn new(handle: ProgressHandle, stages: &[(&'static str, usize, usize)]) -> Self {
+        let mut index = std::collections::HashMap::new();
+        let mut families = Vec::new();
+        let mut remaining = Vec::new();
+        for &(family, level, count) in stages {
+            if count == 0 {
+                continue;
+            }
+            index.insert((family, level), remaining.len());
+            families.push(family);
+            remaining.push(std::sync::atomic::AtomicUsize::new(count));
+        }
+        SweepProgress {
+            handle,
+            index,
+            families,
+            remaining,
+            completed: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of (non-empty) stages in the sweep.
+    pub fn total(&self) -> usize {
+        self.remaining.len()
+    }
+
+    fn finish_stage(&self, idx: usize) {
+        use std::sync::atomic::Ordering;
+        let completed = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.handle.report(&ProgressReport::SweepLevel {
+            family: self.families[idx],
+            completed,
+            total: self.total(),
+        });
+    }
+
+    /// Record one finished task of `(family, level)`; emits a report when it
+    /// was the stage's last. Unknown stages are ignored.
+    pub fn task_done(&self, family: &'static str, level: usize) {
+        use std::sync::atomic::Ordering;
+        let Some(&idx) = self.index.get(&(family, level)) else {
+            return;
+        };
+        if self.remaining[idx].fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finish_stage(idx);
+        }
+    }
+
+    /// Record a whole stage as finished (the level-by-level barrier path).
+    /// Idempotent; unknown stages are ignored.
+    pub fn stage_done(&self, family: &'static str, level: usize) {
+        use std::sync::atomic::Ordering;
+        let Some(&idx) = self.index.get(&(family, level)) else {
+            return;
+        };
+        if self.remaining[idx].swap(0, Ordering::AcqRel) > 0 {
+            self.finish_stage(idx);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +236,50 @@ mod tests {
         handle.report(&ProgressReport::PhaseStarted { phase: "CG" });
         assert_eq!(count.load(Ordering::Relaxed), 1);
         assert_eq!(report.columns_frozen(), Some(1));
+    }
+
+    #[test]
+    fn sweep_progress_counts_stages_not_tasks() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let handle = ProgressHandle::new(move |r: &ProgressReport<'_>| {
+            if let ProgressReport::SweepLevel {
+                completed, total, ..
+            } = r
+            {
+                s.lock().unwrap().push((*completed, *total));
+            }
+        });
+        // One empty stage (dropped), two real ones.
+        let sweep = SweepProgress::new(handle, &[("N2S", 2, 3), ("N2S", 1, 0), ("L2L", 0, 2)]);
+        assert_eq!(sweep.total(), 2);
+        sweep.task_done("N2S", 2);
+        sweep.task_done("N2S", 2);
+        assert!(seen.lock().unwrap().is_empty());
+        sweep.task_done("N2S", 2);
+        sweep.task_done("N2S", 1); // unknown stage: ignored
+        sweep.stage_done("L2L", 0);
+        sweep.stage_done("L2L", 0); // idempotent
+        assert_eq!(*seen.lock().unwrap(), vec![(1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn sweep_reports_reach_listeners() {
+        let last = Arc::new(AtomicUsize::new(0));
+        let l = Arc::clone(&last);
+        let handle = ProgressHandle::new(move |r: &ProgressReport<'_>| {
+            if let ProgressReport::SweepLevel { completed, .. } = r {
+                l.store(*completed, Ordering::Relaxed);
+            }
+        });
+        for completed in 1..=4 {
+            handle.report(&ProgressReport::SweepLevel {
+                family: "N2S",
+                completed,
+                total: 4,
+            });
+        }
+        assert_eq!(last.load(Ordering::Relaxed), 4);
     }
 
     #[test]

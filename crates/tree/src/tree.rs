@@ -159,6 +159,71 @@ impl PartitionTree {
         }
     }
 
+    /// Rebuild a tree from its persisted parts: the index count, depth, and
+    /// final permutation. Everything else a [`PartitionTree`] holds (node
+    /// ranges, Morton IDs, inverse permutation, leaf ownership) is a
+    /// deterministic function of `(n, depth, perm)` — ranges always split
+    /// evenly (`left_len = len.div_ceil(2)`) — so the storage tier persists
+    /// only those three and replays the rest here bit-identically.
+    pub fn from_parts(n: usize, depth: u32, perm: Vec<usize>) -> Self {
+        assert!(n > 0, "cannot rebuild a tree over an empty index set");
+        assert_eq!(perm.len(), n, "permutation length must equal n");
+        let node_count = (1usize << (depth + 1)) - 1;
+        let mut nodes = vec![
+            TreeNode {
+                morton: MortonId::root(),
+                start: 0,
+                len: 0,
+            };
+            node_count
+        ];
+        nodes[0] = TreeNode {
+            morton: MortonId::root(),
+            start: 0,
+            len: n,
+        };
+        for level in 0..depth {
+            let first = (1usize << level) - 1;
+            let last = (1usize << (level + 1)) - 1;
+            for heap in first..last {
+                let node = nodes[heap];
+                let (start, len) = (node.start, node.len);
+                let left_len = len.div_ceil(2);
+                let m = node.morton;
+                nodes[2 * heap + 1] = TreeNode {
+                    morton: m.left(),
+                    start,
+                    len: left_len,
+                };
+                nodes[2 * heap + 2] = TreeNode {
+                    morton: m.right(),
+                    start: start + left_len,
+                    len: len - left_len,
+                };
+            }
+        }
+        let mut inv_perm = vec![0usize; n];
+        for (pos, &orig) in perm.iter().enumerate() {
+            inv_perm[orig] = pos;
+        }
+        let mut leaf_of = vec![0usize; n];
+        let leaf_first = (1usize << depth) - 1;
+        for heap in leaf_first..node_count {
+            let node = nodes[heap];
+            for pos in node.start..node.start + node.len {
+                leaf_of[perm[pos]] = heap;
+            }
+        }
+        Self {
+            n,
+            depth,
+            nodes,
+            perm,
+            inv_perm,
+            leaf_of,
+        }
+    }
+
     /// Number of matrix indices.
     pub fn n(&self) -> usize {
         self.n
@@ -368,6 +433,32 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
         assert!(tree.max_leaf_len() <= 8);
         assert_eq!(tree.leaf_count(), 16);
+    }
+
+    #[test]
+    fn from_parts_replays_a_built_tree() {
+        let pts = grid_points_1d(77);
+        let oracle = PointOracle::new(&pts, 1);
+        let tree = PartitionTree::build(
+            &oracle,
+            &TreeOptions {
+                leaf_size: 10,
+                ..Default::default()
+            },
+        );
+        let replay = PartitionTree::from_parts(tree.n(), tree.depth(), tree.perm().to_vec());
+        assert_eq!(replay.n(), tree.n());
+        assert_eq!(replay.depth(), tree.depth());
+        assert_eq!(replay.node_count(), tree.node_count());
+        for h in 0..tree.node_count() {
+            let (a, b) = (tree.node(h), replay.node(h));
+            assert_eq!((a.morton, a.start, a.len), (b.morton, b.start, b.len));
+        }
+        assert_eq!(replay.perm(), tree.perm());
+        assert_eq!(replay.inv_perm(), tree.inv_perm());
+        for i in 0..tree.n() {
+            assert_eq!(replay.leaf_containing(i), tree.leaf_containing(i));
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub use gofmm_tree as tree;
 pub use gofmm_core::{ApplyOptions, CancelToken, Error, PanelPrecision};
 pub use gofmm_solver::{
     BatchedServer, FactorBackend, FlightProgress, GofmmOperator, GofmmOperatorBuilder,
-    KrylovOptions, ServeConfig, ServerStats, Ticket,
+    KrylovOptions, ServeConfig, ServerStats, ShardedOperator, StorageConfig, StoreStatsSnapshot,
+    Ticket,
 };
 pub use gofmm_telemetry::{MetricsRegistry, ProgressHandle, ProgressReport, Trace, TraceSink};
