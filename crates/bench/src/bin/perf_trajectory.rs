@@ -14,7 +14,10 @@
 //!   vs thread-per-request throughput at 8 clients, ULV-preconditioned
 //!   CG convergence (iterations and solve time), and the storage tier:
 //!   out-of-core apply latency at 25% / 10% resident budgets (vs the
-//!   in-memory operator) and the subtree-sharded sweep vs unsharded.
+//!   in-memory operator), the subtree-sharded sweep vs unsharded, and the
+//!   accuracy/bytes Pareto front of the tuning loop (tuned footprint,
+//!   apply latency and measured ε₂ at three budgets, plus the byte
+//!   reduction at the loosest budget vs untuned).
 //!
 //! `--check` re-measures and *diffs* against the committed files instead of
 //! rewriting them, warning on every metric that regressed by more than 15%.
@@ -26,7 +29,8 @@
 
 use gofmm_bench::trajectory::{self, Measurement};
 use gofmm_core::{
-    compress, evaluate, ApplyOptions, Evaluator, GofmmConfig, PanelPrecision, TraversalPolicy,
+    compress, evaluate, AccuracyBudget, ApplyOptions, Evaluator, GofmmConfig, PanelPrecision,
+    TraversalPolicy,
 };
 use gofmm_linalg::blas::reference;
 use gofmm_linalg::{gemm, gemm_mixed, simd_level, DenseMatrix, Transpose};
@@ -427,6 +431,47 @@ fn measure_serving() -> Vec<Measurement> {
     drop(ev_b10);
     drop(ooc);
     let _ = std::fs::remove_dir_all(&ooc_dir);
+
+    // Accuracy/bytes Pareto front of the tuning loop: one fresh operator
+    // per ε₂ budget (tight to loose), each tuned at build time, recording
+    // the tuned footprint, the apply latency at that footprint, and the
+    // measured ε₂ the accept landed on. The headline column is the byte
+    // reduction at the loosest budget against the untuned operator.
+    let untuned_bytes = operator.evaluator().cached_bytes() as f64;
+    let mut loosest_reduction = 1.0f64;
+    for (tag, eps2) in [("1em6", 1e-6), ("1em4", 1e-4), ("1em2", 1e-2)] {
+        let tuned = GofmmOperator::<f64>::builder(&k)
+            .config(cfg.clone())
+            .tune(AccuracyBudget::new(eps2))
+            .build()
+            .expect("tuned operator must build");
+        let tuned_bytes = tuned.evaluator().cached_bytes() as f64;
+        let tuned_ms = 1e3
+            * time_best(|| {
+                std::hint::black_box(tuned.apply(&w).expect("tuned apply"));
+            });
+        let eps_measured = tuned.tune_stats().map(|t| t.measured_eps2).unwrap_or(0.0);
+        // Recorded as a fraction of the budget: the trajectory format keeps
+        // six decimals, which cannot hold an absolute ~1e-6 faithfully.
+        let eps_frac = eps_measured / eps2;
+        out.push(Measurement::lower(
+            &format!("tuned_bytes_budget{tag}_mib"),
+            tuned_bytes / (1024.0 * 1024.0),
+        ));
+        out.push(Measurement::lower(
+            &format!("tuned_apply_budget{tag}_ms"),
+            tuned_ms,
+        ));
+        out.push(Measurement::lower(
+            &format!("tuned_eps2_frac_budget{tag}"),
+            eps_frac,
+        ));
+        loosest_reduction = untuned_bytes / tuned_bytes.max(1.0);
+    }
+    out.push(Measurement::higher(
+        "tuned_byte_reduction_loosest",
+        loosest_reduction,
+    ));
 
     let sharded = ShardedOperator::new(&operator, 2).expect("sharded engine");
     let sharded_ms = 1e3

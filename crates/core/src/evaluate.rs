@@ -36,6 +36,7 @@ use crate::distance::DistanceMetric;
 use crate::error::Error;
 use crate::lists::InteractionLists;
 use crate::skel::NodeBasis;
+use crate::tune::TuneStats;
 use gofmm_linalg::{
     check_scalar_width, decode_scalar_vec, encode_scalar_slice, gemm, gemm_mixed, DenseMatrix,
     Scalar, Transpose,
@@ -63,10 +64,12 @@ pub struct EvaluationStats {
     /// evaluation: packing interaction blocks and building the task DAG.
     /// Amortized over every subsequent apply on the same evaluator.
     pub setup_time: f64,
-    /// Bytes of interaction blocks (plus gather indices) packed inside the
-    /// evaluator. These are read, never recomputed, on every apply. With
-    /// [`PanelPrecision::MixedF32`] panels this reflects the reduced `f32`
-    /// storage footprint.
+    /// Bytes of interaction blocks (plus gather indices) held *resident in
+    /// memory* by the evaluator. These are read, never recomputed, on every
+    /// apply. With [`PanelPrecision::MixedF32`] panels this reflects the
+    /// reduced `f32` storage footprint; panels freed by
+    /// [`Evaluator::tune`] or swapped out by [`Evaluator::attach_store`]
+    /// (out-of-core serving) no longer count.
     pub cached_bytes: usize,
     /// Storage precision of the evaluator's owned packed panels.
     pub panel_precision: PanelPrecision,
@@ -75,6 +78,9 @@ pub struct EvaluationStats {
     /// Scheduler statistics when the evaluation ran through the shared
     /// execution-plan layer (every policy except level-by-level).
     pub exec: Option<ExecStats>,
+    /// Outcome of the last accepted [`Evaluator::tune`] run on the serving
+    /// evaluator, `None` when it was never tuned.
+    pub tune: Option<TuneStats>,
 }
 
 impl EvaluationStats {
@@ -167,19 +173,27 @@ pub struct Evaluator<'a, T: Scalar> {
     /// Per-node far blocks `K_{skel(beta), skel(alpha)}`: packed into one
     /// panel (persistent mode) or borrowed from the compression's block cache
     /// (zero-copy one-shot mode); [`Panel::Empty`] when the node has none.
-    far: Vec<Panel<'a, T>>,
+    pub(crate) far: Vec<Panel<'a, T>>,
     /// Per-leaf near blocks `K_{beta, alpha}`: packed or borrowed like `far`
     /// ([`Panel::Empty`] for interior nodes).
-    near: Vec<Panel<'a, T>>,
+    pub(crate) near: Vec<Panel<'a, T>>,
     /// Per-leaf concatenation of the near nodes' original row indices: the
     /// gather list applied to `w` before the single L2L GEMM. Empty in
     /// borrowed mode, where L2L gathers per near block instead.
-    near_gather: Vec<Vec<usize>>,
+    pub(crate) near_gather: Vec<Vec<usize>>,
+    /// Per-node *effective* far lists after [`Evaluator::tune`] dropped
+    /// small-norm far blocks; `None` until a tune commits a drop. The
+    /// compression's own lists are shared with the factorization and stay
+    /// pristine — only the evaluator's packed-panel column order changes.
+    pub(crate) tuned_far: Option<Vec<Vec<usize>>>,
+    /// Outcome of the last accepted [`Evaluator::tune`] run, reported
+    /// through every subsequent [`EvaluationStats::tune`].
+    pub(crate) tune_stats: Option<TuneStats>,
     /// The evaluation task DAG, built once and re-run per apply (safe to run
     /// from many threads at once).
     plan: ReusablePlan,
     setup_time: f64,
-    cached_bytes: usize,
+    pub(crate) cached_bytes: usize,
     /// Storage precision of the owned packed panels ([`Panel::Packed`] vs
     /// [`Panel::Mixed`]); borrowing evaluators always report `Native`.
     panel_precision: PanelPrecision,
@@ -289,7 +303,7 @@ impl<T: Scalar> ApplyWorkspace<T> {
 /// differ from *each other* in the last bits, because a packed panel
 /// accumulates over one long inner dimension while the borrowed path adds
 /// one block's product at a time.
-enum Panel<'a, T: Scalar> {
+pub(crate) enum Panel<'a, T: Scalar> {
     /// No interaction blocks for this node.
     Empty,
     /// All blocks packed into one contiguous column-major matrix.
@@ -298,26 +312,70 @@ enum Panel<'a, T: Scalar> {
     /// precision ([`PanelPrecision::MixedF32`]); applies upconvert during
     /// GEMM packing and accumulate in `T` ([`gemm_mixed`]).
     Mixed(DenseMatrix<<T as Scalar>::PanelScalar>),
+    /// Rank-truncated replacement of a packed panel, produced by
+    /// [`Evaluator::tune`]: `left * right` applied as two GEMMs. The `right`
+    /// factor keeps the packed panel's column structure (one block of
+    /// columns per interaction-list entry).
+    LowRank(LowRankPanel<T>),
+    /// Rank-truncated like `LowRank`, with both factors stored in the
+    /// reduced panel precision and accumulated in `T` ([`gemm_mixed`]).
+    MixedLowRank(LowRankPanel<<T as Scalar>::PanelScalar>),
     /// Blocks borrowed from the compression's cache, in interaction-list
     /// order.
     Blocks(&'a [DenseMatrix<T>]),
     /// The panel lives in a [`FilePanelStore`] and is faulted in per apply
     /// behind the store's LRU resident set (the out-of-core path). Holds
-    /// exactly the bytes `Packed`/`Mixed` would, spilled to disk.
+    /// exactly the bytes `Packed`/`Mixed` (or a tuned low-rank pair) would,
+    /// spilled to disk.
     Stored(StoredPanel),
 }
 
+/// The two factors of a rank-truncated panel: `left` is `m × k`, `right` is
+/// `k × n`; the apply computes `left * (right * wstack)`.
+pub(crate) struct LowRankPanel<S: Scalar> {
+    pub(crate) left: DenseMatrix<S>,
+    pub(crate) right: DenseMatrix<S>,
+}
+
+impl<S: Scalar> LowRankPanel<S> {
+    fn values(&self) -> usize {
+        self.left.rows() * self.left.cols() + self.right.rows() * self.right.cols()
+    }
+}
+
 /// Locator of a panel spilled to a [`FilePanelStore`].
-struct StoredPanel {
+pub(crate) struct StoredPanel {
     store: Arc<FilePanelStore>,
     class: u16,
     node: u32,
     /// True when the spilled panel holds [`Scalar::PanelScalar`] values
     /// (mixed precision); decides the decoded matrix type at fault time.
     mixed: bool,
-    /// Decoded panel bytes (for cache accounting; the panel itself is on
-    /// disk).
+    /// True when the spilled panel is a tuned low-rank pair: the values live
+    /// under the companion left/right classes instead of `class` itself.
+    lowrank: bool,
+    /// Decoded panel bytes (for store-side accounting; the panel itself is
+    /// on disk and does not count toward the evaluator's resident bytes).
     bytes: usize,
+}
+
+/// The store class holding the left factor of a tuned low-rank panel spilled
+/// from the dense panel class `class` (far or near).
+fn left_class(class: u16) -> u16 {
+    match class {
+        classes::S2S => classes::S2S_LEFT,
+        classes::L2L => classes::L2L_LEFT,
+        other => unreachable!("no low-rank companion for panel class {other}"),
+    }
+}
+
+/// The right-factor companion of [`left_class`].
+fn right_class(class: u16) -> u16 {
+    match class {
+        classes::S2S => classes::S2S_RIGHT,
+        classes::L2L => classes::L2L_RIGHT,
+        other => unreachable!("no low-rank companion for panel class {other}"),
+    }
 }
 
 impl StoredPanel {
@@ -329,11 +387,23 @@ impl StoredPanel {
     /// open time is an environment failure (file deleted / device gone),
     /// reported like any other internal invariant violation.
     fn fetch<S: Scalar>(&self) -> Arc<DenseMatrix<S>> {
-        match self.store.get::<DenseMatrix<S>>(self.class, self.node) {
+        self.fetch_class::<S>(self.class)
+    }
+
+    /// Fault a tuned low-rank panel's `(left, right)` factors in.
+    fn fetch_pair<S: Scalar>(&self) -> (Arc<DenseMatrix<S>>, Arc<DenseMatrix<S>>) {
+        (
+            self.fetch_class::<S>(left_class(self.class)),
+            self.fetch_class::<S>(right_class(self.class)),
+        )
+    }
+
+    fn fetch_class<S: Scalar>(&self, class: u16) -> Arc<DenseMatrix<S>> {
+        match self.store.get::<DenseMatrix<S>>(class, self.node) {
             Ok(panel) => panel,
             Err(e) => panic!(
-                "out-of-core panel fault failed mid-apply (class {}, node {}): {e}",
-                self.class, self.node
+                "out-of-core panel fault failed mid-apply (class {class}, node {}): {e}",
+                self.node
             ),
         }
     }
@@ -345,23 +415,37 @@ impl<T: Scalar> Panel<'_, T> {
             Panel::Empty => true,
             Panel::Packed(m) => m.is_empty(),
             Panel::Mixed(m) => m.is_empty(),
+            Panel::LowRank(lr) => lr.left.is_empty(),
+            Panel::MixedLowRank(lr) => lr.left.is_empty(),
             Panel::Blocks(b) => b.is_empty(),
             // Only non-empty panels are ever spilled.
             Panel::Stored(_) => false,
         }
     }
 
-    /// Bytes of block values read through this panel on every apply.
+    /// Bytes of block values read through this panel on every apply,
+    /// wherever they live (resident or on disk).
     fn bytes(&self) -> usize {
         let scalar = std::mem::size_of::<T>();
+        let panel_scalar = std::mem::size_of::<<T as Scalar>::PanelScalar>();
         match self {
             Panel::Empty => 0,
             Panel::Packed(m) => m.rows() * m.cols() * scalar,
-            Panel::Mixed(m) => {
-                m.rows() * m.cols() * std::mem::size_of::<<T as Scalar>::PanelScalar>()
-            }
+            Panel::Mixed(m) => m.rows() * m.cols() * panel_scalar,
+            Panel::LowRank(lr) => lr.values() * scalar,
+            Panel::MixedLowRank(lr) => lr.values() * panel_scalar,
             Panel::Blocks(b) => b.iter().map(|m| m.rows() * m.cols() * scalar).sum(),
             Panel::Stored(sp) => sp.bytes,
+        }
+    }
+
+    /// Bytes this panel holds *resident in memory* — what
+    /// [`Evaluator::cached_bytes`] accounts. Identical to [`Panel::bytes`]
+    /// except for [`Panel::Stored`], whose values live on disk.
+    fn resident_bytes(&self) -> usize {
+        match self {
+            Panel::Stored(_) => 0,
+            other => other.bytes(),
         }
     }
 }
@@ -374,6 +458,24 @@ fn make_owned_panel<'a, T: Scalar>(mat: DenseMatrix<T>, precision: PanelPrecisio
         PanelPrecision::Native => Panel::Packed(mat),
         PanelPrecision::MixedF32 => Panel::Mixed(mat.cast::<T::PanelScalar>()),
     }
+}
+
+/// In-memory bytes of a panel set plus its gather indices — the
+/// [`Evaluator::cached_bytes`] accounting, recomputed whenever panels move
+/// (construction, [`Evaluator::tune`], [`Evaluator::attach_store`]).
+fn resident_panel_bytes<T: Scalar>(
+    far: &[Panel<'_, T>],
+    near: &[Panel<'_, T>],
+    near_gather: &[Vec<usize>],
+) -> usize {
+    far.iter()
+        .chain(near.iter())
+        .map(Panel::resident_bytes)
+        .sum::<usize>()
+        + near_gather
+            .iter()
+            .map(|g| g.len() * std::mem::size_of::<usize>())
+            .sum::<usize>()
 }
 
 impl<'a, T: Scalar> Evaluator<'a, T> {
@@ -542,15 +644,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         near_gather: Vec<Vec<usize>>,
         t0: Stopwatch,
     ) -> Evaluator<'c, T> {
-        let cached_bytes = far
-            .iter()
-            .chain(near.iter())
-            .map(Panel::bytes)
-            .sum::<usize>()
-            + near_gather
-                .iter()
-                .map(|g| g.len() * std::mem::size_of::<usize>())
-                .sum::<usize>();
+        let cached_bytes = resident_panel_bytes(&far, &near, &near_gather);
 
         // --- Build the evaluation DAG once ---------------------------------
         let plan = evaluation_plan(&comp);
@@ -561,6 +655,8 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             far,
             near,
             near_gather,
+            tuned_far: None,
+            tune_stats: None,
             plan,
             setup_time: t0.seconds(),
             cached_bytes,
@@ -671,10 +767,34 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         self.setup_time
     }
 
-    /// Bytes of packed interaction blocks (plus gather indices) held by this
-    /// evaluator.
+    /// Bytes of packed interaction blocks (plus gather indices) held
+    /// *resident in memory* by this evaluator. Shrinks when
+    /// [`Evaluator::tune`] drops or rank-truncates panels and when
+    /// [`Evaluator::attach_store`] swaps panels out to a file store.
     pub fn cached_bytes(&self) -> usize {
         self.cached_bytes
+    }
+
+    /// Outcome of the last accepted [`Evaluator::tune`] run, `None` when the
+    /// evaluator was never tuned (or every tune rejected).
+    pub fn tune_stats(&self) -> Option<&TuneStats> {
+        self.tune_stats.as_ref()
+    }
+
+    /// The *effective* far interaction list of `heap`: the compression's
+    /// list, minus any far blocks a committed [`Evaluator::tune`] dropped.
+    /// Every packed-panel apply stacks skeleton weights in this order.
+    pub(crate) fn far_list(&self, heap: usize) -> &[usize] {
+        match &self.tuned_far {
+            Some(lists) => &lists[heap],
+            None => &self.comp.lists.far[heap],
+        }
+    }
+
+    /// Re-derive `cached_bytes` from the current panel set. Called after any
+    /// operation that moves panel storage (tune, store attach).
+    pub(crate) fn recompute_cached_bytes(&mut self) {
+        self.cached_bytes = resident_panel_bytes(&self.far, &self.near, &self.near_gather);
     }
 
     /// Lifetime lease traffic of the internal apply-workspace pool, as
@@ -887,6 +1007,7 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
             panel_precision: self.panel_precision,
             flops: flops.load(Ordering::Relaxed),
             exec: exec_stats,
+            tune: self.tune_stats.clone(),
         };
         Ok((out, stats))
     }
@@ -966,6 +1087,9 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         for (heap, panel) in self.near.iter_mut().enumerate() {
             attach_one(panel, store, classes::L2L, heap);
         }
+        // Swapped-out panels no longer occupy memory; keep the resident-bytes
+        // accounting honest.
+        self.recompute_cached_bytes();
     }
 
     /// Persist the operator state this evaluator serves into `writer`: the
@@ -1000,6 +1124,20 @@ impl<'a, T: Scalar> Evaluator<'a, T> {
         writer
             .put_raw(classes::BASES, 0, &buf)
             .map_err(Error::from)?;
+        if let Some(lists) = &self.tuned_far {
+            buf.clear();
+            encode_tuned_far(&mut buf, lists);
+            writer
+                .put_raw(classes::TUNED_FAR, 0, &buf)
+                .map_err(Error::from)?;
+        }
+        if let Some(ts) = &self.tune_stats {
+            buf.clear();
+            encode_tune_meta(&mut buf, ts);
+            writer
+                .put_raw(classes::TUNE_META, 0, &buf)
+                .map_err(Error::from)?;
+        }
         self.spill_panels(writer, |_| true)
     }
 }
@@ -1067,7 +1205,7 @@ impl<T: Scalar> Evaluator<'static, T> {
         }
         let (policy, threads) = (comp.config.policy, comp.config.num_threads);
         let comp = Arc::new(comp);
-        let evaluator = Evaluator::assemble_evaluator(
+        let mut evaluator = Evaluator::assemble_evaluator(
             CompRef::Shared(Arc::clone(&comp)),
             policy,
             threads,
@@ -1077,6 +1215,24 @@ impl<T: Scalar> Evaluator<'static, T> {
             near_gather,
             t0,
         );
+        // A tuned operator persisted its effective far lists and tune stats;
+        // restore them so applies stack weights against the tuned panels'
+        // column order and keep reporting the tuning outcome.
+        if store.contains(classes::TUNED_FAR, 0) {
+            let lists = decode_tuned_far(&store.read_raw(classes::TUNED_FAR, 0)?)?;
+            if lists.len() != node_count {
+                return Err(Error::Storage {
+                    message: format!(
+                        "tuned far lists cover {} nodes, tree has {node_count}",
+                        lists.len()
+                    ),
+                });
+            }
+            evaluator.tuned_far = Some(lists);
+        }
+        if store.contains(classes::TUNE_META, 0) {
+            evaluator.tune_stats = Some(decode_tune_meta(&store.read_raw(classes::TUNE_META, 0)?)?);
+        }
         Ok((comp, evaluator))
     }
 }
@@ -1092,6 +1248,24 @@ fn spill_one<T: Scalar>(
         Panel::Empty => Ok(()),
         Panel::Packed(m) => writer.put(class, heap as u32, m).map_err(Error::from),
         Panel::Mixed(m) => writer.put(class, heap as u32, m).map_err(Error::from),
+        // Tuned low-rank panels spill both factors under companion classes,
+        // so a reopened store can tell them apart from dense panels.
+        Panel::LowRank(lr) => {
+            writer
+                .put(left_class(class), heap as u32, &lr.left)
+                .map_err(Error::from)?;
+            writer
+                .put(right_class(class), heap as u32, &lr.right)
+                .map_err(Error::from)
+        }
+        Panel::MixedLowRank(lr) => {
+            writer
+                .put(left_class(class), heap as u32, &lr.left)
+                .map_err(Error::from)?;
+            writer
+                .put(right_class(class), heap as u32, &lr.right)
+                .map_err(Error::from)
+        }
         Panel::Blocks(_) | Panel::Stored(_) => Err(Error::InvalidConfig {
             what: "storage",
             constraint: "requires an evaluator with owned packed panels \
@@ -1108,19 +1282,28 @@ fn attach_one<T: Scalar>(
     heap: usize,
 ) {
     let node = heap as u32;
-    if !store.contains(class, node) {
-        return;
-    }
-    let (mixed, bytes) = match panel {
-        Panel::Packed(_) => (false, panel.bytes()),
-        Panel::Mixed(_) => (true, panel.bytes()),
+    let (mixed, lowrank) = match panel {
+        Panel::Packed(_) => (false, false),
+        Panel::Mixed(_) => (true, false),
+        Panel::LowRank(_) => (false, true),
+        Panel::MixedLowRank(_) => (true, true),
         _ => return,
     };
+    let present = if lowrank {
+        store.contains(left_class(class), node) && store.contains(right_class(class), node)
+    } else {
+        store.contains(class, node)
+    };
+    if !present {
+        return;
+    }
+    let bytes = panel.bytes();
     *panel = Panel::Stored(StoredPanel {
         store: Arc::clone(store),
         class,
         node,
         mixed,
+        lowrank,
         bytes,
     });
 }
@@ -1134,19 +1317,35 @@ fn stored_panel<'p, T: Scalar>(
     mixed: bool,
 ) -> Panel<'p, T> {
     let node = heap as u32;
-    match store.blob_len(class, node) {
-        // A DenseMatrix blob is a 17-byte header (1-byte scalar width, two
-        // u64 dimensions) followed by the raw values, so the decoded panel
-        // footprint is the blob length minus the header.
-        Some(len) => Panel::Stored(StoredPanel {
+    // A DenseMatrix blob is a 17-byte header (1-byte scalar width, two
+    // u64 dimensions) followed by the raw values, so the decoded panel
+    // footprint is the blob length minus the header.
+    if let Some(len) = store.blob_len(class, node) {
+        return Panel::Stored(StoredPanel {
             store: Arc::clone(store),
             class,
             node,
             mixed,
+            lowrank: false,
             bytes: (len as usize).saturating_sub(17),
-        }),
-        None => Panel::Empty,
+        });
     }
+    // No dense panel — a tuned operator may have spilled a low-rank pair
+    // under the companion classes instead.
+    if let (Some(l), Some(r)) = (
+        store.blob_len(left_class(class), node),
+        store.blob_len(right_class(class), node),
+    ) {
+        return Panel::Stored(StoredPanel {
+            store: Arc::clone(store),
+            class,
+            node,
+            mixed,
+            lowrank: true,
+            bytes: (l as usize).saturating_sub(17) + (r as usize).saturating_sub(17),
+        });
+    }
+    Panel::Empty
 }
 
 /// The concatenation of a leaf's near nodes' original row indices, in
@@ -1393,6 +1592,57 @@ fn decode_bases<T: Scalar>(bytes: &[u8]) -> Result<Vec<Option<NodeBasis<T>>>, St
     Ok(bases)
 }
 
+/// TUNED_FAR blob: the per-node effective far lists left by a committed
+/// [`Evaluator::tune`] (same shape as the LISTS blob's far half).
+fn encode_tuned_far(out: &mut Vec<u8>, lists: &[Vec<usize>]) {
+    let mut w = ByteWriter::new(out);
+    w.usize(lists.len());
+    for l in lists {
+        w.usize_slice(l);
+    }
+}
+
+fn decode_tuned_far(bytes: &[u8]) -> Result<Vec<Vec<usize>>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.usize()?;
+    let mut lists = Vec::with_capacity(count);
+    for _ in 0..count {
+        lists.push(r.usize_slice()?);
+    }
+    r.finish()?;
+    Ok(lists)
+}
+
+/// TUNE_META blob: the [`TuneStats`] snapshot of the tune that produced the
+/// persisted panels.
+fn encode_tune_meta(out: &mut Vec<u8>, ts: &TuneStats) {
+    let mut w = ByteWriter::new(out);
+    w.usize(ts.bytes_before);
+    w.usize(ts.bytes_after);
+    w.usize(ts.blocks_dropped);
+    w.usize(ts.panels_truncated);
+    w.f64(ts.measured_eps2);
+    w.usize(ts.accepted);
+    w.usize(ts.rejected);
+    w.f64(ts.time);
+}
+
+fn decode_tune_meta(bytes: &[u8]) -> Result<TuneStats, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let ts = TuneStats {
+        bytes_before: r.usize()?,
+        bytes_after: r.usize()?,
+        blocks_dropped: r.usize()?,
+        panels_truncated: r.usize()?,
+        measured_eps2: r.f64()?,
+        accepted: r.usize()?,
+        rejected: r.usize()?,
+        time: r.f64()?,
+    };
+    r.finish()?;
+    Ok(ts)
+}
+
 /// Evaluate the packed far panel `K_{skel(heap), skel(Far(heap))}` from the
 /// kernel (the fallback when compression skipped block caching).
 fn extract_far_panel<T: Scalar, M: SpdMatrix<T> + ?Sized>(
@@ -1457,19 +1707,71 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             .fetch_add(2 * m as u64 * n as u64 * k as u64, Ordering::Relaxed);
     }
 
-    /// Stack the far nodes' skeleton weights in Far-list order, matching a
-    /// packed far panel's `panel_cols` column order.
+    /// Stack the far nodes' skeleton weights in *effective* Far-list order
+    /// (the compression's list minus tune-dropped blocks), matching a packed
+    /// far panel's `panel_cols` column order.
     fn far_weight_stack(&self, heap: usize, panel_cols: usize, r: usize) -> DenseMatrix<T> {
-        let comp = self.ev.compressed();
         let mut wstack = DenseMatrix::zeros(panel_cols, r);
         let mut off = 0;
-        for &alpha in &comp.lists.far[heap] {
+        for &alpha in self.ev.far_list(heap) {
             let wa = self.ws.wtilde.read(alpha);
             wstack.set_block(off, 0, &wa);
             off += wa.rows();
         }
         debug_assert_eq!(off, panel_cols, "far panel/weight stack mismatch");
         wstack
+    }
+
+    /// The two GEMMs of a tuned low-rank panel: `out += left * (right * v)`,
+    /// accumulated in `T`. The fixed inner product order keeps tuned applies
+    /// bit-identical across traversal policies and thread counts, like the
+    /// dense single-GEMM arms.
+    fn apply_low_rank(
+        &self,
+        left: &DenseMatrix<T>,
+        right: &DenseMatrix<T>,
+        v: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+    ) {
+        let r = v.cols();
+        let mut tmp = DenseMatrix::zeros(right.rows(), r);
+        gemm(
+            T::one(),
+            right,
+            Transpose::No,
+            v,
+            Transpose::No,
+            T::zero(),
+            &mut tmp,
+        );
+        gemm(
+            T::one(),
+            left,
+            Transpose::No,
+            &tmp,
+            Transpose::No,
+            T::one(),
+            out,
+        );
+        self.count_gemm(right.rows(), r, right.cols());
+        self.count_gemm(left.rows(), r, left.cols());
+    }
+
+    /// [`ApplyPass::apply_low_rank`] with both factors stored in the reduced
+    /// panel precision; the intermediate and the accumulation stay in `T`.
+    fn apply_low_rank_mixed(
+        &self,
+        left: &DenseMatrix<<T as Scalar>::PanelScalar>,
+        right: &DenseMatrix<<T as Scalar>::PanelScalar>,
+        v: &DenseMatrix<T>,
+        out: &mut DenseMatrix<T>,
+    ) {
+        let r = v.cols();
+        let mut tmp = DenseMatrix::zeros(right.rows(), r);
+        gemm_mixed(T::one(), right, v, T::zero(), &mut tmp);
+        gemm_mixed(T::one(), left, &tmp, T::one(), out);
+        self.count_gemm(right.rows(), r, right.cols());
+        self.count_gemm(left.rows(), r, left.cols());
     }
 
     /// Route a `(family, node)` key from the cached plan to its task.
@@ -1523,16 +1825,9 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
         match &self.ev.far[heap] {
             Panel::Empty => {}
             Panel::Packed(far) => {
-                // Stack the far nodes' skeleton weights in Far-list order,
-                // matching the packed panel's column order.
-                let mut wstack = DenseMatrix::zeros(far.cols(), r);
-                let mut off = 0;
-                for &alpha in &comp.lists.far[heap] {
-                    let wa = self.ws.wtilde.read(alpha);
-                    wstack.set_block(off, 0, &wa);
-                    off += wa.rows();
-                }
-                debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
+                // Stack the far nodes' skeleton weights in effective
+                // Far-list order, matching the packed panel's column order.
+                let wstack = self.far_weight_stack(heap, far.cols(), r);
                 let mut ut = self.ws.utilde.write(heap);
                 gemm(
                     T::one(),
@@ -1546,17 +1841,20 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 self.count_gemm(far.rows(), r, far.cols());
             }
             Panel::Mixed(far) => {
-                let mut wstack = DenseMatrix::zeros(far.cols(), r);
-                let mut off = 0;
-                for &alpha in &comp.lists.far[heap] {
-                    let wa = self.ws.wtilde.read(alpha);
-                    wstack.set_block(off, 0, &wa);
-                    off += wa.rows();
-                }
-                debug_assert_eq!(off, far.cols(), "far panel/weight stack mismatch");
+                let wstack = self.far_weight_stack(heap, far.cols(), r);
                 let mut ut = self.ws.utilde.write(heap);
                 gemm_mixed(T::one(), far, &wstack, T::one(), &mut ut);
                 self.count_gemm(far.rows(), r, far.cols());
+            }
+            Panel::LowRank(lr) => {
+                let wstack = self.far_weight_stack(heap, lr.right.cols(), r);
+                let mut ut = self.ws.utilde.write(heap);
+                self.apply_low_rank(&lr.left, &lr.right, &wstack, &mut ut);
+            }
+            Panel::MixedLowRank(lr) => {
+                let wstack = self.far_weight_stack(heap, lr.right.cols(), r);
+                let mut ut = self.ws.utilde.write(heap);
+                self.apply_low_rank_mixed(&lr.left, &lr.right, &wstack, &mut ut);
             }
             Panel::Blocks(blocks) => {
                 let mut ut = self.ws.utilde.write(heap);
@@ -1575,29 +1873,45 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 }
             }
             Panel::Stored(sp) => {
-                // Out-of-core: fault the packed panel in (same values the
-                // Packed/Mixed arms hold resident), then run the identical
-                // single GEMM — bit-identical to the in-memory arms.
-                if sp.mixed {
-                    let far = sp.fetch::<T::PanelScalar>();
-                    let wstack = self.far_weight_stack(heap, far.cols(), r);
-                    let mut ut = self.ws.utilde.write(heap);
-                    gemm_mixed(T::one(), &far, &wstack, T::one(), &mut ut);
-                    self.count_gemm(far.rows(), r, far.cols());
-                } else {
-                    let far = sp.fetch::<T>();
-                    let wstack = self.far_weight_stack(heap, far.cols(), r);
-                    let mut ut = self.ws.utilde.write(heap);
-                    gemm(
-                        T::one(),
-                        &far,
-                        Transpose::No,
-                        &wstack,
-                        Transpose::No,
-                        T::one(),
-                        &mut ut,
-                    );
-                    self.count_gemm(far.rows(), r, far.cols());
+                // Out-of-core: fault the packed panel (or tuned low-rank
+                // pair) in — the same values the in-memory arms hold
+                // resident — then run the identical GEMM sequence, so
+                // file-backed applies stay bit-identical.
+                match (sp.lowrank, sp.mixed) {
+                    (true, true) => {
+                        let (left, right) = sp.fetch_pair::<T::PanelScalar>();
+                        let wstack = self.far_weight_stack(heap, right.cols(), r);
+                        let mut ut = self.ws.utilde.write(heap);
+                        self.apply_low_rank_mixed(&left, &right, &wstack, &mut ut);
+                    }
+                    (true, false) => {
+                        let (left, right) = sp.fetch_pair::<T>();
+                        let wstack = self.far_weight_stack(heap, right.cols(), r);
+                        let mut ut = self.ws.utilde.write(heap);
+                        self.apply_low_rank(&left, &right, &wstack, &mut ut);
+                    }
+                    (false, true) => {
+                        let far = sp.fetch::<T::PanelScalar>();
+                        let wstack = self.far_weight_stack(heap, far.cols(), r);
+                        let mut ut = self.ws.utilde.write(heap);
+                        gemm_mixed(T::one(), &far, &wstack, T::one(), &mut ut);
+                        self.count_gemm(far.rows(), r, far.cols());
+                    }
+                    (false, false) => {
+                        let far = sp.fetch::<T>();
+                        let wstack = self.far_weight_stack(heap, far.cols(), r);
+                        let mut ut = self.ws.utilde.write(heap);
+                        gemm(
+                            T::one(),
+                            &far,
+                            Transpose::No,
+                            &wstack,
+                            Transpose::No,
+                            T::one(),
+                            &mut ut,
+                        );
+                        self.count_gemm(far.rows(), r, far.cols());
+                    }
                 }
             }
         }
@@ -1677,6 +1991,16 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
                 gemm_mixed(T::one(), near, &w_near, T::one(), &mut out);
                 self.count_gemm(near.rows(), r, near.cols());
             }
+            Panel::LowRank(lr) => {
+                let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
+                let mut out = self.ws.u_near.write(heap);
+                self.apply_low_rank(&lr.left, &lr.right, &w_near, &mut out);
+            }
+            Panel::MixedLowRank(lr) => {
+                let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
+                let mut out = self.ws.u_near.write(heap);
+                self.apply_low_rank_mixed(&lr.left, &lr.right, &w_near, &mut out);
+            }
             Panel::Blocks(blocks) => {
                 let comp = self.ev.compressed();
                 let mut out = self.ws.u_near.write(heap);
@@ -1697,22 +2021,33 @@ impl<T: Scalar> ApplyPass<'_, '_, T> {
             Panel::Stored(sp) => {
                 let w_near = self.w.select_rows(&self.ev.near_gather[heap]);
                 let mut out = self.ws.u_near.write(heap);
-                if sp.mixed {
-                    let near = sp.fetch::<T::PanelScalar>();
-                    gemm_mixed(T::one(), &near, &w_near, T::one(), &mut out);
-                    self.count_gemm(near.rows(), r, near.cols());
-                } else {
-                    let near = sp.fetch::<T>();
-                    gemm(
-                        T::one(),
-                        &near,
-                        Transpose::No,
-                        &w_near,
-                        Transpose::No,
-                        T::one(),
-                        &mut out,
-                    );
-                    self.count_gemm(near.rows(), r, near.cols());
+                match (sp.lowrank, sp.mixed) {
+                    (true, true) => {
+                        let (left, right) = sp.fetch_pair::<T::PanelScalar>();
+                        self.apply_low_rank_mixed(&left, &right, &w_near, &mut out);
+                    }
+                    (true, false) => {
+                        let (left, right) = sp.fetch_pair::<T>();
+                        self.apply_low_rank(&left, &right, &w_near, &mut out);
+                    }
+                    (false, true) => {
+                        let near = sp.fetch::<T::PanelScalar>();
+                        gemm_mixed(T::one(), &near, &w_near, T::one(), &mut out);
+                        self.count_gemm(near.rows(), r, near.cols());
+                    }
+                    (false, false) => {
+                        let near = sp.fetch::<T>();
+                        gemm(
+                            T::one(),
+                            &near,
+                            Transpose::No,
+                            &w_near,
+                            Transpose::No,
+                            T::one(),
+                            &mut out,
+                        );
+                        self.count_gemm(near.rows(), r, near.cols());
+                    }
                 }
             }
         }

@@ -59,6 +59,7 @@ pub mod evaluate;
 pub mod lists;
 pub mod shard;
 pub mod skel;
+pub mod tune;
 
 pub use accuracy::{accuracy_report, AccuracyReport};
 pub use compress::{compress, try_compress, CompRef, Compressed, CompressionStats};
@@ -71,6 +72,7 @@ pub use evaluate::{
 pub use lists::{build_interaction_lists, check_coverage, InteractionLists};
 pub use shard::ShardedApply;
 pub use skel::{skeletonize_node, NodeBasis, SkelParams};
+pub use tune::{AccuracyBudget, TuneStats};
 
 /// Storage-tier types accepted by the spill/attach/persistence surface
 /// ([`Evaluator::spill_panels`], [`Evaluator::attach_store`],

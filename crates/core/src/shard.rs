@@ -430,6 +430,7 @@ impl<T: Scalar> ShardedApply<T> {
             panel_precision: ev.panel_precision(),
             flops: flops.load(Ordering::Relaxed),
             exec: None,
+            tune: ev.tune_stats().cloned(),
         };
         Ok((out, stats))
     }

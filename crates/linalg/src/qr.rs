@@ -513,6 +513,72 @@ pub fn householder_ql<T: Scalar>(a: &DenseMatrix<T>) -> QlFactors<T> {
     }
 }
 
+/// A rank-`k` two-factor approximation `A ≈ left * right` with `left` of
+/// shape `m × k` and `right` of shape `k × n`, produced by
+/// [`truncate_low_rank`]. Unlike [`QrFactors`], the `right` factor is stored
+/// in the *original* column order (the pivot permutation is already undone),
+/// so `left * right` approximates `A` directly.
+#[derive(Clone, Debug)]
+pub struct LowRankFactors<T: Scalar> {
+    /// Orthonormal column basis, `m × k` (the thin Q of the pivoted QR).
+    pub left: DenseMatrix<T>,
+    /// Coefficients in original column order, `k × n` (the unpivoted R).
+    pub right: DenseMatrix<T>,
+}
+
+impl<T: Scalar> LowRankFactors<T> {
+    /// The truncation rank `k`.
+    pub fn rank(&self) -> usize {
+        self.left.cols()
+    }
+
+    /// Stored values of both factors: `k * (m + n)` scalars. Compare against
+    /// the dense `m * n` to decide whether the truncation actually shrinks.
+    pub fn stored_values(&self) -> usize {
+        self.left.rows() * self.left.cols() + self.right.rows() * self.right.cols()
+    }
+
+    /// Dense reconstruction `left * right` (tests and diagnostics).
+    pub fn reconstruct(&self) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.left.rows(), self.right.cols());
+        gemm(
+            T::one(),
+            &self.left,
+            Transpose::No,
+            &self.right,
+            Transpose::No,
+            T::zero(),
+            &mut out,
+        );
+        out
+    }
+}
+
+/// Rank-truncate `a` with a column-pivoted QR: `A ≈ left * right` where
+/// `left` is the thin orthonormal Q and `right` is R carried back to the
+/// original column order (`right[:, pivots[j]] = R[:, j]`). The rank is
+/// chosen by [`pivoted_qr`]'s adaptive criterion under `opts` — columns stop
+/// being pivoted once the largest remaining partial norm drops below
+/// `rel_tol * max_initial_column_norm` (or `abs_tol`), so the truncation
+/// error is on the order of [`QrFactors::next_pivot_norm`].
+///
+/// A rank of zero (every column below the tolerance) yields empty factors;
+/// callers typically replace the block with nothing at all in that case.
+pub fn truncate_low_rank<T: Scalar>(a: &DenseMatrix<T>, opts: QrOptions) -> LowRankFactors<T> {
+    let qr = pivoted_qr(a, opts);
+    let k = qr.rank();
+    let left = qr.q_thin();
+    let r = qr.r();
+    let mut right = DenseMatrix::zeros(k, a.cols());
+    for j in 0..a.cols() {
+        let dst = qr.pivots()[j];
+        for i in 0..k {
+            right.set(i, dst, r.get(i, j));
+        }
+    }
+    LowRankFactors { left, right }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,5 +772,63 @@ mod tests {
         let recon = qr.reconstruct_pivoted();
         let ap = a.select_cols(qr.pivots());
         assert!(recon.sub(&ap).norm_max() < 1e-4);
+    }
+
+    #[test]
+    fn truncate_low_rank_recovers_exact_low_rank_matrix() {
+        // A = u * v^T has rank 2; the truncation must reconstruct it to
+        // roundoff with exactly rank 2 and undo the pivot permutation.
+        let mut rng = StdRng::seed_from_u64(91);
+        let u = DenseMatrix::<f64>::random_gaussian(24, 2, &mut rng);
+        let v = DenseMatrix::<f64>::random_gaussian(17, 2, &mut rng);
+        let mut a = DenseMatrix::zeros(24, 17);
+        gemm(1.0, &u, Transpose::No, &v, Transpose::Yes, 0.0, &mut a);
+        let lr = truncate_low_rank(&a, QrOptions::adaptive(usize::MAX, 1e-12));
+        assert_eq!(lr.rank(), 2);
+        assert_eq!(lr.stored_values(), 2 * (24 + 17));
+        assert!(lr.reconstruct().sub(&a).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn truncate_low_rank_error_tracks_tolerance() {
+        // Geometric singular-value decay: the truncation error at rel_tol
+        // tau must be O(tau) relative to the matrix norm.
+        let n = 32;
+        let mut rng = StdRng::seed_from_u64(92);
+        let q1 = householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng)).q_thin();
+        let q2 = householder_qr(&DenseMatrix::<f64>::random_gaussian(n, n, &mut rng)).q_thin();
+        let mut scaled = q1.clone();
+        for j in 0..n {
+            let s = (0.4f64).powi(j as i32);
+            for i in 0..n {
+                let v = scaled.get(i, j) * s;
+                scaled.set(i, j, v);
+            }
+        }
+        let mut a = DenseMatrix::zeros(n, n);
+        gemm(
+            1.0,
+            &scaled,
+            Transpose::No,
+            &q2,
+            Transpose::Yes,
+            0.0,
+            &mut a,
+        );
+        for tau in [1e-2, 1e-5, 1e-8] {
+            let lr = truncate_low_rank(&a, QrOptions::adaptive(usize::MAX, tau));
+            let rel = lr.reconstruct().sub(&a).norm_fro() / a.norm_fro();
+            assert!(rel < 40.0 * tau, "tau {tau}: rel error {rel}");
+            assert!(lr.rank() < n, "tau {tau}: rank not truncated");
+        }
+    }
+
+    #[test]
+    fn truncate_low_rank_zero_matrix_is_rank_zero() {
+        let a = DenseMatrix::<f64>::zeros(8, 5);
+        let lr = truncate_low_rank(&a, QrOptions::adaptive(usize::MAX, 1e-8));
+        assert_eq!(lr.rank(), 0);
+        assert_eq!(lr.left.rows(), 8);
+        assert_eq!(lr.right.cols(), 5);
     }
 }

@@ -109,6 +109,11 @@ pub use ulv::{ShardedSolve, UlvFactor};
 /// them from `gofmm-store`) so out-of-core callers need only this crate.
 pub use gofmm_core::{FilePanelStore, StorageConfig, StoreStatsSnapshot, StoreWriter};
 
+/// Accuracy-budget tuning types accepted by [`GofmmOperatorBuilder::tune`]
+/// and [`GofmmOperator::tune`]; re-exported from `gofmm-core` so serving
+/// callers can sparsify their operators without a core dependency.
+pub use gofmm_core::{AccuracyBudget, TuneStats};
+
 use gofmm_core::{Compressed, Evaluator};
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;

@@ -26,8 +26,9 @@ use crate::factor::{FactorOptions, HierarchicalFactor};
 use crate::krylov::{cg, KrylovOptions, LinearOperator, Shifted, SolveStats};
 use crate::ulv::UlvFactor;
 use gofmm_core::{
-    try_compress, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator, FilePanelStore,
-    GofmmConfig, PanelPrecision, StorageConfig, StoreStatsSnapshot, StoreWriter,
+    try_compress, AccuracyBudget, ApplyOptions, Compressed, Error, EvaluationStats, Evaluator,
+    FilePanelStore, GofmmConfig, PanelPrecision, StorageConfig, StoreStatsSnapshot, StoreWriter,
+    TuneStats,
 };
 use gofmm_linalg::{DenseMatrix, Scalar};
 use gofmm_matrices::SpdMatrix;
@@ -196,6 +197,7 @@ impl<T: Scalar> GofmmOperator<T> {
             lambda: None,
             backend: FactorBackend::default(),
             storage: StorageConfig::InMemory,
+            tune: None,
             _scalar: PhantomData,
         }
     }
@@ -289,6 +291,19 @@ impl<T: Scalar> GofmmOperator<T> {
         self.evaluator.panel_precision()
     }
 
+    /// Sparsify the packed panels in place under `budget` (see
+    /// [`Evaluator::tune`]). Requires in-memory panels: an operator built
+    /// with [`StorageConfig::File`] already spilled and must be tuned at
+    /// build time via [`GofmmOperatorBuilder::tune`] instead.
+    pub fn tune(&mut self, budget: &AccuracyBudget) -> Result<TuneStats, Error> {
+        self.evaluator.tune(budget)
+    }
+
+    /// The committed [`TuneStats`] of the last accepted tune, if any.
+    pub fn tune_stats(&self) -> Option<&TuneStats> {
+        self.evaluator.tune_stats()
+    }
+
     /// Matvec `u ≈ K w` from cached state (zero kernel evaluations).
     pub fn apply(&self, w: &DenseMatrix<T>) -> Result<DenseMatrix<T>, Error> {
         self.evaluator.apply(w).map(|(u, _)| u)
@@ -358,7 +373,12 @@ impl<T: Scalar> GofmmOperator<T> {
     ///   traffic of the apply-workspace pool (fresh allocations vs reuses);
     /// - `gofmm_pool_solve_created` / `gofmm_pool_solve_recycled` — the
     ///   same for the factorization's solve-workspace pool, when one was
-    ///   built.
+    ///   built;
+    /// - `gofmm_tune_bytes_before` / `gofmm_tune_bytes_after` /
+    ///   `gofmm_tune_blocks_dropped` / `gofmm_tune_panels_truncated` /
+    ///   `gofmm_tune_measured_eps2` / `gofmm_tune_accepted` /
+    ///   `gofmm_tune_rejected` — the committed [`TuneStats`], when the
+    ///   operator was tuned under an [`AccuracyBudget`].
     ///
     /// Call it after a serving interval (or on a scrape) to refresh the
     /// gauges; the batched server's own counters update live instead via
@@ -411,6 +431,50 @@ impl<T: Scalar> GofmmOperator<T> {
                 )
                 .set(recycled as f64);
         }
+        if let Some(ts) = self.evaluator.tune_stats() {
+            registry
+                .gauge(
+                    "gofmm_tune_bytes_before",
+                    "Resident panel bytes before the accepted tune",
+                )
+                .set(ts.bytes_before as f64);
+            registry
+                .gauge(
+                    "gofmm_tune_bytes_after",
+                    "Resident panel bytes after the accepted tune",
+                )
+                .set(ts.bytes_after as f64);
+            registry
+                .gauge(
+                    "gofmm_tune_blocks_dropped",
+                    "Far interaction blocks dropped by the accepted tune",
+                )
+                .set(ts.blocks_dropped as f64);
+            registry
+                .gauge(
+                    "gofmm_tune_panels_truncated",
+                    "Panels replaced by low-rank pairs in the accepted tune",
+                )
+                .set(ts.panels_truncated as f64);
+            registry
+                .gauge(
+                    "gofmm_tune_measured_eps2",
+                    "Sampled relative error of the accepted tuned state",
+                )
+                .set(ts.measured_eps2);
+            registry
+                .gauge(
+                    "gofmm_tune_accepted",
+                    "Candidate states accepted by the tuning search",
+                )
+                .set(ts.accepted as f64);
+            registry
+                .gauge(
+                    "gofmm_tune_rejected",
+                    "Candidate states measured and rejected by the tuning search",
+                )
+                .set(ts.rejected as f64);
+        }
         if let Some(store) = &self.store {
             let s = store.stats();
             registry
@@ -458,6 +522,7 @@ pub struct GofmmOperatorBuilder<'m, T: Scalar, M: ?Sized> {
     lambda: Option<f64>,
     backend: FactorBackend,
     storage: StorageConfig,
+    tune: Option<AccuracyBudget>,
     _scalar: PhantomData<T>,
 }
 
@@ -483,6 +548,20 @@ impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
     /// [`GofmmOperatorBuilder::factorize`]).
     pub fn backend(mut self, backend: FactorBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sparsify the packed panels to the given [`AccuracyBudget`] right
+    /// after packing (see [`Evaluator::tune`]): far blocks below the
+    /// accepted norm threshold are dropped and the surviving S2S/L2L
+    /// panels rank-truncated, with every candidate state measured against
+    /// a pre-tune reference apply and committed only when its sampled ε₂
+    /// fits the budget. Tuning runs *before* any [`StorageConfig::File`]
+    /// spill, so a file-backed operator persists the tuned panels.
+    /// Factorizations are built from the untuned compression and are
+    /// unaffected.
+    pub fn tune(mut self, budget: AccuracyBudget) -> Self {
+        self.tune = Some(budget);
         self
     }
 
@@ -554,6 +633,11 @@ impl<'m, T: Scalar, M: SpdMatrix<T> + ?Sized> GofmmOperatorBuilder<'m, T, M> {
             factor,
             store: None,
         };
+        // Tune before any spill so the store persists the tuned panels and
+        // the freed storage never hits the file.
+        if let Some(budget) = &self.tune {
+            op.evaluator.tune(budget)?;
+        }
         if let StorageConfig::File {
             dir,
             resident_budget,

@@ -56,6 +56,15 @@ pub mod classes {
     pub const L2L: u16 = 2;
     /// ULV factor block (rotation + trailing elimination) of a tree node.
     pub const ULV_NODE: u16 = 3;
+    /// Left factor of a rank-truncated (tuned) far panel: `left * right`
+    /// replaces the dense [`S2S`] panel after `Evaluator::tune`.
+    pub const S2S_LEFT: u16 = 4;
+    /// Right factor of a rank-truncated (tuned) far panel.
+    pub const S2S_RIGHT: u16 = 5;
+    /// Left factor of a rank-truncated (tuned) near panel (see [`S2S_LEFT`]).
+    pub const L2L_LEFT: u16 = 6;
+    /// Right factor of a rank-truncated (tuned) near panel.
+    pub const L2L_RIGHT: u16 = 7;
     /// Serialized compression configuration (persistence header).
     pub const CONFIG: u16 = 10;
     /// Serialized partition tree (persistence header).
@@ -68,6 +77,11 @@ pub mod classes {
     pub const ULV_DIMS: u16 = 14;
     /// ULV factorization metadata (regularization, stats).
     pub const ULV_META: u16 = 15;
+    /// Tuned per-node effective far lists (`Evaluator::tune` dropped
+    /// far blocks); absent when the persisted operator was never tuned.
+    pub const TUNED_FAR: u16 = 16;
+    /// Tune statistics snapshot persisted alongside a tuned operator.
+    pub const TUNE_META: u16 = 17;
 }
 
 /// Errors surfaced by the storage tier.

@@ -24,7 +24,7 @@ pub use gofmm_solver as solver;
 pub use gofmm_telemetry as telemetry;
 pub use gofmm_tree as tree;
 
-pub use gofmm_core::{ApplyOptions, CancelToken, Error, PanelPrecision};
+pub use gofmm_core::{AccuracyBudget, ApplyOptions, CancelToken, Error, PanelPrecision, TuneStats};
 pub use gofmm_solver::{
     BatchedServer, FactorBackend, FlightProgress, GofmmOperator, GofmmOperatorBuilder,
     KrylovOptions, ServeConfig, ServerStats, ShardedOperator, StorageConfig, StoreStatsSnapshot,

@@ -1,0 +1,225 @@
+//! CI gate for the accuracy-budget tuning loop over the kernel zoo.
+//!
+//! Grid: {K02 grid operator, K04 Gaussian kernel} × budgets
+//! {1e-3, 1e-6, 1e-9} × panel precision {Native, MixedF32}, through the
+//! `GofmmOperator` front door. The gate holds the tuning contract:
+//!
+//! * every accepted state's sampled ε₂ is at or below its budget;
+//! * the byte/accuracy Pareto front is ordered — a tighter budget never
+//!   yields a smaller operator than a looser one;
+//! * the loosest budget actually sparsifies (accepts and frees bytes);
+//! * ULV-preconditioned CG still converges in ≤ 10 iterations on a tuned
+//!   operator;
+//! * tuned panels survive the storage tier bit-identically — both the
+//!   builder's spill-and-attach path and a `write_to`/`open_from` reopen.
+
+use gofmm_suite::core::{Evaluator, GofmmConfig, TraversalPolicy};
+use gofmm_suite::linalg::DenseMatrix;
+use gofmm_suite::matrices::{build_matrix, SpdMatrix, TestMatrixId, ZooOptions};
+use gofmm_suite::solver::KrylovOptions;
+use gofmm_suite::{
+    AccuracyBudget, ApplyOptions, GofmmOperator, PanelPrecision, StorageConfig, TuneStats,
+};
+
+/// Tight to loose: the Pareto assertions below expect non-increasing bytes
+/// along this order.
+const BUDGETS: [f64; 3] = [1e-9, 1e-6, 1e-3];
+
+fn zoo_matrix(id: TestMatrixId) -> Box<dyn SpdMatrix<f64> + Send + Sync> {
+    build_matrix(id, &ZooOptions::with_n(512))
+}
+
+fn config(precision: PanelPrecision) -> GofmmConfig {
+    GofmmConfig::default()
+        .with_leaf_size(64)
+        .with_max_rank(64)
+        .with_tolerance(1e-7)
+        .with_budget(0.05)
+        .with_threads(2)
+        .with_policy(TraversalPolicy::LevelByLevel)
+        .with_panel_precision(precision)
+}
+
+fn probe_w(n: usize, cols: usize, seed: u64) -> DenseMatrix<f64> {
+    DenseMatrix::from_fn(n, cols, |i, j| {
+        let x = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((j as u64) << 21))
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    })
+}
+
+/// Tune one operator per budget (tight to loose) and check the per-cell
+/// accept contract plus the Pareto ordering of the resulting footprints.
+fn pareto_cell(id: TestMatrixId, precision: PanelPrecision) -> Vec<(f64, usize, TuneStats)> {
+    let k = zoo_matrix(id);
+    let mut cells = Vec::new();
+    for eps2 in BUDGETS {
+        let mut op = GofmmOperator::builder(k.as_ref())
+            .config(config(precision))
+            .build()
+            .unwrap();
+        let stats = op.tune(&AccuracyBudget::new(eps2)).unwrap();
+        assert!(stats.accepted <= 1);
+        if stats.accepted == 1 {
+            assert!(
+                stats.measured_eps2 <= eps2,
+                "{id:?}/{precision:?}: accepted ε₂ {} above budget {eps2}",
+                stats.measured_eps2
+            );
+            assert!(stats.bytes_after <= stats.bytes_before);
+            assert_eq!(op.tune_stats(), Some(&stats));
+        } else {
+            assert_eq!(stats.bytes_after, stats.bytes_before);
+        }
+        assert_eq!(op.evaluator().cached_bytes(), stats.bytes_after);
+        cells.push((eps2, stats.bytes_after, stats));
+    }
+    // BUDGETS runs tight → loose; bytes must be non-increasing.
+    for pair in cells.windows(2) {
+        assert!(
+            pair[1].1 <= pair[0].1,
+            "{id:?}/{precision:?}: Pareto front out of order: {cells:?}"
+        );
+    }
+    cells
+}
+
+#[test]
+fn pareto_grid_k02() {
+    for precision in [PanelPrecision::Native, PanelPrecision::MixedF32] {
+        let cells = pareto_cell(TestMatrixId::K02, precision);
+        let loosest = &cells[cells.len() - 1];
+        assert_eq!(
+            loosest.2.accepted, 1,
+            "K02/{precision:?}: the loosest budget must accept"
+        );
+        assert!(
+            loosest.2.bytes_after < loosest.2.bytes_before,
+            "K02/{precision:?}: accepted tune freed no bytes"
+        );
+    }
+}
+
+#[test]
+fn pareto_grid_k04() {
+    for precision in [PanelPrecision::Native, PanelPrecision::MixedF32] {
+        let cells = pareto_cell(TestMatrixId::K04, precision);
+        let loosest = &cells[cells.len() - 1];
+        assert_eq!(
+            loosest.2.accepted, 1,
+            "K04/{precision:?}: the loosest budget must accept"
+        );
+        assert!(
+            loosest.2.bytes_after < loosest.2.bytes_before,
+            "K04/{precision:?}: accepted tune freed no bytes"
+        );
+    }
+}
+
+/// The paper's headline pipeline on a tuned operator: CG on the tuned
+/// matvec, preconditioned by the (untuned) ULV factorization, must still
+/// converge in a handful of iterations — the tuning perturbation is within
+/// budget, so the preconditioner stays spectrally sharp.
+#[test]
+fn ulv_pcg_converges_fast_on_tuned_operator() {
+    let k = zoo_matrix(TestMatrixId::K04);
+    let n = k.n();
+    let mut op = GofmmOperator::builder(k.as_ref())
+        .config(config(PanelPrecision::Native))
+        .factorize(1.0)
+        .build()
+        .unwrap();
+    let stats = op.tune(&AccuracyBudget::new(1e-3)).unwrap();
+    assert_eq!(stats.accepted, 1, "1e-3 should be attainable at tol 1e-7");
+    let b = probe_w(n, 2, 23);
+    let opts = KrylovOptions {
+        tol: 1e-8,
+        max_iters: 50,
+        ..KrylovOptions::default()
+    };
+    let (_, solve) = op.solve_cg(&b, &opts).unwrap();
+    assert!(solve.converged, "tuned ULV-PCG failed to converge");
+    assert!(
+        solve.iterations <= 10,
+        "tuned ULV-PCG took {} iterations",
+        solve.iterations
+    );
+}
+
+/// Tuned panels survive the storage tier: a tuned-then-spilled operator
+/// (builder `tune` + `StorageConfig::File`) and a `write_to`/`open_from`
+/// reopen of its store both apply bit-identically to the tuned in-memory
+/// operator, under every traversal policy.
+#[test]
+fn tuned_operator_round_trips_through_storage() {
+    let k = zoo_matrix(TestMatrixId::K04);
+    let n = k.n();
+    let budget = AccuracyBudget::new(1e-3);
+
+    let mut mem_op = GofmmOperator::builder(k.as_ref())
+        .config(config(PanelPrecision::Native))
+        .build()
+        .unwrap();
+    let stats = mem_op.tune(&budget).unwrap();
+    assert_eq!(stats.accepted, 1);
+
+    let dir = std::env::temp_dir().join(format!("gofmm-acc-budget-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let file_op = GofmmOperator::builder(k.as_ref())
+        .config(config(PanelPrecision::Native))
+        .tune(budget.clone())
+        .storage(StorageConfig::File {
+            dir: dir.clone(),
+            resident_budget: 1 << 22,
+        })
+        .build()
+        .unwrap();
+    // The builder tuned before spilling: identical decisions, identical stats
+    // (modulo wall-clock time).
+    let file_stats = file_op.tune_stats().expect("builder tune must commit");
+    assert_eq!(file_stats.bytes_before, stats.bytes_before);
+    assert_eq!(file_stats.bytes_after, stats.bytes_after);
+    assert_eq!(
+        file_stats.measured_eps2.to_bits(),
+        stats.measured_eps2.to_bits()
+    );
+
+    let w = probe_w(n, 3, 31);
+    let (u_mem, _) = mem_op.apply_with(&w, &ApplyOptions::default()).unwrap();
+    for policy in [
+        TraversalPolicy::Sequential,
+        TraversalPolicy::LevelByLevel,
+        TraversalPolicy::DagHeft,
+        TraversalPolicy::DagFifo,
+    ] {
+        let opts = ApplyOptions::default().with_policy(policy);
+        let (u_file, _) = file_op.apply_with(&w, &opts).unwrap();
+        for (a, b) in u_file.data().iter().zip(u_mem.data()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{policy:?}: tuned+spilled apply drifted from tuned in-memory"
+            );
+        }
+    }
+
+    // Reopen the persisted operator file cold: the tuned far lists and the
+    // low-rank panels come back exactly, and so does the committed stats.
+    let path = dir.join("operator.gfmm");
+    let (_comp, reopened) = Evaluator::<f64>::open_from(&path, 1 << 22).unwrap();
+    let reopened_stats = reopened.tune_stats().expect("tune stats must persist");
+    assert_eq!(reopened_stats.bytes_after, stats.bytes_after);
+    assert_eq!(
+        reopened_stats.measured_eps2.to_bits(),
+        stats.measured_eps2.to_bits()
+    );
+    let (u_reopened, _) = reopened.apply_with(&w, &ApplyOptions::default()).unwrap();
+    for (a, b) in u_reopened.data().iter().zip(u_mem.data()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "reopened tuned operator drifted from tuned in-memory"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
